@@ -1,0 +1,83 @@
+"""Ablation: the data-reordering design space (DESIGN.md design choices).
+
+The paper evaluates CPACK and GPART and cites RCM [4] and space-filling
+curves [20, 28] as alternatives.  This ablation runs all four through the
+same pipeline (each followed by lexGroup) and checks the expected
+ordering: the graph/space-aware reorderings (GPART, RCM, Hilbert) beat
+first-touch packing (CPACK), at higher inspector cost.
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.cachesim import machine_by_name, simulate_cost
+from repro.eval.compositions import gpart_partition_size
+from repro.kernels import generate_dataset, make_kernel_data
+from repro.runtime.executor import emit_trace
+from repro.runtime.inspector import (
+    ComposedInspector,
+    CPackStep,
+    GPartStep,
+    LexGroupStep,
+    RCMStep,
+    SpaceFillingStep,
+)
+
+
+def run_experiment():
+    machine = machine_by_name("pentium4")
+    rows = []
+    for kernel, dataset in (("irreg", "foil"), ("moldyn", "mol1")):
+        ds = generate_dataset(dataset)
+        data = make_kernel_data(kernel, ds)
+        base = simulate_cost(emit_trace(data), machine).cycles
+        curve = "hilbert" if ds.coords.shape[1] == 2 else "morton"
+        variants = {
+            "cpack": [CPackStep()],
+            "gpart": [GPartStep(gpart_partition_size(data, machine))],
+            "rcm": [RCMStep()],
+            "sfc": [SpaceFillingStep(ds.coords, curve)],
+        }
+        for name, head in variants.items():
+            res = ComposedInspector(head + [LexGroupStep()]).run(data)
+            cost = simulate_cost(
+                emit_trace(res.transformed, res.plan), machine
+            ).cycles
+            rows.append(
+                {
+                    "kernel": kernel,
+                    "dataset": dataset,
+                    "reordering": name,
+                    "normalized": cost / base,
+                    "inspector_touches": res.total_touches,
+                }
+            )
+    return rows
+
+
+def test_ablation_data_reorderings(benchmark, results_dir):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = ["Ablation: data reorderings (each + lexGroup), Pentium4-like"]
+    for r in rows:
+        lines.append(
+            f"  {r['kernel']}/{r['dataset']:5s} {r['reordering']:8s} "
+            f"normalized={r['normalized']:.3f} "
+            f"inspector={r['inspector_touches']} touches"
+        )
+    save_and_print(results_dir, "ablation_data_reorderings", "\n".join(lines))
+
+    by = {(r["kernel"], r["reordering"]): r for r in rows}
+    for kernel in ("irreg", "moldyn"):
+        # every reordering helps
+        for name in ("cpack", "gpart", "rcm", "sfc"):
+            assert by[(kernel, name)]["normalized"] < 1.0
+        # structure-aware reorderings beat first-touch packing ...
+        for name in ("gpart", "rcm", "sfc"):
+            assert (
+                by[(kernel, name)]["normalized"]
+                < by[(kernel, "cpack")]["normalized"]
+            ), (kernel, name)
+        # ... while CPACK remains the cheapest inspector of the four.
+        for name in ("gpart", "rcm"):
+            assert (
+                by[(kernel, "cpack")]["inspector_touches"]
+                <= by[(kernel, name)]["inspector_touches"]
+            ), (kernel, name)

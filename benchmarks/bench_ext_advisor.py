@@ -1,0 +1,70 @@
+"""Extension experiment: run-time composition selection (paper Section 7).
+
+The paper leaves "guidance mechanisms that decide when to apply which
+sequence of transformations ... at runtime based on the characteristics
+of the actual data" as future work.  This bench evaluates our sampling
+autotuner against the oracle (exhaustive full-size evaluation): for every
+(kernel, dataset, machine, trip-count) cell, the advisor's pick must land
+within 10% of the oracle's projected total cost.
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.cachesim.machines import machine_by_name
+from repro.eval.advisor import choose_composition
+from repro.eval.compositions import COMPOSITIONS
+from repro.eval.experiments import run_cell
+from repro.kernels import generate_dataset, make_kernel_data
+
+CELLS = (("moldyn", "mol1"), ("irreg", "foil"), ("nbf", "auto"))
+TRIP_COUNTS = (2, 100)
+
+
+def run_experiment():
+    rows = []
+    for kernel, dataset in CELLS:
+        data = make_kernel_data(kernel, generate_dataset(dataset))
+        for machine_name in ("power3", "pentium4"):
+            machine = machine_by_name(machine_name)
+            for steps in TRIP_COUNTS:
+                advice = choose_composition(data, machine, num_steps=steps)
+                totals = {}
+                for comp in COMPOSITIONS:
+                    cell = run_cell(kernel, dataset, machine_name, comp)
+                    totals[comp] = (
+                        cell.inspector_cycles + steps * cell.executor_cycles
+                    )
+                oracle = min(totals, key=totals.get)
+                rows.append(
+                    {
+                        "kernel": kernel,
+                        "dataset": dataset,
+                        "machine": machine_name,
+                        "steps": steps,
+                        "advisor": advice.composition,
+                        "oracle": oracle,
+                        "cost_ratio": totals[advice.composition] / totals[oracle],
+                    }
+                )
+    return rows
+
+
+def test_ext_advisor(benchmark, results_dir):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = ["Extension: run-time composition selection vs oracle"]
+    for r in rows:
+        lines.append(
+            f"  {r['kernel']}/{r['dataset']}/{r['machine']:9s} steps={r['steps']:>3}: "
+            f"advisor={r['advisor']:12s} oracle={r['oracle']:12s} "
+            f"ratio={r['cost_ratio']:.3f}"
+        )
+    save_and_print(results_dir, "ext_advisor", "\n".join(lines))
+
+    for r in rows:
+        # The advisor never costs more than 10% over the oracle...
+        assert r["cost_ratio"] < 1.10, r
+    # ...and actually adapts: short runs keep the baseline, long runs
+    # select reordering compositions.
+    shorts = {r["advisor"] for r in rows if r["steps"] == 2}
+    longs = {r["advisor"] for r in rows if r["steps"] == 100}
+    assert shorts == {"baseline"}
+    assert "baseline" not in longs

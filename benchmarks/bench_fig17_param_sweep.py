@@ -1,0 +1,41 @@
+"""Figure 17: executor performance vs the cache-targeting parameter.
+
+The paper sweeps the GPART partition size and FST seed size to target
+different cache sizes and shows the executor's performance varies with the
+choice, motivating run-time parameter selection (Section 7).  Shape:
+the sweep produces genuine variation, and targeting at or below the L1
+size is never worse than over-targeting by 4x.
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.eval.figures import SWEEP_FRACTIONS, figure17
+from repro.eval.report import format_rows
+
+
+def test_figure17_param_sweep(benchmark, results_dir):
+    rows = benchmark.pedantic(figure17, rounds=1, iterations=1)
+    text = format_rows(
+        rows,
+        ["machine", "kernel", "dataset", "fraction", "normalized_time"],
+        "Figure 17: gpart+fst executor time vs L1-targeting fraction",
+    )
+    save_and_print(results_dir, "figure17_param_sweep", text)
+
+    series = {}
+    for row in rows:
+        series.setdefault((row.machine, row.kernel), {})[row.fraction] = (
+            row.normalized_time
+        )
+    for key, points in series.items():
+        assert set(points) == set(SWEEP_FRACTIONS)
+        # All parameter choices still beat the baseline...
+        assert all(v < 1.0 for v in points.values()), key
+        # ...and under-targeting (<= L1) is never worse than targeting 4x L1.
+        assert min(points[0.25], points[0.5], points[1.0]) <= points[4.0], key
+
+    # The parameter matters: at least one series varies by > 1%.
+    spreads = [
+        max(points.values()) - min(points.values())
+        for points in series.values()
+    ]
+    assert max(spreads) > 0.01

@@ -1,0 +1,45 @@
+"""Figure 6: normalized executor time (without overhead), Power3-like.
+
+Shape assertions (the paper's qualitative claims for the Power3):
+every composition beats the baseline, GPART-based compositions beat plain
+CPACK, and composing FST on top gives *mixed* (small) changes.
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.eval.experiments import BENCHMARK_DATASETS
+from repro.eval.figures import figure6
+from repro.eval.report import format_grid
+
+
+def _by_key(rows):
+    return {
+        (r.kernel, r.dataset, r.composition): r.normalized_time for r in rows
+    }
+
+
+def test_figure6_power3(benchmark, results_dir):
+    rows = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    text = format_grid(
+        rows,
+        title="Figure 6: normalized executor time, Power3-like (lower is better)",
+    )
+    save_and_print(results_dir, "figure6_power3", text)
+
+    norm = _by_key(rows)
+    for (kernel, dataset, composition), value in norm.items():
+        # every composition improves on the baseline
+        assert value < 1.0, (kernel, dataset, composition)
+    for kernel, datasets in BENCHMARK_DATASETS.items():
+        for dataset in datasets:
+            # gpart beats cpack (Han & Tseng's result, reproduced here)
+            assert norm[(kernel, dataset, "gpart")] < norm[(kernel, dataset, "cpack")]
+            # cpack2x composition lands between cpack and gpart
+            assert (
+                norm[(kernel, dataset, "cpack2x")]
+                < norm[(kernel, dataset, "cpack")]
+            )
+            # FST on the Power3 is mixed: allow +-15% around the base
+            # composition, never a blow-up (the paper's "mixed results").
+            for base in ("cpack", "gpart", "cpack2x"):
+                with_fst = norm[(kernel, dataset, f"{base}+fst")]
+                assert with_fst < norm[(kernel, dataset, base)] * 1.15

@@ -1,0 +1,43 @@
+"""Figure 9: inspector amortization on the Pentium4-like machine.
+
+Beyond the generic Figure-8 shape, this figure carries the paper's moldyn
+observation: FST improves moldyn so much on the Pentium 4 that its
+inspectors are the *easiest to amortize across the benchmarks* — moldyn's
+FST compositions pay off in fewer steps than the other benchmarks'.
+"""
+
+from benchmarks.conftest import save_and_print
+from repro.eval.experiments import BENCHMARK_DATASETS
+from repro.eval.figures import figure9
+from repro.eval.report import format_grid
+
+
+def test_figure9_amortization_pentium4(benchmark, results_dir):
+    rows = benchmark.pedantic(figure9, rounds=1, iterations=1)
+    text = format_grid(
+        rows,
+        value="amortization_steps",
+        title=(
+            "Figure 9: outer-loop iterations to amortize the inspector, "
+            "Pentium4-like"
+        ),
+    )
+    save_and_print(results_dir, "figure9_amortization_pentium4", text)
+
+    by_key = {
+        (r.kernel, r.dataset, r.composition): r.amortization_steps
+        for r in rows
+    }
+    for key, steps in by_key.items():
+        assert steps < 100, key
+
+    # moldyn's FST compositions amortize faster than irreg's and nbf/foil's
+    # (moldyn gains the most from FST on this machine).
+    for comp in ("cpack+fst", "gpart+fst", "cpack2x+fst"):
+        moldyn_best = min(
+            by_key[("moldyn", d, comp)] for d in BENCHMARK_DATASETS["moldyn"]
+        )
+        irreg_best = min(
+            by_key[("irreg", d, comp)] for d in BENCHMARK_DATASETS["irreg"]
+        )
+        assert moldyn_best < irreg_best, comp

@@ -1,0 +1,31 @@
+"""Table 1 (Section 2.4): the data-set inventory.
+
+Regenerates the paper's nodes/edges table against our scaled synthetic
+stand-ins and asserts the node:edge ratios carry over.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_and_print
+from repro.eval.figures import table1
+from repro.eval.report import format_rows
+from repro.kernels.datasets import _PAPER_SIZES
+
+
+def test_table1_datasets(benchmark, results_dir):
+    rows = benchmark.pedantic(table1, rounds=1, iterations=1)
+    text = format_rows(
+        rows,
+        ["name", "paper_nodes", "paper_edges", "nodes", "edges", "edges_per_node"],
+        "Table 1: datasets (paper sizes vs scaled synthetic stand-ins)",
+    )
+    save_and_print(results_dir, "table1_datasets", text)
+
+    assert {r.name for r in rows} == set(_PAPER_SIZES)
+    for row in rows:
+        paper_ratio = row.paper_edges / row.paper_nodes
+        assert row.edges_per_node == pytest.approx(paper_ratio, rel=0.3)
+    # mol* are denser than the mesh datasets, as in the paper.
+    ratio = {r.name: r.edges_per_node for r in rows}
+    assert ratio["mol1"] > ratio["foil"]
+    assert ratio["mol2"] > ratio["auto"]

@@ -1,0 +1,27 @@
+"""Shared infrastructure for the figure-regenerating benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+the benchmark measures the end-to-end regeneration, the formatted rows
+are printed and written to ``benchmarks/results/``, and shape assertions
+encode what "reproduced" means (see DESIGN.md's experiment index).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir, name, text):
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    return path

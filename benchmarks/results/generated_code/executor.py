@@ -1,0 +1,10 @@
+# Generated executor for kernel 'moldyn'
+def moldyn_executor(num_steps, num_inter, num_nodes, left, right, x, vx, fx):
+    for s in range(num_steps):
+        for i in range(num_nodes):
+            x[i] = x[i] + 0.01 * vx[i] + 0.0005 * fx[i]
+        for j in range(num_inter):
+            fx[left[j]] = fx[left[j]] + (x[left[j]] - x[right[j]])
+            fx[right[j]] = fx[right[j]] - (x[left[j]] - x[right[j]])
+        for k in range(num_nodes):
+            vx[k] = vx[k] + 0.5 * fx[k]

@@ -1,0 +1,11 @@
+# Generated executor for kernel 'moldyn' (sparse tiled)
+def moldyn_executor_tiled(num_steps, num_inter, num_nodes, left, right, x, vx, fx, schedule):
+    for s in range(num_steps):
+        for tile in schedule:
+            for i in tile[0]:
+                x[i] = x[i] + 0.01 * vx[i] + 0.0005 * fx[i]
+            for j in tile[1]:
+                fx[left[j]] = fx[left[j]] + (x[left[j]] - x[right[j]])
+                fx[right[j]] = fx[right[j]] - (x[left[j]] - x[right[j]])
+            for k in tile[2]:
+                vx[k] = vx[k] + 0.5 * fx[k]

@@ -1,0 +1,123 @@
+# Generated composed inspector for kernel 'moldyn'
+# composition: cpack, lg, cpack, lg, fst, tilepack; data remap policy: each
+import numpy as np
+from repro.transforms import (cpack, gpart, lexgroup, lexsort, bucket_tiling, reverse_cuthill_mckee, block_partition, full_sparse_tiling, cache_block_tiling, tilepack, AccessMap)
+
+def moldyn_inspector(num_nodes, num_inter, left, right, arrays):
+    left = np.asarray(left, dtype=np.int64).copy()
+    right = np.asarray(right, dtype=np.int64).copy()
+    sigma_total = np.arange(num_nodes, dtype=np.int64)
+    arrays = {k: v.copy() for k, v in arrays.items()}
+    tiling = None
+    num_tiles = 0
+
+    # --- phase 0: CPackStep()
+    # CPACK traverses the current data mapping of the j loop
+    _flat = np.empty(2 * num_inter, dtype=np.int64)
+    _flat[0::2] = left
+    _flat[1::2] = right
+    cp0 = cpack(_flat, num_nodes).array
+    # adjust index arrays (always immediate)
+    left = cp0[left]
+    right = cp0[right]
+    sigma_total = cp0[sigma_total]
+    if tiling is not None:
+        _t = np.empty_like(tiling[0])
+        _t[cp0] = tiling[0]
+        tiling[0] = _t
+        _t = np.empty_like(tiling[2])
+        _t[cp0] = tiling[2]
+        tiling[2] = _t
+    # remap policy 'each': move the payload now (Figure 15)
+    for _name in list(arrays):
+        _out = np.empty_like(arrays[_name])
+        _out[cp0] = arrays[_name]
+        arrays[_name] = _out
+
+    # --- phase 1: LexGroupStep()
+    _am = AccessMap.from_columns([left, right], num_nodes)
+    lg1 = lexgroup(_am).array
+    # permute the interaction loop's rows
+    _order = np.empty_like(lg1)
+    _order[lg1] = np.arange(num_inter, dtype=np.int64)
+    left = left[_order]
+    right = right[_order]
+    if tiling is not None:
+        _t = np.empty_like(tiling[1])
+        _t[lg1] = tiling[1]
+        tiling[1] = _t
+
+    # --- phase 2: CPackStep()
+    # CPACK traverses the current data mapping of the j loop
+    _flat = np.empty(2 * num_inter, dtype=np.int64)
+    _flat[0::2] = left
+    _flat[1::2] = right
+    cp2 = cpack(_flat, num_nodes).array
+    # adjust index arrays (always immediate)
+    left = cp2[left]
+    right = cp2[right]
+    sigma_total = cp2[sigma_total]
+    if tiling is not None:
+        _t = np.empty_like(tiling[0])
+        _t[cp2] = tiling[0]
+        tiling[0] = _t
+        _t = np.empty_like(tiling[2])
+        _t[cp2] = tiling[2]
+        tiling[2] = _t
+    # remap policy 'each': move the payload now (Figure 15)
+    for _name in list(arrays):
+        _out = np.empty_like(arrays[_name])
+        _out[cp2] = arrays[_name]
+        arrays[_name] = _out
+
+    # --- phase 3: LexGroupStep()
+    _am = AccessMap.from_columns([left, right], num_nodes)
+    lg3 = lexgroup(_am).array
+    # permute the interaction loop's rows
+    _order = np.empty_like(lg3)
+    _order[lg3] = np.arange(num_inter, dtype=np.int64)
+    left = left[_order]
+    right = right[_order]
+    if tiling is not None:
+        _t = np.empty_like(tiling[1])
+        _t[lg3] = tiling[1]
+        tiling[1] = _t
+
+    # --- phase 4: FullSparseTilingStep(seed_block_size=10, use_symmetry=True)
+    # full sparse tiling: seed the j loop, grow via dependences
+    # section-6 optimization: the symmetric dependence sets share one traversal
+    _j = np.arange(num_inter, dtype=np.int64)
+    _ends = np.concatenate([left, right])
+    _jj = np.concatenate([_j, _j])
+    _seed = block_partition(num_inter, 10)
+    _edges = {(0, 1): (_ends, _jj), (1, 2): (_jj, _ends)}
+    _tf = full_sparse_tiling([num_nodes, num_inter, num_nodes], 1, _seed, _edges)
+    tiling = [t.copy() for t in _tf.tiles]
+    num_tiles = _tf.num_tiles
+
+    # --- phase 5: TilePackStep()
+    # tilePack traverses the tiling function (Section 5.4)
+    _order = np.argsort(tiling[0], kind='stable')
+    tp5 = cpack(_order, num_nodes).array
+    # adjust index arrays (always immediate)
+    left = tp5[left]
+    right = tp5[right]
+    sigma_total = tp5[sigma_total]
+    if tiling is not None:
+        _t = np.empty_like(tiling[0])
+        _t[tp5] = tiling[0]
+        tiling[0] = _t
+        _t = np.empty_like(tiling[2])
+        _t[tp5] = tiling[2]
+        tiling[2] = _t
+    # remap policy 'each': move the payload now (Figure 15)
+    for _name in list(arrays):
+        _out = np.empty_like(arrays[_name])
+        _out[tp5] = arrays[_name]
+        arrays[_name] = _out
+
+    # finalize: relocate the payload
+    schedule = None
+    if tiling is not None:
+        schedule = [[np.flatnonzero(t == tt) for t in tiling] for tt in range(num_tiles)]
+    return dict(left=left, right=right, arrays=arrays, sigma=sigma_total, schedule=schedule)

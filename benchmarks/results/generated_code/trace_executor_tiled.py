@@ -1,0 +1,13 @@
+# Generated trace executor for kernel 'moldyn' (sparse tiled)
+# memory model: one regrouped node record per distinct subscript; index-array loops stream their interaction records
+def moldyn_trace_executor(num_steps, num_inter, num_nodes, left, right, touch, schedule):
+    for s in range(num_steps):
+        for tile in schedule:
+            for i in tile[0]:
+                touch('nodes', i)
+            for j in tile[1]:
+                touch('inters', j)
+                touch('nodes', left[j])
+                touch('nodes', right[j])
+            for k in tile[2]:
+                touch('nodes', k)

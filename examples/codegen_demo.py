@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Generate, print, and run the specialized inspector and executors.
+
+The compile-time product of the framework (paper Figures 10--15): given
+the kernel IR and a planned composition, emit
+
+* the composed inspector with the remap-once schedule (Figure 11),
+* the same composition with remap-each (Figure 15),
+* the transformed (permuted) executor (Figure 13),
+* the sparse-tiled executor (Figure 14),
+
+then execute the generated code and check it against the library.
+"""
+
+import numpy as np
+
+from repro.codegen import (
+    compile_source,
+    generate_executor_source,
+    generate_inspector_source,
+)
+from repro.kernels import make_kernel_data
+from repro.kernels.datasets import Dataset
+from repro.kernels.specs import kernel_by_name
+from repro.runtime.executor import run_numeric
+from repro.runtime.inspector import (
+    ComposedInspector,
+    CPackStep,
+    FullSparseTilingStep,
+    LexGroupStep,
+    TilePackStep,
+)
+
+
+def main() -> None:
+    kernel = kernel_by_name("moldyn")
+    steps = [
+        CPackStep(),
+        LexGroupStep(),
+        FullSparseTilingStep(seed_block_size=16),
+        TilePackStep(),
+    ]
+
+    print("=" * 70)
+    print("Composed inspector, remap-once (Figure 11):")
+    print("=" * 70)
+    src_once = generate_inspector_source(kernel, steps, remap="once")
+    print(src_once)
+
+    print("=" * 70)
+    print("Sparse-tiled executor (Figure 14):")
+    print("=" * 70)
+    exec_src = generate_executor_source(kernel, tiled=True)
+    print(exec_src)
+
+    # Run the generated pipeline on a small instance.
+    rng = np.random.default_rng(1)
+    n, m = 40, 120
+    data = make_kernel_data(
+        "moldyn",
+        Dataset(
+            "demo",
+            n,
+            rng.integers(0, n, m).astype(np.int64),
+            rng.integers(0, n, m).astype(np.int64),
+        ),
+    )
+
+    inspector = compile_source(src_once, "moldyn_inspector")
+    out = inspector(
+        n, m, data.left, data.right,
+        {k: v.copy() for k, v in data.arrays.items()},
+    )
+
+    executor = compile_source(exec_src, "moldyn_executor_tiled")
+    arrays = {k: v.copy() for k, v in out["arrays"].items()}
+    executor(
+        3, m, n, out["left"], out["right"],
+        arrays["x"], arrays["vx"], arrays["fx"], schedule=out["schedule"],
+    )
+
+    # Cross-check against the library inspector + reference executor.
+    lib = ComposedInspector(steps).run(data)
+    reference = run_numeric(lib.transformed.copy(), 3)
+    for name in arrays:
+        assert np.allclose(arrays[name], reference.arrays[name]), name
+    print("generated inspector + generated executor match the library: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Extending the framework: plug in a custom run-time data reordering.
+
+A downstream user adds a new reordering heuristic by subclassing
+``Step``: implement the run-time inspector (``run``) and the compile-time
+specification (``symbolic``).  Everything else — legality checking,
+composition with the built-in transformations, index-array adjustment,
+the remap policy, verification — comes for free.
+
+The example heuristic is *degree-sorted packing*: order node data by
+descending degree in the interaction graph (hub data first), a simple
+cousin of the paper's space-filling-curve reorderings.
+"""
+
+import numpy as np
+
+from repro.kernels import generate_dataset, make_kernel_data
+from repro.kernels.specs import kernel_by_name
+from repro.runtime import CompositionPlan
+from repro.runtime.inspector import (
+    LexGroupStep,
+    Step,
+    _data_step_symbolic,
+)
+from repro.runtime.verify import verify_dependences, verify_numeric_equivalence
+from repro.transforms.base import ReorderingFunction
+
+
+class DegreeSortStep(Step):
+    """Data reordering: pack node records by descending degree."""
+
+    name = "degsort"
+
+    def run(self, state) -> None:
+        data = state.data
+        degree = np.bincount(
+            np.concatenate([data.left, data.right]), minlength=data.num_nodes
+        )
+        state.charge(self.name, 2 * 2 * data.num_inter + data.num_nodes)
+        order = np.argsort(-degree, kind="stable")  # order[new] = old
+        sigma = np.empty(data.num_nodes, dtype=np.int64)
+        sigma[order] = np.arange(data.num_nodes, dtype=np.int64)
+        fn = ReorderingFunction(f"ds{state.current_index}", sigma)
+        state.register("ds", fn.array)
+        state.apply_data_reordering(fn, self.name)
+
+    def symbolic(self, kernel, index):
+        # A data reordering like any other: R on every array + the implied
+        # iteration reordering of the node loops (always legal to plan).
+        return _data_step_symbolic(kernel, f"ds{index}")
+
+
+def main() -> None:
+    data = make_kernel_data("moldyn", generate_dataset("mol1", scale=256))
+    kernel = kernel_by_name("moldyn")
+
+    plan = CompositionPlan(kernel, [DegreeSortStep(), LexGroupStep()])
+    plan.plan()  # legality: data reorderings always pass, lexGroup checked
+    print(plan.describe())
+
+    result = plan.build_inspector().run(data)
+    verify_numeric_equivalence(data, result)
+    checked = verify_dependences(data, result, plan, num_steps=2, max_pairs=500)
+    print(f"numeric equivalence OK; {checked} dependence pairs verified")
+
+    degree = np.bincount(
+        np.concatenate([data.left, data.right]), minlength=data.num_nodes
+    )
+    new_degree = result.sigma_nodes.apply_to_data(degree)
+    assert (np.diff(new_degree) <= 0).all(), "degrees must be non-increasing"
+    print(
+        "after degsort, node 0 has degree "
+        f"{new_degree[0]} and node {data.num_nodes - 1} has degree "
+        f"{new_degree[-1]}"
+    )
+
+
+if __name__ == "__main__":
+    main()

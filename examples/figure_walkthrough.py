@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Walk through the paper's Figures 2--5 on a toy moldyn instance.
+
+Figure 2: the original mapping from j-loop iterations to data locations.
+Figure 3: the same mapping after the CPACK data reordering.
+Figure 4: after CPACK followed by lexGroup.
+Figure 5: the iterations of one sparse tile across the i, j, k loops.
+"""
+
+import numpy as np
+
+from repro.kernels import make_kernel_data
+from repro.kernels.datasets import Dataset
+from repro.runtime.inspector import (
+    ComposedInspector,
+    CPackStep,
+    FullSparseTilingStep,
+    LexGroupStep,
+)
+
+
+def show_mapping(title, left, right):
+    print(title)
+    for j in range(len(left)):
+        print(f"  j={j}: touches x[{left[j]}], x[{right[j]}]")
+    print()
+
+
+def main() -> None:
+    # A small interaction list with deliberately scattered endpoints,
+    # in the spirit of the paper's running example.
+    left = np.array([0, 4, 2, 1, 6, 3, 5, 7])
+    right = np.array([4, 2, 0, 3, 5, 7, 1, 6])
+    data = make_kernel_data("moldyn", Dataset("toy", 8, left, right))
+
+    show_mapping("Figure 2: original iteration -> data mapping", left, right)
+
+    after_cpack = ComposedInspector([CPackStep()]).run(data)
+    show_mapping(
+        "Figure 3: after CPACK (first-touch packing)",
+        after_cpack.transformed.left,
+        after_cpack.transformed.right,
+    )
+
+    after_lg = ComposedInspector([CPackStep(), LexGroupStep()]).run(data)
+    show_mapping(
+        "Figure 4: after CPACK + lexGroup (iterations grouped by data)",
+        after_lg.transformed.left,
+        after_lg.transformed.right,
+    )
+
+    tiled = ComposedInspector(
+        [CPackStep(), LexGroupStep(), FullSparseTilingStep(seed_block_size=4)]
+    ).run(data)
+    print("Figure 5: sparse tiles across the i, j, k loops")
+    loop_names = ["i", "j", "k"]
+    for t, tile in enumerate(tiled.plan.schedule):
+        parts = [
+            f"{loop_names[l]}: {list(tile[l])}"
+            for l in range(3)
+            if len(tile[l])
+        ]
+        print(f"  tile {t}: " + "; ".join(parts))
+    print()
+    print(
+        "Executing the highlighted tile atomically touches only",
+        sorted(
+            set(tiled.transformed.left[tiled.plan.schedule[0][1]])
+            | set(tiled.transformed.right[tiled.plan.schedule[0][1]])
+        ),
+        "of the data.",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Section 4's parallelism transformations, end to end.
+
+Two run-time reordering transformations for parallelism:
+
+1. **Run-time partial parallelization** — the inspector traverses the
+   dependences and levels the iterations into wavefronts; iterations of a
+   wave are mutually independent (the framework maps them "to the same
+   point in the unified iteration space").
+2. **Inter-tile parallelism** — after full sparse tiling, the tiles
+   themselves form a dependence DAG; its wavefronts are coarse-grained
+   parallel units.
+
+The example prints both schedules for moldyn and sanity-checks the
+wavefront property on every dependence edge.
+"""
+
+import numpy as np
+
+from repro.eval.compositions import fst_seed_block
+from repro.cachesim.machines import machine_by_name
+from repro.kernels import generate_dataset, make_kernel_data
+from repro.runtime.inspector import (
+    ComposedInspector,
+    CPackStep,
+    FullSparseTilingStep,
+    LexGroupStep,
+)
+from repro.transforms import tile_wavefronts, wavefront_schedule
+
+
+def main() -> None:
+    data = make_kernel_data("moldyn", generate_dataset("mol1", scale=64))
+    print(f"moldyn on {data.dataset_name}: {data.num_nodes} nodes, "
+          f"{data.num_inter} interactions")
+
+    # 1. Iteration-level wavefronts over the cross-loop dependences
+    #    (i-loop iteration u feeds every interaction touching u).
+    j = np.arange(data.num_inter, dtype=np.int64)
+    src = np.concatenate([data.left, data.right])
+    dst = np.concatenate([j, j]) + data.num_nodes  # j iterations offset
+    sched = wavefront_schedule(data.num_nodes + data.num_inter, src, dst)
+    assert (sched.wave[src] < sched.wave[dst]).all()
+    print(
+        f"partial parallelization: {sched.num_waves} wavefronts, "
+        f"max width {sched.max_parallelism}, "
+        f"average parallelism {sched.average_parallelism:.0f}"
+    )
+
+    # 2. Tile-level wavefronts after sparse tiling.
+    machine = machine_by_name("pentium4")
+    steps = [
+        CPackStep(),
+        LexGroupStep(),
+        FullSparseTilingStep(fst_seed_block(data, machine)),
+    ]
+    result = ComposedInspector(steps).run(data)
+    d = result.transformed
+    jj = np.concatenate([j, j])
+    ends = np.concatenate([d.left, d.right])
+    edges = {(0, 1): (ends, jj), (1, 2): (jj, ends)}
+    tiles = tile_wavefronts(result.tiling, edges)
+    print(
+        f"sparse tiling: {result.tiling.num_tiles} tiles in "
+        f"{tiles.num_waves} waves (avg {tiles.average_parallelism:.2f} "
+        "tiles runnable concurrently)"
+    )
+    for w, group in enumerate(tiles.groups()[:5]):
+        print(f"  wave {w}: tiles {group.tolist()}")
+    if tiles.num_waves > 5:
+        print(f"  ... {tiles.num_waves - 5} more waves")
+    print(
+        "note: locality-first tile growth on one connected mesh chains the\n"
+        "tiles (each shares a boundary with the next); parallelism-oriented\n"
+        "growth strategies [Strout et al., LCPC'02] trade some locality for\n"
+        "independent tiles — on disconnected structure the wavefronts widen\n"
+        "automatically (see tests/transforms/test_parallel.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

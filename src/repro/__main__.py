@@ -1,0 +1,199 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``quickstart``        — plan/inspect/execute/measure one composition;
+* ``table1``            — regenerate the dataset table;
+* ``figure6`` .. ``figure9``, ``figure16``, ``figure17`` — regenerate a
+  figure and print it (results also land under ``benchmarks/results``
+  when run through pytest-benchmark instead);
+* ``describe <kernel>`` — dump a kernel's unified iteration space, data
+  mappings, and dependences in Omega-like syntax;
+* ``plan <kernel> <step> [<step> ...]`` — plan a composition and print
+  the threaded specifications and legality reports.  Steps: ``cpack``,
+  ``gpart``, ``rcm``, ``lexgroup``, ``lexsort``, ``bucket``, ``fst``,
+  ``cacheblock``, ``tilepack``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_quickstart(args) -> int:
+    from repro import quickstart
+
+    quickstart(kernel=args.kernel, dataset=args.dataset, scale=args.scale)
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.eval import format_rows, table1
+
+    rows = table1(scale=args.scale)
+    print(
+        format_rows(
+            rows,
+            ["name", "paper_nodes", "paper_edges", "nodes", "edges", "edges_per_node"],
+            "Table 1: datasets",
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.eval import (
+        figure6,
+        figure7,
+        figure8,
+        figure9,
+        figure16,
+        figure17,
+        format_grid,
+        format_rows,
+    )
+
+    name = args.command
+    if name in ("figure6", "figure7"):
+        fn = figure6 if name == "figure6" else figure7
+        print(format_grid(fn(scale=args.scale), title=name))
+    elif name in ("figure8", "figure9"):
+        fn = figure8 if name == "figure8" else figure9
+        print(
+            format_grid(
+                fn(scale=args.scale), value="amortization_steps", title=name
+            )
+        )
+    elif name == "figure16":
+        rows = [r for r in figure16(scale=args.scale) if r.machine == "pentium4"]
+        print(
+            format_rows(
+                rows,
+                ["kernel", "dataset", "composition", "percent_reduction"],
+                "figure16 (% overhead reduction, remap-once)",
+            )
+        )
+    elif name == "figure17":
+        print(
+            format_rows(
+                figure17(scale=args.scale),
+                ["machine", "kernel", "dataset", "fraction", "normalized_time"],
+                "figure17 (parameter sweep)",
+            )
+        )
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    from repro.kernels.specs import kernel_by_name
+    from repro.presburger import relation_to_omega
+    from repro.uniform import ProgramState, UnifiedSpace
+
+    kernel = kernel_by_name(args.kernel)
+    state = ProgramState.initial(kernel)
+    print(UnifiedSpace(kernel).describe())
+    print()
+    for name, mapping in sorted(state.data_mappings.items()):
+        print(f"M[{name}] = {relation_to_omega(mapping)}")
+    print()
+    for dep in state.dependences:
+        tag = " (reduction)" if dep.is_reduction else ""
+        print(f"{dep.name}{tag} = {relation_to_omega(dep.relation)}")
+    return 0
+
+
+def _make_step(name: str):
+    from repro.runtime import (
+        BucketTilingStep,
+        CacheBlockStep,
+        CPackStep,
+        FullSparseTilingStep,
+        GPartStep,
+        LexGroupStep,
+        LexSortStep,
+        RCMStep,
+        TilePackStep,
+    )
+
+    table = {
+        "cpack": lambda: CPackStep(),
+        "gpart": lambda: GPartStep(128),
+        "rcm": lambda: RCMStep(),
+        "lexgroup": lambda: LexGroupStep(),
+        "lexsort": lambda: LexSortStep(),
+        "bucket": lambda: BucketTilingStep(128),
+        "fst": lambda: FullSparseTilingStep(128),
+        "cacheblock": lambda: CacheBlockStep(128),
+        "tilepack": lambda: TilePackStep(),
+    }
+    try:
+        return table[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown step {name!r}; choose from {sorted(table)}"
+        ) from None
+
+
+def _cmd_plan(args) -> int:
+    from repro.kernels.specs import kernel_by_name
+    from repro.runtime import CompositionPlan
+
+    steps = [_make_step(s) for s in args.steps]
+    plan = CompositionPlan(kernel_by_name(args.kernel), steps)
+    plan.plan(strict=False)
+    print(plan.describe())
+    print()
+    for planned in plan.planned_transformations:
+        status = "legal" if planned.report.proven else "OBLIGATIONS PENDING"
+        label = getattr(planned.transformation, "label", "") or type(
+            planned.transformation
+        ).__name__
+        print(f"{label}: {status}")
+        for note in planned.report.notes:
+            print(f"  - {note}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("quickstart", help="run one composition end to end")
+    p.add_argument("--kernel", default="moldyn")
+    p.add_argument("--dataset", default="mol1")
+    p.add_argument("--scale", type=int, default=128)
+    p.set_defaults(func=_cmd_quickstart)
+
+    p = sub.add_parser("table1", help="regenerate the dataset table")
+    p.add_argument("--scale", type=int, default=None)
+    p.set_defaults(func=_cmd_table1)
+
+    for fig in ("figure6", "figure7", "figure8", "figure9", "figure16", "figure17"):
+        p = sub.add_parser(fig, help=f"regenerate {fig}")
+        p.add_argument("--scale", type=int, default=None)
+        p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("describe", help="dump a kernel's specifications")
+    p.add_argument("kernel", choices=["moldyn", "nbf", "irreg"])
+    p.set_defaults(func=_cmd_describe)
+
+    p = sub.add_parser("plan", help="plan a composition symbolically")
+    p.add_argument("kernel", choices=["moldyn", "nbf", "irreg"])
+    p.add_argument("steps", nargs="+")
+    p.set_defaults(func=_cmd_plan)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "scale", None) is None and hasattr(args, "scale"):
+        from repro.kernels.datasets import DEFAULT_SCALE
+
+        args.scale = DEFAULT_SCALE
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

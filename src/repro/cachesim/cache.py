@@ -1,0 +1,193 @@
+"""Set-associative LRU cache simulation.
+
+Addresses are processed in **line units** (``byte_address >> log2(line)``),
+which lets a two-level hierarchy pass L1 miss lines straight to L2 with a
+shift.  The simulator is a plain Python loop tuned for constant work per
+access (the list operations are O(associativity), and associativity is
+small); NumPy does not help here because LRU state is inherently serial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+
+    def __post_init__(self):
+        for field_name in ("size_bytes", "line_bytes", "associativity"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if not _is_power_of_two(self.line_bytes):
+            raise ValueError("line_bytes must be a power of two")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                "size must be a multiple of line_bytes * associativity"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    @property
+    def line_shift(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+    #: Dirty lines evicted (write-back traffic to the next level); only
+    #: populated when the access stream carries write flags.
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.accesses + other.accesses,
+            self.misses + other.misses,
+            self.writebacks + other.writebacks,
+        )
+
+
+class SetAssociativeCache:
+    """One LRU cache level operating on line numbers."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
+        self.reset()
+
+    def reset(self) -> None:
+        # Per set: most-recently-used first.
+        self._sets: List[List[int]] = [[] for _ in range(self._num_sets)]
+        # Lines currently cached in modified state (write-back tracking).
+        self._dirty: set = set()
+
+    def access_lines(
+        self, lines: Iterable[int], writes: Optional[Iterable[bool]] = None
+    ) -> "SimResult":
+        """Run a sequence of line numbers; return stats + the miss lines.
+
+        Miss lines are returned in order so the next level of the
+        hierarchy can consume them directly.  With ``writes`` (a parallel
+        boolean sequence) the cache tracks dirty lines write-back style:
+        evicting a modified line counts a writeback and reports the line,
+        so the next level can absorb the store traffic.
+        """
+        num_sets = self._num_sets
+        assoc = self._assoc
+        sets = self._sets
+        misses: List[int] = []
+        append_miss = misses.append
+        accesses = 0
+
+        if writes is None:
+            for line in lines:
+                accesses += 1
+                ways = sets[line % num_sets]
+                try:
+                    ways.remove(line)
+                except ValueError:
+                    append_miss(line)
+                    if len(ways) >= assoc:
+                        ways.pop()
+                ways.insert(0, line)
+            return SimResult(
+                stats=CacheStats(accesses=accesses, misses=len(misses)),
+                miss_lines=np.asarray(misses, dtype=np.int64),
+            )
+
+        dirty = self._dirty
+        writeback_count = 0
+        # Downstream events in occurrence order: fills (reads) and dirty
+        # evictions (writes), preserving the temporal interleaving the
+        # next level needs for its own dirty tracking.
+        down_lines: List[int] = []
+        down_writes: List[bool] = []
+        for line, is_write in zip(lines, writes):
+            accesses += 1
+            ways = sets[line % num_sets]
+            try:
+                ways.remove(line)
+            except ValueError:
+                append_miss(line)
+                down_lines.append(line)
+                down_writes.append(False)
+                if len(ways) >= assoc:
+                    evicted = ways.pop()
+                    if evicted in dirty:
+                        dirty.discard(evicted)
+                        writeback_count += 1
+                        down_lines.append(evicted)
+                        down_writes.append(True)
+            ways.insert(0, line)
+            if is_write:
+                dirty.add(line)
+        return SimResult(
+            stats=CacheStats(
+                accesses=accesses,
+                misses=len(misses),
+                writebacks=writeback_count,
+            ),
+            miss_lines=np.asarray(misses, dtype=np.int64),
+            writeback_lines=np.asarray(
+                [l for l, w in zip(down_lines, down_writes) if w],
+                dtype=np.int64,
+            ),
+            downstream_lines=np.asarray(down_lines, dtype=np.int64),
+            downstream_writes=np.asarray(down_writes, dtype=bool),
+        )
+
+    def flush_dirty(self) -> np.ndarray:
+        """Write back every currently dirty line (end-of-run accounting)."""
+        out = np.asarray(sorted(self._dirty), dtype=np.int64)
+        self._dirty.clear()
+        return out
+
+
+@dataclass
+class SimResult:
+    stats: CacheStats
+    miss_lines: np.ndarray
+    writeback_lines: np.ndarray = None  # type: ignore[assignment]
+    #: Fills + write-backs in occurrence order (write-tracking runs only).
+    downstream_lines: np.ndarray = None  # type: ignore[assignment]
+    downstream_writes: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.writeback_lines is None:
+            self.writeback_lines = np.empty(0, dtype=np.int64)
+        if self.downstream_lines is None:
+            self.downstream_lines = self.miss_lines
+            self.downstream_writes = np.zeros(
+                len(self.miss_lines), dtype=bool
+            )

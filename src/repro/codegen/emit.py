@@ -1,0 +1,72 @@
+"""Tiny indentation-aware source emitter + compile helper."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+
+class SourceWriter:
+    """Accumulates Python source with managed indentation."""
+
+    def __init__(self, indent_unit: str = "    "):
+        self._lines: List[str] = []
+        self._depth = 0
+        self._unit = indent_unit
+
+    def line(self, text: str = "") -> "SourceWriter":
+        if text:
+            self._lines.append(self._unit * self._depth + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def comment(self, text: str) -> "SourceWriter":
+        return self.line(f"# {text}")
+
+    def block(self, header: str) -> "_Block":
+        """``with writer.block("for i in range(n):"):`` style nesting."""
+        self.line(header)
+        return _Block(self)
+
+    def indent(self) -> None:
+        self._depth += 1
+
+    def dedent(self) -> None:
+        if self._depth == 0:
+            raise ValueError("cannot dedent below zero")
+        self._depth -= 1
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+class _Block:
+    def __init__(self, writer: SourceWriter):
+        self._writer = writer
+
+    def __enter__(self):
+        self._writer.indent()
+        return self._writer
+
+    def __exit__(self, *exc):
+        self._writer.dedent()
+        return False
+
+
+def compile_source(
+    source: str,
+    entry_point: str,
+    extra_globals: Optional[Dict[str, object]] = None,
+) -> Callable:
+    """Exec generated source and return the named callable."""
+    namespace: Dict[str, object] = dict(extra_globals or {})
+    code = compile(source, f"<generated:{entry_point}>", "exec")
+    exec(code, namespace)
+    try:
+        fn = namespace[entry_point]
+    except KeyError:
+        raise ValueError(
+            f"generated source does not define {entry_point!r}"
+        ) from None
+    fn.__generated_source__ = source
+    return fn

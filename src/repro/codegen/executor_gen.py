@@ -1,0 +1,78 @@
+"""Generate transformed executor source from the kernel IR.
+
+The generated functions are the paper's Figures 13 and 14 in Python:
+
+* **untransformed / permuted** form — after the composed inspector has
+  physically remapped data and index arrays, the transformed executor is
+  textually the original loop nest over the new arrays (Figure 13);
+* **sparse-tiled** form — tiles outermost, then each loop restricted to
+  the tile's schedule (Figure 14's ``do t / do x in sched(t, l)``).
+
+Loop headers and argument lists come from the IR; statement bodies come
+from :data:`repro.kernels.specs.STATEMENT_CODE`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codegen.emit import SourceWriter
+from repro.kernels.specs import STATEMENT_CODE
+from repro.uniform.kernel import Kernel
+
+
+def _arguments(kernel: Kernel, tiled: bool) -> List[str]:
+    args = ["num_steps"]
+    args += sorted({loop.extent for loop in kernel.loops})
+    args += list(kernel.index_arrays)
+    args += list(kernel.data_arrays)
+    if tiled:
+        args.append("schedule")
+    return args
+
+
+def generate_executor_source(
+    kernel: Kernel,
+    tiled: bool = False,
+    function_name: str = "",
+) -> str:
+    """Emit the executor of ``kernel`` as Python source.
+
+    With ``tiled`` set the executor expects a ``schedule`` argument —
+    ``schedule[t][loop_position]`` iterables, exactly what
+    :meth:`repro.transforms.fst.TilingFunction.schedule` produces.
+    """
+    try:
+        bodies = STATEMENT_CODE[kernel.name]
+    except KeyError:
+        raise KeyError(
+            f"no statement code registered for kernel {kernel.name!r}"
+        ) from None
+
+    name = function_name or (
+        f"{kernel.name}_executor_tiled" if tiled else f"{kernel.name}_executor"
+    )
+    w = SourceWriter()
+    w.comment(f"Generated executor for kernel {kernel.name!r}"
+              + (" (sparse tiled)" if tiled else ""))
+    args = ", ".join(_arguments(kernel, tiled))
+    with w.block(f"def {name}({args}):"):
+        with w.block("for s in range(num_steps):"):
+            if tiled:
+                with w.block("for tile in schedule:"):
+                    _emit_loops(w, kernel, bodies, tiled=True)
+            else:
+                _emit_loops(w, kernel, bodies, tiled=False)
+    return w.source()
+
+
+def _emit_loops(w: SourceWriter, kernel: Kernel, bodies, tiled: bool) -> None:
+    for pos, loop in enumerate(kernel.loops):
+        header = (
+            f"for {loop.index_var} in tile[{pos}]:"
+            if tiled
+            else f"for {loop.index_var} in range({loop.extent}):"
+        )
+        with w.block(header):
+            for stmt in loop.statements:
+                w.line(bodies[stmt.label])

@@ -1,0 +1,243 @@
+"""Generate composed-inspector source specialized to a step list.
+
+This is the Python analog of the paper's Figure 11/15: one phase per
+planned transformation, with the traversals specialized to the current
+(already adjusted) index arrays, the index-array adjustments emitted after
+every phase, and the data-payload remap scheduled per the chosen policy
+(``once`` — Figure 11 — or ``each`` — Figure 15).
+
+The generated function returns a dict with the adjusted index arrays, the
+relocated payload, the total data reordering ``sigma``, and (for tiled
+compositions) the ``schedule``; its outputs are asserted equal to the
+library :class:`~repro.runtime.inspector.ComposedInspector` in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.codegen.emit import SourceWriter
+from repro.runtime.inspector import (
+    BucketTilingStep,
+    CacheBlockStep,
+    CPackStep,
+    FullSparseTilingStep,
+    GPartStep,
+    LexGroupStep,
+    LexSortStep,
+    RCMStep,
+    SpaceFillingStep,
+    Step,
+    TilePackStep,
+    interaction_loop_pos,
+    node_loop_positions,
+)
+from repro.uniform.kernel import Kernel
+
+
+def generate_inspector_source(
+    kernel: Kernel,
+    steps: Sequence[Step],
+    remap: str = "once",
+    function_name: str = "",
+) -> str:
+    """Emit the composed inspector for ``kernel`` + ``steps`` as source."""
+    if remap not in ("once", "each"):
+        raise ValueError("remap must be 'once' or 'each'")
+    name = function_name or f"{kernel.name}_inspector"
+    p_j = interaction_loop_pos(kernel)
+    node_loops = node_loop_positions(kernel)
+    needs_coords = any(isinstance(s, SpaceFillingStep) for s in steps)
+
+    w = SourceWriter()
+    w.comment(f"Generated composed inspector for kernel {kernel.name!r}")
+    w.comment(
+        "composition: "
+        + (", ".join(step.name for step in steps) or "(empty)")
+        + f"; data remap policy: {remap}"
+    )
+    w.line("import numpy as np")
+    w.line(
+        "from repro.transforms import (cpack, gpart, lexgroup, lexsort, "
+        "bucket_tiling, reverse_cuthill_mckee, block_partition, "
+        "full_sparse_tiling, cache_block_tiling, tilepack, AccessMap)"
+    )
+    if needs_coords:
+        w.line("from repro.transforms.spacefill import space_filling_order")
+    w.line()
+    signature = "num_nodes, num_inter, left, right, arrays"
+    if needs_coords:
+        signature += ", coords"
+    with w.block(f"def {name}({signature}):"):
+        w.line("left = np.asarray(left, dtype=np.int64).copy()")
+        w.line("right = np.asarray(right, dtype=np.int64).copy()")
+        w.line("sigma_total = np.arange(num_nodes, dtype=np.int64)")
+        if remap == "once":
+            w.line("sigma_pending = np.arange(num_nodes, dtype=np.int64)")
+        else:
+            w.line("arrays = {k: v.copy() for k, v in arrays.items()}")
+        w.line("tiling = None")
+        w.line("num_tiles = 0")
+        w.line()
+        for index, step in enumerate(steps):
+            _emit_step(w, step, index, kernel, p_j, node_loops, remap)
+        w.comment("finalize: relocate the payload")
+        if remap == "once":
+            with w.block("def _move(arr):"):
+                w.line("out = np.empty_like(arr)")
+                w.line("out[sigma_pending] = arr")
+                w.line("return out")
+            w.line("arrays = {k: _move(v) for k, v in arrays.items()}")
+        w.line("schedule = None")
+        with w.block("if tiling is not None:"):
+            w.line(
+                "schedule = [[np.flatnonzero(t == tt) for t in tiling] "
+                "for tt in range(num_tiles)]"
+            )
+        w.line(
+            "return dict(left=left, right=right, arrays=arrays, "
+            "sigma=sigma_total, schedule=schedule)"
+        )
+    return w.source()
+
+
+def _emit_data_reordering(
+    w: SourceWriter, sigma_var: str, node_loops: List[int], remap: str
+) -> None:
+    """Index-array adjustment + payload policy after a data reordering."""
+    w.comment("adjust index arrays (always immediate)")
+    w.line(f"left = {sigma_var}[left]")
+    w.line(f"right = {sigma_var}[right]")
+    w.line(f"sigma_total = {sigma_var}[sigma_total]")
+    with w.block("if tiling is not None:"):
+        for pos in node_loops:
+            w.line(f"_t = np.empty_like(tiling[{pos}])")
+            w.line(f"_t[{sigma_var}] = tiling[{pos}]")
+            w.line(f"tiling[{pos}] = _t")
+    if remap == "each":
+        w.comment("remap policy 'each': move the payload now (Figure 15)")
+        with w.block("for _name in list(arrays):"):
+            w.line("_out = np.empty_like(arrays[_name])")
+            w.line(f"_out[{sigma_var}] = arrays[_name]")
+            w.line("arrays[_name] = _out")
+    else:
+        w.comment("remap policy 'once': defer the payload move (Figure 11)")
+        w.line(f"sigma_pending = {sigma_var}[sigma_pending]")
+
+
+def _emit_step(
+    w: SourceWriter,
+    step: Step,
+    index: int,
+    kernel: Kernel,
+    p_j: int,
+    node_loops: List[int],
+    remap: str,
+) -> None:
+    w.comment(f"--- phase {index}: {step!r}")
+    if isinstance(step, CPackStep):
+        w.comment("CPACK traverses the current data mapping of the j loop")
+        w.line("_flat = np.empty(2 * num_inter, dtype=np.int64)")
+        w.line("_flat[0::2] = left")
+        w.line("_flat[1::2] = right")
+        var = f"cp{index}"
+        w.line(f"{var} = cpack(_flat, num_nodes).array")
+        _emit_data_reordering(w, var, node_loops, remap)
+    elif isinstance(step, GPartStep):
+        var = f"gp{index}"
+        w.line("_am = AccessMap.from_columns([left, right], num_nodes)")
+        w.line(f"{var} = gpart(_am, {step.partition_size}).array")
+        _emit_data_reordering(w, var, node_loops, remap)
+    elif isinstance(step, RCMStep):
+        var = f"rcm{index}"
+        w.line("_am = AccessMap.from_columns([left, right], num_nodes)")
+        w.line(f"{var} = reverse_cuthill_mckee(_am).array")
+        _emit_data_reordering(w, var, node_loops, remap)
+    elif isinstance(step, (LexGroupStep, LexSortStep, BucketTilingStep)):
+        var = f"{step.name}{index}"
+        w.line("_am = AccessMap.from_columns([left, right], num_nodes)")
+        if isinstance(step, LexGroupStep):
+            w.line(f"{var} = lexgroup(_am).array")
+        elif isinstance(step, LexSortStep):
+            w.line(f"{var} = lexsort(_am).array")
+        else:
+            w.line(f"{var} = bucket_tiling(_am, {step.bucket_size}).array")
+        w.comment("permute the interaction loop's rows")
+        w.line(f"_order = np.empty_like({var})")
+        w.line(f"_order[{var}] = np.arange(num_inter, dtype=np.int64)")
+        w.line("left = left[_order]")
+        w.line("right = right[_order]")
+        with w.block("if tiling is not None:"):
+            w.line(f"_t = np.empty_like(tiling[{p_j}])")
+            w.line(f"_t[{var}] = tiling[{p_j}]")
+            w.line(f"tiling[{p_j}] = _t")
+    elif isinstance(step, FullSparseTilingStep):
+        w.comment("full sparse tiling: seed the j loop, grow via dependences")
+        if step.use_symmetry:
+            w.comment(
+                "section-6 optimization: the symmetric dependence sets "
+                "share one traversal"
+            )
+        w.line("_j = np.arange(num_inter, dtype=np.int64)")
+        w.line("_ends = np.concatenate([left, right])")
+        w.line("_jj = np.concatenate([_j, _j])")
+        sizes = ", ".join(
+            "num_inter" if pos == p_j else "num_nodes"
+            for pos in range(len(kernel.loops))
+        )
+        edges_items = []
+        for pos in node_loops:
+            pair = (pos, p_j) if pos < p_j else (p_j, pos)
+            val = "(_ends, _jj)" if pos < p_j else "(_jj, _ends)"
+            edges_items.append(f"({pair[0]}, {pair[1]}): {val}")
+        w.line(
+            f"_seed = block_partition(num_inter, {step.seed_block_size})"
+        )
+        w.line("_edges = {" + ", ".join(edges_items) + "}")
+        w.line(
+            f"_tf = full_sparse_tiling([{sizes}], {p_j}, _seed, _edges)"
+        )
+        w.line("tiling = [t.copy() for t in _tf.tiles]")
+        w.line("num_tiles = _tf.num_tiles")
+    elif isinstance(step, CacheBlockStep):
+        w.line("_j = np.arange(num_inter, dtype=np.int64)")
+        w.line("_ends = np.concatenate([left, right])")
+        w.line("_jj = np.concatenate([_j, _j])")
+        sizes = ", ".join(
+            "num_inter" if pos == p_j else "num_nodes"
+            for pos in range(len(kernel.loops))
+        )
+        edges_items = []
+        for pos in node_loops:
+            pair = (pos, p_j) if pos < p_j else (p_j, pos)
+            val = "(_ends, _jj)" if pos < p_j else "(_jj, _ends)"
+            edges_items.append(f"({pair[0]}, {pair[1]}): {val}")
+        seed_extent = "num_inter" if p_j == 0 else "num_nodes"
+        w.line(f"_seed = block_partition({seed_extent}, {step.seed_block_size})")
+        w.line("_edges = {" + ", ".join(edges_items) + "}")
+        w.line(f"_tf = cache_block_tiling([{sizes}], _seed, _edges)")
+        w.line("tiling = [t.copy() for t in _tf.tiles]")
+        w.line("num_tiles = _tf.num_tiles")
+    elif isinstance(step, SpaceFillingStep):
+        var = f"sfc{index}"
+        w.comment(
+            "space-filling-curve reordering over programmer-supplied "
+            "coordinates, expressed in the current numbering"
+        )
+        w.line("_cur = np.empty_like(coords)")
+        w.line("_cur[sigma_total] = coords")
+        w.line(
+            f"{var} = space_filling_order(_cur, curve={step.curve!r}, "
+            f"order={step.order}).array"
+        )
+        _emit_data_reordering(w, var, node_loops, remap)
+    elif isinstance(step, TilePackStep):
+        data_loop = node_loops[0]
+        var = f"tp{index}"
+        w.comment("tilePack traverses the tiling function (Section 5.4)")
+        w.line("_order = np.argsort(tiling[%d], kind='stable')" % data_loop)
+        w.line(f"{var} = cpack(_order, num_nodes).array")
+        _emit_data_reordering(w, var, node_loops, remap)
+    else:
+        raise TypeError(f"no code generator for step {step!r}")
+    w.line()

@@ -1,0 +1,114 @@
+"""Generate *trace-emitting* executor source from the kernel IR.
+
+The numeric executors need statement bodies (arithmetic the IR doesn't
+carry), but the **memory behavior** is fully determined by the IR: per
+iteration of a loop, the regrouped node region is touched once per
+distinct subscript expression, and a loop subscripting through index
+arrays streams its interaction records.  This module derives that pattern
+and emits an executor that reports every record touch through a callback
+— the generated counterpart of :func:`repro.runtime.executor.emit_trace`,
+asserted equivalent in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codegen.emit import SourceWriter
+from repro.presburger.terms import AffineExpr, UFCall
+from repro.uniform.kernel import Kernel, Loop
+
+NODES_REGION = "nodes"
+INTERS_REGION = "inters"
+
+
+def expr_to_python(expr: AffineExpr) -> str:
+    """Render a subscript expression as Python (UF calls become array
+    indexing: ``left(j)`` -> ``left[j]``)."""
+    parts: List[str] = []
+    for atom in expr.atoms():
+        coeff = expr.coeffs[atom]
+        if isinstance(atom, UFCall):
+            inner = ", ".join(expr_to_python(a) for a in atom.args)
+            name = f"{atom.name}[{inner}]"
+        else:
+            name = atom
+        if coeff == 1:
+            term = name
+        elif coeff == -1:
+            term = f"-{name}"
+        else:
+            term = f"{coeff} * {name}"
+        parts.append(f"+ {term}" if parts and coeff > 0 else term)
+    if expr.const:
+        parts.append(f"+ {expr.const}" if expr.const > 0 else f"- {-expr.const}")
+    if not parts:
+        return "0"
+    return " ".join(parts)
+
+
+def _distinct_subscripts(loop: Loop) -> List[AffineExpr]:
+    """Subscript expressions of the loop in first-appearance order."""
+    seen = []
+    for stmt in loop.statements:
+        for access in stmt.accesses:
+            if access.index not in seen:
+                seen.append(access.index)
+    return seen
+
+
+def generate_trace_executor_source(
+    kernel: Kernel,
+    tiled: bool = False,
+    function_name: str = "",
+) -> str:
+    """Emit an executor that calls ``touch(region, element)`` per access.
+
+    Signature of the generated function::
+
+        <kernel>_trace_executor(num_steps, <extents...>, <index arrays...>,
+                                touch, schedule=None)
+
+    With ``tiled`` the iteration comes from ``schedule[t][loop]``.
+    """
+    name = function_name or f"{kernel.name}_trace_executor"
+    extents = sorted({loop.extent for loop in kernel.loops})
+    args = ["num_steps", *extents, *kernel.index_arrays, "touch"]
+    if tiled:
+        args.append("schedule")
+
+    w = SourceWriter()
+    w.comment(
+        f"Generated trace executor for kernel {kernel.name!r}"
+        + (" (sparse tiled)" if tiled else "")
+    )
+    w.comment(
+        "memory model: one regrouped node record per distinct subscript; "
+        "index-array loops stream their interaction records"
+    )
+    with w.block(f"def {name}({', '.join(args)}):"):
+        with w.block("for s in range(num_steps):"):
+            if tiled:
+                with w.block("for tile in schedule:"):
+                    _emit_loops(w, kernel, tiled=True)
+            else:
+                _emit_loops(w, kernel, tiled=False)
+    return w.source()
+
+
+def _emit_loops(w: SourceWriter, kernel: Kernel, tiled: bool) -> None:
+    for pos, loop in enumerate(kernel.loops):
+        header = (
+            f"for {loop.index_var} in tile[{pos}]:"
+            if tiled
+            else f"for {loop.index_var} in range({loop.extent}):"
+        )
+        with w.block(header):
+            subscripts = _distinct_subscripts(loop)
+            uses_index_arrays = any(s.uf_names() for s in subscripts)
+            if uses_index_arrays:
+                w.line(f"touch({INTERS_REGION!r}, {loop.index_var})")
+            for subscript in subscripts:
+                w.line(
+                    f"touch({NODES_REGION!r}, {expr_to_python(subscript)})"
+                )

@@ -1,0 +1,52 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.eval.compositions` — the named compositions of Section 2.4
+  with machine-targeted parameters (GPART partition sizes and sparse-tiling
+  seeds sized to the L1, as the paper does);
+* :mod:`repro.eval.experiments` — run one (kernel, dataset, machine,
+  composition) cell: inspector, executor trace, cache simulation, cost;
+* :mod:`repro.eval.figures` — one function per paper artifact (Table 1,
+  Figures 6/7/8/9/16/17), each returning structured rows;
+* :mod:`repro.eval.report` — plain-text rendering of those rows.
+"""
+
+from repro.eval.compositions import (
+    COMPOSITIONS,
+    FST_COMPOSITIONS,
+    composition_steps,
+)
+from repro.eval.experiments import (
+    BENCHMARK_DATASETS,
+    CellResult,
+    run_cell,
+    run_grid,
+)
+from repro.eval.figures import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure16,
+    figure17,
+    table1,
+)
+from repro.eval.report import format_grid, format_rows
+
+__all__ = [
+    "COMPOSITIONS",
+    "FST_COMPOSITIONS",
+    "composition_steps",
+    "BENCHMARK_DATASETS",
+    "CellResult",
+    "run_cell",
+    "run_grid",
+    "table1",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure16",
+    "figure17",
+    "format_grid",
+    "format_rows",
+]

@@ -1,0 +1,112 @@
+"""The named compositions of the evaluation (paper Section 2.4).
+
+    "All compositions we consider consist of a data reordering
+    transformation (CPACK or Gpart) followed by the iteration-reordering
+    transformation lexicographical grouping (lexGroup) for the j loop.  We
+    also perform the composition CPACK, lexGroup, CPACK, lexGroup.
+    Finally, we apply full sparse tiling (FST) after the other
+    compositions."
+
+Parameters target the L1 cache of the machine under test, as in the
+paper ("we target the L1 cache when selecting parameters for Gpart and
+full sparse tiling"):
+
+* GPART partitions hold as many node records as fit in L1;
+* the FST seed blocks cover about half an L1's worth of distinct nodes
+  (expressed in interaction-loop iterations via the average degree);
+* tilePack always follows FST (the paper's moldyn/irreg executors).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.cachesim.machines import Machine
+from repro.kernels.data import KernelData
+from repro.runtime.inspector import (
+    CPackStep,
+    FullSparseTilingStep,
+    GPartStep,
+    LexGroupStep,
+    Step,
+    TilePackStep,
+)
+
+
+def gpart_partition_size(data: KernelData, machine: Machine, fraction: float = 1.0) -> int:
+    """Nodes per GPART partition so a partition's records fill ``fraction``
+    of the machine's L1."""
+    capacity = int(machine.l1.size_bytes * fraction) // data.node_record_bytes
+    return max(8, capacity)
+
+
+def fst_seed_block(data: KernelData, machine: Machine, fraction: float = 0.5) -> int:
+    """Seed block size (interaction iterations) so one tile's working set
+    occupies about ``fraction`` of L1.
+
+    After CPACK/GPART + lexGroup, consecutive interactions touch nearby
+    nodes, so a seed block of ``B`` interactions has a working set of
+    roughly ``B * num_nodes / num_inter`` distinct node records plus the
+    ``B`` interaction records it streams.
+    """
+    bytes_per_interaction = (
+        data.node_record_bytes * data.num_nodes / max(1, data.num_inter)
+        + data.inter_record_bytes
+    )
+    block = int(machine.l1.size_bytes * fraction / bytes_per_interaction)
+    return max(8, block)
+
+
+StepBuilder = Callable[[KernelData, Machine], List[Step]]
+
+
+def _cpack(data: KernelData, machine: Machine) -> List[Step]:
+    return [CPackStep(), LexGroupStep()]
+
+
+def _gpart(data: KernelData, machine: Machine) -> List[Step]:
+    return [GPartStep(gpart_partition_size(data, machine)), LexGroupStep()]
+
+
+def _cpack2x(data: KernelData, machine: Machine) -> List[Step]:
+    return [CPackStep(), LexGroupStep(), CPackStep(), LexGroupStep()]
+
+
+def _with_fst(base: StepBuilder) -> StepBuilder:
+    def build(data: KernelData, machine: Machine) -> List[Step]:
+        return base(data, machine) + [
+            FullSparseTilingStep(fst_seed_block(data, machine)),
+            TilePackStep(),
+        ]
+
+    return build
+
+
+_BUILDERS: Dict[str, StepBuilder] = {
+    "baseline": lambda data, machine: [],
+    "cpack": _cpack,
+    "gpart": _gpart,
+    "cpack2x": _cpack2x,
+    "cpack+fst": _with_fst(_cpack),
+    "gpart+fst": _with_fst(_gpart),
+    "cpack2x+fst": _with_fst(_cpack2x),
+}
+
+#: Every composition of the evaluation, in figure order.
+COMPOSITIONS = tuple(_BUILDERS)
+
+#: The sparse-tiling-bearing subset.
+FST_COMPOSITIONS = tuple(n for n in COMPOSITIONS if n.endswith("+fst"))
+
+
+def composition_steps(
+    name: str, data: KernelData, machine: Machine
+) -> List[Step]:
+    """Instantiate a named composition for a kernel instance + machine."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown composition {name!r}; choose from {COMPOSITIONS}"
+        ) from None
+    return builder(data, machine)

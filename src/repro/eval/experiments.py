@@ -1,0 +1,156 @@
+"""Run one experiment cell and whole grids.
+
+A *cell* is (kernel, dataset, machine, composition): generate the data,
+run the composed inspector, emit the transformed executor's trace,
+simulate it on the machine, and derive the figures' quantities —
+normalized executor time (Figures 6/7), inspector overhead and its
+amortization in outer-loop iterations (Figures 8/9), and the remap-policy
+overhead split (Figure 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.cachesim.machines import Machine, machine_by_name
+from repro.cachesim.model import simulate_cost
+from repro.eval.compositions import composition_steps
+from repro.kernels.data import KernelData, make_kernel_data
+from repro.kernels.datasets import DEFAULT_SCALE, generate_dataset
+from repro.kernels.specs import kernel_by_name
+from repro.runtime.executor import ExecutionPlan, emit_trace
+from repro.runtime.inspector import ComposedInspector
+
+#: The kernel -> datasets pairing of the paper's figures (two inputs per
+#: benchmark: the figure x-axis shows each benchmark's small and large
+#: dataset, labeled by memory footprint).
+BENCHMARK_DATASETS: Dict[str, Tuple[str, str]] = {
+    "irreg": ("foil", "auto"),
+    "nbf": ("foil", "auto"),
+    "moldyn": ("mol1", "mol2"),
+}
+
+
+@dataclass
+class CellResult:
+    """Everything one experiment cell produced."""
+
+    kernel: str
+    dataset: str
+    machine: str
+    composition: str
+    executor_cycles: int
+    baseline_cycles: int
+    l1_miss_rate: float
+    inspector_touches: int
+    inspector_cycles: float
+    data_moves: int
+    footprint_bytes: int
+
+    @property
+    def normalized_time(self) -> float:
+        """Executor time relative to the baseline (Figures 6/7)."""
+        return self.executor_cycles / self.baseline_cycles
+
+    @property
+    def savings_per_step(self) -> float:
+        return self.baseline_cycles - self.executor_cycles
+
+    @property
+    def amortization_steps(self) -> float:
+        """Outer-loop iterations to pay off the inspector (Figures 8/9).
+
+        ``inf`` when the composition does not beat the baseline.
+        """
+        if self.savings_per_step <= 0:
+            return float("inf")
+        return self.inspector_cycles / self.savings_per_step
+
+
+@lru_cache(maxsize=None)
+def _kernel_data(kernel: str, dataset: str, scale: int, seed: int) -> KernelData:
+    return make_kernel_data(kernel, generate_dataset(dataset, scale=scale), seed=seed)
+
+
+@lru_cache(maxsize=None)
+def _baseline_cost(
+    kernel: str, dataset: str, machine: str, scale: int, seed: int
+) -> Tuple[int, int]:
+    data = _kernel_data(kernel, dataset, scale, seed)
+    trace = emit_trace(data, ExecutionPlan.identity(), num_steps=1)
+    report = simulate_cost(trace, machine_by_name(machine))
+    return report.cycles, trace.total_bytes()
+
+
+@lru_cache(maxsize=None)
+def run_cell(
+    kernel: str,
+    dataset: str,
+    machine: str,
+    composition: str,
+    scale: int = DEFAULT_SCALE,
+    remap: str = "once",
+    seed: int = 42,
+) -> CellResult:
+    """Run one (kernel, dataset, machine, composition) cell.
+
+    Results are memoized (everything is deterministic), so figures sharing
+    cells — e.g. Figure 6 and Figure 8 — simulate each cell once.
+    """
+    machine_obj = machine_by_name(machine)
+    data = _kernel_data(kernel, dataset, scale, seed)
+    baseline_cycles, footprint = _baseline_cost(
+        kernel, dataset, machine, scale, seed
+    )
+
+    steps = composition_steps(composition, data, machine_obj)
+    if steps:
+        inspector = ComposedInspector(steps, remap=remap)
+        result = inspector.run(data)
+        trace = emit_trace(result.transformed, result.plan, num_steps=1)
+        touches = result.total_touches
+        moves = result.data_moves
+    else:
+        trace = emit_trace(data, ExecutionPlan.identity(), num_steps=1)
+        touches = 0
+        moves = 0
+
+    report = simulate_cost(trace, machine_obj)
+    return CellResult(
+        kernel=kernel,
+        dataset=dataset,
+        machine=machine,
+        composition=composition,
+        executor_cycles=report.cycles,
+        baseline_cycles=baseline_cycles,
+        l1_miss_rate=report.l1_miss_rate,
+        inspector_touches=touches,
+        inspector_cycles=machine_obj.inspector_cycles(touches),
+        data_moves=moves,
+        footprint_bytes=footprint,
+    )
+
+
+def run_grid(
+    machine: str,
+    compositions: Tuple[str, ...],
+    scale: int = DEFAULT_SCALE,
+    remap: str = "once",
+    kernels: Optional[Tuple[str, ...]] = None,
+) -> List[CellResult]:
+    """Run a full figure grid: every benchmark x dataset x composition."""
+    rows: List[CellResult] = []
+    for kernel, datasets in BENCHMARK_DATASETS.items():
+        if kernels is not None and kernel not in kernels:
+            continue
+        for dataset in datasets:
+            for composition in compositions:
+                rows.append(
+                    run_cell(
+                        kernel, dataset, machine, composition,
+                        scale=scale, remap=remap,
+                    )
+                )
+    return rows

@@ -1,0 +1,191 @@
+"""One function per paper artifact.
+
+Each returns structured rows (dataclasses / dicts) so tests can assert on
+the *shape* of the reproduction and the benchmark harness can print them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cachesim.machines import machine_by_name
+from repro.eval.compositions import (
+    COMPOSITIONS,
+    composition_steps,
+    fst_seed_block,
+    gpart_partition_size,
+)
+from repro.eval.experiments import (
+    BENCHMARK_DATASETS,
+    CellResult,
+    _kernel_data,
+    run_cell,
+    run_grid,
+)
+from repro.kernels.datasets import DEFAULT_SCALE, _PAPER_SIZES, generate_dataset
+from repro.kernels.data import make_kernel_data
+from repro.runtime.executor import emit_trace
+from repro.runtime.inspector import ComposedInspector
+from repro.cachesim.model import simulate_cost
+
+#: Compositions plotted in the executor-time figures (baseline is the
+#: normalization denominator, not a bar).
+FIGURE_COMPOSITIONS = tuple(c for c in COMPOSITIONS if c != "baseline")
+
+
+@dataclass
+class DatasetRow:
+    name: str
+    paper_nodes: int
+    paper_edges: int
+    nodes: int
+    edges: int
+    edges_per_node: float
+
+
+def table1(scale: int = DEFAULT_SCALE) -> List[DatasetRow]:
+    """Section 2.4's data-set table: paper sizes vs generated stand-ins."""
+    rows = []
+    for name, (nodes, edges, _dim) in _PAPER_SIZES.items():
+        ds = generate_dataset(name, scale=scale)
+        rows.append(
+            DatasetRow(
+                name=name,
+                paper_nodes=nodes,
+                paper_edges=edges,
+                nodes=ds.num_nodes,
+                edges=ds.num_interactions,
+                edges_per_node=ds.edges_per_node,
+            )
+        )
+    return rows
+
+
+def figure6(scale: int = DEFAULT_SCALE) -> List[CellResult]:
+    """Normalized executor time (no overhead), Power3-like machine."""
+    return run_grid("power3", FIGURE_COMPOSITIONS, scale=scale)
+
+
+def figure7(scale: int = DEFAULT_SCALE) -> List[CellResult]:
+    """Normalized executor time (no overhead), Pentium4-like machine."""
+    return run_grid("pentium4", FIGURE_COMPOSITIONS, scale=scale)
+
+
+def figure8(scale: int = DEFAULT_SCALE) -> List[CellResult]:
+    """Amortization in outer-loop iterations, Power3-like machine."""
+    return run_grid("power3", FIGURE_COMPOSITIONS, scale=scale)
+
+
+def figure9(scale: int = DEFAULT_SCALE) -> List[CellResult]:
+    """Amortization in outer-loop iterations, Pentium4-like machine."""
+    return run_grid("pentium4", FIGURE_COMPOSITIONS, scale=scale)
+
+
+@dataclass
+class RemapRow:
+    """One bar of Figure 16: % inspector-overhead reduction of remap-once."""
+
+    kernel: str
+    dataset: str
+    machine: str
+    composition: str
+    touches_each: int
+    touches_once: int
+
+    @property
+    def percent_reduction(self) -> float:
+        if not self.touches_each:
+            return 0.0
+        return 100.0 * (self.touches_each - self.touches_once) / self.touches_each
+
+
+def figure16(scale: int = DEFAULT_SCALE) -> List[RemapRow]:
+    """Remap-once vs remap-each inspector overhead.
+
+    The paper shows irreg and moldyn (nbf's compositions rarely contain
+    two or more data reorderings) for the compositions that do contain
+    several data reorderings — here ``cpack2x+fst`` and ``cpack+fst``
+    (CPACK + tilePack already makes two).
+    """
+    rows: List[RemapRow] = []
+    for machine in ("power3", "pentium4"):
+        for kernel in ("irreg", "moldyn"):
+            for dataset in BENCHMARK_DATASETS[kernel]:
+                for composition in ("cpack+fst", "cpack2x+fst"):
+                    each = run_cell(
+                        kernel, dataset, machine, composition,
+                        scale=scale, remap="each",
+                    )
+                    once = run_cell(
+                        kernel, dataset, machine, composition,
+                        scale=scale, remap="once",
+                    )
+                    rows.append(
+                        RemapRow(
+                            kernel=kernel,
+                            dataset=dataset,
+                            machine=machine,
+                            composition=composition,
+                            touches_each=each.inspector_touches,
+                            touches_once=once.inspector_touches,
+                        )
+                    )
+    return rows
+
+
+@dataclass
+class SweepRow:
+    """One point of Figure 17: executor time vs cache-targeting fraction."""
+
+    kernel: str
+    dataset: str
+    machine: str
+    fraction: float
+    normalized_time: float
+
+
+#: L1 fractions swept in Figure 17 (the paper varies Gpart/FST parameters
+#: to target different cache sizes).
+SWEEP_FRACTIONS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def figure17(
+    scale: int = DEFAULT_SCALE,
+    kernels: Tuple[str, ...] = ("moldyn", "irreg"),
+) -> List[SweepRow]:
+    """Sweep the Gpart/FST cache-target parameter (gpart+fst composition)."""
+    from repro.runtime.inspector import (
+        FullSparseTilingStep,
+        GPartStep,
+        LexGroupStep,
+        TilePackStep,
+    )
+
+    rows: List[SweepRow] = []
+    for machine_name in ("power3", "pentium4"):
+        machine = machine_by_name(machine_name)
+        for kernel in kernels:
+            dataset = BENCHMARK_DATASETS[kernel][0]
+            data = _kernel_data(kernel, dataset, scale, 42)
+            base = run_cell(kernel, dataset, machine_name, "baseline", scale=scale)
+            for fraction in SWEEP_FRACTIONS:
+                steps = [
+                    GPartStep(gpart_partition_size(data, machine, fraction)),
+                    LexGroupStep(),
+                    FullSparseTilingStep(fst_seed_block(data, machine, fraction / 2)),
+                    TilePackStep(),
+                ]
+                result = ComposedInspector(steps).run(data)
+                trace = emit_trace(result.transformed, result.plan, num_steps=1)
+                cycles = simulate_cost(trace, machine).cycles
+                rows.append(
+                    SweepRow(
+                        kernel=kernel,
+                        dataset=dataset,
+                        machine=machine_name,
+                        fraction=fraction,
+                        normalized_time=cycles / base.baseline_cycles,
+                    )
+                )
+    return rows

@@ -1,0 +1,95 @@
+"""Rendering of experiment results: fixed-width text and CSV."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Sequence
+
+from repro.eval.experiments import CellResult
+
+
+def rows_to_csv(rows: Sequence[object], columns: Sequence[str]) -> str:
+    """Serialize result rows (dataclasses or dicts) to CSV text."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(columns)
+    for row in rows:
+        record = []
+        for col in columns:
+            value = row[col] if isinstance(row, dict) else getattr(row, col)
+            record.append(value)
+        writer.writerow(record)
+    return out.getvalue()
+
+
+def format_rows(
+    rows: Sequence[object], columns: Sequence[str], title: str = ""
+) -> str:
+    """Generic fixed-width table over attribute names."""
+    header = [c for c in columns]
+    body: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for col in columns:
+            value = getattr(row, col)
+            if isinstance(value, float):
+                rendered.append(
+                    "inf" if value == float("inf") else f"{value:.3f}"
+                )
+            else:
+                rendered.append(str(value))
+        body.append(rendered)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_grid(
+    rows: Sequence[CellResult],
+    value: str = "normalized_time",
+    title: str = "",
+) -> str:
+    """Pivot CellResults into a (kernel/dataset) x composition table —
+    the layout of the paper's bar charts."""
+    compositions: List[str] = []
+    for row in rows:
+        if row.composition not in compositions:
+            compositions.append(row.composition)
+    groups: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        key = f"{row.kernel}/{row.dataset}"
+        cell = getattr(row, value)
+        groups.setdefault(key, {})[row.composition] = cell
+
+    width_key = max(len(k) for k in groups) if groups else 8
+    widths = [max(len(c), 8) for c in compositions]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " " * width_key
+        + "  "
+        + "  ".join(c.rjust(w) for c, w in zip(compositions, widths))
+    )
+    for key, cells in groups.items():
+        rendered = []
+        for comp, w in zip(compositions, widths):
+            v = cells.get(comp)
+            if v is None:
+                rendered.append("-".rjust(w))
+            elif v == float("inf"):
+                rendered.append("inf".rjust(w))
+            else:
+                rendered.append(f"{v:.3f}".rjust(w))
+        lines.append(key.ljust(width_key) + "  " + "  ".join(rendered))
+    return "\n".join(lines)

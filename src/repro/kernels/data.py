@@ -1,0 +1,126 @@
+"""Concrete run-time kernel instances.
+
+A :class:`KernelData` bundles everything an inspector/executor needs at
+run time: the index arrays (``left``/``right``), the node payload arrays,
+extents, and layout metadata (record sizes after inter-array regrouping).
+It deliberately mirrors the compile-time :class:`~repro.uniform.kernel.Kernel`
+spec of the same name (:func:`repro.kernels.specs.kernel_by_name`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.kernels.datasets import Dataset
+from repro.kernels.specs import (
+    INTERACTION_RECORD_BYTES,
+    NODE_RECORD_BYTES,
+    kernel_by_name,
+)
+from repro.transforms.base import AccessMap
+
+
+@dataclass(frozen=True)
+class LoopDesc:
+    """Run-time view of one loop: label + which space it iterates."""
+
+    label: str
+    domain: str  # "nodes" or "inters"
+
+
+@dataclass
+class KernelData:
+    """A bound benchmark instance (index arrays + payload + layout)."""
+
+    kernel_name: str
+    dataset_name: str
+    num_nodes: int
+    left: np.ndarray
+    right: np.ndarray
+    #: Node payload arrays, keyed like the kernel spec's data arrays.
+    arrays: Dict[str, np.ndarray]
+    loops: Tuple[LoopDesc, ...]
+    node_record_bytes: int
+    inter_record_bytes: int = INTERACTION_RECORD_BYTES
+
+    @property
+    def num_inter(self) -> int:
+        return len(self.left)
+
+    def interaction_access_map(self) -> AccessMap:
+        """Iterations of the interaction loop -> node locations touched."""
+        return AccessMap.from_columns([self.left, self.right], self.num_nodes)
+
+    def loop_sizes(self) -> List[int]:
+        return [
+            self.num_nodes if l.domain == "nodes" else self.num_inter
+            for l in self.loops
+        ]
+
+    def interaction_loop_position(self) -> int:
+        for pos, loop in enumerate(self.loops):
+            if loop.domain == "inters":
+                return pos
+        raise ValueError("kernel has no interaction loop")
+
+    def node_loop_positions(self) -> List[int]:
+        return [p for p, l in enumerate(self.loops) if l.domain == "nodes"]
+
+    def copy(self) -> "KernelData":
+        return KernelData(
+            kernel_name=self.kernel_name,
+            dataset_name=self.dataset_name,
+            num_nodes=self.num_nodes,
+            left=self.left.copy(),
+            right=self.right.copy(),
+            arrays={k: v.copy() for k, v in self.arrays.items()},
+            loops=self.loops,
+            node_record_bytes=self.node_record_bytes,
+            inter_record_bytes=self.inter_record_bytes,
+        )
+
+    def symbols(self) -> Dict[str, int]:
+        """Symbol bindings for the compile-time specs of this kernel."""
+        return {"num_nodes": self.num_nodes, "num_inter": self.num_inter}
+
+    def __repr__(self):
+        return (
+            f"KernelData({self.kernel_name!r}, {self.dataset_name!r}, "
+            f"nodes={self.num_nodes}, inters={self.num_inter})"
+        )
+
+
+_LOOPS: Dict[str, Tuple[LoopDesc, ...]] = {
+    "moldyn": (
+        LoopDesc("Li", "nodes"),
+        LoopDesc("Lj", "inters"),
+        LoopDesc("Lk", "nodes"),
+    ),
+    "nbf": (LoopDesc("Lj", "inters"), LoopDesc("Lk", "nodes")),
+    "irreg": (LoopDesc("Lj", "inters"), LoopDesc("Lk", "nodes")),
+}
+
+
+def make_kernel_data(
+    kernel_name: str, dataset: Dataset, seed: int = 42
+) -> KernelData:
+    """Instantiate a benchmark on a dataset with random initial payload."""
+    spec = kernel_by_name(kernel_name)
+    rng = np.random.default_rng(seed)
+    arrays = {
+        name: rng.random(dataset.num_nodes)
+        for name in spec.data_arrays
+    }
+    return KernelData(
+        kernel_name=kernel_name,
+        dataset_name=dataset.name,
+        num_nodes=dataset.num_nodes,
+        left=dataset.left.astype(np.int64),
+        right=dataset.right.astype(np.int64),
+        arrays=arrays,
+        loops=_LOOPS[kernel_name],
+        node_record_bytes=NODE_RECORD_BYTES[kernel_name],
+    )

@@ -1,0 +1,223 @@
+"""Synthetic datasets standing in for mol1, mol2, foil, auto.
+
+The paper's inputs (Section 2.4):
+
+=======  =======  =========  ===========  =================================
+name     nodes    edges      edges/node   origin
+=======  =======  =========  ===========  =================================
+mol1     131072   1179648    9.0          molecular dynamics neighbor list
+mol2     442368   3981312    9.0          molecular dynamics neighbor list
+foil     144649   1074393    7.4          unstructured 2-D CFD mesh
+auto     448695   3314611    7.4          unstructured 3-D mesh
+=======  =======  =========  ===========  =================================
+
+The originals are not distributed, so we generate graphs with the same
+node:edge ratios from the same geometric processes — random-geometric
+cutoff graphs in 3-D for the mol* neighbor lists, and 2-D for the meshes —
+and **scramble the node labels**, which is the state the paper's baselines
+start from (the whole point of the run-time data reorderings is to recover
+the locality the labeling lost).  Locality transformations only ever see
+the index arrays, so this preserves the exercised behavior.
+
+Sizes are scaled down by ``DEFAULT_SCALE`` so the pure-Python cache
+simulator stays tractable; the machine models in
+:mod:`repro.cachesim.machines` are scaled by the same factor, preserving
+the data-size : cache-size ratios that drive the paper's results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Linear scale factor applied to the paper's dataset sizes.  32 keeps the
+#: node payloads well above the (unscaled) L1 sizes of both machine models
+#: while holding executor traces to a few hundred thousand accesses.
+DEFAULT_SCALE = 32
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named input: interaction endpoints over a scrambled node space.
+
+    ``coords`` (optional) are the generator's spatial coordinates per node
+    — the "programmer-specified mapping of data to spatial coordinates"
+    that space-filling-curve reorderings require (paper Section 8).
+    """
+
+    name: str
+    num_nodes: int
+    left: np.ndarray
+    right: np.ndarray
+    coords: Optional[np.ndarray] = None
+
+    @property
+    def num_interactions(self) -> int:
+        return len(self.left)
+
+    @property
+    def edges_per_node(self) -> float:
+        return self.num_interactions / self.num_nodes
+
+    def __repr__(self):
+        return (
+            f"Dataset({self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_interactions})"
+        )
+
+
+def random_geometric_interactions(
+    num_nodes: int,
+    target_edges: int,
+    dim: int,
+    seed: int,
+    return_points: bool = False,
+):
+    """Cutoff-neighbor interactions of points in the unit ``dim``-cube.
+
+    With ``return_points`` set, also returns the point coordinates.
+
+    Points are binned on a grid whose cell size approximates the cutoff
+    radius needed for ``target_edges``; each pair within a cell or between
+    adjacent cells and within the radius becomes one interaction.  The
+    edge list is truncated/kept as generated to land near ``target_edges``
+    (exactness is irrelevant — only the ratio matters).
+    """
+    rng = np.random.default_rng(seed)
+    pts = rng.random((num_nodes, dim))
+
+    # Radius from the expected-neighbor count of a Poisson process:
+    # E[deg] = density * V_ball(r); edges = nodes * E[deg] / 2.
+    density = num_nodes
+    want_degree = 2.0 * target_edges / num_nodes
+    if dim == 2:
+        r = float(np.sqrt(want_degree / (np.pi * density)))
+    else:
+        r = float((want_degree / (4.0 / 3.0 * np.pi * density)) ** (1.0 / 3.0))
+
+    cells = max(1, int(1.0 / r))
+    cell_of = np.minimum((pts * cells).astype(np.int64), cells - 1)
+    cell_key = cell_of[:, 0]
+    for d in range(1, dim):
+        cell_key = cell_key * cells + cell_of[:, d]
+    order = np.argsort(cell_key, kind="stable")
+
+    buckets: Dict[int, np.ndarray] = {}
+    sorted_keys = cell_key[order]
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    for chunk, key in zip(
+        np.split(order, boundaries), sorted_keys[np.r_[0, boundaries]]
+    ):
+        buckets[int(key)] = chunk
+
+    neighbor_offsets = []
+    ranges = [range(-1, 2)] * dim
+    import itertools
+
+    for offs in itertools.product(*ranges):
+        neighbor_offsets.append(offs)
+
+    lefts = []
+    rights = []
+    r2 = r * r
+    for key, members in buckets.items():
+        coords = []
+        k = key
+        for _ in range(dim):
+            coords.append(k % cells)
+            k //= cells
+        coords = coords[::-1]
+        for offs in neighbor_offsets:
+            ncoords = [c + o for c, o in zip(coords, offs)]
+            if any(c < 0 or c >= cells for c in ncoords):
+                continue
+            nkey = 0
+            for c in ncoords:
+                nkey = nkey * cells + c
+            if nkey < key:
+                continue  # handle each cell pair once
+            others = buckets.get(int(nkey))
+            if others is None:
+                continue
+            d2 = ((pts[members][:, None, :] - pts[others][None, :, :]) ** 2).sum(
+                axis=2
+            )
+            a_idx, b_idx = np.nonzero(d2 <= r2)
+            a = members[a_idx]
+            b = others[b_idx]
+            if nkey == key:
+                keep = a < b
+            else:
+                keep = np.ones(len(a), dtype=bool)
+            lefts.append(a[keep])
+            rights.append(b[keep])
+
+    left = np.concatenate(lefts) if lefts else np.empty(0, dtype=np.int64)
+    right = np.concatenate(rights) if rights else np.empty(0, dtype=np.int64)
+    if len(left) > target_edges:
+        keep = np.sort(
+            rng.choice(len(left), size=target_edges, replace=False)
+        )
+        left, right = left[keep], right[keep]
+    if return_points:
+        return left.astype(np.int64), right.astype(np.int64), pts
+    return left.astype(np.int64), right.astype(np.int64)
+
+
+def mesh2d_interactions(
+    num_nodes: int, target_edges: int, seed: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Unstructured-mesh-like interactions (2-D geometric graph)."""
+    return random_geometric_interactions(num_nodes, target_edges, dim=2, seed=seed)
+
+
+def scramble_labels(
+    num_nodes: int, left: np.ndarray, right: np.ndarray, seed: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random node renumbering + interaction shuffle (destroys locality)."""
+    rng = np.random.default_rng(seed)
+    relabel = rng.permutation(num_nodes)
+    order = rng.permutation(len(left))
+    return relabel[left][order], relabel[right][order]
+
+
+#: name -> (paper nodes, paper edges, generator dim)
+_PAPER_SIZES = {
+    "mol1": (131072, 1179648, 3),
+    "mol2": (442368, 3981312, 3),
+    "foil": (144649, 1074393, 2),
+    "auto": (448695, 3314611, 2),
+}
+
+DATASETS = tuple(_PAPER_SIZES)
+
+
+def generate_dataset(
+    name: str, scale: int = DEFAULT_SCALE, seed: int = 20030609
+) -> Dataset:
+    """Generate a scaled synthetic stand-in for one of the paper's inputs.
+
+    ``scale`` divides both node and edge counts (default 64).  The seed is
+    fixed so every benchmark run sees identical inputs.
+    """
+    if name not in _PAPER_SIZES:
+        raise KeyError(f"unknown dataset {name!r}; choose from {DATASETS}")
+    nodes, edges, dim = _PAPER_SIZES[name]
+    num_nodes = max(16, nodes // scale)
+    target_edges = max(num_nodes, edges // scale)
+    # Stable per-name seed offset (``hash()`` is randomized per process).
+    name_seed = sum(ord(c) * 31**i for i, c in enumerate(name)) % 1000
+    left, right, pts = random_geometric_interactions(
+        num_nodes, target_edges, dim=dim, seed=seed + name_seed,
+        return_points=True,
+    )
+    rng = np.random.default_rng(seed + 1)
+    relabel = rng.permutation(num_nodes)
+    order = rng.permutation(len(left))
+    coords = np.empty_like(pts)
+    coords[relabel] = pts  # node relabel[i] carries point i's coordinates
+    return Dataset(
+        name, num_nodes, relabel[left][order], relabel[right][order], coords
+    )

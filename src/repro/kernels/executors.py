@@ -1,0 +1,62 @@
+"""Numeric reference executors for the benchmarks.
+
+These compute the kernels' actual arithmetic so transformed executors can
+be validated end to end: relocate data + adjust index arrays, run the same
+step functions, relocate back, compare with the untransformed run.  The
+interaction-loop updates are reductions, so iteration order does not change
+the result beyond floating-point reassociation (tests use ``allclose``).
+
+The gather/scatter pattern uses ``np.add.at`` (unbuffered), which is the
+vectorized equivalent of the scalar loops in the paper's Figures 13/14.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.kernels.data import KernelData
+
+
+def moldyn_step(arrays: Dict[str, np.ndarray], left: np.ndarray, right: np.ndarray) -> None:
+    """One time step of the simplified moldyn kernel (paper Figure 1)."""
+    x, vx, fx = arrays["x"], arrays["vx"], arrays["fx"]
+    x += 0.01 * vx + 0.0005 * fx
+    g = x[left] - x[right]
+    np.add.at(fx, left, g)
+    np.add.at(fx, right, -g)
+    vx += 0.5 * fx
+
+
+def nbf_step(arrays: Dict[str, np.ndarray], left: np.ndarray, right: np.ndarray) -> None:
+    """One time step of the non-bonded force kernel."""
+    x, f = arrays["x"], arrays["f"]
+    q = 0.25 * x[left] * x[right]
+    np.add.at(f, left, q)
+    np.add.at(f, right, -q)
+    x += 0.1 * f
+
+
+def irreg_step(arrays: Dict[str, np.ndarray], left: np.ndarray, right: np.ndarray) -> None:
+    """One relaxation sweep of the irregular mesh kernel."""
+    x, y = arrays["x"], arrays["y"]
+    w = 0.5 * (x[left] + x[right])
+    np.add.at(y, left, w)
+    np.add.at(y, right, w)
+    x += 0.01 * y
+
+
+STEP_FUNCTIONS: Dict[str, Callable] = {
+    "moldyn": moldyn_step,
+    "nbf": nbf_step,
+    "irreg": irreg_step,
+}
+
+
+def run_steps(data: KernelData, num_steps: int) -> KernelData:
+    """Run the kernel's time loop in place; returns ``data`` for chaining."""
+    step = STEP_FUNCTIONS[data.kernel_name]
+    for _ in range(num_steps):
+        step(data.arrays, data.left, data.right)
+    return data

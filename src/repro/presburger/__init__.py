@@ -1,0 +1,56 @@
+"""Presburger sets and relations with uninterpreted function symbols.
+
+This package is the constraint substrate of the reproduction: an
+Omega-library-like calculus of integer tuple sets and tuple relations whose
+constraints are affine expressions over tuple variables, symbolic constants,
+and *uninterpreted function symbol* (UFS) calls such as ``left(j)`` or
+``sigma(i)``.  The PLDI'03 paper uses exactly this language (inherited from
+Kelly--Pugh and Pugh--Wonnacott) to describe data mappings, dependences, and
+run-time reordering transformations.
+
+Main entry points:
+
+* :class:`~repro.presburger.terms.AffineExpr`, :class:`~repro.presburger.terms.UFCall`
+* :class:`~repro.presburger.sets.PresburgerSet`
+* :class:`~repro.presburger.relations.PresburgerRelation`
+* :func:`~repro.presburger.parser.parse_set` / :func:`~repro.presburger.parser.parse_relation`
+* :class:`~repro.presburger.evaluate.Environment` for binding symbols and UFS
+  to concrete values (e.g. index arrays) and evaluating sets/relations.
+"""
+
+from repro.presburger.terms import AffineExpr, UFCall, var, const, symbol
+from repro.presburger.constraints import Constraint, ConstraintKind, eq, geq, leq, lt, gt
+from repro.presburger.sets import Conjunction, PresburgerSet
+from repro.presburger.relations import PresburgerRelation
+from repro.presburger.parser import parse_set, parse_relation, parse_expr
+from repro.presburger.evaluate import Environment
+from repro.presburger.ordering import lex_lt, lex_le, lex_compare
+from repro.presburger.render import to_omega, set_to_omega, relation_to_omega
+
+__all__ = [
+    "AffineExpr",
+    "UFCall",
+    "var",
+    "const",
+    "symbol",
+    "Constraint",
+    "ConstraintKind",
+    "eq",
+    "geq",
+    "leq",
+    "lt",
+    "gt",
+    "Conjunction",
+    "PresburgerSet",
+    "PresburgerRelation",
+    "parse_set",
+    "parse_relation",
+    "parse_expr",
+    "Environment",
+    "lex_lt",
+    "lex_le",
+    "lex_compare",
+    "to_omega",
+    "set_to_omega",
+    "relation_to_omega",
+]

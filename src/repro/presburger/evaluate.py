@@ -1,0 +1,441 @@
+"""Concrete evaluation of Presburger sets/relations under an environment.
+
+At run time the uninterpreted function symbols of the compile-time
+specifications become concrete: index arrays (``left``, ``right``),
+generated reordering functions (``sigma``, ``delta``), and tile functions
+(``theta``).  An :class:`Environment` binds symbolic constants to integers
+and UFS names to Python callables (or NumPy index arrays), after which sets
+can be membership-tested and enumerated, and relations can be applied to
+concrete points.
+
+Enumeration scans tuple variables left to right, deriving integer bounds for
+each variable from constraints whose other atoms are already evaluable —
+the standard polyhedron-scanning approach, restricted to the forms produced
+by the framework.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.presburger.constraints import Constraint, ConstraintKind
+from repro.presburger.sets import Conjunction, PresburgerSet
+from repro.presburger.relations import PresburgerRelation
+from repro.presburger.terms import AffineExpr, UFCall
+
+
+class EvaluationError(Exception):
+    """Raised when a set/relation cannot be evaluated under an environment."""
+
+
+class UFDomainError(EvaluationError):
+    """A bound UFS was applied outside its domain (e.g. an index-array
+    lookup out of range).  Constraint checks treat the offending point as
+    not satisfying the constraint rather than crashing — a membership
+    probe at a point excluded by the guards is simply False."""
+
+
+class Environment:
+    """Bindings of symbolic constants and uninterpreted function symbols."""
+
+    def __init__(
+        self,
+        symbols: Optional[Mapping[str, int]] = None,
+        functions: Optional[Mapping[str, Callable[..., int]]] = None,
+    ):
+        self.symbols: Dict[str, int] = dict(symbols or {})
+        self.functions: Dict[str, Callable[..., int]] = dict(functions or {})
+
+    def copy(self) -> "Environment":
+        return Environment(self.symbols, self.functions)
+
+    def bind_symbol(self, name: str, value: int) -> "Environment":
+        self.symbols[name] = int(value)
+        return self
+
+    def bind_function(self, name: str, fn: Callable[..., int]) -> "Environment":
+        self.functions[name] = fn
+        return self
+
+    def bind_array(self, name: str, array: Sequence[int]) -> "Environment":
+        """Bind a UFS to a 0-based index array (unary function)."""
+
+        def lookup(index: int, _array=array, _name=name) -> int:
+            if index < 0 or index >= len(_array):
+                raise UFDomainError(
+                    f"{_name}({index}) out of range [0, {len(_array)})"
+                )
+            return int(_array[index])
+
+        self.functions[name] = lookup
+        return self
+
+    # -- expression evaluation --------------------------------------------------
+
+    def eval_expr(self, expr: AffineExpr, assignment: Mapping[str, int]) -> int:
+        total = expr.const
+        for atom, coeff in expr.coeffs.items():
+            if isinstance(atom, str):
+                if atom in assignment:
+                    total += coeff * assignment[atom]
+                elif atom in self.symbols:
+                    total += coeff * self.symbols[atom]
+                else:
+                    raise EvaluationError(f"unbound variable {atom!r}")
+            else:
+                total += coeff * self._eval_uf(atom, assignment)
+        return total
+
+    def _eval_uf(self, call: UFCall, assignment: Mapping[str, int]) -> int:
+        fn = self.functions.get(call.name)
+        if fn is None:
+            raise EvaluationError(f"unbound function symbol {call.name!r}")
+        args = [self.eval_expr(a, assignment) for a in call.args]
+        return int(fn(*args))
+
+    def try_eval_expr(
+        self, expr: AffineExpr, assignment: Mapping[str, int]
+    ) -> Optional[int]:
+        try:
+            return self.eval_expr(expr, assignment)
+        except EvaluationError:
+            return None
+
+    # -- constraint evaluation -----------------------------------------------------
+
+    def constraint_holds(
+        self, constraint: Constraint, assignment: Mapping[str, int]
+    ) -> bool:
+        value = self.eval_expr(constraint.expr, assignment)
+        if constraint.kind is ConstraintKind.EQ:
+            return value == 0
+        return value >= 0
+
+    # -- propagation ------------------------------------------------------------------
+
+    def solve_unknowns(
+        self,
+        constraints: Sequence[Constraint],
+        known: Dict[str, int],
+        unknowns: Iterable[str],
+    ) -> Optional[Dict[str, int]]:
+        """Extend ``known`` with values for ``unknowns`` via equality
+        propagation; verify all fully-bound constraints along the way.
+
+        Returns the completed assignment, ``None`` if some constraint is
+        violated, and raises :class:`EvaluationError` if propagation stalls
+        with unknowns left (the conjunction is not functional enough).
+        """
+        assignment = dict(known)
+        remaining = set(unknowns) - set(assignment)
+        pending = list(constraints)
+
+        progress = True
+        while progress:
+            progress = False
+            next_pending: List[Constraint] = []
+            for c in pending:
+                unresolved = [
+                    v for v in c.free_vars()
+                    if v not in assignment and v not in self.symbols
+                ]
+                if not unresolved:
+                    try:
+                        holds = self.constraint_holds(c, assignment)
+                    except UFDomainError:
+                        return None
+                    if not holds:
+                        return None
+                    progress = True
+                    continue
+                if (
+                    c.kind is ConstraintKind.EQ
+                    and len(unresolved) == 1
+                    and unresolved[0] in remaining
+                ):
+                    v = unresolved[0]
+                    solved_expr = c.solve_for(v)
+                    if solved_expr is not None:
+                        try:
+                            value = self.try_eval_expr(solved_expr, assignment)
+                        except UFDomainError:
+                            return None
+                        if value is not None:
+                            assignment[v] = value
+                            remaining.discard(v)
+                            progress = True
+                            continue
+                next_pending.append(c)
+            pending = next_pending
+
+        if pending:
+            still_unknown = set()
+            for c in pending:
+                still_unknown |= {
+                    v for v in c.free_vars()
+                    if v not in assignment and v not in self.symbols
+                }
+            raise EvaluationError(
+                f"cannot solve for {sorted(still_unknown)} by propagation; "
+                f"stuck constraints: {pending}"
+            )
+        return assignment
+
+    # -- sets ---------------------------------------------------------------------------
+
+    def set_contains(self, pset: PresburgerSet, point: Sequence[int]) -> bool:
+        if len(point) != pset.arity:
+            raise ValueError("point arity mismatch")
+        base = dict(zip(pset.tuple_vars, map(int, point)))
+        for conj in pset.conjunctions:
+            try:
+                result = self.solve_unknowns(
+                    conj.constraints, base, conj.exist_vars
+                )
+            except EvaluationError:
+                result = self._search_existentials(conj, base)
+            if result is not None:
+                return True
+        return False
+
+    def _search_existentials(
+        self, conj: Conjunction, base: Dict[str, int]
+    ) -> Optional[Dict[str, int]]:
+        """Fallback bounded search over existentials using derived bounds."""
+        order = list(conj.exist_vars)
+        return self._scan(
+            conj.constraints, base, order, collect_first=True
+        )
+
+    def enumerate_set(self, pset: PresburgerSet) -> Iterator[Tuple[int, ...]]:
+        """Enumerate points in lexicographic order of the tuple variables.
+
+        Requires every tuple variable to have derivable lower and upper
+        bounds once earlier variables are fixed.  Unions are enumerated
+        per-conjunction and merged with duplicates removed.
+        """
+        seen = set()
+        results: List[Tuple[int, ...]] = []
+        for conj in pset.conjunctions:
+            for assignment in self._scan_all(
+                conj.constraints, {}, list(pset.tuple_vars) + list(conj.exist_vars)
+            ):
+                point = tuple(assignment[v] for v in pset.tuple_vars)
+                if point not in seen:
+                    seen.add(point)
+                    results.append(point)
+        results.sort()
+        return iter(results)
+
+    # -- relations -----------------------------------------------------------------------
+
+    def apply_relation(
+        self, rel: PresburgerRelation, point: Sequence[int]
+    ) -> List[Tuple[int, ...]]:
+        """All output tuples related to a concrete input tuple."""
+        if len(point) != rel.in_arity:
+            raise ValueError("point arity mismatch")
+        base = dict(zip(rel.in_vars, map(int, point)))
+        outputs = []
+        seen = set()
+        for conj in rel.conjunctions:
+            unknown = list(rel.out_vars) + list(conj.exist_vars)
+            try:
+                result = self.solve_unknowns(conj.constraints, base, unknown)
+                candidates = [result] if result is not None else []
+            except EvaluationError:
+                candidates = list(
+                    self._scan_all(conj.constraints, base, unknown)
+                )
+            for result in candidates:
+                out = tuple(result[v] for v in rel.out_vars)
+                if out not in seen:
+                    seen.add(out)
+                    outputs.append(out)
+        return outputs
+
+    def apply_relation_single(
+        self, rel: PresburgerRelation, point: Sequence[int]
+    ) -> Tuple[int, ...]:
+        """Apply a relation expected to be a function at this point."""
+        outs = self.apply_relation(rel, point)
+        if len(outs) != 1:
+            raise EvaluationError(
+                f"expected exactly one image of {tuple(point)}, got {outs}"
+            )
+        return outs[0]
+
+    def enumerate_relation(
+        self, rel: PresburgerRelation
+    ) -> Iterator[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        """Enumerate (input, output) pairs of a relation."""
+        seen = set()
+        pairs = []
+        for conj in rel.conjunctions:
+            order = (
+                list(rel.in_vars) + list(rel.out_vars) + list(conj.exist_vars)
+            )
+            for assignment in self._scan_all(conj.constraints, {}, order):
+                pair = (
+                    tuple(assignment[v] for v in rel.in_vars),
+                    tuple(assignment[v] for v in rel.out_vars),
+                )
+                if pair not in seen:
+                    seen.add(pair)
+                    pairs.append(pair)
+        pairs.sort()
+        return iter(pairs)
+
+    # -- scanning core ----------------------------------------------------------------------
+
+    def _bounds_for(
+        self,
+        var: str,
+        constraints: Sequence[Constraint],
+        assignment: Mapping[str, int],
+    ) -> Tuple[Optional[int], Optional[int], List[Constraint]]:
+        """Derive [lo, hi] for ``var`` from constraints evaluable now.
+
+        Returns (lo, hi, deferred) where deferred are constraints involving
+        ``var`` that could not be used for bounding yet (checked later).
+        """
+        lo: Optional[int] = None
+        hi: Optional[int] = None
+        deferred: List[Constraint] = []
+        for c in constraints:
+            fv = c.free_vars()
+            if var not in fv:
+                continue
+            coeff = c.expr.coeff(var)
+            rest = c.expr - AffineExpr({var: coeff})
+            rest_unbound = [
+                v for v in rest.free_vars()
+                if v not in assignment and v not in self.symbols
+            ]
+            if coeff == 0 or rest_unbound or var in rest.free_vars():
+                deferred.append(c)
+                continue
+            try:
+                rest_val = self.eval_expr(rest, assignment)
+            except UFDomainError:
+                # The enclosing point is outside some UFS domain; no bound
+                # can be derived, and the final check will reject it.
+                deferred.append(c)
+                continue
+            if c.kind is ConstraintKind.EQ:
+                # coeff*var + rest = 0
+                if rest_val % coeff != 0:
+                    return 1, 0, []  # empty
+                value = -rest_val // coeff
+                lo = value if lo is None else max(lo, value)
+                hi = value if hi is None else min(hi, value)
+            elif coeff > 0:
+                # coeff*var >= -rest  =>  var >= ceil(-rest/coeff)
+                bound = math.ceil(-rest_val / coeff)
+                lo = bound if lo is None else max(lo, bound)
+            else:
+                # coeff*var >= -rest with coeff<0  =>  var <= floor(rest/|coeff|)
+                bound = math.floor(rest_val / (-coeff))
+                hi = bound if hi is None else min(hi, bound)
+        return lo, hi, deferred
+
+    @staticmethod
+    def _augment_constraints(
+        constraints: Sequence[Constraint],
+    ) -> List[Constraint]:
+        """Close the constraint list under equality substitution.
+
+        For each equality that defines a variable (coefficient +/-1), derive
+        copies of the other constraints with the variable substituted away.
+        The derived constraints are implied, so adding them never changes
+        the solution set, but they let the scanner bound variables like the
+        ``a`` in ``i = 2a && i < 10`` that the originals cannot bound alone.
+        """
+        result = list(constraints)
+        seen = set(result)
+        for _round in range(3):
+            added = False
+            equalities = [c for c in result if c.kind is ConstraintKind.EQ]
+            for c in equalities:
+                for v in list(c.expr.top_level_vars()):
+                    definition = c.solve_for(v)
+                    if definition is None:
+                        continue
+                    mapping = {v: definition}
+                    for d in list(result):
+                        if d is c or v not in d.free_vars():
+                            continue
+                        derived = d.substitute(mapping)
+                        if derived not in seen and not derived.is_trivially_true():
+                            seen.add(derived)
+                            result.append(derived)
+                            added = True
+            if not added:
+                break
+        return result
+
+    def _scan_all(
+        self,
+        constraints: Sequence[Constraint],
+        base: Dict[str, int],
+        order: List[str],
+    ) -> Iterator[Dict[str, int]]:
+        """Depth-first scan assigning ``order`` variables within derived
+        bounds; yields every complete assignment satisfying all constraints.
+        """
+        order = [v for v in order if v not in base]
+        constraints = self._augment_constraints(constraints)
+
+        def recurse(assignment: Dict[str, int], remaining: List[str]):
+            if not remaining:
+                for c in constraints:
+                    unbound = [
+                        v for v in c.free_vars()
+                        if v not in assignment and v not in self.symbols
+                    ]
+                    if unbound:
+                        raise EvaluationError(
+                            f"variable(s) {unbound} not covered by scan order"
+                        )
+                    try:
+                        holds = self.constraint_holds(c, assignment)
+                    except UFDomainError:
+                        return
+                    if not holds:
+                        return
+                yield dict(assignment)
+                return
+            # Prefer the given order but fall back to any variable whose
+            # bounds are already derivable (adaptive scan order).
+            chosen = None
+            bounds = None
+            for var in remaining:
+                lo, hi, _deferred = self._bounds_for(var, constraints, assignment)
+                if lo is not None and hi is not None:
+                    chosen, bounds = var, (lo, hi)
+                    break
+            if chosen is None:
+                raise EvaluationError(
+                    f"cannot derive finite bounds for any of {remaining} "
+                    f"(known: {sorted(assignment)}, symbols: {sorted(self.symbols)})"
+                )
+            rest = [v for v in remaining if v != chosen]
+            lo, hi = bounds
+            for value in range(lo, hi + 1):
+                assignment[chosen] = value
+                yield from recurse(assignment, rest)
+                del assignment[chosen]
+
+        yield from recurse(dict(base), order)
+
+    def _scan(
+        self,
+        constraints: Sequence[Constraint],
+        base: Dict[str, int],
+        order: List[str],
+        collect_first: bool = False,
+    ) -> Optional[Dict[str, int]]:
+        for assignment in self._scan_all(constraints, base, order):
+            return assignment
+        return None

@@ -1,0 +1,62 @@
+"""Lexicographic ordering utilities.
+
+The execution order of a unified iteration space is the lexicographic order
+of its integer tuples (Kelly--Pugh).  Legality of an iteration-reordering
+transformation ``T`` demands ``T(p)`` lexicographically precede ``T(q)`` for
+every dependence ``p -> q`` (reduction dependences excepted).  This module
+provides both the concrete comparison used by the run-time verifier and the
+symbolic encoding of ``p < q`` as a union of conjunctions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.presburger.constraints import eq, lt
+from repro.presburger.sets import Conjunction
+from repro.presburger.terms import AffineExpr
+
+
+def lex_compare(a: Sequence[int], b: Sequence[int]) -> int:
+    """Return -1, 0, or 1 as tuple ``a`` is lexicographically <, =, > ``b``.
+
+    Tuples of unequal length compare by their common prefix first; a proper
+    prefix precedes the longer tuple (matching Python's tuple ordering).
+    """
+    ta, tb = tuple(a), tuple(b)
+    if ta == tb:
+        return 0
+    return -1 if ta < tb else 1
+
+
+def lex_lt(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True when ``a`` strictly lexicographically precedes ``b``."""
+    return lex_compare(a, b) < 0
+
+
+def lex_le(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True when ``a`` lexicographically precedes or equals ``b``."""
+    return lex_compare(a, b) <= 0
+
+
+def lex_lt_conjunctions(
+    vars_a: Sequence[str], vars_b: Sequence[str]
+) -> List[Conjunction]:
+    """Symbolic ``[vars_a] < [vars_b]`` as a union (list) of conjunctions.
+
+    Follows the paper's definition: there exists a position ``m`` with all
+    earlier positions equal and ``a_m < b_m``.  One conjunction per ``m``.
+    """
+    if len(vars_a) != len(vars_b):
+        raise ValueError("lexicographic comparison requires equal arity")
+    disjuncts = []
+    for m in range(len(vars_a)):
+        constraints = [
+            eq(AffineExpr.var(vars_a[i]), AffineExpr.var(vars_b[i]))
+            for i in range(m)
+        ]
+        constraints.append(
+            lt(AffineExpr.var(vars_a[m]), AffineExpr.var(vars_b[m]))
+        )
+        disjuncts.append(Conjunction(constraints))
+    return disjuncts

@@ -1,0 +1,294 @@
+"""Parser for an Omega-like textual syntax for sets and relations.
+
+Examples accepted::
+
+    {[s,1,i,1] : 0 <= s < num_steps && 0 <= i < num_nodes}
+    {[s,2,j,q] -> [s,2,j1,q] : j1 = lg(j) && 0 <= j < num_inter}
+    {[i] -> [j] : exists(a : j = 2*a && a = i)}
+    {[i] : 0 <= i < n} union {[i] : i = 100}
+
+Conventions:
+
+* A tuple entry that is a fresh identifier declares a tuple variable.
+* A tuple entry that is any other expression (a literal like ``1``, a UFS
+  call like ``sigma(i)``, or an identifier already used in this set/relation,
+  e.g. the ``s`` in ``[s,1,i,1] -> [s,1,i1,1]``) produces a canonical
+  positional variable plus an equality constraint, matching the paper's
+  meaning.
+* ``&&`` or ``and`` conjoin; chained comparisons (``0 <= i < n``) expand to
+  multiple constraints; ``=`` and ``==`` are both equality.
+* Identifiers may contain primes (``s'``).
+* Names that never appear in a tuple or ``exists`` are symbolic constants;
+  names applied to arguments are uninterpreted function symbols.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.presburger.constraints import Constraint, eq, geq, gt, leq, lt
+from repro.presburger.sets import Conjunction, PresburgerSet
+from repro.presburger.relations import PresburgerRelation
+from repro.presburger.terms import AffineExpr
+
+
+class ParseError(Exception):
+    """Raised on malformed set/relation text."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<arrow>->)"
+    r"|(?P<op><=|>=|==|!=|[<>=])"
+    r"|(?P<and>&&|\band\b)"
+    r"|(?P<union>\bunion\b)"
+    r"|(?P<exists>\bexists\b)"
+    r"|(?P<num>\d+)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_']*)"
+    r"|(?P<punct>[\[\]{}(),:+\-*])"
+    r")"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m or m.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected input at: {remainder[:30]!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        tokens.append((kind, m.group(kind)))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, value: str) -> None:
+        kind, text = self.next()
+        if text != value:
+            raise ParseError(f"expected {value!r}, got {text!r}")
+
+    def accept(self, value: str) -> bool:
+        if self.peek()[1] == value:
+            self.pos += 1
+            return True
+        return False
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> AffineExpr:
+        expr = self.parse_term()
+        while self.peek()[1] in ("+", "-"):
+            op = self.next()[1]
+            rhs = self.parse_term()
+            expr = expr + rhs if op == "+" else expr - rhs
+        return expr
+
+    def parse_term(self) -> AffineExpr:
+        expr = self.parse_factor()
+        while self.peek()[1] == "*":
+            self.next()
+            rhs = self.parse_factor()
+            if rhs.is_constant():
+                expr = expr * rhs.const
+            elif expr.is_constant():
+                expr = rhs * expr.const
+            else:
+                raise ParseError("only multiplication by constants is affine")
+        return expr
+
+    def parse_factor(self) -> AffineExpr:
+        kind, text = self.next()
+        if text == "-":
+            return -self.parse_factor()
+        if text == "(":
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if kind == "num":
+            return AffineExpr.constant(int(text))
+        if kind == "ident":
+            if self.peek()[1] == "(":
+                self.next()
+                args = [self.parse_expr()]
+                while self.accept(","):
+                    args.append(self.parse_expr())
+                self.expect(")")
+                return AffineExpr.ufs(text, *args)
+            return AffineExpr.var(text)
+        raise ParseError(f"unexpected token {text!r} in expression")
+
+    # -- constraints ---------------------------------------------------------------
+
+    _OPS = {
+        "=": eq,
+        "==": eq,
+        "<=": leq,
+        "<": lt,
+        ">=": geq,
+        ">": gt,
+    }
+
+    def parse_comparison_chain(self) -> List[Constraint]:
+        exprs = [self.parse_expr()]
+        ops: List[str] = []
+        while self.peek()[0] == "op":
+            op = self.next()[1]
+            if op == "!=":
+                raise ParseError("disequality (!=) is not supported")
+            ops.append(op)
+            exprs.append(self.parse_expr())
+        if not ops:
+            raise ParseError("expected a comparison")
+        return [
+            self._OPS[op](exprs[i], exprs[i + 1]) for i, op in enumerate(ops)
+        ]
+
+    def parse_conjunction(self) -> Tuple[List[Constraint], List[str]]:
+        constraints: List[Constraint] = []
+        exist_vars: List[str] = []
+        while True:
+            if self.peek()[0] == "exists":
+                self.next()
+                self.expect("(")
+                names = [self._expect_ident()]
+                while self.accept(","):
+                    names.append(self._expect_ident())
+                self.expect(":")
+                inner_cons, inner_ex = self.parse_conjunction()
+                self.expect(")")
+                constraints.extend(inner_cons)
+                exist_vars.extend(names + inner_ex)
+            else:
+                constraints.extend(self.parse_comparison_chain())
+            if not (self.accept("&&") or self.accept("and")):
+                break
+        return constraints, exist_vars
+
+    def _expect_ident(self) -> str:
+        kind, text = self.next()
+        if kind != "ident":
+            raise ParseError(f"expected identifier, got {text!r}")
+        return text
+
+    # -- tuples ------------------------------------------------------------------------
+
+    def parse_tuple_entries(self) -> List[AffineExpr]:
+        self.expect("[")
+        entries = [self.parse_expr()]
+        while self.accept(","):
+            entries.append(self.parse_expr())
+        self.expect("]")
+        return entries
+
+    @staticmethod
+    def resolve_tuple(
+        entries: List[AffineExpr],
+        taken: set,
+        prefix: str,
+    ) -> Tuple[List[str], List[Constraint]]:
+        """Turn tuple-entry expressions into variable names + constraints."""
+        names: List[str] = []
+        constraints: List[Constraint] = []
+        for idx, entry in enumerate(entries):
+            atoms = entry.atoms()
+            is_fresh_var = (
+                len(atoms) == 1
+                and isinstance(atoms[0], str)
+                and entry.coeff(atoms[0]) == 1
+                and entry.const == 0
+                and atoms[0] not in taken
+            )
+            if is_fresh_var:
+                name = atoms[0]
+            else:
+                name = f"{prefix}{idx}"
+                while name in taken:
+                    name += "_"
+                constraints.append(eq(AffineExpr.var(name), entry))
+            taken.add(name)
+            names.append(name)
+        return names, constraints
+
+    # -- top level ------------------------------------------------------------------------
+
+    def parse_one_set(self) -> PresburgerSet:
+        self.expect("{")
+        entries = self.parse_tuple_entries()
+        taken: set = set()
+        names, tuple_cons = self.resolve_tuple(entries, taken, "v")
+        constraints, exist_vars = ([], [])
+        if self.accept(":"):
+            constraints, exist_vars = self.parse_conjunction()
+        self.expect("}")
+        conj = Conjunction(tuple_cons + constraints, exist_vars)
+        return PresburgerSet(names, [conj])
+
+    def parse_one_relation(self) -> PresburgerRelation:
+        self.expect("{")
+        in_entries = self.parse_tuple_entries()
+        self.expect("->")
+        out_entries = self.parse_tuple_entries()
+        taken: set = set()
+        in_names, in_cons = self.resolve_tuple(in_entries, taken, "in")
+        out_names, out_cons = self.resolve_tuple(out_entries, taken, "out")
+        constraints, exist_vars = ([], [])
+        if self.accept(":"):
+            constraints, exist_vars = self.parse_conjunction()
+        self.expect("}")
+        conj = Conjunction(in_cons + out_cons + constraints, exist_vars)
+        return PresburgerRelation(in_names, out_names, [conj])
+
+    def at_eof(self) -> bool:
+        return self.peek()[0] == "eof"
+
+
+def parse_set(text: str) -> PresburgerSet:
+    """Parse a set, allowing top-level ``union`` of pieces."""
+    parser = _Parser(text)
+    result = parser.parse_one_set()
+    while parser.accept("union"):
+        result = result.union(parser.parse_one_set())
+    if not parser.at_eof():
+        raise ParseError(f"trailing input after set: {parser.peek()[1]!r}")
+    return result
+
+
+def parse_relation(text: str) -> PresburgerRelation:
+    """Parse a relation, allowing top-level ``union`` of pieces."""
+    parser = _Parser(text)
+    result = parser.parse_one_relation()
+    while parser.accept("union"):
+        result = result.union(parser.parse_one_relation())
+    if not parser.at_eof():
+        raise ParseError(f"trailing input after relation: {parser.peek()[1]!r}")
+    return result
+
+
+def parse_expr(text: str) -> AffineExpr:
+    """Parse a bare affine expression (useful in tests and the REPL)."""
+    parser = _Parser(text)
+    expr = parser.parse_expr()
+    if not parser.at_eof():
+        raise ParseError(f"trailing input after expression: {parser.peek()[1]!r}")
+    return expr

@@ -1,0 +1,103 @@
+"""Render sets/relations back to parseable Omega-like text.
+
+``parse_set(to_omega(s))`` accepts everything this module emits, giving
+the layer a textual serialization (used for golden tests, debugging
+dumps, and interop with Omega-calculator-style tooling).  The rendering
+normalizes constraints to ``expr op 0`` with the constant moved to the
+right-hand side for readability: ``x-3 >= 0`` prints as ``x >= 3``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.presburger.constraints import Constraint, ConstraintKind
+from repro.presburger.sets import Conjunction, PresburgerSet
+from repro.presburger.relations import PresburgerRelation
+from repro.presburger.terms import AffineExpr, UFCall, _atom_sort_key
+
+
+def expr_to_omega(expr: AffineExpr) -> str:
+    """Affine expression in parser syntax (explicit ``*`` for coefficients)."""
+    parts: List[str] = []
+    for atom in expr.atoms():
+        coeff = expr.coeffs[atom]
+        name = (
+            atom
+            if isinstance(atom, str)
+            else f"{atom.name}({', '.join(expr_to_omega(a) for a in atom.args)})"
+        )
+        if coeff == 1:
+            term = name
+        elif coeff == -1:
+            term = f"-{name}"
+        else:
+            term = f"{coeff}*{name}" if coeff > 0 else f"-{-coeff}*{name}"
+        if parts and not term.startswith("-"):
+            parts.append(f"+ {term}")
+        elif parts:
+            parts.append(f"- {term[1:]}")
+        else:
+            parts.append(term)
+    if expr.const or not parts:
+        c = expr.const
+        if parts:
+            parts.append(f"+ {c}" if c > 0 else f"- {-c}")
+        else:
+            parts.append(str(c))
+    return " ".join(parts)
+
+
+def constraint_to_omega(constraint: Constraint) -> str:
+    """Constraint with the constant on the right: ``x + y >= 3``."""
+    lhs = constraint.expr - constraint.expr.const
+    rhs = -constraint.expr.const
+    op = "=" if constraint.kind is ConstraintKind.EQ else ">="
+    if lhs.is_constant():
+        # Purely constant expressions keep the raw normal form.
+        return f"{expr_to_omega(constraint.expr)} {op} 0"
+    return f"{expr_to_omega(lhs)} {op} {rhs}"
+
+
+def conjunction_to_omega(conj: Conjunction) -> str:
+    body = " && ".join(constraint_to_omega(c) for c in conj.constraints)
+    if not body:
+        # The parser treats a missing ':' clause as unconstrained; when
+        # existentials wrap an empty body emit a vacuous truth instead.
+        body = "0 = 0" if conj.exist_vars else ""
+    if conj.exist_vars:
+        return f"exists({', '.join(conj.exist_vars)}: {body})"
+    return body
+
+
+def _piece(head: str, conj: Conjunction) -> str:
+    body = conjunction_to_omega(conj)
+    return f"{{{head} : {body}}}" if body else f"{{{head}}}"
+
+
+def set_to_omega(pset: PresburgerSet) -> str:
+    """A parseable rendering of a set (``union`` between conjunctions)."""
+    head = f"[{', '.join(pset.tuple_vars)}]"
+    if not pset.conjunctions:
+        # The canonical empty set: an unsatisfiable constraint.
+        return f"{{{head} : 1 = 0}}"
+    return " union ".join(_piece(head, c) for c in pset.conjunctions)
+
+
+def relation_to_omega(rel: PresburgerRelation) -> str:
+    """A parseable rendering of a relation."""
+    head = (
+        f"[{', '.join(rel.in_vars)}] -> [{', '.join(rel.out_vars)}]"
+    )
+    if not rel.conjunctions:
+        return f"{{{head} : 1 = 0}}"
+    return " union ".join(_piece(head, c) for c in rel.conjunctions)
+
+
+def to_omega(obj: Union[PresburgerSet, PresburgerRelation]) -> str:
+    """Dispatching convenience wrapper."""
+    if isinstance(obj, PresburgerSet):
+        return set_to_omega(obj)
+    if isinstance(obj, PresburgerRelation):
+        return relation_to_omega(obj)
+    raise TypeError(f"cannot render {obj!r}")

@@ -1,0 +1,182 @@
+"""Conjunction simplification: existential elimination and cleanup.
+
+The composition of two relations introduces existential variables for the
+middle tuple.  Every relation in the PLDI'03 paper is *functional* — output
+positions are defined by equalities such as ``i1 = sigma(i)`` — so after
+composition each existential has a defining equality and can be eliminated
+by Gaussian-style substitution.  This module implements that elimination
+plus generic cleanup (dropping trivially true constraints, deduplication,
+detecting trivially false conjunctions).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.presburger.constraints import Constraint, ConstraintKind
+from repro.presburger.sets import Conjunction
+from repro.presburger.terms import _atom_sort_key
+
+
+def simplify_conjunction(conj: Conjunction) -> Optional[Conjunction]:
+    """Return a simplified conjunction, or ``None`` if trivially false.
+
+    Performs, to a fixed point:
+
+    1. elimination of existential variables that have a defining equality
+       (coefficient +/-1, variable not inside a UF argument of the same
+       constraint);
+    2. removal of trivially-true constraints and duplicates;
+    3. detection of trivially-false constraints and contradictory constant
+       bounds on an identical linear part.
+    """
+    constraints = list(conj.constraints)
+    exist_vars = list(conj.exist_vars)
+
+    changed = True
+    while changed:
+        changed = False
+
+        # (1) eliminate defined existentials.
+        for v in list(exist_vars):
+            definition = None
+            def_idx = None
+            for idx, c in enumerate(constraints):
+                solved = c.solve_for(v)
+                if solved is not None:
+                    definition, def_idx = solved, idx
+                    break
+            if definition is None:
+                continue
+            del constraints[def_idx]
+            exist_vars.remove(v)
+            mapping = {v: definition}
+            constraints = [c.substitute(mapping) for c in constraints]
+            changed = True
+
+        # (1b) propagate definitions of *free* variables into the other
+        # constraints (keeping the defining equality, so the set is
+        # unchanged).  This exposes contradictions like pinned statement
+        # positions (`l = 1 && l' = 1 && l < l'`) to the cleanup passes.
+        rewritten = False
+        for idx in range(len(constraints)):
+            c = constraints[idx]
+            if c.kind is not ConstraintKind.EQ:
+                continue
+            for v in sorted(c.expr.top_level_vars()):
+                definition = c.solve_for(v)
+                if definition is None:
+                    continue
+                if definition.uf_names():
+                    # Never push UF terms into other constraints here: the
+                    # congruence pass (1c) rewrites in the other direction
+                    # (UF call -> variable) and the two would oscillate.
+                    continue
+                mapping = {v: definition}
+                new_constraints = []
+                for jdx, d in enumerate(constraints):
+                    if jdx != idx and v in d.free_vars():
+                        new_d = d.substitute(mapping)
+                        if new_d != d:
+                            rewritten = True
+                            d = new_d
+                    new_constraints.append(d)
+                if rewritten:
+                    constraints = new_constraints
+                break
+            if rewritten:
+                changed = True
+                break
+
+        # (1c) congruence propagation through UF-call atoms: an equality
+        # pinning ``sigma(m)`` to a variable lets other constraints use the
+        # variable.  This is what turns the composed data mapping
+        # ``{... x1 = cp(m) && m1 = cp(m)}`` into ``m1 = x1`` (the paper's
+        # ``{[s,1,Ocp(i),1] -> [Ocp(i)]}`` reading).
+        if not rewritten:
+            for idx in range(len(constraints)):
+                solved = constraints[idx].solve_for_ufatom()
+                if solved is None:
+                    continue
+                atom, definition = solved
+                new_constraints = []
+                for jdx, d in enumerate(constraints):
+                    if jdx != idx and d.expr.contains_atom(atom):
+                        new_d = d.substitute_atom(atom, definition)
+                        if new_d != d:
+                            rewritten = True
+                            d = new_d
+                    new_constraints.append(d)
+                if rewritten:
+                    constraints = new_constraints
+                    changed = True
+                    break
+
+        # (2)/(3) cleanup.
+        cleaned = []
+        seen = set()
+        for c in constraints:
+            if c.is_trivially_false():
+                return None
+            if c.is_trivially_true() or c in seen:
+                continue
+            seen.add(c)
+            cleaned.append(c)
+        if len(cleaned) != len(constraints):
+            changed = True
+        constraints = cleaned
+
+    if constraints_entail_false(constraints):
+        return None
+
+    # Drop existentials that no longer occur anywhere.
+    used = set()
+    for c in constraints:
+        used |= c.free_vars()
+    exist_vars = [v for v in exist_vars if v in used]
+
+    return Conjunction(constraints, exist_vars)
+
+
+def constraints_entail_false(constraints: Iterable[Constraint]) -> bool:
+    """Cheap, incomplete unsatisfiability check on a constraint list.
+
+    Tracks constant lower/upper bounds per distinct linear part:
+    ``lin + const >= 0`` gives ``lin >= -const``; ``-lin + const >= 0`` gives
+    ``lin <= const``; ``lin + const = 0`` pins ``lin``.  A crossing pair of
+    bounds proves unsatisfiability.  Full reasoning with uninterpreted
+    function symbols is undecidable, so the run-time evaluator remains the
+    final arbiter; this catches the contradictions that arise in practice
+    when composing the paper's relations.
+    """
+    INF = float("inf")
+    lower: dict = {}
+    upper: dict = {}
+
+    def tighten(key, lo=-INF, hi=INF):
+        lower[key] = max(lower.get(key, -INF), lo)
+        upper[key] = min(upper.get(key, INF), hi)
+        return lower[key] <= upper[key]
+
+    for c in constraints:
+        if c.is_trivially_false():
+            return True
+        expr = c.expr
+        if not expr.coeffs:
+            continue
+        # Canonicalize sign so `lin` and `-lin` share one bounds entry: flip
+        # so the lexicographically-first atom has a positive coefficient.
+        first_atom = min(expr.coeffs, key=_atom_sort_key)
+        sign = 1 if expr.coeffs[first_atom] > 0 else -1
+        key = frozenset((a, k * sign) for a, k in expr.coeffs.items())
+        # Constraint: sign*lin_key + const  (op)  0.
+        if c.kind is ConstraintKind.EQ:
+            pinned = -expr.const * sign
+            ok = tighten(key, lo=pinned, hi=pinned)
+        elif sign == 1:
+            ok = tighten(key, lo=-expr.const)  # lin >= -const
+        else:
+            ok = tighten(key, hi=expr.const)  # lin <= const
+        if not ok:
+            return True
+    return False

@@ -1,0 +1,282 @@
+"""Affine expressions over tuple variables, symbols, and UFS calls.
+
+An :class:`AffineExpr` is an integer-linear combination of *atoms* plus an
+integer constant.  An atom is either a variable name (a plain ``str`` — tuple
+variables and symbolic constants share the namespace; which one a name is
+depends on context) or a :class:`UFCall`, an application of an uninterpreted
+function symbol to a tuple of affine argument expressions, e.g. ``left(j)``
+or ``sigma(left(j) + 1)``.
+
+Expressions are immutable and hashable so they can be used as dictionary
+keys and members of frozensets, which the simplifier relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Atom = Union[str, "UFCall"]
+
+
+def _atom_sort_key(atom: Atom):
+    """Stable ordering across the two atom kinds (vars first, then UF calls)."""
+    if isinstance(atom, str):
+        return (0, atom, ())
+    return (1, atom.name, tuple(repr(a) for a in atom.args))
+
+
+class UFCall:
+    """An uninterpreted function symbol applied to affine arguments.
+
+    ``UFCall("left", (AffineExpr.var("j"),))`` renders as ``left(j)``.
+    Instances are immutable; equality and hashing are structural.
+    """
+
+    __slots__ = ("name", "args", "_hash")
+
+    def __init__(self, name: str, args: Iterable["AffineExpr"]):
+        self.name = name
+        self.args = tuple(args)
+        if not self.args:
+            raise ValueError("UFCall requires at least one argument")
+        self._hash = hash((name, self.args))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, UFCall)
+            and self.name == other.name
+            and self.args == other.args
+        )
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+    def substitute(self, mapping: Mapping[str, "AffineExpr"]) -> "UFCall":
+        """Substitute variables inside the arguments (recursively)."""
+        return UFCall(self.name, tuple(a.substitute(mapping) for a in self.args))
+
+    def free_vars(self) -> frozenset:
+        out = set()
+        for a in self.args:
+            out |= a.free_vars()
+        return frozenset(out)
+
+    def uf_names(self) -> frozenset:
+        out = {self.name}
+        for a in self.args:
+            out |= a.uf_names()
+        return frozenset(out)
+
+
+class AffineExpr:
+    """An immutable integer-affine expression: sum of coeff*atom plus const."""
+
+    __slots__ = ("coeffs", "const", "_hash")
+
+    def __init__(self, coeffs: Mapping[Atom, int] = (), const: int = 0):
+        cleaned: Dict[Atom, int] = {}
+        items = coeffs.items() if isinstance(coeffs, Mapping) else coeffs
+        for atom, c in items:
+            if c:
+                cleaned[atom] = cleaned.get(atom, 0) + c
+                if cleaned[atom] == 0:
+                    del cleaned[atom]
+        self.coeffs: Dict[Atom, int] = cleaned
+        self.const = const
+        self._hash = hash(
+            (frozenset(self.coeffs.items()), self.const)
+        )
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def var(name: str) -> "AffineExpr":
+        return AffineExpr({name: 1})
+
+    @staticmethod
+    def constant(value: int) -> "AffineExpr":
+        return AffineExpr({}, value)
+
+    @staticmethod
+    def ufs(name: str, *args: "ExprLike") -> "AffineExpr":
+        return AffineExpr({UFCall(name, tuple(_coerce(a) for a in args)): 1})
+
+    # -- queries -----------------------------------------------------------
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def coeff(self, atom: Atom) -> int:
+        return self.coeffs.get(atom, 0)
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return tuple(sorted(self.coeffs, key=_atom_sort_key))
+
+    def free_vars(self) -> frozenset:
+        """All variable names appearing anywhere, including inside UF calls."""
+        out = set()
+        for atom in self.coeffs:
+            if isinstance(atom, str):
+                out.add(atom)
+            else:
+                out |= atom.free_vars()
+        return frozenset(out)
+
+    def top_level_vars(self) -> frozenset:
+        """Variable names with a direct coefficient (not hidden in UF args)."""
+        return frozenset(a for a in self.coeffs if isinstance(a, str))
+
+    def uf_names(self) -> frozenset:
+        out = set()
+        for atom in self.coeffs:
+            if isinstance(atom, UFCall):
+                out |= atom.uf_names()
+        return frozenset(out)
+
+    def var_only_inside_uf(self, name: str) -> bool:
+        """True if ``name`` occurs, but only inside UF-call arguments."""
+        if name in self.top_level_vars():
+            return False
+        return name in self.free_vars()
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "ExprLike") -> "AffineExpr":
+        other = _coerce(other)
+        coeffs = dict(self.coeffs)
+        for atom, c in other.coeffs.items():
+            coeffs[atom] = coeffs.get(atom, 0) + c
+        return AffineExpr(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr({a: -c for a, c in self.coeffs.items()}, -self.const)
+
+    def __sub__(self, other: "ExprLike") -> "AffineExpr":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: "ExprLike") -> "AffineExpr":
+        return _coerce(other) + (-self)
+
+    def __mul__(self, k: int) -> "AffineExpr":
+        if not isinstance(k, int):
+            raise TypeError("affine expressions only scale by integers")
+        return AffineExpr({a: c * k for a, c in self.coeffs.items()}, self.const * k)
+
+    __rmul__ = __mul__
+
+    # -- substitution --------------------------------------------------------
+
+    def substitute(self, mapping: Mapping[str, "AffineExpr"]) -> "AffineExpr":
+        """Replace variables per ``mapping`` everywhere, incl. UF arguments."""
+        result = AffineExpr.constant(self.const)
+        for atom, c in self.coeffs.items():
+            if isinstance(atom, str):
+                repl = mapping.get(atom)
+                result = result + (repl * c if repl is not None else AffineExpr({atom: c}))
+            else:
+                result = result + AffineExpr({atom.substitute(mapping): c})
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "AffineExpr":
+        return self.substitute({k: AffineExpr.var(v) for k, v in mapping.items()})
+
+    def contains_atom(self, atom: Atom) -> bool:
+        """True when ``atom`` occurs at top level or nested in UF arguments."""
+        for a in self.coeffs:
+            if a == atom:
+                return True
+            if isinstance(a, UFCall) and any(
+                arg.contains_atom(atom) for arg in a.args
+            ):
+                return True
+        return False
+
+    def substitute_atom(self, atom: Atom, replacement: "AffineExpr") -> "AffineExpr":
+        """Replace every occurrence of ``atom`` (incl. inside UF args).
+
+        This is the congruence step used by the simplifier: once an
+        equality pins ``sigma(m)`` to a variable, other constraints can
+        refer to the variable instead of the call.
+        """
+        result = AffineExpr.constant(self.const)
+        for a, c in self.coeffs.items():
+            if a == atom:
+                result = result + replacement * c
+            elif isinstance(a, UFCall):
+                new_args = tuple(
+                    arg.substitute_atom(atom, replacement) for arg in a.args
+                )
+                result = result + AffineExpr({UFCall(a.name, new_args): c})
+            else:
+                result = result + AffineExpr({a: c})
+        return result
+
+    # -- dunder plumbing ------------------------------------------------------
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, AffineExpr)
+            and self.const == other.const
+            and self.coeffs == other.coeffs
+        )
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        if not self.coeffs:
+            return str(self.const)
+        parts = []
+        for atom in self.atoms():
+            c = self.coeffs[atom]
+            name = atom if isinstance(atom, str) else repr(atom)
+            if c == 1:
+                term = f"{name}"
+            elif c == -1:
+                term = f"-{name}"
+            else:
+                term = f"{c}{name}" if c < 0 else f"{c}{name}"
+            if parts and not term.startswith("-"):
+                parts.append("+" + term)
+            else:
+                parts.append(term)
+        if self.const:
+            parts.append(f"+{self.const}" if self.const > 0 else str(self.const))
+        return "".join(parts)
+
+
+ExprLike = Union[AffineExpr, int, str]
+
+
+def _coerce(value: ExprLike) -> AffineExpr:
+    if isinstance(value, AffineExpr):
+        return value
+    if isinstance(value, int):
+        return AffineExpr.constant(value)
+    if isinstance(value, str):
+        return AffineExpr.var(value)
+    raise TypeError(f"cannot coerce {value!r} to AffineExpr")
+
+
+# Convenience aliases used throughout the code base.
+def var(name: str) -> AffineExpr:
+    """Affine expression consisting of a single variable."""
+    return AffineExpr.var(name)
+
+
+def const(value: int) -> AffineExpr:
+    """Affine expression consisting of a single integer constant."""
+    return AffineExpr.constant(value)
+
+
+def symbol(name: str) -> AffineExpr:
+    """A symbolic constant (same representation as a variable)."""
+    return AffineExpr.var(name)
+
+
+coerce_expr = _coerce

@@ -1,0 +1,57 @@
+"""Inspector/executor runtime.
+
+The compile-time side (:mod:`repro.uniform`) plans compositions; this
+package *executes* them:
+
+* :mod:`repro.runtime.inspector` — the composed inspector: runs each
+  planned transformation's inspector in order, each traversing the index
+  arrays **as modified by the previous inspectors**, with the data-remap
+  strategy (``once`` vs ``each``) as a parameter (paper Section 6,
+  Figures 11/15/16);
+* :mod:`repro.runtime.executor` — execution plans (per-loop orders or a
+  sparse-tile schedule), address-trace emission for the cache simulator,
+  and numeric execution for end-to-end validation;
+* :mod:`repro.runtime.plan` — :class:`CompositionPlan`: couples a list of
+  steps to the compile-time framework (symbolic threading + legality) and
+  builds the matching composed inspector;
+* :mod:`repro.runtime.verify` — the run-time legality verifier.
+"""
+
+from repro.runtime.executor import ExecutionPlan, emit_trace, run_numeric
+from repro.runtime.inspector import (
+    BucketTilingStep,
+    CacheBlockStep,
+    ComposedInspector,
+    CPackStep,
+    FullSparseTilingStep,
+    GPartStep,
+    InspectorResult,
+    LexGroupStep,
+    LexSortStep,
+    RCMStep,
+    SpaceFillingStep,
+    TilePackStep,
+)
+from repro.runtime.plan import CompositionPlan
+from repro.runtime.verify import verify_numeric_equivalence, verify_dependences
+
+__all__ = [
+    "ExecutionPlan",
+    "emit_trace",
+    "run_numeric",
+    "ComposedInspector",
+    "InspectorResult",
+    "CPackStep",
+    "GPartStep",
+    "RCMStep",
+    "SpaceFillingStep",
+    "LexGroupStep",
+    "LexSortStep",
+    "BucketTilingStep",
+    "FullSparseTilingStep",
+    "CacheBlockStep",
+    "TilePackStep",
+    "CompositionPlan",
+    "verify_numeric_equivalence",
+    "verify_dependences",
+]

@@ -1,0 +1,150 @@
+"""Executors: trace emission and numeric execution under a plan.
+
+An :class:`ExecutionPlan` is the run-time counterpart of the transformed
+unified iteration space: either per-loop iteration orders (possibly
+identity — after the inspector has physically remapped the arrays, the
+transformed executor of the paper's Figure 13 runs plain ``0..n-1``
+loops), or a sparse-tile schedule (Figure 14's ``do t / do x in
+sched(t,l)``).
+
+``emit_trace`` produces the address trace the cache simulator prices;
+``run_numeric`` executes the actual arithmetic for end-to-end validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cachesim.trace import AccessTrace, TraceBuilder
+from repro.kernels.data import KernelData
+from repro.kernels.executors import STEP_FUNCTIONS
+
+NODES_REGION = "nodes"
+INTERS_REGION = "inters"
+
+
+@dataclass
+class ExecutionPlan:
+    """How to traverse the kernel's loops.
+
+    ``loop_orders[pos]`` is the iteration sequence of loop ``pos`` (``None``
+    means ``0..n-1``).  ``schedule[t][pos]`` — when set — gives the
+    iterations of loop ``pos`` inside tile ``t``; the executor then runs
+    tiles outermost (the paper's sparse-tiled executor).
+    """
+
+    loop_orders: Optional[List[Optional[np.ndarray]]] = None
+    schedule: Optional[List[List[np.ndarray]]] = None
+
+    @staticmethod
+    def identity() -> "ExecutionPlan":
+        return ExecutionPlan()
+
+    def order_for(self, data: KernelData, pos: int) -> np.ndarray:
+        size = data.loop_sizes()[pos]
+        if self.loop_orders is None or self.loop_orders[pos] is None:
+            return np.arange(size, dtype=np.int64)
+        order = self.loop_orders[pos]
+        if len(order) != size:
+            raise ValueError(
+                f"loop {pos} order has {len(order)} entries, expected {size}"
+            )
+        return order
+
+    def validate_schedule(self, data: KernelData) -> None:
+        if self.schedule is None:
+            return
+        sizes = data.loop_sizes()
+        for pos, size in enumerate(sizes):
+            count = sum(len(tile[pos]) for tile in self.schedule)
+            if count != size:
+                raise ValueError(
+                    f"schedule covers {count} iterations of loop {pos}, "
+                    f"expected {size}"
+                )
+
+
+def _loop_writes_nodes(data: KernelData, pos: int) -> bool:
+    """Does any statement of the loop write/update a node record?"""
+    from repro.kernels.specs import kernel_by_name
+
+    kernel = kernel_by_name(data.kernel_name)
+    return any(
+        access.kind.writes
+        for stmt in kernel.loops[pos].statements
+        for access in stmt.accesses
+    )
+
+
+def _emit_loop(
+    builder: TraceBuilder,
+    data: KernelData,
+    pos: int,
+    iters: np.ndarray,
+    mark_writes: bool = False,
+) -> None:
+    desc = data.loops[pos]
+    node_write = mark_writes and _loop_writes_nodes(data, pos)
+    if desc.domain == "nodes":
+        builder.touch(NODES_REGION, iters, write=node_write)
+    else:
+        builder.touch_interleaved(
+            [INTERS_REGION, NODES_REGION, NODES_REGION],
+            [iters, data.left[iters], data.right[iters]],
+            writes=[False, node_write, node_write] if mark_writes else None,
+        )
+
+
+def emit_trace(
+    data: KernelData,
+    plan: Optional[ExecutionPlan] = None,
+    num_steps: int = 1,
+    mark_writes: bool = False,
+) -> AccessTrace:
+    """The executor's address trace over ``num_steps`` time steps.
+
+    Node sweeps touch one node record per iteration; the interaction loop
+    touches its interaction record (the regrouped ``left``/``right`` pair)
+    plus both endpoint node records — matching the paper's executors with
+    inter-array regrouping applied.  With ``mark_writes`` the trace carries
+    store flags derived from the kernel IR (any WRITE/UPDATE access in the
+    loop marks its node-record touches), enabling write-back accounting.
+    """
+    plan = plan or ExecutionPlan.identity()
+    plan.validate_schedule(data)
+    builder = TraceBuilder()
+    builder.add_region(NODES_REGION, data.num_nodes, data.node_record_bytes)
+    builder.add_region(INTERS_REGION, data.num_inter, data.inter_record_bytes)
+
+    for _step in range(num_steps):
+        if plan.schedule is not None:
+            for tile in plan.schedule:
+                for pos in range(len(data.loops)):
+                    if len(tile[pos]):
+                        _emit_loop(builder, data, pos, tile[pos], mark_writes)
+        else:
+            for pos in range(len(data.loops)):
+                _emit_loop(
+                    builder, data, pos, plan.order_for(data, pos), mark_writes
+                )
+    return builder.build()
+
+
+def run_numeric(
+    data: KernelData,
+    num_steps: int = 1,
+) -> KernelData:
+    """Execute the kernel arithmetic in place (plan-independent result).
+
+    Every interaction-loop update in the benchmarks is a reduction, so the
+    numeric result does not depend on the iteration order; executing with
+    the (possibly transformed) index arrays and payload layout *in place*
+    is the transformed executor of the paper's Figure 13.  Returns ``data``.
+    """
+    step = STEP_FUNCTIONS[data.kernel_name]
+    for _ in range(num_steps):
+        step(data.arrays, data.left, data.right)
+    return data

@@ -1,0 +1,585 @@
+"""The composed inspector (paper Figures 10--12, 15).
+
+A composition is a list of steps; running the composed inspector executes
+each step's inspector in order.  Each inspector traverses the index arrays
+**as modified by the previous steps** — the paper's key insight realized:
+after CPACK and lexGroup have run, the second CPACK inspector walks
+``sigma_cp[left[delta_lg_inv[j1]]]`` (Figure 12); here the walk is the
+same, materialized by eagerly adjusting the index arrays after every step
+(the strategy the paper found fastest).
+
+The **data payload** remap policy is the experiment of Figure 16:
+
+* ``remap="once"`` — compose the data reorderings and move the payload
+  arrays a single time at the end (Figure 11);
+* ``remap="each"`` — move the payload after every data reordering
+  (Figure 15).
+
+Both policies produce identical executors; they differ only in inspector
+overhead, which the ``overhead`` breakdown records in element touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.data import KernelData
+from repro.runtime.executor import ExecutionPlan
+from repro.transforms import (
+    block_partition,
+    bucket_tiling,
+    cache_block_tiling,
+    cpack,
+    full_sparse_tiling,
+    gpart,
+    lexgroup,
+    lexsort,
+    reverse_cuthill_mckee,
+    tilepack,
+)
+from repro.transforms.base import ReorderingFunction, identity_reordering
+from repro.transforms.fst import TilingFunction
+from repro.uniform.kernel import Kernel
+from repro.uniform.state import DataReordering, IterationReordering
+from repro.transforms.base import (
+    permute_loops_relation,
+    tile_insert_relation,
+    tile_permute_relation,
+)
+
+
+def interaction_loop_pos(kernel: Kernel) -> int:
+    """Position of the loop subscripting through index arrays (UFS)."""
+    for pos, loop in enumerate(kernel.loops):
+        for stmt in loop.statements:
+            if any(acc.index.uf_names() for acc in stmt.accesses):
+                return pos
+    raise ValueError(f"kernel {kernel.name!r} has no interaction loop")
+
+
+def node_loop_positions(kernel: Kernel) -> List[int]:
+    p = interaction_loop_pos(kernel)
+    return [i for i in range(len(kernel.loops)) if i != p]
+
+
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InspectorState:
+    """Mutable state threaded through the composed inspector's steps."""
+
+    data: KernelData
+    remap: str
+    sigma_total: ReorderingFunction
+    #: Data reordering composed since the payload was last moved.
+    sigma_pending: ReorderingFunction
+    delta_total: Dict[int, ReorderingFunction]
+    tiling: Optional[TilingFunction] = None
+    overhead: Dict[str, int] = field(default_factory=dict)
+    data_moves: int = 0
+    #: Index of the step currently running (set by the composed inspector);
+    #: used to name stage functions to match the plan's symbolic UFS.
+    current_index: int = 0
+    #: Per-stage reordering functions under their symbolic names
+    #: (``cp0``, ``lg1``, ``theta4``, ...) — what the runtime verifier
+    #: binds into the transformed relations.
+    stage_functions: Dict[str, object] = field(default_factory=dict)
+
+    def charge(self, phase: str, touches: int) -> None:
+        self.overhead[phase] = self.overhead.get(phase, 0) + int(touches)
+
+    def register(self, prefix: str, value) -> str:
+        name = f"{prefix}{self.current_index}"
+        self.stage_functions[name] = value
+        return name
+
+    # -- shared mechanics ------------------------------------------------------
+
+    def _move_payload(self, sigma: ReorderingFunction, phase: str) -> None:
+        for name in self.data.arrays:
+            self.data.arrays[name] = sigma.apply_to_data(self.data.arrays[name])
+        # Charge per physical double moved: the record carries
+        # ``node_record_bytes`` of payload per node (e.g. moldyn's 9
+        # arrays), regardless of how many arrays the IR models.
+        doubles_per_node = max(1, self.data.node_record_bytes // 8)
+        self.charge(phase, 2 * self.data.num_nodes * doubles_per_node)
+        self.data_moves += 1
+
+    def apply_data_reordering(self, sigma: ReorderingFunction, step_name: str) -> None:
+        """Adjust index arrays now; move the payload per the remap policy.
+
+        Node-space loops iterate ``0..n-1`` over the relocated payload, so
+        the data reordering doubles as their iteration reordering (the
+        paper reuses ``Ocp`` for the i and k loops) — compose it into
+        their deltas and remap any existing tiling accordingly.
+        """
+        sigma.require_permutation()
+        self.data.left = sigma.remap_values(self.data.left)
+        self.data.right = sigma.remap_values(self.data.right)
+        self.charge("index_adjust", 4 * self.data.num_inter)
+
+        for pos in self.data.node_loop_positions():
+            self.delta_total[pos] = self.delta_total[pos].compose(sigma)
+        if self.tiling is not None:
+            for pos in self.data.node_loop_positions():
+                self.tiling = self.tiling.with_iterations_reordered(
+                    pos, sigma.array
+                )
+
+        self.sigma_total = self.sigma_total.compose(sigma)
+        if self.remap == "each":
+            self._move_payload(sigma, "data_remap")
+        else:
+            self.sigma_pending = self.sigma_pending.compose(sigma)
+
+    def apply_iteration_reordering(
+        self, pos: int, delta: ReorderingFunction, step_name: str
+    ) -> None:
+        """Physically permute the interaction loop's index-array rows."""
+        delta.require_permutation()
+        if self.data.loops[pos].domain != "inters":
+            raise ValueError(
+                "explicit iteration reorderings target the interaction loop; "
+                "node loops follow the data reordering automatically"
+            )
+        order = delta.inverse_array  # order[new] = old
+        self.data.left = self.data.left[order]
+        self.data.right = self.data.right[order]
+        self.charge("index_adjust", 4 * self.data.num_inter)
+        self.delta_total[pos] = self.delta_total[pos].compose(delta)
+        if self.tiling is not None:
+            self.tiling = self.tiling.with_iterations_reordered(pos, delta.array)
+
+    def finalize_payload(self) -> None:
+        if self.remap == "once" and not np.array_equal(
+            self.sigma_pending.array,
+            np.arange(len(self.sigma_pending.array)),
+        ):
+            self._move_payload(self.sigma_pending, "data_remap")
+            self.sigma_pending = identity_reordering(self.data.num_nodes)
+
+
+# ---------------------------------------------------------------------------
+# Steps
+
+
+class Step:
+    """One planned run-time reordering transformation."""
+
+    name: str = "step"
+
+    def run(self, state: InspectorState) -> None:
+        raise NotImplementedError
+
+    def symbolic(self, kernel: Kernel, index: int):
+        """Compile-time transformations this step realizes (a list)."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+def _data_step_symbolic(kernel: Kernel, func: str) -> list:
+    """R on every data array, plus the implied T on node loops."""
+    arrays = tuple(kernel.data_arrays)
+    nodes = node_loop_positions(kernel)
+    transformations = [DataReordering(func, arrays, label=func)]
+    if nodes:
+        T = permute_loops_relation(
+            len(kernel.loops), {pos: func for pos in nodes}
+        )
+        transformations.append(
+            IterationReordering(T, label=f"{func}@nodes", introduces=(func,))
+        )
+    return transformations
+
+
+class CPackStep(Step):
+    """Consecutive packing of the node data (paper Figure 10)."""
+
+    name = "cpack"
+
+    def run(self, state: InspectorState) -> None:
+        counter: Dict[str, int] = {}
+        sigma = cpack(
+            state.data.interaction_access_map().flat_locations(),
+            state.data.num_nodes,
+            name=f"cp{state.current_index}",
+            counter=counter,
+        )
+        state.charge(self.name, counter["touches"])
+        state.register("cp", sigma.array)
+        state.apply_data_reordering(sigma, self.name)
+
+    def symbolic(self, kernel: Kernel, index: int):
+        return _data_step_symbolic(kernel, f"cp{index}")
+
+
+class GPartStep(Step):
+    """Graph-partitioning data reordering (GPART)."""
+
+    name = "gpart"
+
+    def __init__(self, partition_size: int):
+        self.partition_size = partition_size
+
+    def run(self, state: InspectorState) -> None:
+        counter: Dict[str, int] = {}
+        sigma = gpart(
+            state.data.interaction_access_map(),
+            self.partition_size,
+            counter=counter,
+        )
+        state.charge(self.name, counter["touches"])
+        state.register("gp", sigma.array)
+        state.apply_data_reordering(sigma, self.name)
+
+    def symbolic(self, kernel: Kernel, index: int):
+        return _data_step_symbolic(kernel, f"gp{index}")
+
+    def __repr__(self):
+        return f"GPartStep(partition_size={self.partition_size})"
+
+
+class RCMStep(Step):
+    """Reverse Cuthill--McKee data reordering."""
+
+    name = "rcm"
+
+    def run(self, state: InspectorState) -> None:
+        counter: Dict[str, int] = {}
+        sigma = reverse_cuthill_mckee(
+            state.data.interaction_access_map(), counter=counter
+        )
+        state.charge(self.name, counter["touches"])
+        state.register("rcm", sigma.array)
+        state.apply_data_reordering(sigma, self.name)
+
+    def symbolic(self, kernel: Kernel, index: int):
+        return _data_step_symbolic(kernel, f"rcm{index}")
+
+
+class SpaceFillingStep(Step):
+    """Space-filling-curve data reordering (paper Section 8, refs [20,28]).
+
+    Requires the node coordinates — the paper's point that these
+    reorderings "can not be fully automated" because the data-to-space
+    mapping must be supplied.  ``coords`` are in the *original* node
+    numbering; the step tracks prior reorderings via ``sigma_total``.
+    """
+
+    name = "sfc"
+
+    def __init__(self, coords, curve: str = "hilbert", order: int = 10):
+        self.coords = np.asarray(coords, dtype=np.float64)
+        self.curve = curve
+        self.order = order
+
+    def run(self, state: InspectorState) -> None:
+        from repro.transforms.spacefill import space_filling_order
+
+        if len(self.coords) != state.data.num_nodes:
+            raise ValueError("coords must cover every node")
+        counter: Dict[str, int] = {}
+        # Express the coordinates in the current numbering.
+        current_coords = np.empty_like(self.coords)
+        current_coords[state.sigma_total.array] = self.coords
+        sigma = space_filling_order(
+            current_coords, curve=self.curve, order=self.order, counter=counter
+        )
+        state.charge(self.name, counter["touches"])
+        state.register("sfc", sigma.array)
+        state.apply_data_reordering(sigma, self.name)
+
+    def symbolic(self, kernel: Kernel, index: int):
+        return _data_step_symbolic(kernel, f"sfc{index}")
+
+    def __repr__(self):
+        return f"SpaceFillingStep(curve={self.curve!r}, order={self.order})"
+
+
+class _InteractionReorderStep(Step):
+    """Shared shell for iteration reorderings of the interaction loop."""
+
+    def _delta(self, state: InspectorState, counter: dict) -> ReorderingFunction:
+        raise NotImplementedError
+
+    def run(self, state: InspectorState) -> None:
+        counter: Dict[str, int] = {}
+        delta = self._delta(state, counter)
+        state.charge(self.name, counter["touches"])
+        state.register(self.name, delta.array)
+        state.apply_iteration_reordering(
+            state.data.interaction_loop_position(), delta, self.name
+        )
+
+    def symbolic(self, kernel: Kernel, index: int):
+        func = f"{self.name}{index}"
+        pos = interaction_loop_pos(kernel)
+        T = permute_loops_relation(len(kernel.loops), {pos: func})
+        return [IterationReordering(T, label=self.name, introduces=(func,))]
+
+
+class LexGroupStep(_InteractionReorderStep):
+    """Lexicographical grouping of the interaction loop."""
+
+    name = "lg"
+
+    def _delta(self, state, counter):
+        return lexgroup(state.data.interaction_access_map(), counter=counter)
+
+
+class LexSortStep(_InteractionReorderStep):
+    """Lexicographical sorting of the interaction loop."""
+
+    name = "ls"
+
+    def _delta(self, state, counter):
+        return lexsort(state.data.interaction_access_map(), counter=counter)
+
+
+class BucketTilingStep(_InteractionReorderStep):
+    """Bucket tiling of the interaction loop."""
+
+    name = "bt"
+
+    def __init__(self, bucket_size: int):
+        self.bucket_size = bucket_size
+
+    def _delta(self, state, counter):
+        return bucket_tiling(
+            state.data.interaction_access_map(), self.bucket_size, counter=counter
+        )
+
+    def __repr__(self):
+        return f"BucketTilingStep(bucket_size={self.bucket_size})"
+
+
+class FullSparseTilingStep(Step):
+    """Full sparse tiling seeded by a block partition of the interaction
+    loop; tiles grow across the node loops by dependence traversal.
+
+    ``use_symmetry`` enables the paper's Section 6 optimization: the
+    (interaction -> later node loop) dependences satisfy the same
+    constraints as the (earlier node loop -> interaction) ones, so the
+    inspector traverses a single edge set.
+    """
+
+    name = "fst"
+
+    def __init__(self, seed_block_size: int, use_symmetry: bool = True):
+        self.seed_block_size = seed_block_size
+        self.use_symmetry = use_symmetry
+
+    def _edges(self, state: InspectorState):
+        data = state.data
+        p_j = data.interaction_loop_position()
+        j = np.arange(data.num_inter, dtype=np.int64)
+        endpoints = np.concatenate([data.left, data.right])
+        jj = np.concatenate([j, j])
+        edges = {}
+        symmetric: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        base_pair = None
+        for pos in data.node_loop_positions():
+            pair = (pos, p_j) if pos < p_j else (p_j, pos)
+            oriented = (endpoints, jj) if pos < p_j else (jj, endpoints)
+            if base_pair is None or not self.use_symmetry:
+                edges[pair] = oriented
+                base_pair = pair
+                # Loading both endpoint arrays + seed traversal.
+                state.charge(self.name, 2 * len(endpoints))
+            else:
+                symmetric[pair] = base_pair
+        return edges, symmetric, p_j
+
+    def run(self, state: InspectorState) -> None:
+        data = state.data
+        seed = block_partition(data.num_inter, self.seed_block_size)
+        edges, symmetric, p_j = self._edges(state)
+        counter: Dict[str, int] = {}
+        tiling = full_sparse_tiling(
+            data.loop_sizes(),
+            p_j,
+            seed,
+            edges,
+            symmetric_with=symmetric or None,
+            counter=counter,
+        )
+        state.charge(self.name, counter["touches"])
+        state.register("theta", [t.copy() for t in tiling.tiles])
+        state.tiling = tiling
+
+    def symbolic(self, kernel: Kernel, index: int):
+        T = tile_insert_relation(f"theta{index}")
+        return [
+            IterationReordering(
+                T,
+                label=self.name,
+                introduces=(f"theta{index}",),
+                inspects_dependences=True,
+            )
+        ]
+
+    def __repr__(self):
+        return (
+            f"FullSparseTilingStep(seed_block_size={self.seed_block_size}, "
+            f"use_symmetry={self.use_symmetry})"
+        )
+
+
+class CacheBlockStep(Step):
+    """Cache blocking: seed the first loop, shrink tiles through the rest."""
+
+    name = "cb"
+
+    def __init__(self, seed_block_size: int):
+        self.seed_block_size = seed_block_size
+
+    def run(self, state: InspectorState) -> None:
+        data = state.data
+        p_j = data.interaction_loop_position()
+        j = np.arange(data.num_inter, dtype=np.int64)
+        endpoints = np.concatenate([data.left, data.right])
+        jj = np.concatenate([j, j])
+        edges = {}
+        for pos in data.node_loop_positions():
+            pair = (pos, p_j) if pos < p_j else (p_j, pos)
+            edges[pair] = (endpoints, jj) if pos < p_j else (jj, endpoints)
+            state.charge(self.name, 2 * len(endpoints))
+        seed_sizes = data.loop_sizes()
+        seed = block_partition(seed_sizes[0], self.seed_block_size)
+        counter: Dict[str, int] = {}
+        tiling = cache_block_tiling(seed_sizes, seed, edges, counter=counter)
+        state.charge(self.name, counter["touches"])
+        state.register("theta", [t.copy() for t in tiling.tiles])
+        state.tiling = tiling
+
+    def symbolic(self, kernel: Kernel, index: int):
+        T = tile_insert_relation(f"theta{index}")
+        return [
+            IterationReordering(
+                T,
+                label=self.name,
+                introduces=(f"theta{index}",),
+                inspects_dependences=True,
+            )
+        ]
+
+    def __repr__(self):
+        return f"CacheBlockStep(seed_block_size={self.seed_block_size})"
+
+
+class TilePackStep(Step):
+    """Tile packing: pack node data in tile-visit order (needs a tiling)."""
+
+    name = "tilepack"
+
+    def run(self, state: InspectorState) -> None:
+        if state.tiling is None:
+            raise ValueError("tilePack requires a prior sparse tiling step")
+        data = state.data
+        data_loop = data.node_loop_positions()[0]
+        counter: Dict[str, int] = {}
+        sigma = tilepack(
+            state.tiling, data_loop, data.num_nodes, counter=counter
+        )
+        state.charge(self.name, counter["touches"])
+        state.register("tp", sigma.array)
+        # apply_data_reordering permutes the node-loop tiles to match.
+        state.apply_data_reordering(sigma, self.name)
+
+    def symbolic(self, kernel: Kernel, index: int):
+        func = f"tp{index}"
+        arrays = tuple(kernel.data_arrays)
+        nodes = node_loop_positions(kernel)
+        T = tile_permute_relation(
+            len(kernel.loops), {pos: func for pos in nodes}
+        )
+        # The tile coordinate is preserved by T, so legality reduces to the
+        # tiling function's own guarantee; the tilePack inspector traverses
+        # that tiling function (paper Section 5.4), inheriting its
+        # dependence-derived legality — re-checked by the runtime verifier.
+        return [
+            DataReordering(func, arrays, label=self.name),
+            IterationReordering(
+                T,
+                label=f"{func}@nodes",
+                introduces=(func,),
+                inspects_dependences=True,
+            ),
+        ]
+
+
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InspectorResult:
+    """Everything the composed inspector produced."""
+
+    transformed: KernelData
+    plan: ExecutionPlan
+    sigma_nodes: ReorderingFunction
+    delta_loops: Dict[int, ReorderingFunction]
+    tiling: Optional[TilingFunction]
+    overhead: Dict[str, int]
+    data_moves: int
+    #: Per-stage reordering functions keyed by symbolic UFS name.
+    stage_functions: Dict[str, object]
+
+    @property
+    def total_touches(self) -> int:
+        return sum(self.overhead.values())
+
+    def restore_array(self, name: str) -> np.ndarray:
+        """A payload array in the original (pre-reordering) numbering."""
+        inv = self.sigma_nodes.inverse()
+        return inv.apply_to_data(self.transformed.arrays[name])
+
+
+class ComposedInspector:
+    """Run a list of steps against a kernel instance (paper Figure 11/15)."""
+
+    def __init__(self, steps: List[Step], remap: str = "once"):
+        if remap not in ("once", "each"):
+            raise ValueError("remap must be 'once' or 'each'")
+        self.steps = list(steps)
+        self.remap = remap
+
+    def run(self, data: KernelData) -> InspectorResult:
+        working = data.copy()
+        n = working.num_nodes
+        state = InspectorState(
+            data=working,
+            remap=self.remap,
+            sigma_total=identity_reordering(n, "sigma"),
+            sigma_pending=identity_reordering(n, "pending"),
+            delta_total={
+                pos: identity_reordering(size, f"delta{pos}")
+                for pos, size in enumerate(working.loop_sizes())
+            },
+        )
+        for index, step in enumerate(self.steps):
+            state.current_index = index
+            step.run(state)
+        state.finalize_payload()
+
+        plan = (
+            ExecutionPlan(schedule=state.tiling.schedule())
+            if state.tiling is not None
+            else ExecutionPlan.identity()
+        )
+        return InspectorResult(
+            transformed=state.data,
+            plan=plan,
+            sigma_nodes=state.sigma_total,
+            delta_loops=state.delta_total,
+            tiling=state.tiling,
+            overhead=dict(state.overhead),
+            data_moves=state.data_moves,
+            stage_functions=dict(state.stage_functions),
+        )

@@ -1,0 +1,123 @@
+"""CompositionPlan: couple run-time steps to the compile-time framework.
+
+A plan is the full story of one composition:
+
+1. **Plan time (compile time).**  Each step contributes its symbolic
+   transformations (``R``/``T`` with fresh UFS names); the plan threads
+   them through a :class:`~repro.uniform.state.ProgramState`, checking
+   legality at every stage — data reorderings are always legal, iteration
+   reorderings must respect the *current* (already-transformed)
+   dependences, and dependence-inspecting transformations discharge their
+   obligations by construction.
+
+2. **Run time.**  ``build_inspector()`` hands the same steps to the
+   :class:`~repro.runtime.inspector.ComposedInspector`, which realizes the
+   UFS as index arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.runtime.inspector import ComposedInspector, Step
+from repro.uniform.kernel import Kernel
+from repro.uniform.legality import (
+    LegalityError,
+    LegalityReport,
+    check_data_reordering,
+    check_iteration_reordering,
+)
+from repro.uniform.state import (
+    DataReordering,
+    IterationReordering,
+    ProgramState,
+)
+
+
+@dataclass
+class PlannedTransformation:
+    """One symbolic transformation with its legality report."""
+
+    transformation: object
+    report: LegalityReport
+
+
+class CompositionPlan:
+    """A named sequence of run-time reordering transformation steps."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        steps: List[Step],
+        name: str = "",
+        remap: str = "once",
+    ):
+        self.kernel = kernel
+        self.steps = list(steps)
+        self.name = name or "+".join(step.name for step in steps) or "baseline"
+        self.remap = remap
+        self._planned: Optional[List[PlannedTransformation]] = None
+        self._final_state: Optional[ProgramState] = None
+
+    # -- compile-time side --------------------------------------------------------
+
+    def plan(self, strict: bool = True) -> ProgramState:
+        """Thread every step's transformations through the framework.
+
+        With ``strict`` set, a transformation whose legality cannot be
+        established (neither proven nor discharged by a
+        dependence-inspecting inspector) raises :class:`LegalityError`.
+        Returns the final :class:`ProgramState` — whose data mappings and
+        dependences are exactly what each subsequent inspector traverses.
+        """
+        state = ProgramState.initial(self.kernel)
+        planned: List[PlannedTransformation] = []
+        for index, step in enumerate(self.steps):
+            for transformation in step.symbolic(self.kernel, index):
+                if isinstance(transformation, DataReordering):
+                    report = check_data_reordering(state, transformation)
+                elif isinstance(transformation, IterationReordering):
+                    report = check_iteration_reordering(state, transformation)
+                else:  # pragma: no cover - steps only emit the two kinds
+                    raise TypeError(f"unexpected transformation {transformation!r}")
+                if strict and not report.proven:
+                    raise LegalityError(
+                        f"step {step!r} is not provably legal: "
+                        f"{len(report.obligations)} outstanding obligations"
+                    )
+                planned.append(PlannedTransformation(transformation, report))
+                state = state.apply(transformation)
+        self._planned = planned
+        self._final_state = state
+        return state
+
+    @property
+    def planned_transformations(self) -> List[PlannedTransformation]:
+        if self._planned is None:
+            self.plan()
+        return list(self._planned)
+
+    @property
+    def final_state(self) -> ProgramState:
+        if self._final_state is None:
+            self.plan()
+        return self._final_state
+
+    # -- run-time side ---------------------------------------------------------------
+
+    def build_inspector(self) -> ComposedInspector:
+        """The composed inspector realizing this plan."""
+        return ComposedInspector(self.steps, remap=self.remap)
+
+    def describe(self) -> str:
+        lines = [f"CompositionPlan {self.name!r} on kernel {self.kernel.name!r}"]
+        for index, step in enumerate(self.steps):
+            lines.append(f"  {index}: {step!r}")
+            for transformation in step.symbolic(self.kernel, index):
+                lines.append(f"     {transformation.describe()}")
+        lines.append(f"  remap policy: {self.remap}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"CompositionPlan({self.name!r}, steps={len(self.steps)})"

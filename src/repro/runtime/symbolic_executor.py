@@ -1,0 +1,98 @@
+"""Execute straight from the symbolic specifications (the acid test).
+
+The framework's semantic core is one sentence: *the transformed program
+executes its iterations in lexicographic order of the transformed unified
+iteration space*.  This module makes that sentence executable:
+
+* :func:`symbolic_execution_order` — bind the final
+  :class:`~repro.uniform.state.ProgramState`'s iteration space to the
+  concrete index arrays and the inspector's generated stage functions,
+  enumerate it, and sort lexicographically;
+* :func:`executor_execution_order` — reconstruct the same sequence from
+  the *run-time* artifacts (the inspector's plan / tile schedule, i.e.
+  what the executor actually does);
+* :func:`symbolic_locations_touched` — apply the final data mappings
+  ``M_{I'->a}`` point by point.
+
+The test suite asserts the two orders coincide for every composition,
+which ties the compile-time algebra to the run-time executor with no
+modeling gap.  Small instances only — symbolic enumeration is a scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.data import KernelData
+from repro.presburger.evaluate import Environment
+from repro.runtime.inspector import InspectorResult
+from repro.runtime.plan import CompositionPlan
+from repro.runtime.verify import _bind_environment
+from repro.uniform.state import ProgramState
+
+
+def symbolic_execution_order(
+    original: KernelData,
+    result: InspectorResult,
+    plan: CompositionPlan,
+    num_steps: int = 1,
+) -> List[Tuple[int, ...]]:
+    """Lexicographic enumeration of the final transformed iteration space."""
+    env = _bind_environment(original, result, num_steps)
+    final_state = plan.final_state
+    return list(env.enumerate_set(final_state.iteration_space))
+
+
+def executor_execution_order(
+    data: KernelData,
+    result: InspectorResult,
+    num_steps: int = 1,
+) -> List[Tuple[int, ...]]:
+    """The unified tuples in the order the run-time executor visits them.
+
+    Reconstructed from the execution plan: untransformed/permuted plans
+    walk loops in program order over ``0..n-1`` (4-tuples); tiled plans
+    walk tiles outermost (5-tuples with the tile coordinate second).
+    """
+    kernel_data = result.transformed
+    sizes = kernel_data.loop_sizes()
+    stmt_counts = _statements_per_loop(data)
+    tuples: List[Tuple[int, ...]] = []
+    for s in range(num_steps):
+        if result.plan.schedule is None:
+            for l, size in enumerate(sizes):
+                for x in range(size):
+                    for q in range(stmt_counts[l]):
+                        tuples.append((s, l, x, q))
+        else:
+            for t, tile in enumerate(result.plan.schedule):
+                for l in range(len(sizes)):
+                    for x in tile[l]:
+                        for q in range(stmt_counts[l]):
+                            tuples.append((s, t, l, int(x), q))
+    return tuples
+
+
+def _statements_per_loop(data: KernelData) -> List[int]:
+    from repro.kernels.specs import kernel_by_name
+
+    kernel = kernel_by_name(data.kernel_name)
+    return [len(loop.statements) for loop in kernel.loops]
+
+
+def symbolic_locations_touched(
+    original: KernelData,
+    result: InspectorResult,
+    plan: CompositionPlan,
+    point: Sequence[int],
+    num_steps: int = 1,
+) -> Dict[str, List[Tuple[int, ...]]]:
+    """Image of one transformed iteration point under every final ``M``."""
+    env = _bind_environment(original, result, num_steps)
+    final_state = plan.final_state
+    return {
+        array: sorted(env.apply_relation(mapping, point))
+        for array, mapping in final_state.data_mappings.items()
+    }

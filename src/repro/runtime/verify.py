@@ -1,0 +1,122 @@
+"""Run-time legality and correctness verification.
+
+Two complementary checks close the loop between the compile-time
+specifications and the run-time index arrays:
+
+* :func:`verify_numeric_equivalence` — the end-to-end check: run the
+  baseline executor and the transformed executor (relocated payload,
+  adjusted index arrays, possibly tiled schedule), pull the transformed
+  result back through ``sigma^-1``, and compare.
+* :func:`verify_dependences` — the framework check: bind the UFS of the
+  final transformed dependence relations to the concrete index arrays and
+  reordering functions, enumerate every dependence pair, and assert the
+  source precedes the destination lexicographically.  This is the runtime
+  discharge of the compile-time legality obligations (small inputs only —
+  enumeration is exponential in arity, which is fine for verification).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.kernels.data import KernelData
+from repro.presburger.evaluate import Environment
+from repro.presburger.ordering import lex_lt
+from repro.runtime.executor import run_numeric
+from repro.runtime.inspector import InspectorResult
+from repro.runtime.plan import CompositionPlan
+
+
+def verify_numeric_equivalence(
+    original: KernelData,
+    result: InspectorResult,
+    num_steps: int = 2,
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+) -> bool:
+    """Baseline run == transformed run pulled back through ``sigma^-1``.
+
+    Raises ``AssertionError`` with the offending array name on mismatch;
+    returns ``True`` otherwise.
+    """
+    baseline = run_numeric(original.copy(), num_steps)
+    transformed = run_numeric(result.transformed.copy(), num_steps)
+    inv = result.sigma_nodes.inverse()
+    for name, expected in baseline.arrays.items():
+        actual = inv.apply_to_data(transformed.arrays[name])
+        if not np.allclose(actual, expected, rtol=rtol, atol=atol):
+            worst = float(np.abs(actual - expected).max())
+            raise AssertionError(
+                f"array {name!r} differs after pullback (max |delta| = {worst})"
+            )
+    return True
+
+
+def _bind_environment(
+    original: KernelData,
+    result: InspectorResult,
+    num_steps: int,
+) -> Environment:
+    """Bind symbols, index arrays, and every per-stage reordering function.
+
+    The transformed relations reference each stage's UFS by name (``cp0``,
+    ``lg1``, ``theta4``, ...); the composed inspector registered exactly
+    those functions as it generated them, each over the numbering current
+    at its own stage — so the binding is direct.
+    """
+    env = Environment(
+        symbols={
+            "num_steps": num_steps,
+            **original.symbols(),
+        }
+    )
+    env.bind_array("left", original.left)
+    env.bind_array("right", original.right)
+
+    for name, value in result.stage_functions.items():
+        if name.startswith("theta"):
+            tiles = value
+
+            def theta(l, x, _tiles=tiles):
+                return int(_tiles[l][x])
+
+            env.bind_function(name, theta)
+        else:
+            env.bind_array(name, value)
+    return env
+
+
+def verify_dependences(
+    original: KernelData,
+    result: InspectorResult,
+    plan: CompositionPlan,
+    num_steps: int = 2,
+    max_pairs: Optional[int] = None,
+) -> int:
+    """Enumerate the final transformed dependences; assert lex order.
+
+    Returns the number of dependence pairs checked.  Reduction dependences
+    are skipped (they are reorderable by definition).  Note: composed
+    reordering functions are bound as the *total* functions, so this
+    checks the end-to-end composition rather than each stage — which is
+    precisely the executor-facing obligation.
+
+    Only use on small instances: enumeration is a full scan.
+    """
+    final_state = plan.final_state
+    env = _bind_environment(original, result, num_steps)
+
+    checked = 0
+    for dep in final_state.dependences:
+        if dep.is_reduction:
+            continue
+        for src, dst in env.enumerate_relation(dep.relation):
+            assert lex_lt(src, dst), (
+                f"dependence {dep.name} violated: {src} !< {dst}"
+            )
+            checked += 1
+            if max_pairs is not None and checked >= max_pairs:
+                return checked
+    return checked

@@ -1,0 +1,143 @@
+"""Run-time reordering transformations for parallelism (paper Section 4).
+
+    "Run-time reordering transformations for partial parallelism traverse
+    all the data dependences within an iteration subspace and create a
+    run-time parallel schedule with maximal parallelism [25].  Parallelism
+    is expressed within our framework by mapping parallel iterations to
+    the same point in the unified iteration space."
+
+    "By mapping all independent tiles to the same tile number, parallelism
+    between tiles can be expressed."
+
+Two inspectors:
+
+* :func:`wavefront_schedule` — Rauchwerger-style run-time partial
+  parallelization: topological levels of the iteration dependence graph.
+  All iterations of one wavefront are mutually independent; the
+  iteration-reordering transformation maps iteration ``i`` to
+  ``[wave(i), i]`` and every iteration of a wave shares the leading
+  coordinate — the framework's encoding of "same point".
+* :func:`tile_wavefronts` — the same idea one level up: levels of the
+  inter-tile dependence graph, giving the coarser-grained parallelism the
+  paper credits sparse tiling with (Section 2.3, item 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.transforms.fst import EdgeSet, TilingFunction
+
+
+@dataclass
+class WavefrontSchedule:
+    """Levels of a dependence DAG: ``wave[i]`` is iteration ``i``'s level."""
+
+    wave: np.ndarray
+    num_waves: int
+
+    def groups(self) -> List[np.ndarray]:
+        """``groups()[w]``: the iterations of wave ``w`` (parallel set)."""
+        return [
+            np.flatnonzero(self.wave == w).astype(np.int64)
+            for w in range(self.num_waves)
+        ]
+
+    @property
+    def max_parallelism(self) -> int:
+        return int(max((len(g) for g in self.groups()), default=0))
+
+    @property
+    def average_parallelism(self) -> float:
+        if self.num_waves == 0:
+            return 0.0
+        return len(self.wave) / self.num_waves
+
+
+class CyclicDependenceError(Exception):
+    """The dependence edges contain a cycle — no parallel schedule exists."""
+
+
+def wavefront_schedule(
+    num_iterations: int,
+    dep_sources: np.ndarray,
+    dep_targets: np.ndarray,
+    counter: Optional[dict] = None,
+) -> WavefrontSchedule:
+    """Longest-path levels of the iteration dependence DAG.
+
+    ``dep_sources[e] -> dep_targets[e]`` means the source iteration must
+    run before the target.  Returns the maximal-parallelism schedule:
+    ``wave(src) < wave(dst)`` for every dependence, with every iteration
+    scheduled as early as possible.
+    """
+    src = np.asarray(dep_sources, dtype=np.int64)
+    dst = np.asarray(dep_targets, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise ValueError("dependence endpoint arrays must align")
+
+    indegree = np.zeros(num_iterations, dtype=np.int64)
+    np.add.at(indegree, dst, 1)
+
+    order = np.argsort(src, kind="stable")
+    sorted_src, sorted_dst = src[order], dst[order]
+    offsets = np.zeros(num_iterations + 1, dtype=np.int64)
+    np.add.at(offsets[1:], sorted_src, 1)
+    offsets = np.cumsum(offsets)
+
+    wave = np.zeros(num_iterations, dtype=np.int64)
+    ready = [int(v) for v in np.flatnonzero(indegree == 0)]
+    processed = 0
+    while ready:
+        v = ready.pop()
+        processed += 1
+        wv = wave[v]
+        for w in sorted_dst[offsets[v] : offsets[v + 1]]:
+            if wave[w] < wv + 1:
+                wave[w] = wv + 1
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                ready.append(int(w))
+    if processed != num_iterations:
+        raise CyclicDependenceError(
+            f"{num_iterations - processed} iterations sit on dependence cycles"
+        )
+    if counter is not None:
+        counter["touches"] = counter.get("touches", 0) + (
+            2 * len(src) + 2 * num_iterations
+        )
+    num_waves = int(wave.max()) + 1 if num_iterations else 0
+    return WavefrontSchedule(wave, num_waves)
+
+
+def tile_wavefronts(
+    tiling: TilingFunction,
+    edges: Mapping[Tuple[int, int], EdgeSet],
+    counter: Optional[dict] = None,
+) -> WavefrontSchedule:
+    """Wavefronts of the inter-tile dependence graph.
+
+    Tiles in the same wave share no dependences and may run concurrently;
+    within a wave the framework maps them "to the same tile number".
+    Sparse tiling's sequential legality gives ``tile(src) <= tile(dst)``,
+    so the tile graph (built from the strict cross-tile dependences) is
+    acyclic by construction.
+    """
+    pairs = set()
+    for (la, lb), (src, dst) in edges.items():
+        t_src = tiling.tiles[la][np.asarray(src, dtype=np.int64)]
+        t_dst = tiling.tiles[lb][np.asarray(dst, dtype=np.int64)]
+        strict = t_src != t_dst
+        pairs.update(zip(t_src[strict].tolist(), t_dst[strict].tolist()))
+        if counter is not None:
+            counter["touches"] = counter.get("touches", 0) + 2 * len(t_src)
+    if pairs:
+        tile_src = np.fromiter((p[0] for p in pairs), dtype=np.int64)
+        tile_dst = np.fromiter((p[1] for p in pairs), dtype=np.int64)
+    else:
+        tile_src = np.empty(0, dtype=np.int64)
+        tile_dst = np.empty(0, dtype=np.int64)
+    return wavefront_schedule(tiling.num_tiles, tile_src, tile_dst, counter)

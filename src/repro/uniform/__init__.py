@@ -1,0 +1,68 @@
+"""Kelly--Pugh unified iteration space framework (compile-time side).
+
+This package implements the paper's compile-time machinery:
+
+* a small kernel IR (:mod:`repro.uniform.kernel`) for the loop structures
+  targeted by run-time reordering transformations — an optional outer time
+  loop around a sequence of non-perfectly-nested inner loops, with array
+  accesses whose subscripts may involve uninterpreted index arrays;
+* construction of the **unified iteration space** ``[s, l, x, q]``
+  (:mod:`repro.uniform.iterspace`), Kelly--Pugh style: each inner loop gets
+  a (position, index) dimension pair;
+* **data mappings** ``M_{I->a}`` and **dependence relations** ``D_{I->I}``
+  derived from the IR (:mod:`repro.uniform.mappings`), with reduction
+  dependences flagged (they permit reordering, the paper's footnote 3);
+* the **transformation algebra** (:mod:`repro.uniform.state`): applying a
+  data reordering ``R_{a->a'}`` rewrites the affected data mappings, and an
+  iteration reordering ``T_{I->I'}`` rewrites the iteration space, every
+  data mapping, and every dependence — so subsequently planned inspectors
+  see the composed specifications (the paper's key insight);
+* **legality** checks (:mod:`repro.uniform.legality`).
+"""
+
+from repro.uniform.kernel import (
+    AccessKind,
+    ArrayAccess,
+    DataArraySpec,
+    IndexArraySpec,
+    Kernel,
+    Loop,
+    Statement,
+    read,
+    reduce_into,
+    write,
+)
+from repro.uniform.iterspace import UNIFIED_VARS, UnifiedSpace
+from repro.uniform.mappings import Dependence, build_data_mappings, build_dependences
+from repro.uniform.state import DataReordering, IterationReordering, ProgramState
+from repro.uniform.legality import (
+    LegalityError,
+    LegalityReport,
+    check_data_reordering,
+    check_iteration_reordering,
+)
+
+__all__ = [
+    "AccessKind",
+    "ArrayAccess",
+    "DataArraySpec",
+    "IndexArraySpec",
+    "Kernel",
+    "Loop",
+    "Statement",
+    "read",
+    "write",
+    "reduce_into",
+    "UNIFIED_VARS",
+    "UnifiedSpace",
+    "Dependence",
+    "build_data_mappings",
+    "build_dependences",
+    "ProgramState",
+    "DataReordering",
+    "IterationReordering",
+    "LegalityError",
+    "LegalityReport",
+    "check_data_reordering",
+    "check_iteration_reordering",
+]

@@ -1,0 +1,111 @@
+"""Unified iteration space construction (Kelly--Pugh).
+
+Every statement instance of a kernel is a point in one space.  For the
+kernel shapes this reproduction targets (an optional time loop around a
+sequence of inner loops) the unified tuple is::
+
+    [s, l, x, q]
+
+where ``s`` is the time step, ``l`` the inner loop's textual position,
+``x`` the inner loop index value, and ``q`` the statement's position within
+its loop.  The program executes iterations in lexicographic order of these
+tuples, so "loop 0 runs before loop 1 in the same time step" and "statement
+S2 runs before S3 for the same j" both fall out of the ordering — exactly
+the paper's Section 3.1 construction (four dimensions for the simplified
+moldyn example).
+
+Sparse tiling later *extends* the tuple with a tile dimension; the space
+returned here is the starting point ``I_0``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.presburger.constraints import eq, geq, lt
+from repro.presburger.sets import Conjunction, PresburgerSet
+from repro.presburger.terms import AffineExpr, var
+from repro.uniform.kernel import Kernel, Loop, Statement
+
+#: Canonical names for the four unified dimensions.
+UNIFIED_VARS: Tuple[str, str, str, str] = ("s", "l", "x", "q")
+
+#: Canonical primed names used for output tuples of dependence relations.
+UNIFIED_VARS_OUT: Tuple[str, str, str, str] = ("s'", "l'", "x'", "q'")
+
+
+class UnifiedSpace:
+    """The unified iteration space ``I_0`` of a kernel, plus helpers."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.tuple_vars = UNIFIED_VARS
+
+    # -- constraint pieces ---------------------------------------------------
+
+    def _outer_constraints(self, s_var: str):
+        k = self.kernel
+        if k.has_outer_loop:
+            return [geq(var(s_var), 0), lt(var(s_var), var(k.outer_extent))]
+        return [eq(var(s_var), 0)]
+
+    def statement_conjunction(
+        self, lpos: int, spos: int, loop: Loop, vars_: Tuple[str, str, str, str]
+    ) -> Conjunction:
+        """The conjunction describing all instances of one statement."""
+        s, l, x, q = vars_
+        constraints = self._outer_constraints(s)
+        constraints.append(eq(var(l), lpos))
+        constraints.append(geq(var(x), 0))
+        constraints.append(lt(var(x), var(loop.extent)))
+        constraints.append(eq(var(q), spos))
+        return Conjunction(constraints)
+
+    # -- sets ----------------------------------------------------------------------
+
+    def iteration_space(self) -> PresburgerSet:
+        """``I_0``: the union of every statement's instance set."""
+        conjs = [
+            self.statement_conjunction(lpos, spos, loop, UNIFIED_VARS)
+            for lpos, spos, loop, _stmt in self.kernel.all_statements()
+        ]
+        return PresburgerSet(UNIFIED_VARS, conjs)
+
+    def statement_set(self, stmt_label: str) -> PresburgerSet:
+        """The instance set of a single statement."""
+        lpos, spos = self.kernel.statement_position(stmt_label)
+        loop = self.kernel.loops[lpos]
+        conj = self.statement_conjunction(lpos, spos, loop, UNIFIED_VARS)
+        return PresburgerSet(UNIFIED_VARS, [conj])
+
+    def loop_set(self, loop_label: str) -> PresburgerSet:
+        """The instance set of every statement in one loop."""
+        lpos = self.kernel.loop_position(loop_label)
+        loop = self.kernel.loops[lpos]
+        conjs = [
+            self.statement_conjunction(lpos, spos, loop, UNIFIED_VARS)
+            for spos in range(len(loop.statements))
+        ]
+        return PresburgerSet(UNIFIED_VARS, conjs)
+
+    # -- concrete tuples -----------------------------------------------------------
+
+    def tuple_for(self, stmt_label: str, x: int, s: int = 0) -> Tuple[int, int, int, int]:
+        """The unified tuple of iteration ``x`` of a statement at step ``s``."""
+        lpos, spos = self.kernel.statement_position(stmt_label)
+        return (s, lpos, x, spos)
+
+    def describe(self) -> str:
+        """Human-readable rendering (mirrors the paper's I_0 display)."""
+        lines = [f"I0 for kernel {self.kernel.name!r}:"]
+        for lpos, spos, loop, stmt in self.kernel.all_statements():
+            s_desc = (
+                f"0 <= s < {self.kernel.outer_extent}"
+                if self.kernel.has_outer_loop
+                else "s = 0"
+            )
+            lines.append(
+                f"  {stmt.label}: {{[s, {lpos}, {loop.index_var}, {spos}] : "
+                f"{s_desc} && 0 <= {loop.index_var} < {loop.extent}}}"
+            )
+        return "\n".join(lines)

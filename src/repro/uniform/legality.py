@@ -1,0 +1,141 @@
+"""Legality of run-time reordering transformations (compile-time side).
+
+The paper's rules (Section 4):
+
+* **Data reorderings never affect dependences** — any one-to-one remapping
+  is legal.  The only obligation is bijectivity of the run-time function,
+  which the runtime verifier checks on the generated index arrays.
+* **Iteration reorderings** must map every dependence source
+  lexicographically before its destination: for each ``p -> q`` in ``D``,
+  ``T(p) < T(q)``.  Reduction dependences are exempt (footnote 3).
+  Transformations applicable to subspaces with dependences must *inspect*
+  the dependences at run time (sparse tiling, run-time parallelization);
+  for those the obligation is discharged by construction and re-checked by
+  the runtime verifier.
+
+With uninterpreted function symbols a full compile-time proof is
+undecidable in general.  ``check_iteration_reordering`` therefore returns a
+:class:`LegalityReport`: either *proven* (the transformed "violation set"
+simplifies to empty), or a list of obligations — the constraints the
+run-time reordering functions must satisfy, which is exactly the role the
+paper assigns to the framework's legality checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.presburger.ordering import lex_lt_conjunctions
+from repro.presburger.relations import PresburgerRelation
+from repro.presburger.sets import Conjunction, PresburgerSet
+from repro.uniform.mappings import Dependence
+from repro.uniform.state import DataReordering, IterationReordering, ProgramState
+
+
+class LegalityError(Exception):
+    """Raised when a transformation is provably illegal at compile time."""
+
+
+@dataclass
+class Obligation:
+    """A constraint set the run-time reordering functions must satisfy.
+
+    ``violations`` is the relation of dependence pairs that would violate
+    lexicographic order in the transformed space; the obligation is that it
+    be empty once the UFS are bound to the generated index arrays.
+    """
+
+    dependence: Dependence
+    violations: PresburgerRelation
+
+    def __repr__(self):
+        return f"Obligation({self.dependence.name}: require empty {self.violations!r})"
+
+
+@dataclass
+class LegalityReport:
+    """Outcome of a compile-time legality check."""
+
+    proven: bool
+    obligations: List[Obligation] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def __bool__(self):
+        return self.proven
+
+
+def check_data_reordering(
+    state: ProgramState, reordering: DataReordering
+) -> LegalityReport:
+    """Data reorderings are always legal; obligation: bijectivity at run time."""
+    return LegalityReport(
+        proven=True,
+        notes=[
+            f"data reordering {reordering.func_name} legal for any one-to-one "
+            "remapping; runtime verifier checks the generated function is a "
+            "permutation"
+        ],
+    )
+
+
+def _violation_relation(
+    dep: Dependence, T: PresburgerRelation
+) -> PresburgerRelation:
+    """Pairs ``(T(p), T(q))`` with ``p -> q`` a dependence and NOT
+    ``T(p) < T(q)`` — i.e. ``T(q) <= T(p)`` in lexicographic order.
+
+    Built as ``(T^-1 . D . T^-1^-1)`` intersected with ``out <= in``:
+    we transform the dependence into the new space and keep only pairs
+    violating the order.  ``out <= in`` is encoded as the union of
+    ``out < in`` and ``out = in`` conjunctions.
+    """
+    transformed = T.inverse().then(dep.relation).then(T).simplified()
+    in_vars, out_vars = transformed.in_vars, transformed.out_vars
+
+    # out < in  (strictly later source) ...
+    le_conjs = list(lex_lt_conjunctions(out_vars, in_vars))
+    # ... or out = in (self-dependence collapses onto one point).
+    from repro.presburger.constraints import eq
+    from repro.presburger.terms import var
+
+    le_conjs.append(
+        Conjunction([eq(var(a), var(b)) for a, b in zip(in_vars, out_vars)])
+    )
+    bad_order = PresburgerRelation(in_vars, out_vars, le_conjs)
+    return transformed.intersect(bad_order).simplified()
+
+
+def check_iteration_reordering(
+    state: ProgramState,
+    reordering: IterationReordering,
+    skip_reductions: bool = True,
+) -> LegalityReport:
+    """Check ``T`` against every dependence of the current state.
+
+    Returns ``proven=True`` when every non-reduction dependence's violation
+    set simplifies to empty.  Otherwise returns the obligations — for an
+    inspector that traverses dependences (``inspects_dependences=True``)
+    these are discharged by construction, which the report notes.
+    """
+    obligations: List[Obligation] = []
+    notes: List[str] = []
+    for dep in state.dependences:
+        if dep.is_reduction and skip_reductions:
+            notes.append(f"{dep.name}: reduction dependence, reordering allowed")
+            continue
+        violations = _violation_relation(dep, reordering.relation)
+        if violations.is_empty_syntactically():
+            notes.append(f"{dep.name}: proven respected")
+        else:
+            obligations.append(Obligation(dep, violations))
+
+    if not obligations:
+        return LegalityReport(proven=True, notes=notes)
+    if reordering.inspects_dependences:
+        notes.append(
+            "inspector traverses dependences; obligations discharged by "
+            "construction (verified again at run time)"
+        )
+        return LegalityReport(proven=True, obligations=obligations, notes=notes)
+    return LegalityReport(proven=False, obligations=obligations, notes=notes)

@@ -1,0 +1,188 @@
+"""Data mappings ``M_{I->a}`` and dependence relations ``D_{I->I}``.
+
+Both are derived mechanically from the kernel IR:
+
+* the data mapping of array ``a`` relates each unified iteration tuple to
+  the locations of ``a`` it touches — one conjunction per distinct access,
+  with the subscript expression (possibly containing index-array UFS like
+  ``left(j)``) defining the location;
+* a dependence relation connects two accesses to the same array when at
+  least one writes, constrained by (i) both subscripts naming the same
+  location and (ii) the source iteration lexicographically preceding the
+  destination in the unified space.  Pairs of reduction (``+=``) updates
+  are flagged ``is_reduction`` — they permit reordering (footnote 3 of the
+  paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.presburger.constraints import eq
+from repro.presburger.ordering import lex_lt_conjunctions
+from repro.presburger.relations import PresburgerRelation
+from repro.presburger.sets import Conjunction
+from repro.presburger.terms import AffineExpr, var
+from repro.uniform.kernel import AccessKind, ArrayAccess, Kernel, Statement
+from repro.uniform.iterspace import UNIFIED_VARS, UNIFIED_VARS_OUT, UnifiedSpace
+
+#: Data-space variable for the location tuple of a 1-D array.
+LOCATION_VAR = "m"
+
+
+def access_location_expr(access: ArrayAccess, loop_index_var: str, new_var: str) -> AffineExpr:
+    """The subscript expression with the loop index renamed to ``new_var``."""
+    return access.index.rename({loop_index_var: new_var})
+
+
+def build_data_mappings(kernel: Kernel) -> Dict[str, PresburgerRelation]:
+    """``M_{I0->a}`` for every data array of the kernel.
+
+    Each relation maps ``[s, l, x, q] -> [m]`` with one conjunction per
+    distinct (statement, subscript) access of the array.
+    """
+    space = UnifiedSpace(kernel)
+    mappings: Dict[str, PresburgerRelation] = {}
+    per_array: Dict[str, List[Conjunction]] = {name: [] for name in kernel.data_arrays}
+    seen: Dict[str, set] = {name: set() for name in kernel.data_arrays}
+
+    for lpos, spos, loop, stmt in kernel.all_statements():
+        for access in stmt.accesses:
+            location = access_location_expr(access, loop.index_var, "x")
+            key = (stmt.label, location)
+            if key in seen[access.array]:
+                continue  # e.g. read and update of the same element
+            seen[access.array].add(key)
+            base = space.statement_conjunction(lpos, spos, loop, UNIFIED_VARS)
+            conj = base.with_constraints([eq(var(LOCATION_VAR), location)])
+            per_array[access.array].append(conj)
+
+    for name, conjs in per_array.items():
+        mappings[name] = PresburgerRelation(
+            UNIFIED_VARS, (LOCATION_VAR,), conjs
+        )
+    return mappings
+
+
+@dataclass
+class Dependence:
+    """One dependence relation between two statements through one array."""
+
+    array: str
+    src_stmt: str
+    dst_stmt: str
+    src_kind: AccessKind
+    dst_kind: AccessKind
+    relation: PresburgerRelation
+    is_reduction: bool
+
+    @property
+    def name(self) -> str:
+        return f"d({self.src_stmt}->{self.dst_stmt}:{self.array})"
+
+    def __repr__(self):
+        tag = " [reduction]" if self.is_reduction else ""
+        return f"{self.name}{tag}: {self.relation!r}"
+
+
+def _dependence_relation(
+    kernel: Kernel,
+    src: Tuple[int, int, "object", Statement],
+    dst: Tuple[int, int, "object", Statement],
+    src_access: ArrayAccess,
+    dst_access: ArrayAccess,
+) -> PresburgerRelation:
+    space = UnifiedSpace(kernel)
+    s_lpos, s_spos, s_loop, _ = src
+    d_lpos, d_spos, d_loop, _ = dst
+
+    src_conj = space.statement_conjunction(s_lpos, s_spos, s_loop, UNIFIED_VARS)
+    dst_conj = space.statement_conjunction(d_lpos, d_spos, d_loop, UNIFIED_VARS_OUT)
+
+    same_location = eq(
+        access_location_expr(src_access, s_loop.index_var, "x"),
+        access_location_expr(dst_access, d_loop.index_var, "x'"),
+    )
+
+    conjs = []
+    for lex_conj in lex_lt_conjunctions(UNIFIED_VARS, UNIFIED_VARS_OUT):
+        merged = src_conj.conjoin(dst_conj).conjoin(lex_conj)
+        conjs.append(merged.with_constraints([same_location]))
+    relation = PresburgerRelation(UNIFIED_VARS, UNIFIED_VARS_OUT, conjs)
+    return relation.simplified()
+
+
+def build_dependences(
+    kernel: Kernel, include_input_deps: bool = False
+) -> List[Dependence]:
+    """All dependence relations of the kernel.
+
+    A pair of accesses to the same array induces a dependence when at least
+    one writes (set ``include_input_deps`` to also produce read-read pairs,
+    occasionally useful for locality analysis).  Empty relations (pruned by
+    the simplifier, e.g. a later statement can never depend on an earlier
+    one within the same iteration in reverse) are dropped.
+    """
+    statements = kernel.all_statements()
+    deps: List[Dependence] = []
+    for src in statements:
+        for dst in statements:
+            for src_access in src[3].accesses:
+                for dst_access in dst[3].accesses:
+                    if src_access.array != dst_access.array:
+                        continue
+                    involves_write = (
+                        src_access.kind.writes or dst_access.kind.writes
+                    )
+                    if not involves_write and not include_input_deps:
+                        continue
+                    relation = _dependence_relation(
+                        kernel, src, dst, src_access, dst_access
+                    )
+                    if relation.is_empty_syntactically():
+                        continue
+                    is_reduction = (
+                        src_access.kind is AccessKind.UPDATE
+                        and dst_access.kind is AccessKind.UPDATE
+                    )
+                    deps.append(
+                        Dependence(
+                            array=src_access.array,
+                            src_stmt=src[3].label,
+                            dst_stmt=dst[3].label,
+                            src_kind=src_access.kind,
+                            dst_kind=dst_access.kind,
+                            relation=relation,
+                            is_reduction=is_reduction,
+                        )
+                    )
+    return _merge_duplicate_dependences(deps)
+
+
+def _merge_duplicate_dependences(deps: List[Dependence]) -> List[Dependence]:
+    """Union relations of dependences with identical endpoints and array.
+
+    A statement pair can induce several access pairs (e.g. S2 reads and
+    updates ``fx[left(j)]``); their relations union into one dependence.
+    The merged dependence is a reduction only if every contributing pair is.
+    """
+    merged: Dict[Tuple[str, str, str], Dependence] = {}
+    order: List[Tuple[str, str, str]] = []
+    for dep in deps:
+        key = (dep.array, dep.src_stmt, dep.dst_stmt)
+        if key not in merged:
+            merged[key] = dep
+            order.append(key)
+        else:
+            existing = merged[key]
+            merged[key] = Dependence(
+                array=dep.array,
+                src_stmt=dep.src_stmt,
+                dst_stmt=dep.dst_stmt,
+                src_kind=existing.src_kind,
+                dst_kind=existing.dst_kind,
+                relation=existing.relation.union(dep.relation),
+                is_reduction=existing.is_reduction and dep.is_reduction,
+            )
+    return [merged[k] for k in order]

@@ -1,0 +1,123 @@
+"""Generated trace executors must reproduce emit_trace's access stream."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_source
+from repro.codegen.trace_gen import (
+    expr_to_python,
+    generate_trace_executor_source,
+)
+from repro.kernels import make_kernel_data
+from repro.kernels.datasets import Dataset
+from repro.kernels.specs import kernel_by_name
+from repro.presburger.terms import AffineExpr, var
+from repro.runtime.executor import emit_trace
+from repro.runtime.inspector import (
+    ComposedInspector,
+    CPackStep,
+    FullSparseTilingStep,
+    LexGroupStep,
+)
+
+
+def tiny(kernel_name, n=20, m=50, seed=0):
+    rng = np.random.default_rng(seed)
+    return make_kernel_data(
+        kernel_name,
+        Dataset(
+            "tiny", n,
+            rng.integers(0, n, m).astype(np.int64),
+            rng.integers(0, n, m).astype(np.int64),
+        ),
+    )
+
+
+def reference_stream(data, plan=None, num_steps=1):
+    trace = emit_trace(data, plan, num_steps=num_steps)
+    names = [r.name for r in trace.regions]
+    return [
+        (names[rid], int(el))
+        for rid, el in zip(trace.region_ids, trace.elements)
+    ]
+
+
+def generated_stream(kernel_name, data, tiled=False, schedule=None, num_steps=1):
+    kernel = kernel_by_name(kernel_name)
+    src = generate_trace_executor_source(kernel, tiled=tiled)
+    fn = compile_source(src, f"{kernel_name}_trace_executor")
+    touched = []
+
+    def touch(region, element):
+        touched.append((region, int(element)))
+
+    kwargs = dict(
+        num_steps=num_steps,
+        num_nodes=data.num_nodes,
+        num_inter=data.num_inter,
+        left=data.left,
+        right=data.right,
+        touch=touch,
+    )
+    if tiled:
+        kwargs["schedule"] = schedule
+    fn(**kwargs)
+    return touched
+
+
+class TestExprToPython:
+    def test_plain_var(self):
+        assert expr_to_python(var("i")) == "i"
+
+    def test_uf_call(self):
+        assert expr_to_python(AffineExpr.ufs("left", var("j"))) == "left[j]"
+
+    def test_nested_call(self):
+        e = AffineExpr.ufs("sigma", AffineExpr.ufs("left", var("j")))
+        assert expr_to_python(e) == "sigma[left[j]]"
+
+    def test_affine(self):
+        assert expr_to_python(var("i") + 1) == "i + 1"
+        assert expr_to_python(var("i") * 2 - 3) == "2 * i - 3"
+
+    def test_zero(self):
+        from repro.presburger.terms import const
+
+        assert expr_to_python(const(0)) == "0"
+
+
+class TestGeneratedTraceExecutors:
+    @pytest.mark.parametrize("kernel_name", ["moldyn", "nbf", "irreg"])
+    def test_matches_emit_trace(self, kernel_name):
+        data = tiny(kernel_name)
+        assert generated_stream(kernel_name, data) == reference_stream(data)
+
+    @pytest.mark.parametrize("kernel_name", ["moldyn", "irreg"])
+    def test_matches_after_composition(self, kernel_name):
+        data = tiny(kernel_name)
+        res = ComposedInspector([CPackStep(), LexGroupStep()]).run(data)
+        assert generated_stream(
+            kernel_name, res.transformed
+        ) == reference_stream(res.transformed)
+
+    def test_matches_tiled(self):
+        data = tiny("moldyn")
+        res = ComposedInspector(
+            [CPackStep(), LexGroupStep(), FullSparseTilingStep(10)]
+        ).run(data)
+        got = generated_stream(
+            "moldyn", res.transformed, tiled=True, schedule=res.plan.schedule
+        )
+        assert got == reference_stream(res.transformed, res.plan)
+
+    def test_multiple_steps(self):
+        data = tiny("irreg")
+        assert generated_stream("irreg", data, num_steps=3) == reference_stream(
+            data, num_steps=3
+        )
+
+    def test_source_streams_interaction_records(self):
+        src = generate_trace_executor_source(kernel_by_name("irreg"))
+        assert "touch('inters', j)" in src
+        assert "touch('nodes', left[j])" in src
+        assert "touch('nodes', k)" in src

@@ -1,0 +1,15 @@
+"""Suite-wide configuration: deterministic property-based testing.
+
+Hypothesis is derandomized so `pytest tests/` is bit-reproducible across
+runs and machines (the property tests still explore their full example
+budget — only the seed is fixed).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

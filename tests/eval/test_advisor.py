@@ -1,0 +1,98 @@
+"""Tests for run-time composition selection (Section 7 implemented)."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.machines import machine_by_name
+from repro.eval.advisor import (
+    Advice,
+    choose_composition,
+    sample_kernel_data,
+)
+from repro.kernels import generate_dataset, make_kernel_data
+
+
+@pytest.fixture(scope="module")
+def moldyn_mol1():
+    return make_kernel_data("moldyn", generate_dataset("mol1", scale=64))
+
+
+class TestSampling:
+    def test_sample_is_compacted(self, moldyn_mol1):
+        sample = sample_kernel_data(moldyn_mol1, 0.1, seed=1)
+        assert sample.num_inter <= moldyn_mol1.num_inter
+        assert sample.num_nodes <= moldyn_mol1.num_nodes
+        # dense renumbering: every node id in range and every node touched
+        assert sample.left.max() < sample.num_nodes
+        touched = set(sample.left) | set(sample.right)
+        assert touched == set(range(sample.num_nodes))
+
+    def test_sample_keeps_record_bytes(self, moldyn_mol1):
+        sample = sample_kernel_data(moldyn_mol1, 0.1)
+        assert sample.node_record_bytes == moldyn_mol1.node_record_bytes
+
+    def test_sample_arrays_follow_nodes(self, moldyn_mol1):
+        sample = sample_kernel_data(moldyn_mol1, 0.1)
+        for arr in sample.arrays.values():
+            assert len(arr) == sample.num_nodes
+
+    def test_full_fraction_is_whole_instance(self, moldyn_mol1):
+        sample = sample_kernel_data(moldyn_mol1, 1.0)
+        assert sample.num_inter == moldyn_mol1.num_inter
+
+    def test_invalid_fraction(self, moldyn_mol1):
+        with pytest.raises(ValueError):
+            sample_kernel_data(moldyn_mol1, 0.0)
+        with pytest.raises(ValueError):
+            sample_kernel_data(moldyn_mol1, 1.5)
+
+    def test_deterministic_per_seed(self, moldyn_mol1):
+        a = sample_kernel_data(moldyn_mol1, 0.2, seed=3)
+        b = sample_kernel_data(moldyn_mol1, 0.2, seed=3)
+        assert np.array_equal(a.left, b.left)
+
+
+class TestAdvisor:
+    def test_short_runs_pick_baseline(self, moldyn_mol1):
+        machine = machine_by_name("pentium4")
+        advice = choose_composition(moldyn_mol1, machine, num_steps=1)
+        assert advice.composition == "baseline"
+
+    def test_long_runs_pick_a_transformation(self, moldyn_mol1):
+        machine = machine_by_name("pentium4")
+        advice = choose_composition(moldyn_mol1, machine, num_steps=200)
+        assert advice.composition != "baseline"
+
+    def test_estimates_cover_all_candidates(self, moldyn_mol1):
+        machine = machine_by_name("power3")
+        advice = choose_composition(
+            moldyn_mol1, machine, num_steps=10,
+            candidates=("baseline", "cpack", "gpart"),
+        )
+        assert {e.composition for e in advice.estimates} == {
+            "baseline", "cpack", "gpart",
+        }
+        assert advice.estimate_for("cpack").inspector_cycles > 0
+        assert advice.estimate_for("baseline").inspector_cycles == 0
+
+    def test_estimate_for_unknown(self, moldyn_mol1):
+        machine = machine_by_name("power3")
+        advice = choose_composition(
+            moldyn_mol1, machine, num_steps=2, candidates=("baseline",)
+        )
+        with pytest.raises(KeyError):
+            advice.estimate_for("gpart")
+
+    def test_pick_minimizes_projected_total(self, moldyn_mol1):
+        machine = machine_by_name("pentium4")
+        advice = choose_composition(moldyn_mol1, machine, num_steps=50)
+        chosen = advice.estimate_for(advice.composition)
+        for estimate in advice.estimates:
+            assert chosen.total_cycles(50) <= estimate.total_cycles(50)
+
+    def test_total_cycles_math(self):
+        from repro.eval.advisor import CandidateEstimate
+
+        e = CandidateEstimate("x", inspector_cycles=100.0, executor_cycles_per_step=10)
+        assert e.total_cycles(0) == 100.0
+        assert e.total_cycles(5) == 150.0

@@ -1,0 +1,195 @@
+"""Tests for the experiment harness (small scale to stay fast)."""
+
+import pytest
+
+from repro.cachesim.machines import machine_by_name
+from repro.eval.compositions import (
+    COMPOSITIONS,
+    composition_steps,
+    fst_seed_block,
+    gpart_partition_size,
+)
+from repro.eval.experiments import BENCHMARK_DATASETS, run_cell, run_grid
+from repro.eval.figures import table1
+from repro.eval.report import format_grid, format_rows
+from repro.kernels import generate_dataset, make_kernel_data
+
+SCALE = 256  # tiny instances for unit tests
+
+
+@pytest.fixture(scope="module")
+def p4():
+    return machine_by_name("pentium4")
+
+
+@pytest.fixture(scope="module")
+def moldyn_small():
+    return make_kernel_data("moldyn", generate_dataset("mol1", scale=SCALE))
+
+
+class TestCompositionCatalogue:
+    def test_all_paper_compositions_present(self):
+        assert set(COMPOSITIONS) == {
+            "baseline",
+            "cpack",
+            "gpart",
+            "cpack2x",
+            "cpack+fst",
+            "gpart+fst",
+            "cpack2x+fst",
+        }
+
+    def test_unknown_composition(self, moldyn_small, p4):
+        with pytest.raises(KeyError):
+            composition_steps("loop-fusion", moldyn_small, p4)
+
+    def test_baseline_is_empty(self, moldyn_small, p4):
+        assert composition_steps("baseline", moldyn_small, p4) == []
+
+    def test_fst_compositions_end_with_tilepack(self, moldyn_small, p4):
+        steps = composition_steps("cpack2x+fst", moldyn_small, p4)
+        assert type(steps[-1]).__name__ == "TilePackStep"
+        assert type(steps[-2]).__name__ == "FullSparseTilingStep"
+
+    def test_gpart_partition_targets_l1(self, moldyn_small, p4):
+        size = gpart_partition_size(moldyn_small, p4)
+        assert size * moldyn_small.node_record_bytes <= p4.l1.size_bytes
+        assert size >= 8
+
+    def test_fst_seed_accounts_for_interaction_stream(self, moldyn_small, p4):
+        block = fst_seed_block(moldyn_small, p4, fraction=0.5)
+        nodes = block * moldyn_small.num_nodes / moldyn_small.num_inter
+        working_set = (
+            nodes * moldyn_small.node_record_bytes
+            + block * moldyn_small.inter_record_bytes
+        )
+        assert working_set <= 0.6 * p4.l1.size_bytes
+
+
+class TestRunCell:
+    def test_baseline_normalizes_to_one(self):
+        cell = run_cell("irreg", "foil", "pentium4", "baseline", scale=SCALE)
+        assert cell.normalized_time == 1.0
+        assert cell.inspector_touches == 0
+
+    def test_composition_beats_baseline(self):
+        cell = run_cell("irreg", "foil", "pentium4", "gpart", scale=SCALE)
+        assert cell.normalized_time < 1.0
+        assert cell.inspector_touches > 0
+        assert cell.amortization_steps < float("inf")
+
+    def test_remap_policies_same_executor_cost(self):
+        once = run_cell(
+            "moldyn", "mol1", "pentium4", "cpack2x+fst", scale=SCALE, remap="once"
+        )
+        each = run_cell(
+            "moldyn", "mol1", "pentium4", "cpack2x+fst", scale=SCALE, remap="each"
+        )
+        assert once.executor_cycles == each.executor_cycles
+        assert once.inspector_touches < each.inspector_touches
+
+    def test_amortization_inf_when_no_savings(self):
+        from repro.eval.experiments import CellResult
+
+        cell = CellResult(
+            kernel="k", dataset="d", machine="m", composition="c",
+            executor_cycles=100, baseline_cycles=100, l1_miss_rate=0.0,
+            inspector_touches=10, inspector_cycles=60.0, data_moves=1,
+            footprint_bytes=0,
+        )
+        assert cell.amortization_steps == float("inf")
+
+    def test_grid_covers_all_pairs(self):
+        rows = run_grid("pentium4", ("cpack",), scale=SCALE)
+        pairs = {(r.kernel, r.dataset) for r in rows}
+        expected = {
+            (k, d) for k, ds in BENCHMARK_DATASETS.items() for d in ds
+        }
+        assert pairs == expected
+
+    def test_grid_kernel_filter(self):
+        rows = run_grid("pentium4", ("cpack",), scale=SCALE, kernels=("irreg",))
+        assert {r.kernel for r in rows} == {"irreg"}
+
+
+class TestReporting:
+    def test_table1_rows(self):
+        rows = table1(scale=SCALE)
+        assert {r.name for r in rows} == {"mol1", "mol2", "foil", "auto"}
+        text = format_rows(
+            rows, ["name", "nodes", "edges", "edges_per_node"], "T1"
+        )
+        assert "mol1" in text and "T1" in text
+
+    def test_format_grid_pivots(self):
+        rows = run_grid("pentium4", ("cpack", "gpart"), scale=SCALE, kernels=("irreg",))
+        text = format_grid(rows, title="demo")
+        assert "irreg/foil" in text
+        assert "cpack" in text and "gpart" in text
+
+    def test_format_rows_handles_inf(self):
+        from repro.eval.experiments import CellResult
+
+        cell = CellResult(
+            kernel="k", dataset="d", machine="m", composition="c",
+            executor_cycles=100, baseline_cycles=100, l1_miss_rate=0.0,
+            inspector_touches=0, inspector_cycles=0.0, data_moves=0,
+            footprint_bytes=0,
+        )
+        text = format_rows([cell], ["composition", "amortization_steps"])
+        assert "inf" in text
+
+
+class TestFigureShapes:
+    """The qualitative claims of the paper, at test scale."""
+
+    @pytest.fixture(scope="class")
+    def p4_grid(self):
+        return run_grid(
+            "pentium4",
+            ("cpack", "gpart", "cpack+fst", "gpart+fst"),
+            scale=SCALE,
+        )
+
+    def test_every_composition_beats_baseline(self, p4_grid):
+        for row in p4_grid:
+            assert row.normalized_time < 1.0, (
+                row.kernel, row.dataset, row.composition
+            )
+
+    def test_fst_helps_moldyn_on_p4(self, p4_grid):
+        by_key = {
+            (r.kernel, r.dataset, r.composition): r.normalized_time
+            for r in p4_grid
+        }
+        for dataset in BENCHMARK_DATASETS["moldyn"]:
+            assert (
+                by_key[("moldyn", dataset, "gpart+fst")]
+                < by_key[("moldyn", dataset, "gpart")]
+            )
+
+    def test_remap_once_reduces_overhead(self):
+        from repro.eval.figures import figure16
+
+        for row in figure16(scale=SCALE):
+            assert row.percent_reduction > 0
+
+
+class TestCSVExport:
+    def test_rows_to_csv_dataclasses(self):
+        from repro.eval.report import rows_to_csv
+
+        rows = run_grid("pentium4", ("cpack",), scale=SCALE, kernels=("irreg",))
+        text = rows_to_csv(rows, ["kernel", "dataset", "composition", "normalized_time"])
+        lines = text.strip().split("\n")
+        assert lines[0] == "kernel,dataset,composition,normalized_time"
+        assert len(lines) == 1 + len(rows)
+        assert lines[1].startswith("irreg,")
+
+    def test_rows_to_csv_dicts(self):
+        from repro.eval.report import rows_to_csv
+
+        text = rows_to_csv(
+            [{"a": 1, "b": "x"}, {"a": 2, "b": "y,z"}], ["a", "b"]
+        )
+        assert text.splitlines()[2] == '2,"y,z"'

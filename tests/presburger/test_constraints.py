@@ -1,0 +1,110 @@
+"""Unit tests for constraint construction, solving, and triviality checks."""
+
+import pytest
+
+from repro.presburger.constraints import (
+    Constraint,
+    ConstraintKind,
+    eq,
+    geq,
+    gt,
+    leq,
+    lt,
+)
+from repro.presburger.terms import AffineExpr, const, var
+
+
+class TestConstructors:
+    def test_eq_normalizes_to_difference(self):
+        c = eq(var("i"), var("j"))
+        assert c.kind is ConstraintKind.EQ
+        assert c.expr == var("i") - var("j")
+
+    def test_leq_flips(self):
+        c = leq(var("i"), 5)
+        assert c.kind is ConstraintKind.GEQ
+        assert c.expr == const(5) - var("i")
+
+    def test_lt_strictness_shift(self):
+        c = lt(var("i"), var("n"))
+        # i < n  over integers  <=>  n - i - 1 >= 0
+        assert c.expr == var("n") - var("i") - 1
+
+    def test_gt_strictness_shift(self):
+        c = gt(var("i"), 0)
+        assert c.expr == var("i") - 1
+
+    def test_geq_accepts_ints(self):
+        c = geq(3, 2)
+        assert c.is_trivially_true()
+
+
+class TestTriviality:
+    def test_trivially_true_eq(self):
+        assert eq(const(0), 0).is_trivially_true()
+
+    def test_trivially_false_eq(self):
+        assert eq(const(1), 0).is_trivially_false()
+
+    def test_trivially_true_geq(self):
+        assert geq(const(0), 0).is_trivially_true()
+        assert geq(const(5), 0).is_trivially_true()
+
+    def test_trivially_false_geq(self):
+        assert geq(const(-1), 0).is_trivially_false()
+
+    def test_nonconstant_is_neither(self):
+        c = geq(var("i"), 0)
+        assert not c.is_trivially_true()
+        assert not c.is_trivially_false()
+
+
+class TestSolveFor:
+    def test_solve_simple(self):
+        c = eq(var("i1"), AffineExpr.ufs("sigma", var("i")))
+        assert c.solve_for("i1") == AffineExpr.ufs("sigma", var("i"))
+
+    def test_solve_negative_coefficient(self):
+        c = eq(var("j") - var("i1"), 0)
+        assert c.solve_for("i1") == var("j")
+
+    def test_solve_fails_on_geq(self):
+        assert geq(var("i"), 0).solve_for("i") is None
+
+    def test_solve_fails_on_coefficient_2(self):
+        c = eq(var("i") * 2, var("j"))
+        assert c.solve_for("i") is None
+
+    def test_solve_fails_when_var_inside_uf(self):
+        # i = sigma(i) does not define i by substitution.
+        c = eq(var("i"), AffineExpr.ufs("sigma", var("i")))
+        assert c.solve_for("i") is None
+
+    def test_solve_for_absent_var(self):
+        assert eq(var("i"), 0).solve_for("q") is None
+
+
+class TestNegation:
+    def test_negate_geq(self):
+        c = geq(var("i"), 0).negated()
+        # not(i >= 0)  <=>  -i - 1 >= 0  <=>  i <= -1
+        assert c.expr == -var("i") - 1
+
+    def test_negate_eq_raises(self):
+        with pytest.raises(ValueError):
+            eq(var("i"), 0).negated()
+
+
+class TestRewriting:
+    def test_substitute(self):
+        c = eq(var("i1"), AffineExpr.ufs("sigma", var("i")))
+        c2 = c.substitute({"i": var("k")})
+        assert c2.expr == var("i1") - AffineExpr.ufs("sigma", var("k"))
+
+    def test_rename(self):
+        c = geq(var("i"), var("lo"))
+        c2 = c.rename({"i": "x"})
+        assert c2.free_vars() == {"x", "lo"}
+
+    def test_hashable(self):
+        assert len({eq(var("i"), 0), eq(var("i"), 0)}) == 1

@@ -1,0 +1,186 @@
+"""Unit tests for concrete evaluation (Environment)."""
+
+import numpy as np
+import pytest
+
+from repro.presburger import Environment, parse_relation, parse_set
+from repro.presburger.evaluate import EvaluationError
+from repro.presburger.terms import AffineExpr, var
+
+
+class TestExpressionEvaluation:
+    def test_symbols_and_assignment(self):
+        env = Environment(symbols={"n": 10})
+        assert env.eval_expr(var("n") + var("i"), {"i": 5}) == 15
+
+    def test_assignment_shadows_symbol(self):
+        env = Environment(symbols={"i": 1})
+        assert env.eval_expr(var("i"), {"i": 2}) == 2
+
+    def test_unbound_variable_raises(self):
+        env = Environment()
+        with pytest.raises(EvaluationError):
+            env.eval_expr(var("mystery"), {})
+
+    def test_uf_via_callable(self):
+        env = Environment(functions={"double": lambda x: 2 * x})
+        e = AffineExpr.ufs("double", var("i"))
+        assert env.eval_expr(e, {"i": 21}) == 42
+
+    def test_uf_via_numpy_array(self):
+        env = Environment()
+        env.bind_array("left", np.array([5, 6, 7]))
+        e = AffineExpr.ufs("left", var("j"))
+        assert env.eval_expr(e, {"j": 2}) == 7
+
+    def test_unbound_uf_raises(self):
+        env = Environment()
+        with pytest.raises(EvaluationError):
+            env.eval_expr(AffineExpr.ufs("nope", var("i")), {"i": 0})
+
+    def test_nested_uf_evaluation(self):
+        env = Environment()
+        env.bind_array("sigma", [2, 0, 1])
+        env.bind_array("left", [1, 1, 0])
+        e = AffineExpr.ufs("sigma", AffineExpr.ufs("left", var("j")))
+        assert env.eval_expr(e, {"j": 0}) == 0  # sigma(left(0)) = sigma(1) = 0
+
+
+class TestSetEvaluation:
+    def test_contains_with_symbols(self):
+        env = Environment(symbols={"n": 4})
+        s = parse_set("{[i] : 0 <= i < n}")
+        assert env.set_contains(s, (3,))
+        assert not env.set_contains(s, (4,))
+
+    def test_contains_with_ufs(self):
+        env = Environment()
+        env.bind_array("left", [0, 2, 1])
+        s = parse_set("{[j] : left(j) = 2 && 0 <= j < 3}")
+        assert env.set_contains(s, (1,))
+        assert not env.set_contains(s, (0,))
+
+    def test_enumerate_with_symbol_bounds(self):
+        env = Environment(symbols={"n": 3})
+        s = parse_set("{[i, j] : 0 <= i < n && i <= j < n}")
+        pts = list(env.enumerate_set(s))
+        assert pts == [(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)]
+
+    def test_enumerate_empty(self):
+        env = Environment()
+        s = parse_set("{[i] : 0 <= i < 0}")
+        assert list(env.enumerate_set(s)) == []
+
+    def test_enumerate_unbounded_raises(self):
+        env = Environment()
+        s = parse_set("{[i] : i >= 0}")
+        with pytest.raises(EvaluationError):
+            list(env.enumerate_set(s))
+
+    def test_contains_existential_via_propagation(self):
+        env = Environment()
+        s = parse_set("{[i] : exists(a : a = i - 1 && a >= 0)}")
+        assert env.set_contains(s, (1,))
+        assert not env.set_contains(s, (0,))
+
+    def test_contains_existential_via_search(self):
+        env = Environment()
+        # a is not defined by an equality; needs the bounded search fallback.
+        s = parse_set("{[i] : exists(a : 2*a <= i && 2*a >= i && 0 <= a <= 10)}")
+        assert env.set_contains(s, (4,))
+        assert not env.set_contains(s, (5,))
+
+    def test_point_arity_check(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.set_contains(parse_set("{[i]}"), (1, 2))
+
+
+class TestRelationEvaluation:
+    def test_functional_apply(self):
+        env = Environment()
+        r = parse_relation("{[i] -> [j] : j = 3*i + 1}")
+        assert env.apply_relation_single(r, (2,)) == (7,)
+
+    def test_apply_multiple_images(self):
+        env = Environment(symbols={"n": 10})
+        r = parse_relation(
+            "{[i] -> [j] : j = i} union {[i] -> [j] : j = i + 1}"
+        )
+        outs = env.apply_relation(r, (3,))
+        assert sorted(outs) == [(3,), (4,)]
+
+    def test_apply_single_raises_on_many(self):
+        env = Environment()
+        r = parse_relation(
+            "{[i] -> [j] : j = i} union {[i] -> [j] : j = i + 1}"
+        )
+        with pytest.raises(EvaluationError):
+            env.apply_relation_single(r, (0,))
+
+    def test_apply_single_raises_on_none(self):
+        env = Environment()
+        r = parse_relation("{[i] -> [j] : j = i && i >= 5}")
+        with pytest.raises(EvaluationError):
+            env.apply_relation_single(r, (0,))
+
+    def test_guard_filters_image(self):
+        env = Environment()
+        r = parse_relation("{[i] -> [j] : j = i && i >= 5}")
+        assert env.apply_relation(r, (7,)) == [(7,)]
+        assert env.apply_relation(r, (2,)) == []
+
+    def test_enumerate_relation(self):
+        env = Environment()
+        r = parse_relation("{[i] -> [j] : j = i + 10 && 0 <= i < 2}")
+        assert list(env.enumerate_relation(r)) == [
+            ((0,), (10,)),
+            ((1,), (11,)),
+        ]
+
+    def test_scan_based_apply_for_non_functional(self):
+        env = Environment(symbols={"n": 4})
+        # j is only bounded, not defined: needs the scanning fallback.
+        r = parse_relation("{[i] -> [j] : i <= j < n}")
+        outs = env.apply_relation(r, (2,))
+        assert sorted(outs) == [(2,), (3,)]
+
+    def test_uf_relation_with_arrays(self):
+        env = Environment(symbols={"num_inter": 3})
+        env.bind_array("left", [0, 1, 2])
+        env.bind_array("right", [1, 2, 0])
+        r = parse_relation(
+            "{[j] -> [m] : m = left(j) && 0 <= j < num_inter}"
+            " union "
+            "{[j] -> [m] : m = right(j) && 0 <= j < num_inter}"
+        )
+        outs = env.apply_relation(r, (0,))
+        assert sorted(outs) == [(0,), (1,)]
+
+
+class TestSolveUnknowns:
+    def test_propagation_chain(self):
+        env = Environment()
+        from repro.presburger.constraints import eq
+
+        cons = [
+            eq(var("b"), var("a") + 1),
+            eq(var("c"), var("b") + 1),
+        ]
+        result = env.solve_unknowns(cons, {"a": 0}, ["b", "c"])
+        assert result == {"a": 0, "b": 1, "c": 2}
+
+    def test_violation_returns_none(self):
+        env = Environment()
+        from repro.presburger.constraints import eq, geq
+
+        cons = [eq(var("b"), var("a")), geq(var("b"), 5)]
+        assert env.solve_unknowns(cons, {"a": 1}, ["b"]) is None
+
+    def test_stall_raises(self):
+        env = Environment()
+        from repro.presburger.constraints import geq
+
+        cons = [geq(var("b"), var("a"))]
+        with pytest.raises(EvaluationError):
+            env.solve_unknowns(cons, {"a": 1}, ["b"])

@@ -1,0 +1,185 @@
+"""Unit tests for the Omega-like text parser."""
+
+import pytest
+
+from repro.presburger import Environment, parse_expr, parse_relation, parse_set
+from repro.presburger.parser import ParseError
+from repro.presburger.terms import AffineExpr, var
+
+
+class TestExprParsing:
+    def test_integer(self):
+        assert parse_expr("42") == AffineExpr.constant(42)
+
+    def test_identifier(self):
+        assert parse_expr("num_nodes") == var("num_nodes")
+
+    def test_primed_identifier(self):
+        assert parse_expr("s'") == var("s'")
+
+    def test_arithmetic(self):
+        assert parse_expr("2*i + j - 3") == var("i") * 2 + var("j") - 3
+
+    def test_parenthesized(self):
+        assert parse_expr("2*(i + 1)") == var("i") * 2 + 2
+
+    def test_unary_minus(self):
+        assert parse_expr("-i + 4") == -var("i") + 4
+
+    def test_uf_call(self):
+        assert parse_expr("left(j)") == AffineExpr.ufs("left", var("j"))
+
+    def test_nested_uf_call(self):
+        e = parse_expr("sigma(left(j) + 1)")
+        assert e.uf_names() == {"sigma", "left"}
+
+    def test_multi_arg_uf(self):
+        e = parse_expr("theta(2, j)")
+        (atom,) = e.atoms()
+        assert len(atom.args) == 2
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("i * j")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("i + 1 ]")
+
+
+class TestSetParsing:
+    def test_simple_bounds(self):
+        s = parse_set("{[i] : 0 <= i < 10}")
+        assert s.tuple_vars == ("i",)
+        pts = list(Environment().enumerate_set(s))
+        assert len(pts) == 10
+
+    def test_chained_comparison(self):
+        s = parse_set("{[i] : 0 <= i <= 3}")
+        assert list(Environment().enumerate_set(s)) == [(0,), (1,), (2,), (3,)]
+
+    def test_and_keyword(self):
+        s = parse_set("{[i] : i >= 0 and i < 2}")
+        assert list(Environment().enumerate_set(s)) == [(0,), (1,)]
+
+    def test_unconstrained_set(self):
+        s = parse_set("{[i, j]}")
+        assert s.tuple_vars == ("i", "j")
+        assert len(s.conjunctions) == 1
+
+    def test_constant_tuple_entry(self):
+        s = parse_set("{[s, 1, i] : 0 <= s < 2 && 0 <= i < 2}")
+        env = Environment()
+        pts = list(env.enumerate_set(s))
+        assert pts == [(0, 1, 0), (0, 1, 1), (1, 1, 0), (1, 1, 1)]
+
+    def test_exists(self):
+        # Even numbers between 0 and 10.
+        s = parse_set("{[i] : exists(a : i = 2*a && 0 <= a) && i < 10}")
+        assert list(Environment().enumerate_set(s)) == [
+            (0,), (2,), (4,), (6,), (8,),
+        ]
+
+    def test_union(self):
+        s = parse_set("{[i] : i = 0} union {[i] : i = 5}")
+        assert list(Environment().enumerate_set(s)) == [(0,), (5,)]
+
+
+class TestRelationParsing:
+    def test_basic(self):
+        r = parse_relation("{[i] -> [j] : j = i + 1}")
+        assert Environment().apply_relation_single(r, (4,)) == (5,)
+
+    def test_repeated_name_means_equality(self):
+        # Paper idiom: [s,1,i,1] -> [s,1,i1,1] keeps s fixed.
+        r = parse_relation("{[s, i] -> [s, i1] : i1 = i + 1}")
+        assert Environment().apply_relation_single(r, (7, 0)) == (7, 1)
+
+    def test_expression_output_entry(self):
+        r = parse_relation("{[i] -> [i + 1]}")
+        assert Environment().apply_relation_single(r, (2,)) == (3,)
+
+    def test_uf_output_entry(self):
+        r = parse_relation("{[j] -> [lg(j)]}")
+        env = Environment()
+        env.bind_array("lg", [3, 1, 0, 2])
+        assert env.apply_relation_single(r, (0,)) == (3,)
+
+    def test_repeated_name_within_one_tuple(self):
+        r = parse_relation("{[i] -> [i, i]}")
+        assert Environment().apply_relation_single(r, (9,)) == (9, 9)
+
+    def test_paper_dependence_relation(self):
+        # d12/d13 from the paper (0-based): [s,0,i,0] -> [s',1,j,q] with
+        # s <= s', 0 <= q < 2, and i = left(j) or i = right(j).
+        text = (
+            "{[s,0,i,0] -> [s',1,j,q] : s <= s' && 0 <= q < 2 && i = left(j)}"
+            " union "
+            "{[s,0,i,0] -> [s',1,j,q] : s <= s' && 0 <= q < 2 && i = right(j)}"
+        )
+        r = parse_relation(text)
+        assert r.in_arity == 4 and r.out_arity == 4
+        assert r.uf_names() == {"left", "right"}
+
+    def test_missing_arrow_is_parse_error(self):
+        with pytest.raises(ParseError):
+            parse_relation("{[i] [j]}")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(ParseError):
+            parse_set("{[i] : i >= 0")
+
+    def test_disequality_rejected(self):
+        with pytest.raises(ParseError):
+            parse_set("{[i] : i != 3}")
+
+    def test_union_of_relations(self):
+        r = parse_relation("{[i] -> [j] : j = i} union {[i] -> [j] : j = 0 - i}")
+        outs = set(Environment().apply_relation(r, (4,)))
+        assert outs == {(4,), (-4,)}
+
+
+class TestParserRobustness:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_set("")
+
+    def test_garbage_token(self):
+        with pytest.raises(ParseError):
+            parse_set("{[i] : i @ 3}")
+
+    def test_missing_tuple(self):
+        with pytest.raises(ParseError):
+            parse_set("{: i >= 0}")
+
+    def test_union_requires_full_pieces(self):
+        with pytest.raises(ParseError):
+            parse_set("{[i]} union")
+
+    def test_exists_requires_colon(self):
+        with pytest.raises(ParseError):
+            parse_set("{[i] : exists(a, i = a)}")
+
+    def test_nested_exists(self):
+        s = parse_set(
+            "{[i] : exists(a : a = i - 1 && exists(b : b = a - 1 && b >= 0))}"
+        )
+        env = Environment()
+        assert env.set_contains(s, (2,))
+        assert not env.set_contains(s, (1,))
+
+    def test_whitespace_insensitive(self):
+        a = parse_set("{[i]:0<=i<5}")
+        b = parse_set("{ [ i ] :  0 <= i < 5 }")
+        env = Environment()
+        for x in range(-1, 7):
+            assert env.set_contains(a, (x,)) == env.set_contains(b, (x,))
+
+    def test_keyword_not_identifier_prefix(self):
+        # 'union_size' must lex as one identifier, not 'union' + '_size'.
+        s = parse_set("{[i] : 0 <= i < union_size}")
+        assert s.free_symbols() == {"union_size"}
+
+    def test_and_inside_identifier(self):
+        s = parse_set("{[i] : 0 <= i < android}")
+        assert s.free_symbols() == {"android"}

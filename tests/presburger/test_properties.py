@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) for the Presburger layer invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.presburger import Environment, parse_relation, parse_set
+from repro.presburger.ordering import lex_compare, lex_lt
+from repro.presburger.terms import AffineExpr, const, var
+
+# -- strategies ---------------------------------------------------------------
+
+names = st.sampled_from(["i", "j", "k", "s", "q"])
+
+
+@st.composite
+def affine_exprs(draw, depth=0):
+    kind = draw(st.integers(0, 3 if depth < 2 else 1))
+    if kind == 0:
+        return const(draw(st.integers(-20, 20)))
+    if kind == 1:
+        return var(draw(names))
+    if kind == 2:
+        return draw(affine_exprs(depth + 1)) + draw(affine_exprs(depth + 1))
+    return AffineExpr.ufs("f", draw(affine_exprs(depth + 1)))
+
+
+assignments = st.fixed_dictionaries(
+    {n: st.integers(-50, 50) for n in ["i", "j", "k", "s", "q"]}
+)
+
+
+def make_env():
+    return Environment(functions={"f": lambda x: 3 * x + 1})
+
+
+# -- algebraic laws of AffineExpr ------------------------------------------------
+
+
+class TestAffineLaws:
+    @given(affine_exprs(), affine_exprs(), assignments)
+    @settings(max_examples=80)
+    def test_addition_commutes(self, a, b, env_vals):
+        env = make_env()
+        assert env.eval_expr(a + b, env_vals) == env.eval_expr(b + a, env_vals)
+
+    @given(affine_exprs(), affine_exprs(), affine_exprs(), assignments)
+    @settings(max_examples=60)
+    def test_addition_associates(self, a, b, c, env_vals):
+        env = make_env()
+        assert env.eval_expr((a + b) + c, env_vals) == env.eval_expr(
+            a + (b + c), env_vals
+        )
+
+    @given(affine_exprs(), assignments)
+    @settings(max_examples=80)
+    def test_negation_inverts(self, a, env_vals):
+        env = make_env()
+        assert env.eval_expr(a + (-a), env_vals) == 0
+
+    @given(affine_exprs(), st.integers(-10, 10), assignments)
+    @settings(max_examples=80)
+    def test_scaling_distributes(self, a, k, env_vals):
+        env = make_env()
+        assert env.eval_expr(a * k, env_vals) == k * env.eval_expr(a, env_vals)
+
+    @given(affine_exprs(), affine_exprs())
+    @settings(max_examples=80)
+    def test_equal_exprs_have_equal_hash(self, a, b):
+        if a == b:
+            assert hash(a) == hash(b)
+
+    @given(affine_exprs(), st.integers(-5, 5), assignments)
+    @settings(max_examples=60)
+    def test_substitution_matches_evaluation(self, a, value, env_vals):
+        """Substituting i := c then evaluating equals evaluating with i=c."""
+        env = make_env()
+        substituted = a.substitute({"i": const(value)})
+        direct = dict(env_vals)
+        direct["i"] = value
+        assert env.eval_expr(substituted, env_vals) == env.eval_expr(a, direct)
+
+
+# -- lexicographic ordering laws ------------------------------------------------
+
+
+tuples3 = st.tuples(
+    st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5)
+)
+
+
+class TestLexLaws:
+    @given(tuples3, tuples3)
+    def test_antisymmetry(self, a, b):
+        if lex_lt(a, b):
+            assert not lex_lt(b, a)
+
+    @given(tuples3, tuples3, tuples3)
+    def test_transitivity(self, a, b, c):
+        if lex_lt(a, b) and lex_lt(b, c):
+            assert lex_lt(a, c)
+
+    @given(tuples3, tuples3)
+    def test_totality(self, a, b):
+        assert (lex_compare(a, b) == 0) == (tuple(a) == tuple(b))
+        assert lex_lt(a, b) or lex_lt(b, a) or tuple(a) == tuple(b)
+
+    @given(tuples3)
+    def test_irreflexive(self, a):
+        assert not lex_lt(a, a)
+
+
+# -- set/relation semantics -------------------------------------------------------
+
+
+class TestSetRelationSemantics:
+    @given(st.integers(0, 12), st.integers(0, 12))
+    @settings(max_examples=40)
+    def test_union_is_membership_or(self, lo, hi):
+        env = Environment(symbols={"a": lo, "b": hi})
+        s1 = parse_set("{[i] : 0 <= i < a}")
+        s2 = parse_set("{[i] : 0 <= i < b}")
+        u = s1 | s2
+        for x in range(-1, 14):
+            assert env.set_contains(u, (x,)) == (
+                env.set_contains(s1, (x,)) or env.set_contains(s2, (x,))
+            )
+
+    @given(st.integers(0, 12), st.integers(0, 12))
+    @settings(max_examples=40)
+    def test_intersection_is_membership_and(self, lo, hi):
+        env = Environment(symbols={"a": lo, "b": hi})
+        s1 = parse_set("{[i] : 0 <= i < a}")
+        s2 = parse_set("{[i] : 0 <= i < b}")
+        inter = s1 & s2
+        for x in range(-1, 14):
+            assert env.set_contains(inter, (x,)) == (
+                env.set_contains(s1, (x,)) and env.set_contains(s2, (x,))
+            )
+
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=40)
+    def test_relation_roundtrip_through_inverse(self, perm):
+        env = Environment(symbols={"n": len(perm)})
+        env.bind_array("sigma", perm)
+        r = parse_relation("{[i] -> [j] : j = sigma(i) && 0 <= i < n}")
+        for i in range(len(perm)):
+            (j,) = env.apply_relation(r, (i,))
+            back = env.apply_relation(r.inverse(), j)
+            assert (i,) in back
+
+    @given(st.permutations(list(range(5))), st.permutations(list(range(5))))
+    @settings(max_examples=40)
+    def test_composition_agrees_with_sequential_application(self, p1, p2):
+        env = Environment(symbols={"n": 5})
+        env.bind_array("s1", p1)
+        env.bind_array("s2", p2)
+        r1 = parse_relation("{[i] -> [j] : j = s1(i) && 0 <= i < n}")
+        r2 = parse_relation("{[j] -> [k] : k = s2(j)}")
+        composed = r1.then(r2)
+        for i in range(5):
+            mid = env.apply_relation_single(r1, (i,))
+            expected = env.apply_relation_single(r2, mid)
+            assert env.apply_relation_single(composed, (i,)) == expected
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=20)
+    def test_enumeration_count_matches_volume(self, n):
+        env = Environment(symbols={"n": n})
+        s = parse_set("{[i, j] : 0 <= i < n && 0 <= j <= i}")
+        pts = list(env.enumerate_set(s))
+        assert len(pts) == n * (n + 1) // 2
+        assert pts == sorted(pts)  # lexicographic order

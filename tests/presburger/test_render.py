@@ -1,0 +1,147 @@
+"""Round-trip tests: render to Omega text, parse back, same semantics."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.presburger import Environment, parse_relation, parse_set
+from repro.presburger.render import (
+    constraint_to_omega,
+    expr_to_omega,
+    relation_to_omega,
+    set_to_omega,
+    to_omega,
+)
+from repro.presburger.constraints import eq, geq, leq
+from repro.presburger.parser import parse_expr
+from repro.presburger.terms import AffineExpr, const, var
+
+
+class TestExprRendering:
+    def test_simple(self):
+        assert expr_to_omega(var("i") + 3) == "i + 3"
+
+    def test_coefficients_use_star(self):
+        text = expr_to_omega(var("i") * 2 - var("j") * 3)
+        assert parse_expr(text) == var("i") * 2 - var("j") * 3
+
+    def test_uf_calls(self):
+        e = AffineExpr.ufs("sigma", AffineExpr.ufs("left", var("j") + 1))
+        assert parse_expr(expr_to_omega(e)) == e
+
+    def test_constant_only(self):
+        assert expr_to_omega(const(0)) == "0"
+        assert expr_to_omega(const(-4)) == "-4"
+
+    @given(st.integers(-9, 9), st.integers(-9, 9), st.integers(-9, 9))
+    @settings(max_examples=60)
+    def test_roundtrip_random_affine(self, a, b, c):
+        e = var("i") * a + var("j") * b + c
+        assert parse_expr(expr_to_omega(e)) == e
+
+
+class TestConstraintRendering:
+    def test_constant_moves_right(self):
+        assert constraint_to_omega(geq(var("x"), 3)) == "x >= 3"
+
+    def test_eq(self):
+        text = constraint_to_omega(eq(var("x"), var("y") + 1))
+        # x - y = 1 or equivalent
+        assert "=" in text and ">" not in text
+
+    def test_trivial_constant_constraint(self):
+        assert constraint_to_omega(eq(const(1), 0)) == "1 = 0"
+
+
+class TestSetRoundTrip:
+    CASES = [
+        "{[i] : 0 <= i < 10}",
+        "{[i, j] : 0 <= i < n && i <= j < n}",
+        "{[s, l, x, q] : l = 1 && 0 <= x < num_inter && q = 0}",
+        "{[j] : left(j) = 2 && 0 <= j < 3}",
+        "{[i] : i = 0} union {[i] : 3 <= i <= 5}",
+        "{[i] : exists(a : i = 2*a && 0 <= a <= 4)}",
+        "{[i, j]}",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_semantics_preserved(self, text):
+        original = parse_set(text)
+        reparsed = parse_set(set_to_omega(original))
+        env = Environment(symbols={"n": 5, "num_inter": 4})
+        env.bind_array("left", [0, 2, 1])
+        import itertools
+
+        arity = original.arity
+        for point in itertools.product(range(-1, 7), repeat=arity):
+            assert env.set_contains(original, point) == env.set_contains(
+                reparsed, point
+            ), point
+
+    def test_empty_set_renders_unsatisfiable(self):
+        from repro.presburger.sets import PresburgerSet
+
+        empty = PresburgerSet.empty(["i"])
+        reparsed = parse_set(set_to_omega(empty))
+        env = Environment()
+        assert not env.set_contains(reparsed, (0,))
+
+
+class TestRelationRoundTrip:
+    CASES = [
+        "{[i] -> [j] : j = i + 1 && 0 <= i < 5}",
+        "{[s, l, x, q] -> [s, l, x1, q] : l = 0 && x1 = cp(x)}"
+        " union {[s, l, x, q] -> [s, l, x1, q] : l = 1 && x1 = lg(x)}",
+        "{[j] -> [m] : m = left(j) && 0 <= j < 3}",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_semantics_preserved(self, text):
+        original = parse_relation(text)
+        reparsed = parse_relation(relation_to_omega(original))
+        env = Environment(symbols={"n": 6})
+        env.bind_array("left", [0, 2, 1])
+        env.bind_array("cp", [1, 0, 2, 3])
+        env.bind_array("lg", [3, 2, 1, 0])
+        import itertools
+
+        for point in itertools.product(range(0, 3), repeat=original.in_arity):
+            assert sorted(env.apply_relation(original, point)) == sorted(
+                env.apply_relation(reparsed, point)
+            ), point
+
+    def test_composed_relation_roundtrips(self):
+        """The acid test: compositions carry existentials and nested UFS."""
+        t1 = parse_relation("{[i] -> [j] : j = cp(i) && 0 <= i < 4}")
+        t2 = parse_relation("{[j] -> [k] : k = lg(j)}")
+        composed = t1.then(t2)
+        reparsed = parse_relation(relation_to_omega(composed))
+        env = Environment()
+        env.bind_array("cp", [1, 0, 3, 2])
+        env.bind_array("lg", [2, 3, 0, 1])
+        for i in range(4):
+            assert env.apply_relation(composed, (i,)) == env.apply_relation(
+                reparsed, (i,)
+            )
+
+    def test_to_omega_dispatch(self):
+        assert "->" in to_omega(parse_relation("{[i] -> [j] : j = i}"))
+        assert "->" not in to_omega(parse_set("{[i]}"))
+        with pytest.raises(TypeError):
+            to_omega(42)
+
+
+class TestFrameworkDumpsRoundTrip:
+    def test_moldyn_data_mappings_roundtrip(self):
+        """Every mapping/dependence the framework derives must serialize."""
+        from repro.kernels.specs import kernel_by_name
+        from repro.uniform import ProgramState
+
+        state = ProgramState.initial(kernel_by_name("moldyn"))
+        for mapping in state.data_mappings.values():
+            reparsed = parse_relation(relation_to_omega(mapping))
+            assert reparsed.in_arity == mapping.in_arity
+        for dep in state.dependences:
+            reparsed = parse_relation(relation_to_omega(dep.relation))
+            assert reparsed.out_arity == dep.relation.out_arity

@@ -1,0 +1,347 @@
+"""Unit tests for PresburgerSet / PresburgerRelation algebra."""
+
+import pytest
+
+from repro.presburger import (
+    Environment,
+    PresburgerRelation,
+    PresburgerSet,
+    eq,
+    geq,
+    leq,
+    parse_relation,
+    parse_set,
+)
+from repro.presburger.sets import Conjunction, fresh_name
+from repro.presburger.terms import AffineExpr, var
+
+
+def points(env, pset):
+    return list(env.enumerate_set(pset))
+
+
+class TestSetBasics:
+    def test_universe_and_empty(self):
+        u = PresburgerSet.universe(["i"])
+        assert len(u.conjunctions) == 1
+        e = PresburgerSet.empty(["i"])
+        assert e.is_empty_syntactically()
+
+    def test_duplicate_tuple_vars_rejected(self):
+        with pytest.raises(ValueError):
+            PresburgerSet(["i", "i"])
+
+    def test_union_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            parse_set("{[i]}").union(parse_set("{[i,j]}"))
+
+    def test_union_enumerates_both(self):
+        s = parse_set("{[i] : 0 <= i < 2} union {[i] : 5 <= i < 7}")
+        assert points(Environment(), s) == [(0,), (1,), (5,), (6,)]
+
+    def test_union_removes_duplicates_in_enumeration(self):
+        s = parse_set("{[i] : 0 <= i < 3} union {[i] : 1 <= i < 4}")
+        assert points(Environment(), s) == [(0,), (1,), (2,), (3,)]
+
+    def test_intersect(self):
+        a = parse_set("{[i] : 0 <= i < 10}")
+        b = parse_set("{[i] : 5 <= i < 20}")
+        assert points(Environment(), a & b) == [(5,), (6,), (7,), (8,), (9,)]
+
+    def test_intersect_renames_positionally(self):
+        a = parse_set("{[i] : 0 <= i < 4}")
+        b = parse_set("{[j] : j >= 2}").constrain(leq(var("j"), 10))
+        inter = a.intersect(b)
+        assert points(Environment(), inter) == [(2,), (3,)]
+
+    def test_constrain(self):
+        s = parse_set("{[i] : 0 <= i < 10}").constrain(geq(var("i"), 8))
+        assert points(Environment(), s) == [(8,), (9,)]
+
+    def test_fix_tuple_position(self):
+        s = parse_set("{[a, b] : 0 <= a < 3 && 0 <= b < 3}")
+        fixed = s.fix_tuple_position(0, 1)
+        assert points(Environment(), fixed) == [(1, 0), (1, 1), (1, 2)]
+
+    def test_free_symbols(self):
+        s = parse_set("{[i] : 0 <= i < n}")
+        assert s.free_symbols() == {"n"}
+
+    def test_uf_names(self):
+        s = parse_set("{[j] : left(j) >= 0}")
+        assert s.uf_names() == {"left"}
+
+    def test_simplified_drops_false_conjunction(self):
+        s = parse_set("{[i] : 1 = 0} union {[i] : i = 3}")
+        simp = s.simplified()
+        assert len(simp.conjunctions) == 1
+
+
+class TestRelationBasics:
+    def test_identity(self):
+        ident = PresburgerRelation.identity(["a", "b"])
+        env = Environment()
+        assert env.apply_relation_single(ident, (3, 4)) == (3, 4)
+
+    def test_inverse(self):
+        r = parse_relation("{[i] -> [j] : j = i + 5}")
+        env = Environment()
+        assert env.apply_relation_single(r.inverse(), (12,)) == (7,)
+
+    def test_in_out_vars_disjoint(self):
+        with pytest.raises(ValueError):
+            PresburgerRelation(["i"], ["i"])
+
+    def test_union(self):
+        r = parse_relation("{[i] -> [j] : j = i} union {[i] -> [j] : j = i + 10}")
+        env = Environment()
+        outs = set(env.apply_relation(r, (1,)))
+        assert outs == {(1,), (11,)}
+
+    def test_domain_range(self):
+        r = parse_relation("{[i] -> [j] : j = i + 1 && 0 <= i < 3}")
+        env = Environment()
+        assert points(env, r.domain()) == [(0,), (1,), (2,)]
+        assert points(env, r.range()) == [(1,), (2,), (3,)]
+
+    def test_restrict_domain(self):
+        r = parse_relation("{[i] -> [j] : j = i}")
+        restricted = r.restrict_domain(parse_set("{[i] : 0 <= i < 2}"))
+        env = Environment()
+        assert list(env.enumerate_relation(restricted)) == [
+            ((0,), (0,)),
+            ((1,), (1,)),
+        ]
+
+    def test_restrict_range(self):
+        r = parse_relation("{[i] -> [j] : j = i && 0 <= i < 5}")
+        restricted = r.restrict_range(parse_set("{[j] : j >= 3}"))
+        env = Environment()
+        assert list(env.enumerate_relation(restricted)) == [
+            ((3,), (3,)),
+            ((4,), (4,)),
+        ]
+
+    def test_apply_set(self):
+        r = parse_relation("{[i] -> [j] : j = i + 100}")
+        image = r.apply_set(parse_set("{[i] : 0 <= i < 3}"))
+        assert points(Environment(), image) == [(100,), (101,), (102,)]
+
+
+class TestComposition:
+    def test_affine_composition(self):
+        first = parse_relation("{[i] -> [j] : j = i + 1}")
+        second = parse_relation("{[j] -> [k] : k = 2*j}")
+        composed = first.then(second)
+        env = Environment()
+        assert env.apply_relation_single(composed, (3,)) == (8,)
+
+    def test_ufs_composition_nests_calls(self):
+        first = parse_relation("{[i] -> [j] : j = sigma(i)}")
+        second = parse_relation("{[j] -> [k] : k = delta(j)}")
+        composed = first.then(second)
+        # The composed constraint should contain delta(sigma(i)).
+        names = composed.uf_names()
+        assert names == {"sigma", "delta"}
+        env = Environment()
+        env.bind_array("sigma", [2, 0, 1])
+        env.bind_array("delta", [10, 20, 30])
+        assert env.apply_relation_single(composed, (0,)) == (30,)
+
+    def test_compose_is_then_flipped(self):
+        first = parse_relation("{[i] -> [j] : j = i + 1}")
+        second = parse_relation("{[j] -> [k] : k = 3*j}")
+        env = Environment()
+        a = env.apply_relation_single(second.compose(first), (1,))
+        b = env.apply_relation_single(first.then(second), (1,))
+        assert a == b == (6,)
+
+    def test_composition_existentials_eliminated(self):
+        first = parse_relation("{[i] -> [j] : j = i + 1}")
+        second = parse_relation("{[j] -> [k] : k = j + 1}")
+        composed = first.then(second)
+        for conj in composed.conjunctions:
+            assert not conj.exist_vars
+
+    def test_composition_preserves_guards(self):
+        first = parse_relation("{[i] -> [j] : j = i && 0 <= i < 4}")
+        second = parse_relation("{[j] -> [k] : k = j && j >= 2}")
+        composed = first.then(second)
+        env = Environment()
+        pairs = list(env.enumerate_relation(composed))
+        assert pairs == [((2,), (2,)), ((3,), (3,))]
+
+    def test_composition_of_unions(self):
+        first = parse_relation(
+            "{[i] -> [j] : j = i && 0 <= i < 2} union {[i] -> [j] : j = i + 10 && 0 <= i < 2}"
+        )
+        second = parse_relation("{[j] -> [k] : k = j + 1}")
+        composed = first.then(second)
+        env = Environment()
+        outs = set(env.apply_relation(composed, (0,)))
+        assert outs == {(1,), (11,)}
+
+    def test_arity_mismatch_raises(self):
+        first = parse_relation("{[i] -> [j, j2]}")
+        second = parse_relation("{[j] -> [k]}")
+        with pytest.raises(ValueError):
+            first.then(second)
+
+    def test_multidim_paper_style_composition(self):
+        # T_{I0->I1} then T_{I1->I2} from the paper's section 5.3.
+        t01 = parse_relation(
+            "{[s,1,i,1] -> [s,1,i1,1] : i1 = cp(i)}"
+        )
+        t12 = parse_relation(
+            "{[s,1,i1,1] -> [s,1,i2,1] : i2 = cp2(i1)}"
+        )
+        composed = t01.then(t12)
+        env = Environment()
+        env.bind_array("cp", [1, 2, 0])
+        env.bind_array("cp2", [2, 0, 1])
+        assert env.apply_relation_single(composed, (5, 1, 0, 1)) == (5, 1, 0, 1)
+        # cp(1) = 2, cp2(2) = 1
+        assert env.apply_relation_single(composed, (9, 1, 1, 1)) == (9, 1, 1, 1)
+
+
+class TestFreshNames:
+    def test_fresh_names_unique(self):
+        names = {fresh_name() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_conjunction_dedup_in_eq(self):
+        c1 = Conjunction([eq(var("i"), 0), eq(var("i"), 0)])
+        c2 = Conjunction([eq(var("i"), 0)])
+        assert c1 == c2
+
+
+class TestPowers:
+    def test_power_of_successor(self):
+        r = parse_relation("{[i] -> [j] : j = i + 1}")
+        env = Environment()
+        assert env.apply_relation_single(r.power(3), (0,)) == (3,)
+
+    def test_power_zero_is_identity(self):
+        r = parse_relation("{[i] -> [j] : j = 2*i}")
+        env = Environment()
+        assert env.apply_relation_single(r.power(0), (5,)) == (5,)
+
+    def test_power_one_is_self(self):
+        r = parse_relation("{[i] -> [j] : j = i + 10}")
+        env = Environment()
+        assert env.apply_relation_single(r.power(1), (1,)) == (11,)
+
+    def test_power_with_ufs(self):
+        r = parse_relation("{[i] -> [j] : j = sigma(i)}")
+        env = Environment()
+        env.bind_array("sigma", [1, 2, 0])
+        assert env.apply_relation_single(r.power(3), (0,)) == (0,)
+
+    def test_power_requires_square(self):
+        r = parse_relation("{[i] -> [j, k] : j = i && k = i}")
+        with pytest.raises(ValueError):
+            r.power(2)
+
+    def test_negative_power_rejected(self):
+        r = parse_relation("{[i] -> [j] : j = i}")
+        with pytest.raises(ValueError):
+            r.power(-1)
+
+    def test_paths_upto_collects_chain(self):
+        r = parse_relation("{[i] -> [j] : j = i + 1 && 0 <= i < 10}")
+        env = Environment()
+        outs = set(env.apply_relation(r.paths_upto(3), (0,)))
+        assert outs == {(1,), (2,), (3,)}
+
+    def test_paths_upto_one_is_self(self):
+        r = parse_relation("{[i] -> [j] : j = i + 1}")
+        env = Environment()
+        assert env.apply_relation(r.paths_upto(1), (4,)) == [(5,)]
+
+    def test_paths_upto_requires_positive(self):
+        r = parse_relation("{[i] -> [j] : j = i}")
+        with pytest.raises(ValueError):
+            r.paths_upto(0)
+
+    def test_dependence_chain_reasoning(self):
+        """Chains through an index array: who can iteration 0 reach in <= 2 hops?"""
+        env = Environment(symbols={"n": 4})
+        env.bind_array("next", [2, 3, 1, 0])
+        r = parse_relation("{[i] -> [j] : j = next(i) && 0 <= i < n}")
+        reach = set(env.apply_relation(r.paths_upto(2), (0,)))
+        assert reach == {(2,), (1,)}
+
+
+class TestSubtraction:
+    def test_interval_difference(self):
+        a = parse_set("{[i] : 0 <= i < 10}")
+        b = parse_set("{[i] : 3 <= i < 6}")
+        assert points(Environment(), a - b) == [
+            (0,), (1,), (2,), (6,), (7,), (8,), (9,),
+        ]
+
+    def test_subtract_equality(self):
+        a = parse_set("{[i] : 0 <= i < 5}")
+        b = parse_set("{[i] : i = 2}")
+        assert points(Environment(), a - b) == [(0,), (1,), (3,), (4,)]
+
+    def test_subtract_union(self):
+        a = parse_set("{[i] : 0 <= i < 6}")
+        b = parse_set("{[i] : i = 1} union {[i] : i = 4}")
+        assert points(Environment(), a - b) == [(0,), (2,), (3,), (5,)]
+
+    def test_subtract_self_is_empty(self):
+        a = parse_set("{[i] : 0 <= i < 4}")
+        assert points(Environment(), a - a) == []
+
+    def test_subtract_disjoint_is_identity(self):
+        a = parse_set("{[i] : 0 <= i < 3}")
+        b = parse_set("{[i] : 10 <= i < 12}")
+        assert points(Environment(), a - b) == points(Environment(), a)
+
+    def test_subtract_universe_is_empty(self):
+        a = parse_set("{[i] : 0 <= i < 3}")
+        universe = parse_set("{[i]}")
+        assert (a - universe).is_empty_syntactically()
+
+    def test_subtract_existential_rejected(self):
+        a = parse_set("{[i] : 0 <= i < 4}")
+        b = parse_set("{[i] : exists(k : i = 2*k)}")
+        with pytest.raises(ValueError, match="existential"):
+            a - b
+
+    def test_membership_semantics(self):
+        env = Environment(symbols={"n": 8})
+        a = parse_set("{[i, j] : 0 <= i < n && 0 <= j < n}")
+        b = parse_set("{[i, j] : i <= j}")
+        diff = a - b
+        for i in range(8):
+            for j in range(8):
+                expected = env.set_contains(a, (i, j)) and not env.set_contains(
+                    b, (i, j)
+                )
+                assert env.set_contains(diff, (i, j)) == expected
+
+    def test_relation_subtraction(self):
+        r = parse_relation("{[i] -> [j] : 0 <= i < 4 && 0 <= j < 4}")
+        ident = parse_relation("{[i] -> [j] : j = i}")
+        off_diag = r - ident
+        env = Environment()
+        pairs = list(env.enumerate_relation(off_diag))
+        assert all(src != dst for src, dst in pairs)
+        assert len(pairs) == 12
+
+    def test_relation_subtraction_arity_check(self):
+        r = parse_relation("{[i] -> [j]}")
+        s = parse_relation("{[i] -> [j, k]}")
+        with pytest.raises(ValueError):
+            r - s
+
+    def test_subtract_with_ufs(self):
+        env = Environment(symbols={"n": 5})
+        env.bind_array("sig", [0, 2, 4, 1, 3])
+        a = parse_set("{[i] : 0 <= i < n}")
+        b = parse_set("{[i] : sig(i) = 2}")
+        diff = a - b
+        expected = [(i,) for i in range(5) if i != 1]
+        assert points(env, diff) == expected

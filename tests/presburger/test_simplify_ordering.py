@@ -1,0 +1,136 @@
+"""Unit tests for simplification and lexicographic ordering helpers."""
+
+from repro.presburger import Environment, parse_set
+from repro.presburger.constraints import eq, geq, leq
+from repro.presburger.ordering import (
+    lex_compare,
+    lex_le,
+    lex_lt,
+    lex_lt_conjunctions,
+)
+from repro.presburger.sets import Conjunction, PresburgerSet
+from repro.presburger.simplify import (
+    constraints_entail_false,
+    simplify_conjunction,
+)
+from repro.presburger.terms import AffineExpr, var
+
+
+class TestSimplifyConjunction:
+    def test_eliminates_defined_existential(self):
+        conj = Conjunction(
+            [eq(var("m"), var("i") + 1), eq(var("j"), var("m") * 1)],
+            exist_vars=["m"],
+        )
+        simp = simplify_conjunction(conj)
+        assert simp is not None
+        assert not simp.exist_vars
+        assert eq(var("j"), var("i") + 1) in simp.constraints
+
+    def test_eliminates_chain_of_existentials(self):
+        conj = Conjunction(
+            [
+                eq(var("a"), var("i")),
+                eq(var("b"), var("a") + 1),
+                eq(var("j"), var("b") + 1),
+            ],
+            exist_vars=["a", "b"],
+        )
+        simp = simplify_conjunction(conj)
+        assert not simp.exist_vars
+        assert eq(var("j"), var("i") + 2) in simp.constraints
+
+    def test_keeps_undefined_existential(self):
+        conj = Conjunction([geq(var("i"), var("a") * 2)], exist_vars=["a"])
+        simp = simplify_conjunction(conj)
+        assert simp.exist_vars == ("a",)
+
+    def test_drops_trivially_true(self):
+        conj = Conjunction([geq(AffineExpr.constant(3), 0), geq(var("i"), 0)])
+        simp = simplify_conjunction(conj)
+        assert len(simp.constraints) == 1
+
+    def test_detects_trivially_false(self):
+        conj = Conjunction([eq(AffineExpr.constant(1), 0)])
+        assert simplify_conjunction(conj) is None
+
+    def test_substitution_induced_false(self):
+        conj = Conjunction(
+            [eq(var("m"), 1), eq(var("m"), 2)], exist_vars=["m"]
+        )
+        assert simplify_conjunction(conj) is None
+
+    def test_dedupes(self):
+        conj = Conjunction([geq(var("i"), 0), geq(var("i"), 0)])
+        assert len(simplify_conjunction(conj).constraints) == 1
+
+    def test_drops_unused_existentials(self):
+        conj = Conjunction([geq(var("i"), 0)], exist_vars=["ghost"])
+        assert simplify_conjunction(conj).exist_vars == ()
+
+    def test_substitutes_inside_uf_args(self):
+        conj = Conjunction(
+            [
+                eq(var("m"), var("j") + 1),
+                eq(var("k"), AffineExpr.ufs("sigma", var("m"))),
+            ],
+            exist_vars=["m"],
+        )
+        simp = simplify_conjunction(conj)
+        assert not simp.exist_vars
+        expected = eq(var("k"), AffineExpr.ufs("sigma", var("j") + 1))
+        assert expected in simp.constraints
+
+
+class TestEntailFalse:
+    def test_crossing_bounds(self):
+        cons = [geq(var("i"), 5), leq(var("i"), 3)]
+        assert constraints_entail_false(cons)
+
+    def test_compatible_bounds(self):
+        cons = [geq(var("i"), 3), leq(var("i"), 5)]
+        assert not constraints_entail_false(cons)
+
+    def test_eq_outside_bounds(self):
+        cons = [eq(var("i"), 10), leq(var("i"), 3)]
+        assert constraints_entail_false(cons)
+
+    def test_negated_linear_parts_share_entry(self):
+        # i - j >= 2 and j - i >= 0 cannot both hold.
+        cons = [geq(var("i") - var("j"), 2), geq(var("j") - var("i"), 0)]
+        assert constraints_entail_false(cons)
+
+    def test_incomparable_constraints_pass(self):
+        cons = [geq(var("i"), 0), geq(var("j"), 0)]
+        assert not constraints_entail_false(cons)
+
+
+class TestLexOrder:
+    def test_compare(self):
+        assert lex_compare((1, 2), (1, 3)) == -1
+        assert lex_compare((1, 3), (1, 2)) == 1
+        assert lex_compare((1, 2), (1, 2)) == 0
+
+    def test_lt_le(self):
+        assert lex_lt((0, 9), (1, 0))
+        assert not lex_lt((1, 0), (1, 0))
+        assert lex_le((1, 0), (1, 0))
+
+    def test_prefix_ordering(self):
+        assert lex_lt((1,), (1, 0))
+
+    def test_symbolic_lex_matches_concrete(self):
+        disjuncts = lex_lt_conjunctions(["a0", "a1"], ["b0", "b1"])
+        pset = PresburgerSet(["a0", "a1", "b0", "b1"], disjuncts)
+        env = Environment()
+        import itertools
+
+        for a in itertools.product(range(3), repeat=2):
+            for b in itertools.product(range(3), repeat=2):
+                assert env.set_contains(pset, a + b) == lex_lt(a, b), (a, b)
+
+    def test_symbolic_lex_arity_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            lex_lt_conjunctions(["a"], ["b", "c"])

@@ -1,0 +1,151 @@
+"""Unit tests for affine expressions and UFS calls."""
+
+import pytest
+
+from repro.presburger.terms import AffineExpr, UFCall, const, var
+
+
+class TestAffineArithmetic:
+    def test_var_plus_const(self):
+        e = var("i") + 3
+        assert e.coeff("i") == 1
+        assert e.const == 3
+
+    def test_addition_merges_coefficients(self):
+        e = var("i") + var("i") + var("j")
+        assert e.coeff("i") == 2
+        assert e.coeff("j") == 1
+
+    def test_cancellation_removes_atom(self):
+        e = var("i") - var("i")
+        assert e.is_constant()
+        assert e.const == 0
+
+    def test_subtraction(self):
+        e = (var("i") + 5) - (var("j") + 2)
+        assert e.coeff("i") == 1
+        assert e.coeff("j") == -1
+        assert e.const == 3
+
+    def test_scalar_multiplication(self):
+        e = (var("i") + 1) * 4
+        assert e.coeff("i") == 4
+        assert e.const == 4
+
+    def test_rmul(self):
+        assert 3 * var("i") == var("i") * 3
+
+    def test_negation(self):
+        e = -(var("i") - 2)
+        assert e.coeff("i") == -1
+        assert e.const == 2
+
+    def test_multiplying_by_non_int_raises(self):
+        with pytest.raises(TypeError):
+            var("i") * 1.5
+
+    def test_rsub_with_int(self):
+        e = 10 - var("i")
+        assert e.const == 10
+        assert e.coeff("i") == -1
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        assert var("i") + 1 == var("i") + 1
+        assert var("i") != var("j")
+
+    def test_hash_consistency(self):
+        assert hash(var("i") + 1) == hash(var("i") + 1)
+
+    def test_usable_in_sets(self):
+        exprs = {var("i"), var("i"), var("j")}
+        assert len(exprs) == 2
+
+    def test_order_of_construction_irrelevant(self):
+        a = var("i") + var("j")
+        b = var("j") + var("i")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestUFCalls:
+    def test_ufs_constructor(self):
+        e = AffineExpr.ufs("left", var("j"))
+        (atom,) = e.atoms()
+        assert isinstance(atom, UFCall)
+        assert atom.name == "left"
+        assert atom.args == (var("j"),)
+
+    def test_nested_calls(self):
+        e = AffineExpr.ufs("sigma", AffineExpr.ufs("left", var("j")))
+        assert e.uf_names() == {"sigma", "left"}
+
+    def test_free_vars_include_uf_arguments(self):
+        e = AffineExpr.ufs("left", var("j") + var("k"))
+        assert e.free_vars() == {"j", "k"}
+
+    def test_top_level_vars_exclude_uf_arguments(self):
+        e = var("i") + AffineExpr.ufs("left", var("j"))
+        assert e.top_level_vars() == {"i"}
+
+    def test_var_only_inside_uf(self):
+        e = var("i") + AffineExpr.ufs("left", var("j"))
+        assert e.var_only_inside_uf("j")
+        assert not e.var_only_inside_uf("i")
+        assert not e.var_only_inside_uf("zzz")
+
+    def test_ufcall_equality(self):
+        a = UFCall("f", (var("x"),))
+        b = UFCall("f", (var("x"),))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != UFCall("g", (var("x"),))
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ValueError):
+            UFCall("f", ())
+
+    def test_identical_calls_merge(self):
+        e = AffineExpr.ufs("f", var("x")) + AffineExpr.ufs("f", var("x"))
+        (atom,) = e.atoms()
+        assert e.coeff(atom) == 2
+
+
+class TestSubstitution:
+    def test_simple_substitution(self):
+        e = var("i") + 1
+        assert e.substitute({"i": var("j") + 2}) == var("j") + 3
+
+    def test_substitution_inside_uf_args(self):
+        e = AffineExpr.ufs("left", var("j"))
+        result = e.substitute({"j": var("j1") - 1})
+        (atom,) = result.atoms()
+        assert atom.args == (var("j1") - 1,)
+
+    def test_substitution_missing_vars_untouched(self):
+        e = var("i") + var("j")
+        assert e.substitute({"i": const(0)}) == var("j")
+
+    def test_rename(self):
+        e = var("i") + AffineExpr.ufs("f", var("i"))
+        renamed = e.rename({"i": "k"})
+        assert renamed.free_vars() == {"k"}
+
+    def test_substitution_scales_replacement(self):
+        e = var("i") * 3
+        assert e.substitute({"i": var("j") + 1}) == var("j") * 3 + 3
+
+
+class TestRepr:
+    def test_constant_repr(self):
+        assert repr(const(7)) == "7"
+
+    def test_combined_repr_roundtrip_visually(self):
+        e = var("i") * 2 - var("j") + 5
+        text = repr(e)
+        assert "2i" in text and "-j" in text and "+5" in text
+
+    def test_uf_repr(self):
+        e = AffineExpr.ufs("left", var("j"))
+        assert repr(e) == "left(j)"

@@ -1,0 +1,32 @@
+"""Shared fixtures: small concrete kernel instances."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.data import make_kernel_data
+from repro.kernels.datasets import Dataset
+
+
+def tiny_dataset(num_nodes=30, num_inter=80, seed=0, name="tiny"):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        name,
+        num_nodes,
+        rng.integers(0, num_nodes, num_inter).astype(np.int64),
+        rng.integers(0, num_nodes, num_inter).astype(np.int64),
+    )
+
+
+@pytest.fixture
+def moldyn_data():
+    return make_kernel_data("moldyn", tiny_dataset())
+
+
+@pytest.fixture
+def nbf_data():
+    return make_kernel_data("nbf", tiny_dataset(seed=1))
+
+
+@pytest.fixture
+def irreg_data():
+    return make_kernel_data("irreg", tiny_dataset(seed=2))

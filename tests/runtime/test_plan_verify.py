@@ -1,0 +1,135 @@
+"""Integration tests: CompositionPlan (compile-time) vs inspector (run-time).
+
+These are the tests that close the paper's loop: the symbolic plan's final
+dependences, with every stage's generated reordering function bound in,
+must hold concretely in the transformed execution order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.specs import kernel_by_name
+from repro.runtime import CompositionPlan
+from repro.runtime.inspector import (
+    CPackStep,
+    FullSparseTilingStep,
+    GPartStep,
+    LexGroupStep,
+    TilePackStep,
+)
+from repro.runtime.verify import verify_dependences, verify_numeric_equivalence
+from repro.uniform.legality import LegalityError
+
+
+def tiny(kernel_name, request):
+    return request.getfixturevalue(f"{kernel_name}_data")
+
+
+class TestPlanning:
+    def test_plan_threads_state(self, moldyn_data):
+        kernel = kernel_by_name("moldyn")
+        plan = CompositionPlan(
+            kernel, [CPackStep(), LexGroupStep(), CPackStep(), LexGroupStep()]
+        )
+        state = plan.plan()
+        # cp0 composed with cp2 in the final mappings (paper section 5.3)
+        names = set()
+        for mapping in state.data_mappings.values():
+            names |= mapping.uf_names()
+        assert {"cp0", "cp2", "left", "right"} <= names
+
+    def test_plan_reports_all_legal(self, moldyn_data):
+        kernel = kernel_by_name("moldyn")
+        plan = CompositionPlan(kernel, [CPackStep(), LexGroupStep()])
+        plan.plan()
+        assert all(p.report.proven for p in plan.planned_transformations)
+
+    def test_fst_extends_arity(self):
+        kernel = kernel_by_name("moldyn")
+        plan = CompositionPlan(
+            kernel,
+            [CPackStep(), LexGroupStep(), FullSparseTilingStep(8), TilePackStep()],
+        )
+        state = plan.plan()
+        assert state.tuple_arity == 5
+
+    def test_default_name_from_steps(self):
+        kernel = kernel_by_name("irreg")
+        plan = CompositionPlan(kernel, [CPackStep(), LexGroupStep()])
+        assert plan.name == "cpack+lg"
+
+    def test_describe_mentions_every_step(self):
+        kernel = kernel_by_name("moldyn")
+        plan = CompositionPlan(
+            kernel, [GPartStep(8), LexGroupStep(), FullSparseTilingStep(8)]
+        )
+        text = plan.describe()
+        assert "GPartStep" in text and "FullSparseTilingStep" in text
+
+    @pytest.mark.parametrize("kernel_name", ["moldyn", "nbf", "irreg"])
+    def test_paper_compositions_plan_legally(self, kernel_name):
+        kernel = kernel_by_name(kernel_name)
+        plan = CompositionPlan(
+            kernel,
+            [
+                CPackStep(), LexGroupStep(), CPackStep(), LexGroupStep(),
+                FullSparseTilingStep(8), TilePackStep(),
+            ],
+        )
+        state = plan.plan(strict=True)
+        assert state.tuple_arity == 5
+
+
+class TestEndToEndVerification:
+    @pytest.mark.parametrize("kernel_name", ["moldyn", "irreg"])
+    def test_dependences_hold_concretely(self, kernel_name, request):
+        data = tiny(kernel_name, request)
+        kernel = kernel_by_name(kernel_name)
+        steps = [CPackStep(), LexGroupStep()]
+        plan = CompositionPlan(kernel, steps)
+        plan.plan()
+        res = plan.build_inspector().run(data)
+        checked = verify_dependences(data, res, plan, num_steps=2)
+        assert checked > 0
+
+    def test_full_composition_dependences_hold(self, moldyn_data):
+        kernel = kernel_by_name("moldyn")
+        steps = [
+            CPackStep(), LexGroupStep(), CPackStep(), LexGroupStep(),
+            FullSparseTilingStep(10), TilePackStep(),
+        ]
+        plan = CompositionPlan(kernel, steps)
+        plan.plan()
+        res = plan.build_inspector().run(moldyn_data)
+        assert verify_numeric_equivalence(moldyn_data, res)
+        checked = verify_dependences(moldyn_data, res, plan, num_steps=2)
+        assert checked > 1000  # tiled 5-D space has many pairs
+
+    def test_max_pairs_caps_work(self, moldyn_data):
+        kernel = kernel_by_name("moldyn")
+        plan = CompositionPlan(kernel, [CPackStep(), LexGroupStep()])
+        plan.plan()
+        res = plan.build_inspector().run(moldyn_data)
+        assert verify_dependences(moldyn_data, res, plan, max_pairs=10) == 10
+
+    def test_verify_catches_corruption(self, moldyn_data):
+        """Sabotage the tiling: the dependence verifier must object."""
+        kernel = kernel_by_name("moldyn")
+        steps = [CPackStep(), LexGroupStep(), FullSparseTilingStep(10)]
+        plan = CompositionPlan(kernel, steps)
+        plan.plan()
+        res = plan.build_inspector().run(moldyn_data)
+        # Move one j iteration into a much later tile than its sources.
+        theta = res.stage_functions["theta2"]
+        theta[0][:] = res.tiling.num_tiles  # all i-loop tiles far too late
+        with pytest.raises(AssertionError, match="violated"):
+            verify_dependences(moldyn_data, res, plan, num_steps=1)
+
+    def test_numeric_verify_catches_corruption(self, moldyn_data):
+        kernel = kernel_by_name("moldyn")
+        plan = CompositionPlan(kernel, [CPackStep()])
+        plan.plan()
+        res = plan.build_inspector().run(moldyn_data)
+        res.transformed.left[0] = (res.transformed.left[0] + 1) % moldyn_data.num_nodes
+        with pytest.raises(AssertionError, match="differs"):
+            verify_numeric_equivalence(moldyn_data, res)

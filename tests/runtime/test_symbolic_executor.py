@@ -1,0 +1,117 @@
+"""The acid test: executor order == lex order of the transformed space.
+
+For every composition, enumerating the final symbolic iteration space
+(with the generated reordering functions bound in) in lexicographic order
+must reproduce, tuple for tuple, the order the run-time executor actually
+visits — the paper's defining property of the unified-iteration-space
+framework.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import make_kernel_data
+from repro.kernels.datasets import Dataset
+from repro.kernels.specs import kernel_by_name
+from repro.runtime import CompositionPlan
+from repro.runtime.inspector import (
+    CPackStep,
+    FullSparseTilingStep,
+    GPartStep,
+    LexGroupStep,
+    TilePackStep,
+)
+from repro.runtime.symbolic_executor import (
+    executor_execution_order,
+    symbolic_execution_order,
+    symbolic_locations_touched,
+)
+
+
+def tiny(kernel_name, n=10, m=16, seed=3):
+    rng = np.random.default_rng(seed)
+    return make_kernel_data(
+        kernel_name,
+        Dataset(
+            "tiny", n,
+            rng.integers(0, n, m).astype(np.int64),
+            rng.integers(0, n, m).astype(np.int64),
+        ),
+    )
+
+
+def run(kernel_name, steps):
+    data = tiny(kernel_name)
+    plan = CompositionPlan(kernel_by_name(kernel_name), steps)
+    plan.plan()
+    result = plan.build_inspector().run(data)
+    return data, plan, result
+
+
+COMPOSITIONS = [
+    ("empty", lambda: []),
+    ("cpack", lambda: [CPackStep()]),
+    ("cpack+lg", lambda: [CPackStep(), LexGroupStep()]),
+    ("gpart+lg", lambda: [GPartStep(4), LexGroupStep()]),
+    (
+        "cpack2x",
+        lambda: [CPackStep(), LexGroupStep(), CPackStep(), LexGroupStep()],
+    ),
+    ("cpack+lg+fst", lambda: [CPackStep(), LexGroupStep(), FullSparseTilingStep(5)]),
+    (
+        "cpack+lg+fst+tp",
+        lambda: [
+            CPackStep(), LexGroupStep(), FullSparseTilingStep(5), TilePackStep(),
+        ],
+    ),
+]
+
+
+class TestExecutionOrderEquivalence:
+    @pytest.mark.parametrize(
+        "name,make_steps", COMPOSITIONS, ids=[c[0] for c in COMPOSITIONS]
+    )
+    @pytest.mark.parametrize("kernel_name", ["moldyn", "irreg"])
+    def test_lex_order_is_executor_order(self, kernel_name, name, make_steps):
+        data, plan, result = run(kernel_name, make_steps())
+        symbolic = symbolic_execution_order(data, result, plan, num_steps=1)
+        concrete = executor_execution_order(data, result, num_steps=1)
+        assert symbolic == concrete
+
+    def test_two_time_steps(self):
+        data, plan, result = run("irreg", [CPackStep(), LexGroupStep()])
+        symbolic = symbolic_execution_order(data, result, plan, num_steps=2)
+        concrete = executor_execution_order(data, result, num_steps=2)
+        assert symbolic == concrete
+
+
+class TestSymbolicLocations:
+    def test_mapping_images_match_executor_arrays(self):
+        """M applied to a transformed j-loop point gives exactly the
+        (adjusted) index arrays' endpoints."""
+        data, plan, result = run("moldyn", [CPackStep(), LexGroupStep()])
+        d = result.transformed
+        p_j = 1
+        for j in (0, d.num_inter - 1):
+            point = (0, p_j, j, 0)
+            touched = symbolic_locations_touched(data, result, plan, point)
+            assert set(touched["x"]) == {(int(d.left[j]),), (int(d.right[j]),)}
+
+    def test_node_loop_identity_mapping(self):
+        data, plan, result = run("moldyn", [CPackStep()])
+        touched = symbolic_locations_touched(data, result, plan, (0, 0, 3, 0))
+        assert touched["x"] == [(3,)]
+        assert touched["vx"] == [(3,)]
+
+    def test_tiled_point_mapping(self):
+        data, plan, result = run(
+            "moldyn", [CPackStep(), LexGroupStep(), FullSparseTilingStep(5)]
+        )
+        # first scheduled i-loop iteration of tile 0
+        tile0_i = result.plan.schedule[0][0]
+        if len(tile0_i):
+            x = int(tile0_i[0])
+            touched = symbolic_locations_touched(
+                data, result, plan, (0, 0, 0, x, 0)
+            )
+            assert touched["x"] == [(x,)]

@@ -1,0 +1,53 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "mol1" in out and "edges_per_node" in out
+
+    def test_describe_prints_specs(self, capsys):
+        assert main(["describe", "irreg"]) == 0
+        out = capsys.readouterr().out
+        assert "I0 for kernel 'irreg'" in out
+        assert "M[x]" in out
+        assert "left(" in out
+        assert "reduction" in out
+
+    def test_plan_reports_legality(self, capsys):
+        assert main(["plan", "moldyn", "cpack", "lexgroup"]) == 0
+        out = capsys.readouterr().out
+        assert "CompositionPlan" in out
+        assert "legal" in out
+
+    def test_plan_fst_notes_discharge(self, capsys):
+        assert main(["plan", "moldyn", "cpack", "lexgroup", "fst"]) == 0
+        out = capsys.readouterr().out
+        assert "inspector traverses dependences" in out
+
+    def test_plan_unknown_step(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "moldyn", "unroll-and-jam"])
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["describe", "spmv"])
+
+    def test_figure_small_scale(self, capsys):
+        assert main(["figure16", "--scale", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "percent_reduction" in out
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart", "--scale", "256", "--dataset", "foil"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,163 @@
+"""Unit tests for ReorderingFunction, AccessMap, and relation builders."""
+
+import numpy as np
+import pytest
+
+from repro.presburger import Environment
+from repro.transforms import (
+    AccessMap,
+    ReorderingFunction,
+    identity_reordering,
+    permutation_from_order,
+    permute_loops_relation,
+    tile_insert_relation,
+    tile_permute_relation,
+)
+
+
+class TestReorderingFunction:
+    def test_identity(self):
+        f = identity_reordering(5)
+        assert f(3) == 3
+        assert f.is_permutation()
+
+    def test_permutation_check_rejects_duplicates(self):
+        f = ReorderingFunction("bad", [0, 0, 2])
+        assert not f.is_permutation()
+        with pytest.raises(ValueError):
+            f.require_permutation()
+
+    def test_permutation_check_rejects_out_of_range(self):
+        assert not ReorderingFunction("bad", [0, 5, 1]).is_permutation()
+        assert not ReorderingFunction("bad", [-1, 0, 1]).is_permutation()
+
+    def test_empty_is_permutation(self):
+        assert ReorderingFunction("e", np.empty(0, dtype=np.int64)).is_permutation()
+
+    def test_inverse(self):
+        f = ReorderingFunction("f", [2, 0, 1])
+        inv = f.inverse()
+        assert list(inv.array) == [1, 2, 0]
+        for i in range(3):
+            assert inv(f(i)) == i
+
+    def test_compose(self):
+        f = ReorderingFunction("f", [1, 2, 0])
+        g = ReorderingFunction("g", [2, 0, 1])
+        h = f.compose(g)  # g after f
+        for i in range(3):
+            assert h(i) == g(f(i))
+
+    def test_compose_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ReorderingFunction("f", [0]).compose(ReorderingFunction("g", [0, 1]))
+
+    def test_apply_to_data(self):
+        sigma = ReorderingFunction("s", [2, 0, 1])
+        data = np.array([10.0, 20.0, 30.0])
+        out = sigma.apply_to_data(data)
+        # element 0 moves to slot 2, 1 -> 0, 2 -> 1
+        assert list(out) == [20.0, 30.0, 10.0]
+
+    def test_remap_values(self):
+        sigma = ReorderingFunction("s", [2, 0, 1])
+        left = np.array([0, 1, 2, 0])
+        assert list(sigma.remap_values(left)) == [2, 0, 1, 2]
+
+    def test_remap_then_apply_consistency(self):
+        """Adjusted index arrays address the same values in relocated data."""
+        rng = np.random.default_rng(0)
+        n = 50
+        sigma = permutation_from_order("s", rng.permutation(n))
+        data = rng.random(n)
+        idx = rng.integers(0, n, size=120)
+        moved = sigma.apply_to_data(data)
+        adjusted = sigma.remap_values(idx)
+        assert np.allclose(moved[adjusted], data[idx])
+
+    def test_permutation_from_order(self):
+        # visit order 2,0,1: old 2 becomes new 0.
+        sigma = permutation_from_order("s", [2, 0, 1])
+        assert list(sigma.array) == [1, 2, 0]
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            ReorderingFunction("b", np.zeros((2, 2)))
+
+    def test_equality(self):
+        assert ReorderingFunction("a", [0, 1]) == ReorderingFunction("b", [0, 1])
+        assert ReorderingFunction("a", [0, 1]) != ReorderingFunction("a", [1, 0])
+
+
+class TestAccessMap:
+    def test_from_columns_interleaves(self):
+        am = AccessMap.from_columns(
+            [np.array([0, 1]), np.array([2, 3])], num_locations=4
+        )
+        assert list(am.row(0)) == [0, 2]
+        assert list(am.row(1)) == [1, 3]
+        assert list(am.flat_locations()) == [0, 2, 1, 3]
+
+    def test_from_rows_ragged(self):
+        am = AccessMap.from_rows([[0], [1, 2, 3], []], num_locations=4)
+        assert am.num_iterations == 3
+        assert list(am.row(1)) == [1, 2, 3]
+        assert list(am.row(2)) == []
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(ValueError):
+            AccessMap.from_columns([np.array([0]), np.array([0, 1])], 2)
+
+    def test_with_data_reordered(self):
+        am = AccessMap.from_columns([np.array([0, 1])], 3)
+        sigma = ReorderingFunction("s", [2, 0, 1])
+        out = am.with_data_reordered(sigma)
+        assert list(out.flat_locations()) == [2, 0]
+
+    def test_with_iterations_reordered(self):
+        am = AccessMap.from_rows([[0], [1], [2]], 3)
+        delta = ReorderingFunction("d", [2, 0, 1])  # old 0 -> new pos 2
+        out = am.with_iterations_reordered(delta)
+        assert [list(out.row(i)) for i in range(3)] == [[1], [2], [0]]
+
+    def test_iteration_reorder_length_check(self):
+        am = AccessMap.from_rows([[0]], 1)
+        with pytest.raises(ValueError):
+            am.with_iterations_reordered(ReorderingFunction("d", [0, 1]))
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            AccessMap(np.array([1, 2]), np.array([0, 0]), 1)
+        with pytest.raises(ValueError):
+            AccessMap(np.array([0, 1]), np.array([0, 0]), 1)
+
+
+class TestRelationBuilders:
+    def test_permute_loops_relation(self):
+        T = permute_loops_relation(2, {0: "cp", 1: "lg"})
+        env = Environment()
+        env.bind_array("cp", [1, 0])
+        env.bind_array("lg", [0, 1])
+        assert env.apply_relation_single(T, (3, 0, 0, 0)) == (3, 0, 1, 0)
+        assert env.apply_relation_single(T, (3, 1, 1, 2)) == (3, 1, 1, 2)
+
+    def test_permute_loops_identity_piece(self):
+        T = permute_loops_relation(2, {0: "cp"})
+        env = Environment()
+        env.bind_array("cp", [1, 0])
+        # loop 1 untouched
+        assert env.apply_relation_single(T, (0, 1, 0, 0)) == (0, 1, 0, 0)
+
+    def test_tile_insert_relation(self):
+        T = tile_insert_relation("theta")
+        env = Environment()
+        env.bind_function("theta", lambda l, x: 7)
+        assert env.apply_relation_single(T, (1, 2, 3, 0)) == (1, 7, 2, 3, 0)
+
+    def test_tile_permute_relation(self):
+        T = tile_permute_relation(3, {0: "tp", 2: "tp"})
+        env = Environment()
+        env.bind_array("tp", [1, 0])
+        assert env.apply_relation_single(T, (0, 5, 0, 0, 0)) == (0, 5, 0, 1, 0)
+        assert env.apply_relation_single(T, (0, 5, 1, 0, 0)) == (0, 5, 1, 0, 0)
+        assert env.apply_relation_single(T, (0, 5, 2, 1, 0)) == (0, 5, 2, 0, 0)

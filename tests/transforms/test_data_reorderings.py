@@ -1,0 +1,159 @@
+"""Unit tests for the data reordering inspectors (CPACK, GPART, RCM)."""
+
+import numpy as np
+import pytest
+
+from repro.transforms import (
+    AccessMap,
+    cpack,
+    cpack_from_access_map,
+    cuthill_mckee,
+    gpart,
+    reverse_cuthill_mckee,
+)
+
+
+def ring_access_map(n):
+    """Interactions around a ring: j touches nodes j and (j+1) mod n."""
+    left = np.arange(n)
+    right = (np.arange(n) + 1) % n
+    return AccessMap.from_columns([left, right], n)
+
+
+class TestCPACK:
+    def test_first_touch_order(self):
+        # traversal 3,1,3,0 packs 3->0, 1->1, 0->2; untouched 2 goes last.
+        sigma = cpack(np.array([3, 1, 3, 0]), 4)
+        assert list(sigma.array) == [2, 1, 3, 0]
+        assert sigma.is_permutation()
+
+    def test_paper_figure3_example(self):
+        """Figure 2->3 of the paper: packing by interaction traversal.
+
+        Interactions touch (in order) pairs (0,4), (4,2), (2,0), (1,3).
+        First-touch order of the data: 0,4,2,1,3.
+        """
+        accesses = np.array([0, 4, 4, 2, 2, 0, 1, 3])
+        sigma = cpack(accesses, 5)
+        # new position of 0 is 0, of 4 is 1, of 2 is 2, of 1 is 3, of 3 is 4
+        assert list(sigma.array) == [0, 3, 2, 4, 1]
+
+    def test_untouched_locations_keep_relative_order(self):
+        sigma = cpack(np.array([5]), 7)
+        assert list(sigma.array) == [1, 2, 3, 4, 5, 0, 6]
+
+    def test_empty_traversal(self):
+        sigma = cpack(np.empty(0, dtype=np.int64), 3)
+        assert list(sigma.array) == [0, 1, 2]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            cpack(np.array([4]), 3)
+
+    def test_from_access_map_matches_flat(self):
+        am = ring_access_map(6)
+        a = cpack_from_access_map(am)
+        b = cpack(am.flat_locations(), 6)
+        assert a == b
+
+    def test_counter_accounts_touches(self):
+        counter = {}
+        cpack(np.array([0, 1, 0]), 3, counter=counter)
+        assert counter["touches"] == 2 * 3 + 3
+
+    def test_idempotent_on_packed_data(self):
+        """CPACK of an already consecutively packed traversal is identity."""
+        am = ring_access_map(8)
+        sigma = cpack_from_access_map(am)
+        repacked = cpack_from_access_map(am.with_data_reordered(sigma))
+        assert list(repacked.array) == list(range(8))
+
+    def test_random_traversals_always_permutations(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            n = int(rng.integers(1, 40))
+            acc = rng.integers(0, n, size=int(rng.integers(0, 100)))
+            assert cpack(acc, n).is_permutation()
+
+
+class TestGPART:
+    def test_partitions_are_contiguous_ranges(self):
+        am = ring_access_map(12)
+        sigma = gpart(am, partition_size=4)
+        assert sigma.is_permutation()
+        # Neighbors on the ring should mostly stay within one partition:
+        # count cross-partition interactions; a ring of 12 cut into 3+
+        # partitions has about num_partitions cut edges.
+        part_of = sigma.array // 4
+        cuts = sum(
+            1 for j in range(12) if part_of[j] != part_of[(j + 1) % 12]
+        )
+        assert cuts <= 4
+
+    def test_partition_size_one(self):
+        am = ring_access_map(5)
+        sigma = gpart(am, partition_size=1)
+        assert sigma.is_permutation()
+
+    def test_invalid_partition_size(self):
+        with pytest.raises(ValueError):
+            gpart(ring_access_map(4), 0)
+
+    def test_improves_over_random_ordering(self):
+        """GPART recovers locality destroyed by a random renumbering."""
+        rng = np.random.default_rng(3)
+        n = 64
+        scramble = rng.permutation(n)
+        left = scramble[np.arange(n)]
+        right = scramble[(np.arange(n) + 1) % n]
+        am = AccessMap.from_columns([left, right], n)
+        sigma = gpart(am, partition_size=8)
+        # After reordering, the average |left-right| distance should be
+        # far below the random baseline (~n/3).
+        new_left = sigma.array[left]
+        new_right = sigma.array[right]
+        avg_dist = np.abs(new_left - new_right).mean()
+        base_dist = np.abs(left - right).mean()
+        assert avg_dist < base_dist / 2
+
+    def test_counter(self):
+        counter = {}
+        gpart(ring_access_map(6), 3, counter=counter)
+        assert counter["touches"] > 0
+
+    def test_handles_isolated_nodes(self):
+        am = AccessMap.from_rows([[0, 1]], num_locations=5)
+        sigma = gpart(am, 2)
+        assert sigma.is_permutation()
+
+    def test_self_loop_rows_ignored(self):
+        am = AccessMap.from_rows([[1, 1], [0, 2]], num_locations=3)
+        sigma = gpart(am, 2)
+        assert sigma.is_permutation()
+
+
+class TestRCM:
+    def test_cm_is_permutation(self):
+        assert cuthill_mckee(ring_access_map(9)).is_permutation()
+
+    def test_rcm_reverses_cm(self):
+        am = ring_access_map(9)
+        cm = cuthill_mckee(am)
+        rcm = reverse_cuthill_mckee(am)
+        assert list(rcm.array) == [8 - v for v in cm.array]
+
+    def test_rcm_reduces_bandwidth(self):
+        """RCM on a scrambled path graph restores near-band structure."""
+        rng = np.random.default_rng(11)
+        n = 40
+        scramble = rng.permutation(n)
+        left = scramble[np.arange(n - 1)]
+        right = scramble[np.arange(1, n)]
+        am = AccessMap.from_columns([left, right], n)
+        sigma = reverse_cuthill_mckee(am)
+        bw = np.abs(sigma.array[left] - sigma.array[right]).max()
+        assert bw <= 2  # a path relabels to bandwidth 1 (2 allows ties)
+
+    def test_disconnected_components(self):
+        am = AccessMap.from_rows([[0, 1], [3, 4]], num_locations=6)
+        assert cuthill_mckee(am).is_permutation()

@@ -1,0 +1,151 @@
+"""Tests for the space-filling-curve data reorderings."""
+
+import numpy as np
+import pytest
+
+from repro.transforms.spacefill import (
+    hilbert_index_2d,
+    morton_index,
+    space_filling_order,
+)
+
+
+def full_grid(order):
+    n = 1 << order
+    xs, ys = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return np.stack([xs.ravel(), ys.ravel()], axis=1).astype(float)
+
+
+class TestHilbert:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_bijective_on_full_grid(self, order):
+        coords = full_grid(order)
+        idx = hilbert_index_2d(coords, order=order)
+        assert sorted(idx.tolist()) == list(range(len(coords)))
+
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_consecutive_indices_are_grid_adjacent(self, order):
+        """The defining Hilbert property (Morton does NOT have it)."""
+        coords = full_grid(order)
+        idx = hilbert_index_2d(coords, order=order)
+        pts = coords[np.argsort(idx)]
+        steps = np.abs(np.diff(pts, axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            hilbert_index_2d(np.zeros((4, 3)))
+
+
+class TestMorton:
+    def test_bijective_on_full_grid(self):
+        coords = full_grid(3)
+        idx = morton_index(coords, order=3)
+        assert sorted(idx.tolist()) == list(range(64))
+
+    def test_works_in_3d(self):
+        n = 4
+        g = np.stack(
+            np.meshgrid(*([np.arange(n)] * 3), indexing="ij"), axis=-1
+        ).reshape(-1, 3).astype(float)
+        idx = morton_index(g, order=2)
+        assert sorted(idx.tolist()) == list(range(64))
+
+    def test_morton_has_long_jumps(self):
+        """Contrast with Hilbert: Z-order takes non-adjacent steps."""
+        coords = full_grid(3)
+        idx = morton_index(coords, order=3)
+        pts = coords[np.argsort(idx)]
+        steps = np.abs(np.diff(pts, axis=0)).sum(axis=1)
+        assert steps.max() > 1
+
+
+class TestSpaceFillingOrder:
+    def test_permutation(self):
+        rng = np.random.default_rng(0)
+        coords = rng.random((100, 2))
+        for curve in ("hilbert", "morton"):
+            assert space_filling_order(coords, curve).is_permutation()
+
+    def test_unknown_curve(self):
+        with pytest.raises(ValueError):
+            space_filling_order(np.zeros((3, 2)), "peano")
+
+    def test_hilbert_needs_2d(self):
+        with pytest.raises(ValueError):
+            space_filling_order(np.zeros((3, 3)), "hilbert")
+
+    def test_counter(self):
+        counter = {}
+        space_filling_order(np.zeros((5, 2)), "morton", counter=counter)
+        assert counter["touches"] > 0
+
+    def test_nearby_points_nearby_positions(self):
+        """Locality: the average new-index distance of spatial neighbors is
+        far below random."""
+        rng = np.random.default_rng(4)
+        n = 400
+        coords = rng.random((n, 2))
+        sigma = space_filling_order(coords, "hilbert")
+        # pair each point with its nearest neighbor (brute force)
+        d2 = ((coords[:, None, :] - coords[None, :, :]) ** 2).sum(axis=2)
+        np.fill_diagonal(d2, np.inf)
+        nearest = d2.argmin(axis=1)
+        gap = np.abs(sigma.array - sigma.array[nearest]).mean()
+        assert gap < n / 6  # random ordering would average ~n/3
+
+    def test_degenerate_identical_points(self):
+        coords = np.zeros((7, 2))
+        sigma = space_filling_order(coords, "hilbert")
+        assert sigma.is_permutation()
+
+
+class TestSpaceFillingStep:
+    def test_composes_with_other_steps(self):
+        from repro.kernels import generate_dataset, make_kernel_data
+        from repro.kernels.specs import kernel_by_name
+        from repro.runtime import CompositionPlan, SpaceFillingStep
+        from repro.runtime.inspector import CPackStep, LexGroupStep
+        from repro.runtime.verify import verify_numeric_equivalence
+
+        ds = generate_dataset("foil", scale=256)
+        data = make_kernel_data("irreg", ds)
+        plan = CompositionPlan(
+            kernel_by_name("irreg"),
+            [SpaceFillingStep(ds.coords), LexGroupStep(), CPackStep()],
+        )
+        plan.plan()
+        res = plan.build_inspector().run(data)
+        assert verify_numeric_equivalence(data, res)
+
+    def test_coords_size_mismatch(self):
+        import numpy as np
+
+        from repro.kernels import generate_dataset, make_kernel_data
+        from repro.runtime import SpaceFillingStep
+        from repro.runtime.inspector import ComposedInspector
+
+        data = make_kernel_data("irreg", generate_dataset("foil", scale=256))
+        step = SpaceFillingStep(np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="every node"):
+            ComposedInspector([step]).run(data)
+
+    def test_coords_follow_prior_reorderings(self):
+        """SFC after CPACK must see coordinates in the current numbering."""
+        import numpy as np
+
+        from repro.kernels import generate_dataset, make_kernel_data
+        from repro.runtime import SpaceFillingStep
+        from repro.runtime.inspector import ComposedInspector, CPackStep
+
+        ds = generate_dataset("foil", scale=256)
+        data = make_kernel_data("irreg", ds)
+        res = ComposedInspector(
+            [CPackStep(), SpaceFillingStep(ds.coords)]
+        ).run(data)
+        # after the composition, position p holds the node whose original
+        # id is sigma^-1(p); consecutive positions must be spatially close
+        inv = res.sigma_nodes.inverse_array
+        pts = ds.coords[inv]
+        gaps = np.sqrt(((pts[1:] - pts[:-1]) ** 2).sum(axis=1))
+        assert np.median(gaps) < 0.1  # unit square; random would be ~0.5

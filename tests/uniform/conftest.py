@@ -1,0 +1,53 @@
+"""Shared fixtures: the paper's simplified moldyn kernel (Figure 1)."""
+
+import pytest
+
+from repro.presburger.terms import AffineExpr, var
+from repro.uniform import (
+    DataArraySpec,
+    IndexArraySpec,
+    Kernel,
+    Loop,
+    Statement,
+    read,
+    reduce_into,
+)
+
+
+def build_simple_moldyn() -> Kernel:
+    """Figure 1 of the paper, 0-based::
+
+        do s = 0, num_steps-1
+          do i:  x[i] += vx[i] + fx[i]                       (S1)
+          do j:  fx[left[j]]  += g(x[left[j]], x[right[j]])  (S2)
+                 fx[right[j]] += g(x[left[j]], x[right[j]])  (S3)
+          do k:  vx[k] += fx[k]                              (S4)
+    """
+    xl = AffineExpr.ufs("left", var("j"))
+    xr = AffineExpr.ufs("right", var("j"))
+    s1 = Statement("S1", [reduce_into("x", "i"), read("vx", "i"), read("fx", "i")])
+    s2 = Statement("S2", [reduce_into("fx", xl), read("x", xl), read("x", xr)])
+    s3 = Statement("S3", [reduce_into("fx", xr), read("x", xl), read("x", xr)])
+    s4 = Statement("S4", [reduce_into("vx", "k"), read("fx", "k")])
+    return Kernel(
+        "moldyn_simple",
+        loops=[
+            Loop("Li", "i", "num_nodes", [s1]),
+            Loop("Lj", "j", "num_inter", [s2, s3]),
+            Loop("Lk", "k", "num_nodes", [s4]),
+        ],
+        data_arrays=[
+            DataArraySpec("x", "num_nodes"),
+            DataArraySpec("vx", "num_nodes"),
+            DataArraySpec("fx", "num_nodes"),
+        ],
+        index_arrays=[
+            IndexArraySpec("left", "num_inter", "num_nodes"),
+            IndexArraySpec("right", "num_inter", "num_nodes"),
+        ],
+    )
+
+
+@pytest.fixture
+def moldyn():
+    return build_simple_moldyn()

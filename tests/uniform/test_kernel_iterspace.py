@@ -1,0 +1,163 @@
+"""Unit tests for the kernel IR and unified iteration space."""
+
+import pytest
+
+from repro.presburger import Environment
+from repro.presburger.terms import AffineExpr, var
+from repro.uniform import (
+    AccessKind,
+    DataArraySpec,
+    IndexArraySpec,
+    Kernel,
+    Loop,
+    Statement,
+    UnifiedSpace,
+    read,
+    reduce_into,
+    write,
+)
+
+
+class TestAccessConstructors:
+    def test_read(self):
+        acc = read("x", "i")
+        assert acc.kind is AccessKind.READ
+        assert acc.array == "x"
+        assert not acc.kind.writes
+        assert acc.kind.reads
+
+    def test_write(self):
+        acc = write("x", "i")
+        assert acc.kind.writes
+        assert not acc.kind.reads
+
+    def test_update_reads_and_writes(self):
+        acc = reduce_into("fx", AffineExpr.ufs("left", var("j")))
+        assert acc.kind.writes and acc.kind.reads
+
+    def test_index_coerced(self):
+        acc = read("x", 0)
+        assert acc.index == AffineExpr.constant(0)
+
+
+class TestKernelValidation:
+    def _loop(self, stmt):
+        return Loop("L", "i", "n", [stmt])
+
+    def test_unknown_data_array_rejected(self):
+        with pytest.raises(ValueError, match="unknown data array"):
+            Kernel("k", [self._loop(Statement("S", [read("ghost", "i")]))], [])
+
+    def test_foreign_variable_in_subscript_rejected(self):
+        with pytest.raises(ValueError, match="other than the loop index"):
+            Kernel(
+                "k",
+                [self._loop(Statement("S", [read("x", var("z"))]))],
+                [DataArraySpec("x", "n")],
+            )
+
+    def test_undeclared_index_array_rejected(self):
+        with pytest.raises(ValueError, match="undeclared index arrays"):
+            Kernel(
+                "k",
+                [self._loop(Statement("S", [read("x", AffineExpr.ufs("col", var("i")))]))],
+                [DataArraySpec("x", "n")],
+            )
+
+    def test_duplicate_statement_labels_rejected(self):
+        s = Statement("S", [read("x", "i")])
+        with pytest.raises(ValueError, match="duplicate statement labels"):
+            Kernel(
+                "k",
+                [Loop("L1", "i", "n", [s]), Loop("L2", "i", "n", [s])],
+                [DataArraySpec("x", "n")],
+            )
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(ValueError, match="no statements"):
+            Loop("L", "i", "n", [])
+
+    def test_no_loops_rejected(self):
+        with pytest.raises(ValueError, match="at least one loop"):
+            Kernel("k", [], [])
+
+    def test_positions(self, moldyn):
+        assert moldyn.loop_position("Lj") == 1
+        assert moldyn.statement_position("S3") == (1, 1)
+        assert moldyn.statement_position("S4") == (2, 0)
+        with pytest.raises(KeyError):
+            moldyn.statement_position("S9")
+
+    def test_extent_symbols(self, moldyn):
+        assert moldyn.extent_symbols() == {"num_steps", "num_nodes", "num_inter"}
+
+
+class TestUnifiedSpace:
+    def test_statement_count(self, moldyn):
+        assert len(moldyn.all_statements()) == 4
+
+    def test_iteration_space_membership(self, moldyn):
+        env = Environment(symbols={"num_steps": 2, "num_nodes": 3, "num_inter": 4})
+        space = UnifiedSpace(moldyn)
+        I0 = space.iteration_space()
+        # S1 instance [s=0, l=0, i=2, q=0]
+        assert env.set_contains(I0, (0, 0, 2, 0))
+        # S3 instance [s=1, l=1, j=3, q=1]
+        assert env.set_contains(I0, (1, 1, 3, 1))
+        # i out of bounds
+        assert not env.set_contains(I0, (0, 0, 3, 0))
+        # loop 0 has no second statement
+        assert not env.set_contains(I0, (0, 0, 0, 1))
+        # no loop 3
+        assert not env.set_contains(I0, (0, 3, 0, 0))
+
+    def test_iteration_space_volume(self, moldyn):
+        env = Environment(symbols={"num_steps": 2, "num_nodes": 3, "num_inter": 4})
+        I0 = UnifiedSpace(moldyn).iteration_space()
+        pts = list(env.enumerate_set(I0))
+        # per step: 3 (S1) + 4 (S2) + 4 (S3) + 3 (S4) = 14; two steps = 28
+        assert len(pts) == 28
+
+    def test_lexicographic_order_is_program_order(self, moldyn):
+        env = Environment(symbols={"num_steps": 1, "num_nodes": 2, "num_inter": 2})
+        I0 = UnifiedSpace(moldyn).iteration_space()
+        pts = list(env.enumerate_set(I0))
+        # All loop-0 iterations precede loop-1, which precede loop-2.
+        loops = [p[1] for p in pts]
+        assert loops == sorted(loops)
+        # S2 of j comes before S3 of the same j.
+        assert pts.index((0, 1, 0, 0)) < pts.index((0, 1, 0, 1))
+        # S3 of j=0 comes before S2 of j=1.
+        assert pts.index((0, 1, 0, 1)) < pts.index((0, 1, 1, 0))
+
+    def test_statement_set(self, moldyn):
+        env = Environment(symbols={"num_steps": 1, "num_nodes": 3, "num_inter": 2})
+        s2 = UnifiedSpace(moldyn).statement_set("S2")
+        pts = list(env.enumerate_set(s2))
+        assert pts == [(0, 1, 0, 0), (0, 1, 1, 0)]
+
+    def test_loop_set(self, moldyn):
+        env = Environment(symbols={"num_steps": 1, "num_nodes": 3, "num_inter": 2})
+        lj = UnifiedSpace(moldyn).loop_set("Lj")
+        assert len(list(env.enumerate_set(lj))) == 4
+
+    def test_tuple_for(self, moldyn):
+        space = UnifiedSpace(moldyn)
+        assert space.tuple_for("S4", x=5, s=2) == (2, 2, 5, 0)
+
+    def test_kernel_without_outer_loop_pins_s(self):
+        k = Kernel(
+            "sweep",
+            [Loop("L", "i", "n", [Statement("S", [write("y", "i")])])],
+            [DataArraySpec("y", "n")],
+            outer_var=None,
+            outer_extent=None,
+        )
+        env = Environment(symbols={"n": 2})
+        I0 = UnifiedSpace(k).iteration_space()
+        assert list(env.enumerate_set(I0)) == [(0, 0, 0, 0), (0, 0, 1, 0)]
+
+    def test_describe_mentions_all_statements(self, moldyn):
+        text = UnifiedSpace(moldyn).describe()
+        for label in ("S1", "S2", "S3", "S4"):
+            assert label in text

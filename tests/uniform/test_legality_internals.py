@@ -1,0 +1,101 @@
+"""Direct unit tests for the legality machinery internals."""
+
+import pytest
+
+from repro.presburger import Environment, parse_relation
+from repro.uniform import (
+    DataReordering,
+    IterationReordering,
+    ProgramState,
+    check_data_reordering,
+    check_iteration_reordering,
+)
+from repro.uniform.legality import LegalityReport, Obligation, _violation_relation
+from repro.uniform.mappings import Dependence
+from repro.uniform.kernel import AccessKind
+
+
+def make_dep(text, name="dep"):
+    return Dependence(
+        array="x",
+        src_stmt="A",
+        dst_stmt="B",
+        src_kind=AccessKind.UPDATE,
+        dst_kind=AccessKind.READ,
+        relation=parse_relation(text),
+        is_reduction=False,
+    )
+
+
+class TestViolationRelation:
+    def test_identity_never_violates_forward_dep(self):
+        dep = make_dep("{[s,l,x,q] -> [s',l',x',q'] : s' = s + 1 && l' = l && x' = x && q' = q}")
+        T = parse_relation("{[s,l,x,q] -> [s,l,x,q]}")
+        violations = _violation_relation(dep, T)
+        assert violations.is_empty_syntactically()
+
+    def test_time_reversal_violates(self):
+        dep = make_dep("{[s,l,x,q] -> [s',l',x',q'] : s' = s + 1 && l' = l && x' = x && q' = q}")
+        # reverse time: s -> -s
+        T = parse_relation("{[s,l,x,q] -> [s1,l,x,q] : s1 = 0 - s}")
+        violations = _violation_relation(dep, T)
+        assert not violations.is_empty_syntactically()
+        # concrete witness: dep (0,..) -> (1,..) maps to (0,..) -> (-1,..)
+        env = Environment()
+        outs = env.apply_relation(violations, (0, 0, 0, 0))
+        assert (-1, 0, 0, 0) in outs
+
+    def test_collapsing_map_violates_via_equality(self):
+        """Mapping source and destination to the same point is illegal."""
+        dep = make_dep("{[s,l,x,q] -> [s',l',x',q'] : s' = s && l' = l && x' = x + 1 && q' = q && 0 <= x < 4}")
+        T = parse_relation("{[s,l,x,q] -> [s,l,x1,q] : x1 = 0}")
+        violations = _violation_relation(dep, T)
+        env = Environment()
+        outs = env.apply_relation(violations, (0, 0, 0, 0))
+        assert (0, 0, 0, 0) in outs  # collapsed onto itself
+
+    def test_permutation_ufs_defers_to_obligations(self):
+        """With an uninterpreted sigma the order cannot be proven."""
+        dep = make_dep(
+            "{[s,l,x,q] -> [s',l',x',q'] : s' = s && l' = l && x' = x + 1 && q' = q && 0 <= x < 4}"
+        )
+        T = parse_relation("{[s,l,x,q] -> [s,l,x1,q] : x1 = sig(x)}")
+        violations = _violation_relation(dep, T)
+        assert not violations.is_empty_syntactically()
+
+
+class TestReports:
+    def test_report_bool(self):
+        assert LegalityReport(proven=True)
+        assert not LegalityReport(proven=False)
+
+    def test_obligation_repr(self):
+        dep = make_dep("{[s,l,x,q] -> [s',l',x',q'] : s' = s}")
+        ob = Obligation(dep, dep.relation)
+        assert "d(A->B:x)" in repr(ob)
+
+    def test_data_reordering_report_notes_bijectivity(self, moldyn):
+        state = ProgramState.initial(moldyn)
+        report = check_data_reordering(state, DataReordering("cp", ("x",)))
+        assert any("permutation" in n for n in report.notes)
+
+    def test_skip_reductions_flag(self, moldyn):
+        state = ProgramState.initial(moldyn)
+        ident = parse_relation("{[s,l,x,q] -> [s,l,x,q]}")
+        with_skip = check_iteration_reordering(
+            state, IterationReordering(ident), skip_reductions=True
+        )
+        without = check_iteration_reordering(
+            state, IterationReordering(ident), skip_reductions=False
+        )
+        # identity respects everything either way, but the reduction notes
+        # only appear when skipping
+        assert any("reduction" in n for n in with_skip.notes)
+        assert with_skip.proven
+        assert without.proven
+
+    def test_notes_name_proven_dependences(self, moldyn):
+        state = ProgramState.initial(moldyn)
+        ident = parse_relation("{[s,l,x,q] -> [s,l,x,q]}")
+        report = check_iteration_reordering(state, IterationReordering(ident))
+        assert any("proven respected" in n for n in report.notes)

@@ -1,0 +1,121 @@
+"""Unit tests for data mappings and dependence relations."""
+
+import pytest
+
+from repro.presburger import Environment
+from repro.presburger.ordering import lex_lt
+from repro.uniform import UnifiedSpace, build_data_mappings, build_dependences
+
+
+SYMS = {"num_steps": 2, "num_nodes": 4, "num_inter": 3}
+
+
+@pytest.fixture
+def env():
+    e = Environment(symbols=dict(SYMS))
+    # left/right arrays: interaction j touches nodes left[j], right[j].
+    e.bind_array("left", [0, 1, 2])
+    e.bind_array("right", [1, 2, 3])
+    return e
+
+
+class TestDataMappings:
+    def test_every_data_array_has_a_mapping(self, moldyn):
+        mappings = build_data_mappings(moldyn)
+        assert set(mappings) == {"x", "vx", "fx"}
+
+    def test_x_mapping_from_i_loop(self, moldyn, env):
+        m = build_data_mappings(moldyn)["x"]
+        # S1 at i=2 touches x[2].
+        assert env.apply_relation(m, (0, 0, 2, 0)) == [(2,)]
+
+    def test_x_mapping_from_j_loop_both_endpoints(self, moldyn, env):
+        m = build_data_mappings(moldyn)["x"]
+        # S2 at j=1 reads x[left(1)] = x[1] and x[right(1)] = x[2].
+        out = set(env.apply_relation(m, (0, 1, 1, 0)))
+        assert out == {(1,), (2,)}
+
+    def test_vx_not_touched_by_j_loop(self, moldyn, env):
+        m = build_data_mappings(moldyn)["vx"]
+        assert env.apply_relation(m, (0, 1, 1, 0)) == []
+
+    def test_fx_mapping_statement_specific(self, moldyn, env):
+        m = build_data_mappings(moldyn)["fx"]
+        # S2 (q=0) updates fx[left(j)] only; S3 (q=1) updates fx[right(j)].
+        assert env.apply_relation(m, (0, 1, 0, 0)) == [(0,)]
+        assert env.apply_relation(m, (0, 1, 0, 1)) == [(1,)]
+
+    def test_mapping_respects_loop_bounds(self, moldyn, env):
+        m = build_data_mappings(moldyn)["x"]
+        assert env.apply_relation(m, (0, 0, 99, 0)) == []
+
+    def test_duplicate_accesses_deduped(self, moldyn):
+        # S1 reads and updates x[i]; the mapping keeps one conjunction for it.
+        m = build_data_mappings(moldyn)["x"]
+        loop0_conjs = [
+            c
+            for c in m.conjunctions
+            # l = 0 constraint present
+            if any("l" in cons.free_vars() and cons.expr.const == 0
+                   and cons.expr.coeff("l") in (1, -1) and len(cons.expr.coeffs) == 1
+                   for cons in c.constraints)
+        ]
+        assert len(loop0_conjs) == 1
+
+
+class TestDependences:
+    def test_reduction_flags(self, moldyn):
+        deps = build_dependences(moldyn)
+        by_name = {d.name: d for d in deps}
+        # S2 -> S3 via fx is UPDATE/UPDATE: reduction.
+        assert by_name["d(S2->S3:fx)"].is_reduction
+        # S1 -> S2 via x involves a read: not a reduction.
+        assert not by_name["d(S1->S2:x)"].is_reduction
+
+    def test_s1_to_s2_dependence_concrete(self, moldyn, env):
+        deps = {d.name: d for d in build_dependences(moldyn)}
+        rel = deps["d(S1->S2:x)"].relation
+        # S1 writes x[1] at (0,0,1,0); S2/S3 read x[left(j)/right(j)].
+        # left(1)=1, right(0)=1 so j=1 (q any) and j=0 (q any) depend on it.
+        outs = set(env.apply_relation(rel, (0, 0, 1, 0)))
+        same_step = {o for o in outs if o[0] == 0}
+        assert (0, 1, 1, 0) in same_step  # j=1 via left
+        assert (0, 1, 0, 0) in same_step  # j=0 via right
+        assert (0, 1, 2, 0) not in same_step  # j=2 touches nodes 2,3
+
+    def test_dependence_endpoints_ordered(self, moldyn, env):
+        """Every concrete dependence pair respects program (lex) order."""
+        deps = build_dependences(moldyn)
+        for dep in deps[:6]:  # a sample is enough for runtime
+            for src, dst in list(env.enumerate_relation(dep.relation))[:200]:
+                assert lex_lt(src, dst), (dep.name, src, dst)
+
+    def test_j_loop_to_k_loop_symmetry(self, moldyn):
+        """d24/d34 mirror d12/d13 (the paper's symmetric-dependence point)."""
+        deps = {d.name: d for d in build_dependences(moldyn)}
+        assert "d(S2->S4:fx)" in deps
+        assert "d(S3->S4:fx)" in deps
+        assert "d(S1->S2:x)" in deps
+        assert "d(S1->S3:x)" in deps
+
+    def test_same_statement_cross_timestep_dep(self, moldyn, env):
+        deps = {d.name: d for d in build_dependences(moldyn)}
+        rel = deps["d(S1->S1:x)"].relation
+        outs = set(env.apply_relation(rel, (0, 0, 1, 0)))
+        assert outs == {(1, 0, 1, 0)}  # same i, next time step only
+
+    def test_no_read_read_dependences_by_default(self, moldyn):
+        deps = build_dependences(moldyn)
+        for dep in deps:
+            assert dep.src_kind.writes or dep.dst_kind.writes
+
+    def test_input_deps_optional(self, moldyn):
+        with_input = build_dependences(moldyn, include_input_deps=True)
+        without = build_dependences(moldyn)
+        assert len(with_input) > len(without)
+
+    def test_all_20_dependences_found(self, moldyn):
+        # x: S1->S1 (reduction via update/update? no: read+update pairs merge),
+        # S1<->S2, S1<->S3; vx: S1<->S4, S4->S4; fx: S1<->S2/S3/S4, S2<->S3...
+        deps = build_dependences(moldyn)
+        assert len(deps) == 20

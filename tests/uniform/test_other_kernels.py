@@ -1,0 +1,72 @@
+"""Framework-level tests for the nbf and irreg kernel specs."""
+
+import pytest
+
+from repro.kernels.specs import irreg_kernel, nbf_kernel
+from repro.presburger import Environment
+from repro.presburger.ordering import lex_lt
+from repro.uniform import ProgramState, UnifiedSpace
+
+
+def env_for(kernel):
+    env = Environment(
+        symbols={"num_steps": 2, "num_nodes": 4, "num_inter": 3}
+    )
+    env.bind_array("left", [0, 1, 2])
+    env.bind_array("right", [1, 2, 3])
+    return env
+
+
+@pytest.fixture(params=[nbf_kernel, irreg_kernel], ids=["nbf", "irreg"])
+def two_loop_state(request):
+    return ProgramState.initial(request.param())
+
+
+class TestTwoLoopKernels:
+    def test_interaction_loop_first(self, two_loop_state):
+        kernel = two_loop_state.kernel
+        assert kernel.loops[0].extent == "num_inter"
+        assert kernel.loops[1].extent == "num_nodes"
+
+    def test_iteration_space_volume(self, two_loop_state):
+        env = env_for(two_loop_state.kernel)
+        space = UnifiedSpace(two_loop_state.kernel).iteration_space()
+        pts = list(env.enumerate_set(space))
+        # per step: 2 statements x 3 interactions + 4 node iterations
+        assert len(pts) == 2 * (2 * 3 + 4)
+
+    def test_reductions_flagged(self, two_loop_state):
+        names = {
+            d.name: d.is_reduction for d in two_loop_state.dependences
+        }
+        # interaction loop self-updates are reductions
+        reduction_count = sum(1 for v in names.values() if v)
+        assert reduction_count >= 3
+
+    def test_cross_loop_flow_dependence_exists(self, two_loop_state):
+        kernel = two_loop_state.kernel
+        result_array = "f" if kernel.name == "nbf" else "y"
+        cross = [
+            d
+            for d in two_loop_state.dependences
+            if d.array == result_array
+            and d.src_stmt in ("S1", "S2")
+            and d.dst_stmt == "S3"
+        ]
+        assert cross
+        env = env_for(kernel)
+        pairs = list(env.enumerate_relation(cross[0].relation))
+        assert pairs
+        for src, dst in pairs:
+            assert lex_lt(src, dst)
+            assert src[1] == 0 and dst[1] == 1  # loop 0 -> loop 1
+
+    def test_mapping_totals(self, two_loop_state):
+        env = env_for(two_loop_state.kernel)
+        # every interaction iteration touches two x locations
+        m = two_loop_state.data_mappings["x"]
+        touched = env.apply_relation(m, (0, 0, 1, 0))
+        assert set(touched) == {(1,), (2,)}  # left(1), right(1)
+
+    def test_uf_names(self, two_loop_state):
+        assert two_loop_state.uf_names() == {"left", "right"}

@@ -1,0 +1,226 @@
+"""Unit tests for the transformation algebra and legality checks.
+
+These tests walk the paper's Section 5 composition on the simplified moldyn
+kernel: CPACK (data), lexGroup (iteration), second CPACK, sparse tiling
+shaped relations — asserting the data mappings and dependences thread the
+reordering functions the way the paper writes them out.
+"""
+
+import pytest
+
+from repro.presburger import Environment, parse_relation
+from repro.presburger.ordering import lex_lt
+from repro.uniform import (
+    DataReordering,
+    IterationReordering,
+    ProgramState,
+    check_data_reordering,
+    check_iteration_reordering,
+)
+
+SYMS = {"num_steps": 2, "num_nodes": 4, "num_inter": 3}
+
+
+def make_env(**overrides):
+    env = Environment(symbols={**SYMS, **overrides})
+    env.bind_array("left", [0, 1, 2])
+    env.bind_array("right", [1, 2, 3])
+    return env
+
+
+# The paper's T_{I0->I1}: permute i and k loops by cp, j loop by lg.
+T_LEXGROUP = parse_relation(
+    "{[s,l,x,q] -> [s,l,x1,q] : l = 0 && x1 = cp(x)}"
+    " union {[s,l,x,q] -> [s,l,x1,q] : l = 1 && x1 = lg(x)}"
+    " union {[s,l,x,q] -> [s,l,x1,q] : l = 2 && x1 = cp(x)}"
+)
+
+
+class TestInitialState:
+    def test_initial_state_shapes(self, moldyn):
+        st = ProgramState.initial(moldyn)
+        assert st.tuple_arity == 4
+        assert set(st.data_mappings) == {"x", "vx", "fx"}
+        assert st.history == []
+
+    def test_uf_names(self, moldyn):
+        st = ProgramState.initial(moldyn)
+        assert st.uf_names() == {"left", "right"}
+
+    def test_non_reduction_dependences_subset(self, moldyn):
+        st = ProgramState.initial(moldyn)
+        non_red = st.non_reduction_dependences()
+        assert 0 < len(non_red) < len(st.dependences)
+
+
+class TestDataReorderingApplication:
+    def test_mapping_composes_cp(self, moldyn):
+        st = ProgramState.initial(moldyn).apply_data_reordering(
+            DataReordering("cp", ("x", "vx", "fx"))
+        )
+        env = make_env()
+        env.bind_array("cp", [2, 0, 3, 1])
+        m = st.data_mappings["x"]
+        # S1 at i=1 now touches x1[cp(1)] = x1[0].
+        assert env.apply_relation(m, (0, 0, 1, 0)) == [(0,)]
+        # S2 at j=0 touches cp(left(0))=cp(0)=2 and cp(right(0))=cp(1)=0.
+        assert set(env.apply_relation(m, (0, 1, 0, 0))) == {(2,), (0,)}
+
+    def test_unknown_array_rejected(self, moldyn):
+        st = ProgramState.initial(moldyn)
+        with pytest.raises(KeyError):
+            st.apply_data_reordering(DataReordering("cp", ("nope",)))
+
+    def test_dependences_untouched_by_data_reordering(self, moldyn):
+        st0 = ProgramState.initial(moldyn)
+        st1 = st0.apply_data_reordering(DataReordering("cp", ("x",)))
+        assert [d.relation for d in st0.dependences] == [
+            d.relation for d in st1.dependences
+        ]
+
+    def test_only_named_arrays_change(self, moldyn):
+        st0 = ProgramState.initial(moldyn)
+        st1 = st0.apply_data_reordering(DataReordering("cp", ("x",)))
+        assert st1.data_mappings["vx"] == st0.data_mappings["vx"]
+        assert st1.data_mappings["x"] != st0.data_mappings["x"]
+
+    def test_history_records(self, moldyn):
+        r = DataReordering("cp", ("x",))
+        st = ProgramState.initial(moldyn).apply(r)
+        assert st.history == [r]
+
+    def test_always_legal(self, moldyn):
+        st = ProgramState.initial(moldyn)
+        report = check_data_reordering(st, DataReordering("cp", ("x",)))
+        assert report.proven
+
+
+class TestIterationReorderingApplication:
+    def test_iteration_space_preserved_in_size(self, moldyn):
+        st = ProgramState.initial(moldyn).apply_iteration_reordering(
+            IterationReordering(T_LEXGROUP, introduces=("cp", "lg"))
+        )
+        env = make_env()
+        env.bind_array("cp", [2, 0, 3, 1])
+        env.bind_array("lg", [1, 0, 2])
+        pts = list(env.enumerate_set(st.iteration_space))
+        # Same cardinality as I0: permutations are bijections.
+        assert len(pts) == 2 * (4 + 3 + 3 + 4)
+
+    def test_data_mapping_after_t_names_new_iterations(self, moldyn):
+        st = (
+            ProgramState.initial(moldyn)
+            .apply_data_reordering(DataReordering("cp", ("x", "vx", "fx")))
+            .apply_iteration_reordering(
+                IterationReordering(T_LEXGROUP, introduces=("cp", "lg"))
+            )
+        )
+        env = make_env()
+        env.bind_array("cp", [2, 0, 3, 1])
+        env.bind_array("lg", [1, 0, 2])
+        m = st.data_mappings["x"]
+        # New iteration i1 of loop 0 touches x1[i1] (paper: [s,1,Ocp(i),1] -> [Ocp(i)]).
+        for i1 in range(4):
+            assert env.apply_relation(m, (0, 0, i1, 0)) == [(i1,)]
+
+    def test_dependences_transformed_and_respected(self, moldyn):
+        st = (
+            ProgramState.initial(moldyn)
+            .apply_data_reordering(DataReordering("cp", ("x", "vx", "fx")))
+            .apply_iteration_reordering(
+                IterationReordering(T_LEXGROUP, introduces=("cp", "lg"))
+            )
+        )
+        env = make_env()
+        env.bind_array("cp", [2, 0, 3, 1])
+        env.bind_array("lg", [1, 0, 2])
+        for dep in st.dependences:
+            if dep.is_reduction:
+                continue
+            pairs = list(env.enumerate_relation(dep.relation))
+            assert pairs, dep.name
+            for src, dst in pairs:
+                assert lex_lt(src, dst), (dep.name, src, dst)
+
+    def test_arity_mismatch_rejected(self, moldyn):
+        st = ProgramState.initial(moldyn)
+        bad = parse_relation("{[a, b] -> [a, b1] : b1 = b}")
+        with pytest.raises(ValueError):
+            st.apply_iteration_reordering(IterationReordering(bad))
+
+    def test_apply_dispatch_type_error(self, moldyn):
+        with pytest.raises(TypeError):
+            ProgramState.initial(moldyn).apply(42)
+
+
+class TestLegality:
+    def test_lexgroup_legal_on_moldyn(self, moldyn):
+        """Only reduction deps are loop-carried within i/j/k: T legal (paper 5.2)."""
+        st = ProgramState.initial(moldyn)
+        report = check_iteration_reordering(
+            st, IterationReordering(T_LEXGROUP, introduces=("cp", "lg"))
+        )
+        assert report.proven
+        assert not report.obligations
+
+    def test_loop_fusion_like_reordering_illegal(self, moldyn):
+        """Swapping the i and j loops creates obligations (x flows S1->S2)."""
+        swap = parse_relation(
+            "{[s,l,x,q] -> [s,1,x,q] : l = 0}"
+            " union {[s,l,x,q] -> [s,0,x,q] : l = 1}"
+            " union {[s,l,x,q] -> [s,l,x,q] : l = 2}"
+        )
+        st = ProgramState.initial(moldyn)
+        report = check_iteration_reordering(st, IterationReordering(swap))
+        assert not report.proven
+        assert report.obligations
+
+    def test_inspector_discharges_obligations(self, moldyn):
+        """Sparse-tiling-style transformations are legal by construction."""
+        swap = parse_relation(
+            "{[s,l,x,q] -> [s,1,x,q] : l = 0}"
+            " union {[s,l,x,q] -> [s,0,x,q] : l = 1}"
+            " union {[s,l,x,q] -> [s,l,x,q] : l = 2}"
+        )
+        st = ProgramState.initial(moldyn)
+        report = check_iteration_reordering(
+            st, IterationReordering(swap, inspects_dependences=True)
+        )
+        assert report.proven
+        assert report.obligations  # still reported for the runtime verifier
+
+    def test_identity_legal(self, moldyn):
+        ident = parse_relation("{[s,l,x,q] -> [s,l,x,q]}")
+        st = ProgramState.initial(moldyn)
+        report = check_iteration_reordering(st, IterationReordering(ident))
+        assert report.proven
+
+
+class TestSparseTilingShapedRelations:
+    def test_arity_extension(self, moldyn):
+        """T_{I2->I3} inserts a tile dimension: 4-tuples -> 5-tuples."""
+        tile = parse_relation(
+            "{[s,l,x,q] -> [s,t,l,x,q] : t = theta(l, x)}"
+        )
+        st = ProgramState.initial(moldyn).apply_iteration_reordering(
+            IterationReordering(tile, introduces=("theta",), inspects_dependences=True)
+        )
+        assert st.tuple_arity == 5
+        env = make_env()
+        env.bind_function("theta", lambda l, x: (l + x) % 2)
+        pts = list(env.enumerate_set(st.iteration_space))
+        assert len(pts) == 2 * (4 + 3 + 3 + 4)
+        assert all(len(p) == 5 for p in pts)
+
+    def test_mapping_survives_arity_extension(self, moldyn):
+        tile = parse_relation("{[s,l,x,q] -> [s,t,l,x,q] : t = theta(l, x)}")
+        st = ProgramState.initial(moldyn).apply_iteration_reordering(
+            IterationReordering(tile, introduces=("theta",), inspects_dependences=True)
+        )
+        env = make_env()
+        env.bind_function("theta", lambda l, x: (l + x) % 2)
+        m = st.data_mappings["x"]
+        # S1 at i=1, tile theta(0,1)=1: touches x[1].
+        assert env.apply_relation(m, (0, 1, 0, 1, 0)) == [(1,)]
+        # Wrong tile coordinate: no image.
+        assert env.apply_relation(m, (0, 0, 0, 1, 0)) == []
