@@ -31,6 +31,15 @@ Quick start::
 
 __version__ = "1.0.0"
 
+from repro.errors import (
+    BindError,
+    DegradedPlanWarning,
+    ExecutorFault,
+    InspectorFault,
+    LegalityError,
+    ReproError,
+    ValidationError,
+)
 from repro.kernels import generate_dataset, make_kernel_data
 from repro.kernels.specs import kernel_by_name
 from repro.runtime import CompositionPlan
@@ -43,20 +52,30 @@ from repro.runtime.inspector import (
 )
 
 
-def quickstart(kernel: str = "moldyn", dataset: str = "mol1", scale: int = 128):
+def quickstart(
+    kernel: str = "moldyn",
+    dataset: str = "mol1",
+    scale: int = 128,
+    validation: str = "strict",
+    on_stage_failure: str = "raise",
+):
     """Run one composition end to end and print the executor effect."""
     from repro.cachesim import machine_by_name, simulate_cost
     from repro.runtime.executor import emit_trace
-    from repro.runtime.verify import verify_numeric_equivalence
 
     data = make_kernel_data(kernel, generate_dataset(dataset, scale=scale))
     spec = kernel_by_name(kernel)
     steps = [CPackStep(), LexGroupStep(), FullSparseTilingStep(64), TilePackStep()]
-    plan = CompositionPlan(spec, steps, name="cpack+lexGroup+FST+tilePack")
+    plan = CompositionPlan(
+        spec,
+        steps,
+        name="cpack+lexGroup+FST+tilePack",
+        validation=validation,
+        on_stage_failure=on_stage_failure,
+    )
     plan.plan()
 
-    result = plan.build_inspector().run(data)
-    verify_numeric_equivalence(data, result)
+    result = plan.bind(data, verify=True)
 
     machine = machine_by_name("pentium4")
     base = simulate_cost(emit_trace(data), machine).cycles
@@ -68,6 +87,13 @@ def quickstart(kernel: str = "moldyn", dataset: str = "mol1", scale: int = 128):
 
 
 __all__ = [
+    "ReproError",
+    "ValidationError",
+    "BindError",
+    "LegalityError",
+    "InspectorFault",
+    "ExecutorFault",
+    "DegradedPlanWarning",
     "CompositionPlan",
     "CPackStep",
     "GPartStep",

@@ -12,7 +12,14 @@ Commands:
 * ``plan <kernel> <step> [<step> ...]`` — plan a composition and print
   the threaded specifications and legality reports.  Steps: ``cpack``,
   ``gpart``, ``rcm``, ``lexgroup``, ``lexsort``, ``bucket``, ``fst``,
-  ``cacheblock``, ``tilepack``.
+  ``cacheblock``, ``tilepack``;
+* ``doctor``            — validate a dataset and a composition end to
+  end and print the validation findings plus the per-stage
+  :class:`~repro.runtime.report.PipelineReport`.
+
+``--strict`` (default) / ``--permissive`` select the validation policy;
+``doctor`` additionally accepts ``--on-stage-failure {raise,skip,identity}``.
+Errors exit nonzero with a one-line typed message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -24,7 +31,12 @@ import sys
 def _cmd_quickstart(args) -> int:
     from repro import quickstart
 
-    quickstart(kernel=args.kernel, dataset=args.dataset, scale=args.scale)
+    quickstart(
+        kernel=args.kernel,
+        dataset=args.dataset,
+        scale=args.scale,
+        validation=args.validation,
+    )
     return 0
 
 
@@ -155,7 +167,53 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_doctor(args) -> int:
+    """Validate a dataset + composition and print the pipeline report."""
+    from repro.kernels.data import make_kernel_data
+    from repro.kernels.datasets import generate_dataset
+    from repro.kernels.specs import kernel_by_name
+    from repro.runtime import CompositionPlan
+    from repro.runtime.validate import validate_dataset, validate_kernel_data
+
+    dataset = generate_dataset(args.dataset, scale=args.scale)
+    print(validate_dataset(dataset, policy=args.validation).describe())
+    print()
+    data = make_kernel_data(args.kernel, dataset)
+    report = validate_kernel_data(data, policy=args.validation)
+    print(report.describe())
+    report.raise_if_failed(stage="doctor")
+    print()
+
+    steps = [_make_step(s) for s in (args.steps or ["cpack", "lexgroup", "fst"])]
+    plan = CompositionPlan(
+        kernel_by_name(args.kernel),
+        steps,
+        on_stage_failure=args.on_stage_failure,
+        validation=args.validation,
+    )
+    plan.plan(strict=False)
+    result = plan.bind(data, verify=True)
+    print(result.report.describe())
+    degraded = result.report.degraded
+    print()
+    print("doctor: " + ("DEGRADED (see fallbacks above)" if degraded else "all checks passed"))
+    return 1 if degraded else 0
+
+
 def main(argv=None) -> int:
+    policy = argparse.ArgumentParser(add_help=False)
+    group = policy.add_mutually_exclusive_group()
+    group.add_argument(
+        "--strict", dest="validation", action="store_const", const="strict",
+        help="fail validation on warnings too (default)",
+    )
+    group.add_argument(
+        "--permissive", dest="validation", action="store_const",
+        const="permissive",
+        help="tolerate warnings (duplicate edges, self-loops, ...)",
+    )
+    policy.set_defaults(validation="strict")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=__doc__,
@@ -163,7 +221,9 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("quickstart", help="run one composition end to end")
+    p = sub.add_parser(
+        "quickstart", help="run one composition end to end", parents=[policy]
+    )
     p.add_argument("--kernel", default="moldyn")
     p.add_argument("--dataset", default="mol1")
     p.add_argument("--scale", type=int, default=128)
@@ -187,12 +247,38 @@ def main(argv=None) -> int:
     p.add_argument("steps", nargs="+")
     p.set_defaults(func=_cmd_plan)
 
+    p = sub.add_parser(
+        "doctor",
+        help="validate a dataset/composition and print the pipeline report",
+        parents=[policy],
+    )
+    p.add_argument("--kernel", default="moldyn")
+    p.add_argument("--dataset", default="mol1")
+    p.add_argument("--scale", type=int, default=128)
+    p.add_argument(
+        "--on-stage-failure",
+        choices=["raise", "skip", "identity"],
+        default="raise",
+        help="degradation policy for failing inspector stages",
+    )
+    p.add_argument(
+        "steps", nargs="*",
+        help="composition steps (default: cpack lexgroup fst)",
+    )
+    p.set_defaults(func=_cmd_doctor)
+
     args = parser.parse_args(argv)
     if getattr(args, "scale", None) is None and hasattr(args, "scale"):
         from repro.kernels.datasets import DEFAULT_SCALE
 
         args.scale = DEFAULT_SCALE
-    return args.func(args)
+    from repro.errors import ReproError
+
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -64,11 +64,35 @@ def generate_inspector_source(
     )
     if needs_coords:
         w.line("from repro.transforms.spacefill import space_filling_order")
+    w.line("from repro.errors import ValidationError")
     w.line()
     signature = "num_nodes, num_inter, left, right, arrays"
     if needs_coords:
         signature += ", coords"
     with w.block(f"def {name}({signature}):"):
+        w.comment("bind-time guard: same check the library inspector performs")
+        with w.block("def _guard(name, arr, n):"):
+            w.line("arr = np.asarray(arr, dtype=np.int64)")
+            with w.block("if len(arr) != n:"):
+                w.line(
+                    "raise ValidationError(f'index array {name} has "
+                    "{len(arr)} entries, expected {n}', stage=name)"
+                )
+            w.line("bad = np.flatnonzero((arr < 0) | (arr >= n))")
+            with w.block("if len(bad):"):
+                w.line(
+                    "raise ValidationError(f'index array {name} has "
+                    "{len(bad)} out-of-range values', stage=name, "
+                    "indices=bad[:5].tolist())"
+                )
+            w.line("dup = np.flatnonzero(np.bincount(arr, minlength=n) > 1)")
+            with w.block("if len(dup):"):
+                w.line(
+                    "raise ValidationError(f'index array {name} is not a "
+                    "permutation: {len(dup)} duplicated values', stage=name, "
+                    "indices=np.flatnonzero(np.isin(arr, dup))[:5].tolist())"
+                )
+            w.line("return arr")
         w.line("left = np.asarray(left, dtype=np.int64).copy()")
         w.line("right = np.asarray(right, dtype=np.int64).copy()")
         w.line("sigma_total = np.arange(num_nodes, dtype=np.int64)")
@@ -105,6 +129,7 @@ def _emit_data_reordering(
     w: SourceWriter, sigma_var: str, node_loops: List[int], remap: str
 ) -> None:
     """Index-array adjustment + payload policy after a data reordering."""
+    w.line(f"{sigma_var} = _guard({sigma_var!r}, {sigma_var}, num_nodes)")
     w.comment("adjust index arrays (always immediate)")
     w.line(f"left = {sigma_var}[left]")
     w.line(f"right = {sigma_var}[right]")
@@ -162,6 +187,7 @@ def _emit_step(
             w.line(f"{var} = lexsort(_am).array")
         else:
             w.line(f"{var} = bucket_tiling(_am, {step.bucket_size}).array")
+        w.line(f"{var} = _guard({var!r}, {var}, num_inter)")
         w.comment("permute the interaction loop's rows")
         w.line(f"_order = np.empty_like({var})")
         w.line(f"_order[{var}] = np.arange(num_inter, dtype=np.int64)")

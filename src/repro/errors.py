@@ -1,0 +1,131 @@
+"""Structured exception taxonomy for the whole pipeline.
+
+The paper's composed inspector is a chain of stages, each consuming the
+index arrays the previous stages produced — so one malformed array (or one
+illegal stage) silently corrupts everything downstream.  Every guard in
+this reproduction therefore raises a :class:`ReproError` subclass that
+names the **stage**, the first few **offending indices**, and a
+**remediation hint**, so a failure deep inside a composition is still
+actionable at the surface.
+
+Taxonomy::
+
+    ReproError
+    ├── ValidationError     malformed input data / index arrays (bind time)
+    ├── BindError           dataset or kernel cannot be bound to the spec
+    ├── LegalityError       a transformation is not provably legal
+    │                       (compile-time side; also re-exported from
+    │                       repro.uniform.legality for compatibility)
+    ├── InspectorFault      an inspector stage failed or produced an
+    │                       invalid reordering at run time
+    ├── ExecutorFault       the transformed executor's output diverged
+    │                       from (or cannot be proven equal to) the
+    │                       untransformed kernel
+    └── DegradedPlanWarning a stage was skipped / replaced by the
+                            identity under a permissive failure policy
+
+Subclasses also inherit the builtin exception types the pre-taxonomy code
+raised (``ValueError``, ``KeyError``, ``AssertionError``), so existing
+``except ValueError`` call sites and tests keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def _format_indices(indices: Sequence[int], limit: int = 5) -> str:
+    """Render the first ``limit`` offending indices, eliding the rest."""
+    shown = [str(int(i)) for i in list(indices)[:limit]]
+    extra = len(indices) - len(shown)
+    tail = f", ... (+{extra} more)" if extra > 0 else ""
+    return "[" + ", ".join(shown) + tail + "]"
+
+
+class ReproError(Exception):
+    """Base of every typed pipeline error.
+
+    Parameters beyond ``message`` are structured context: ``stage`` is the
+    pipeline stage (step name or phase) that detected the problem,
+    ``indices`` the first offending positions (capped for display), and
+    ``hint`` a one-line remediation suggestion.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: Optional[str] = None,
+        indices: Optional[Sequence[int]] = None,
+        hint: Optional[str] = None,
+    ):
+        self.stage = stage
+        self.indices = list(indices) if indices is not None else []
+        self.hint = hint
+        parts = []
+        if stage:
+            parts.append(f"[stage {stage}]")
+        parts.append(message)
+        if self.indices:
+            parts.append(f"offending indices {_format_indices(self.indices)}")
+        if hint:
+            parts.append(f"(hint: {hint})")
+        super().__init__(" ".join(parts))
+
+    @property
+    def message(self) -> str:
+        return str(self)
+
+
+class ValidationError(ReproError, ValueError):
+    """Malformed dataset or index array caught at bind/validation time."""
+
+
+class BindError(ReproError, KeyError, ValueError):
+    """A dataset/kernel/machine name or shape cannot be bound.
+
+    Inherits ``KeyError`` (unknown-name lookups used to raise it) and
+    ``ValueError`` (shape mismatches).  ``str()`` is overridden because
+    ``KeyError`` would otherwise ``repr()`` the message.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s args[0]
+        return Exception.__str__(self)
+
+
+class LegalityError(ReproError):
+    """A transformation is not provably legal at compile time.
+
+    Migrated from ``repro.uniform.legality`` (which re-exports this class
+    as an alias, so ``from repro.uniform.legality import LegalityError``
+    keeps working).
+    """
+
+
+class InspectorFault(ReproError, RuntimeError):
+    """An inspector stage crashed or produced an invalid reordering."""
+
+
+class ExecutorFault(ReproError, AssertionError):
+    """Transformed executor output diverges from the untransformed kernel.
+
+    Inherits ``AssertionError`` because the runtime verifier historically
+    raised bare assertions; ``except AssertionError`` still catches this.
+    """
+
+
+class DegradedPlanWarning(ReproError, UserWarning):
+    """A stage failed and the plan degraded (skip/identity) instead of
+    raising.  Issued via :func:`warnings.warn`; carries the same
+    structured context as the error it replaced."""
+
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "BindError",
+    "LegalityError",
+    "InspectorFault",
+    "ExecutorFault",
+    "DegradedPlanWarning",
+]

@@ -48,6 +48,14 @@ class CellResult:
     inspector_cycles: float
     data_moves: int
     footprint_bytes: int
+    #: Per-stage statuses from the inspector's PipelineReport
+    #: (``("ok", "ok", ...)``; ``skipped``/``identity`` mark fallbacks).
+    stage_statuses: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Did any inspector stage fall back under a permissive policy?"""
+        return any(s in ("skipped", "identity") for s in self.stage_statuses)
 
     @property
     def normalized_time(self) -> float:
@@ -93,6 +101,7 @@ def run_cell(
     scale: int = DEFAULT_SCALE,
     remap: str = "once",
     seed: int = 42,
+    on_stage_failure: str = "raise",
 ) -> CellResult:
     """Run one (kernel, dataset, machine, composition) cell.
 
@@ -107,15 +116,19 @@ def run_cell(
 
     steps = composition_steps(composition, data, machine_obj)
     if steps:
-        inspector = ComposedInspector(steps, remap=remap)
+        inspector = ComposedInspector(
+            steps, remap=remap, on_stage_failure=on_stage_failure
+        )
         result = inspector.run(data)
         trace = emit_trace(result.transformed, result.plan, num_steps=1)
         touches = result.total_touches
         moves = result.data_moves
+        statuses = tuple(s.status for s in result.report.stages)
     else:
         trace = emit_trace(data, ExecutionPlan.identity(), num_steps=1)
         touches = 0
         moves = 0
+        statuses = ()
 
     report = simulate_cost(trace, machine_obj)
     return CellResult(
@@ -130,6 +143,7 @@ def run_cell(
         inspector_cycles=machine_obj.inspector_cycles(touches),
         data_moves=moves,
         footprint_bytes=footprint,
+        stage_statuses=statuses,
     )
 
 

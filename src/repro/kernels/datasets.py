@@ -32,6 +32,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import BindError
+
 #: Linear scale factor applied to the paper's dataset sizes.  32 keeps the
 #: node payloads well above the (unscaled) L1 sizes of both machine models
 #: while holding executor traces to a few hundred thousand accesses.
@@ -203,7 +205,16 @@ def generate_dataset(
     fixed so every benchmark run sees identical inputs.
     """
     if name not in _PAPER_SIZES:
-        raise KeyError(f"unknown dataset {name!r}; choose from {DATASETS}")
+        raise BindError(
+            f"unknown dataset {name!r}",
+            stage="generate_dataset",
+            hint=f"choose from {DATASETS}",
+        )
+    if scale <= 0:
+        raise BindError(
+            f"scale must be positive, got {scale}",
+            stage="generate_dataset",
+        )
     nodes, edges, dim = _PAPER_SIZES[name]
     num_nodes = max(16, nodes // scale)
     target_edges = max(num_nodes, edges // scale)

@@ -192,9 +192,13 @@ _BUILDERS = {
 
 def kernel_by_name(name: str) -> Kernel:
     """Build a benchmark kernel IR by name ('moldyn', 'nbf', 'irreg')."""
+    from repro.errors import BindError
+
     try:
         return _BUILDERS[name]()
     except KeyError:
-        raise KeyError(
-            f"unknown kernel {name!r}; choose from {sorted(_BUILDERS)}"
+        raise BindError(
+            f"unknown kernel {name!r}",
+            stage="kernel_by_name",
+            hint=f"choose from {sorted(_BUILDERS)}",
         ) from None

@@ -14,11 +14,18 @@ package *executes* them:
 * :mod:`repro.runtime.plan` — :class:`CompositionPlan`: couples a list of
   steps to the compile-time framework (symbolic threading + legality) and
   builds the matching composed inspector;
-* :mod:`repro.runtime.verify` — the run-time legality verifier.
+* :mod:`repro.runtime.verify` — the run-time legality verifier;
+* :mod:`repro.runtime.validate` — bind-time dataset/index-array
+  validation under ``strict``/``permissive`` policies;
+* :mod:`repro.runtime.report` — per-stage :class:`PipelineReport`;
+* :mod:`repro.runtime.faults` — deterministic fault injection for the
+  robustness test suite.
 """
 
 from repro.runtime.executor import ExecutionPlan, emit_trace, run_numeric
+from repro.runtime.faults import CORRUPTORS, Fault, FaultyStep, inject
 from repro.runtime.inspector import (
+    FAILURE_POLICIES,
     BucketTilingStep,
     CacheBlockStep,
     ComposedInspector,
@@ -33,6 +40,13 @@ from repro.runtime.inspector import (
     TilePackStep,
 )
 from repro.runtime.plan import CompositionPlan
+from repro.runtime.report import PipelineReport, StageRecord
+from repro.runtime.validate import (
+    POLICIES,
+    ValidationReport,
+    validate_dataset,
+    validate_kernel_data,
+)
 from repro.runtime.verify import verify_numeric_equivalence, verify_dependences
 
 __all__ = [
@@ -54,4 +68,15 @@ __all__ = [
     "CompositionPlan",
     "verify_numeric_equivalence",
     "verify_dependences",
+    "FAILURE_POLICIES",
+    "POLICIES",
+    "PipelineReport",
+    "StageRecord",
+    "ValidationReport",
+    "validate_dataset",
+    "validate_kernel_data",
+    "CORRUPTORS",
+    "Fault",
+    "FaultyStep",
+    "inject",
 ]

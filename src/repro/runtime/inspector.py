@@ -21,12 +21,28 @@ overhead, which the ``overhead`` breakdown records in element touches.
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import (
+    DegradedPlanWarning,
+    InspectorFault,
+    ReproError,
+    ValidationError,
+)
 from repro.kernels.data import KernelData
+from repro.runtime.report import (
+    STAGE_FAILED,
+    STAGE_IDENTITY,
+    STAGE_OK,
+    STAGE_SKIPPED,
+    PipelineReport,
+    StageRecord,
+)
 from repro.runtime.executor import ExecutionPlan
 from repro.transforms import (
     block_partition,
@@ -49,6 +65,80 @@ from repro.transforms.base import (
     tile_insert_relation,
     tile_permute_relation,
 )
+
+
+def dependence_edges(data: KernelData) -> Dict[Tuple[int, int], Tuple]:
+    """The concrete cross-loop dependence edge sets of a kernel instance.
+
+    ``edges[(la, lb)] = (src, dst)``: iteration ``src`` of loop ``la``
+    must run no later than iteration ``dst`` of loop ``lb`` (atomic-tile
+    condition).  This is what sparse-tiling inspectors traverse and what
+    the bind-time tiling guard re-checks.
+    """
+    p_j = data.interaction_loop_position()
+    j = np.arange(data.num_inter, dtype=np.int64)
+    endpoints = np.concatenate([data.left, data.right])
+    jj = np.concatenate([j, j])
+    edges: Dict[Tuple[int, int], Tuple] = {}
+    for pos in data.node_loop_positions():
+        pair = (pos, p_j) if pos < p_j else (p_j, pos)
+        edges[pair] = (endpoints, jj) if pos < p_j else (jj, endpoints)
+    return edges
+
+
+def validate_tiling(state: "InspectorState", stage: str) -> None:
+    """Bind-time guard on a freshly produced tiling function.
+
+    Checks shape (one tile id per iteration of every loop), range
+    (``0 <= tile < num_tiles``), and the atomic-tile dependence condition
+    ``theta(src) <= theta(dst)`` over the concrete edge sets.  Raises
+    :class:`~repro.errors.InspectorFault` naming the stage and the first
+    offending positions — the run-time discharge of the legality
+    obligations a dependence-inspecting transformation carries.
+    """
+    tiling = state.tiling
+    if tiling is None:
+        return
+    sizes = state.data.loop_sizes()
+    if len(tiling.tiles) != len(sizes):
+        raise InspectorFault(
+            f"tiling function covers {len(tiling.tiles)} loops, "
+            f"kernel has {len(sizes)}",
+            stage=stage,
+        )
+    for pos, (tiles, size) in enumerate(zip(tiling.tiles, sizes)):
+        if tiles is None or len(tiles) != size:
+            raise InspectorFault(
+                f"tiling of loop {pos} covers "
+                f"{0 if tiles is None else len(tiles)} iterations, "
+                f"expected {size}",
+                stage=stage,
+                hint="the tiling function was truncated or never grown "
+                "across this loop",
+            )
+        bad = (tiles < 0) | (tiles >= max(tiling.num_tiles, 1))
+        if bad.any():
+            positions = np.flatnonzero(bad)[:5].tolist()
+            raise InspectorFault(
+                f"tiling of loop {pos} assigns tiles outside "
+                f"[0, {tiling.num_tiles}) at",
+                stage=stage,
+                indices=positions,
+            )
+    for (la, lb), (src, dst) in dependence_edges(state.data).items():
+        violated = tiling.tiles[la][src] > tiling.tiles[lb][dst]
+        if violated.any():
+            positions = np.flatnonzero(violated)[:5].tolist()
+            raise InspectorFault(
+                f"tiling violates {int(violated.sum())} "
+                f"(loop {la} -> loop {lb}) dependences "
+                "(source scheduled after destination) at edge",
+                stage=stage,
+                indices=positions,
+                hint="the inspector mis-grew the tiles — e.g. a "
+                "symmetric-dependence traversal with the wrong "
+                "orientation",
+            )
 
 
 def interaction_loop_pos(kernel: Kernel) -> int:
@@ -97,6 +187,38 @@ class InspectorState:
         self.stage_functions[name] = value
         return name
 
+    # -- transactional stage execution -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Copy of everything a stage may mutate, for rollback on failure."""
+        return {
+            "data": self.data.copy(),
+            "sigma_total": self.sigma_total,
+            "sigma_pending": self.sigma_pending,
+            "delta_total": dict(self.delta_total),
+            "tiling": (
+                TilingFunction(
+                    [t.copy() for t in self.tiling.tiles], self.tiling.num_tiles
+                )
+                if self.tiling is not None
+                else None
+            ),
+            "overhead": dict(self.overhead),
+            "data_moves": self.data_moves,
+            "stage_functions": dict(self.stage_functions),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Roll the state back to a :meth:`snapshot` (stage fallback)."""
+        self.data = snap["data"]
+        self.sigma_total = snap["sigma_total"]
+        self.sigma_pending = snap["sigma_pending"]
+        self.delta_total = dict(snap["delta_total"])
+        self.tiling = snap["tiling"]
+        self.overhead = dict(snap["overhead"])
+        self.data_moves = snap["data_moves"]
+        self.stage_functions = dict(snap["stage_functions"])
+
     # -- shared mechanics ------------------------------------------------------
 
     def _move_payload(self, sigma: ReorderingFunction, phase: str) -> None:
@@ -117,7 +239,15 @@ class InspectorState:
         paper reuses ``Ocp`` for the i and k loops) — compose it into
         their deltas and remap any existing tiling accordingly.
         """
-        sigma.require_permutation()
+        if len(sigma) != self.data.num_nodes:
+            raise ValidationError(
+                f"data reordering {sigma.name!r} covers {len(sigma)} slots, "
+                f"expected num_nodes = {self.data.num_nodes}",
+                stage=step_name,
+                hint="the index array was truncated or padded; the "
+                "reordering must be a permutation of the node space",
+            )
+        sigma.require_permutation(stage=step_name)
         self.data.left = sigma.remap_values(self.data.left)
         self.data.right = sigma.remap_values(self.data.right)
         self.charge("index_adjust", 4 * self.data.num_inter)
@@ -140,11 +270,20 @@ class InspectorState:
         self, pos: int, delta: ReorderingFunction, step_name: str
     ) -> None:
         """Physically permute the interaction loop's index-array rows."""
-        delta.require_permutation()
+        if len(delta) != self.data.loop_sizes()[pos]:
+            raise ValidationError(
+                f"iteration reordering {delta.name!r} covers {len(delta)} "
+                f"iterations, loop {pos} has {self.data.loop_sizes()[pos]}",
+                stage=step_name,
+                hint="the index array was truncated or padded; the "
+                "reordering must be a permutation of the loop's iterations",
+            )
+        delta.require_permutation(stage=step_name)
         if self.data.loops[pos].domain != "inters":
-            raise ValueError(
+            raise ValidationError(
                 "explicit iteration reorderings target the interaction loop; "
-                "node loops follow the data reordering automatically"
+                "node loops follow the data reordering automatically",
+                stage=step_name,
             )
         order = delta.inverse_array  # order[new] = old
         self.data.left = self.data.left[order]
@@ -171,6 +310,12 @@ class Step:
     """One planned run-time reordering transformation."""
 
     name: str = "step"
+    #: Prefix of the symbolic UFS this step introduces (``cp``, ``lg``,
+    #: ``theta``, ...); used by :meth:`identity_fallback` to register
+    #: identity functions under the names the plan's relations reference.
+    symbol_prefix: Optional[str] = None
+    #: Space the step's reordering covers: ``nodes``, ``inters``, ``tiles``.
+    symbol_domain: str = "nodes"
 
     def run(self, state: InspectorState) -> None:
         raise NotImplementedError
@@ -178,6 +323,41 @@ class Step:
     def symbolic(self, kernel: Kernel, index: int):
         """Compile-time transformations this step realizes (a list)."""
         raise NotImplementedError
+
+    def check_preconditions(self, state: InspectorState) -> None:
+        """Validate the state this step requires; raise ValidationError.
+
+        Called by the composed inspector before :meth:`run`, so precondition
+        violations are typed, name the stage, and are degradable under a
+        permissive ``on_stage_failure`` policy.
+        """
+
+    def identity_fallback(self, state: InspectorState) -> None:
+        """Register identity stage functions under this step's UFS names.
+
+        Used by the ``identity`` failure policy: the stage's effect on the
+        data is rolled back, but the symbolic names the plan references
+        (``cp0``, ``lg1``, ``theta2``, ...) still bind — to the identity
+        reordering (or the trivial one-tile tiling), keeping the degraded
+        plan's relations evaluable.
+        """
+        if self.symbol_prefix is None:
+            return
+        if self.symbol_domain == "tiles":
+            state.register(
+                self.symbol_prefix,
+                [
+                    np.zeros(size, dtype=np.int64)
+                    for size in state.data.loop_sizes()
+                ],
+            )
+            return
+        size = (
+            state.data.num_nodes
+            if self.symbol_domain == "nodes"
+            else state.data.num_inter
+        )
+        state.register(self.symbol_prefix, np.arange(size, dtype=np.int64))
 
     def __repr__(self):
         return f"{type(self).__name__}()"
@@ -202,6 +382,7 @@ class CPackStep(Step):
     """Consecutive packing of the node data (paper Figure 10)."""
 
     name = "cpack"
+    symbol_prefix = "cp"
 
     def run(self, state: InspectorState) -> None:
         counter: Dict[str, int] = {}
@@ -223,8 +404,14 @@ class GPartStep(Step):
     """Graph-partitioning data reordering (GPART)."""
 
     name = "gpart"
+    symbol_prefix = "gp"
 
     def __init__(self, partition_size: int):
+        if partition_size <= 0:
+            raise ValidationError(
+                f"partition_size must be positive, got {partition_size}",
+                stage=self.name,
+            )
         self.partition_size = partition_size
 
     def run(self, state: InspectorState) -> None:
@@ -249,6 +436,7 @@ class RCMStep(Step):
     """Reverse Cuthill--McKee data reordering."""
 
     name = "rcm"
+    symbol_prefix = "rcm"
 
     def run(self, state: InspectorState) -> None:
         counter: Dict[str, int] = {}
@@ -273,17 +461,27 @@ class SpaceFillingStep(Step):
     """
 
     name = "sfc"
+    symbol_prefix = "sfc"
 
     def __init__(self, coords, curve: str = "hilbert", order: int = 10):
         self.coords = np.asarray(coords, dtype=np.float64)
         self.curve = curve
         self.order = order
 
+    def check_preconditions(self, state: InspectorState) -> None:
+        if len(self.coords) != state.data.num_nodes:
+            raise ValidationError(
+                f"coords must cover every node: got {len(self.coords)} "
+                f"coordinates for {state.data.num_nodes} nodes",
+                stage=self.name,
+                hint="supply one spatial coordinate per node in the "
+                "original numbering",
+            )
+
     def run(self, state: InspectorState) -> None:
         from repro.transforms.spacefill import space_filling_order
 
-        if len(self.coords) != state.data.num_nodes:
-            raise ValueError("coords must cover every node")
+        self.check_preconditions(state)
         counter: Dict[str, int] = {}
         # Express the coordinates in the current numbering.
         current_coords = np.empty_like(self.coords)
@@ -304,6 +502,12 @@ class SpaceFillingStep(Step):
 
 class _InteractionReorderStep(Step):
     """Shared shell for iteration reorderings of the interaction loop."""
+
+    symbol_domain = "inters"
+
+    @property
+    def symbol_prefix(self) -> str:
+        return self.name
 
     def _delta(self, state: InspectorState, counter: dict) -> ReorderingFunction:
         raise NotImplementedError
@@ -348,6 +552,11 @@ class BucketTilingStep(_InteractionReorderStep):
     name = "bt"
 
     def __init__(self, bucket_size: int):
+        if bucket_size <= 0:
+            raise ValidationError(
+                f"bucket_size must be positive, got {bucket_size}",
+                stage=self.name,
+            )
         self.bucket_size = bucket_size
 
     def _delta(self, state, counter):
@@ -370,8 +579,15 @@ class FullSparseTilingStep(Step):
     """
 
     name = "fst"
+    symbol_prefix = "theta"
+    symbol_domain = "tiles"
 
     def __init__(self, seed_block_size: int, use_symmetry: bool = True):
+        if seed_block_size <= 0:
+            raise ValidationError(
+                f"seed_block_size must be positive, got {seed_block_size}",
+                stage=self.name,
+            )
         self.seed_block_size = seed_block_size
         self.use_symmetry = use_symmetry
 
@@ -435,8 +651,15 @@ class CacheBlockStep(Step):
     """Cache blocking: seed the first loop, shrink tiles through the rest."""
 
     name = "cb"
+    symbol_prefix = "theta"
+    symbol_domain = "tiles"
 
     def __init__(self, seed_block_size: int):
+        if seed_block_size <= 0:
+            raise ValidationError(
+                f"seed_block_size must be positive, got {seed_block_size}",
+                stage=self.name,
+            )
         self.seed_block_size = seed_block_size
 
     def run(self, state: InspectorState) -> None:
@@ -477,10 +700,19 @@ class TilePackStep(Step):
     """Tile packing: pack node data in tile-visit order (needs a tiling)."""
 
     name = "tilepack"
+    symbol_prefix = "tp"
+
+    def check_preconditions(self, state: InspectorState) -> None:
+        if state.tiling is None:
+            raise ValidationError(
+                "tilePack requires a prior sparse tiling step",
+                stage=self.name,
+                hint="add FullSparseTilingStep or CacheBlockStep before "
+                "TilePackStep in the composition",
+            )
 
     def run(self, state: InspectorState) -> None:
-        if state.tiling is None:
-            raise ValueError("tilePack requires a prior sparse tiling step")
+        self.check_preconditions(state)
         data = state.data
         data_loop = data.node_loop_positions()[0]
         counter: Dict[str, int] = {}
@@ -530,6 +762,8 @@ class InspectorResult:
     data_moves: int
     #: Per-stage reordering functions keyed by symbolic UFS name.
     stage_functions: Dict[str, object]
+    #: Per-stage status/timings/fallbacks of the run that produced this.
+    report: Optional[PipelineReport] = None
 
     @property
     def total_touches(self) -> int:
@@ -541,14 +775,117 @@ class InspectorResult:
         return inv.apply_to_data(self.transformed.arrays[name])
 
 
-class ComposedInspector:
-    """Run a list of steps against a kernel instance (paper Figure 11/15)."""
+#: Recognized stage-failure policies.
+FAILURE_POLICIES = ("raise", "skip", "identity")
 
-    def __init__(self, steps: List[Step], remap: str = "once"):
+
+class ComposedInspector:
+    """Run a list of steps against a kernel instance (paper Figure 11/15).
+
+    ``on_stage_failure`` decides what happens when a stage raises or
+    produces an invalid reordering at bind time:
+
+    * ``"raise"`` (default) — propagate a typed
+      :class:`~repro.errors.ReproError` naming the stage;
+    * ``"skip"`` — roll the stage back (its effect is dropped entirely)
+      and continue with the remaining stages;
+    * ``"identity"`` — roll the stage back but register identity
+      reordering functions under the stage's symbolic UFS names, so the
+      plan's transformed relations still bind.
+
+    Both permissive policies record the fallback in the result's
+    :class:`~repro.runtime.report.PipelineReport` and issue a
+    :class:`~repro.errors.DegradedPlanWarning`; callers that need a proof
+    should re-run the runtime verifier (``CompositionPlan.bind`` does).
+    """
+
+    def __init__(
+        self,
+        steps: List[Step],
+        remap: str = "once",
+        on_stage_failure: str = "raise",
+    ):
         if remap not in ("once", "each"):
-            raise ValueError("remap must be 'once' or 'each'")
+            raise ValidationError("remap must be 'once' or 'each'")
+        if on_stage_failure not in FAILURE_POLICIES:
+            raise ValidationError(
+                f"unknown on_stage_failure policy {on_stage_failure!r}",
+                hint=f"choose one of {FAILURE_POLICIES}",
+            )
         self.steps = list(steps)
         self.remap = remap
+        self.on_stage_failure = on_stage_failure
+
+    def _run_stage(
+        self,
+        state: InspectorState,
+        index: int,
+        step: Step,
+        report: PipelineReport,
+    ) -> None:
+        """Run one stage transactionally under the failure policy."""
+        state.current_index = index
+        touches_before = sum(state.overhead.values())
+        snap = None
+        if self.on_stage_failure != "raise":
+            snap = state.snapshot()
+        start = time.perf_counter()
+        try:
+            step.check_preconditions(state)
+            tiling_before = state.tiling
+            step.run(state)
+            if state.tiling is not None and state.tiling is not tiling_before:
+                validate_tiling(state, f"{index}:{step.name}")
+        except Exception as exc:
+            elapsed = time.perf_counter() - start
+            if isinstance(exc, ReproError):
+                fault = exc
+            else:
+                fault = InspectorFault(
+                    f"inspector stage crashed: "
+                    f"{type(exc).__name__}: {exc}",
+                    stage=f"{index}:{step.name}",
+                    hint="the stage's inspector raised mid-run; state has "
+                    "been rolled back" if snap is not None else None,
+                )
+            if self.on_stage_failure == "raise":
+                report.record(
+                    StageRecord(
+                        index, step.name, STAGE_FAILED, elapsed,
+                        error=str(fault), error_type=type(fault).__name__,
+                    )
+                )
+                raise fault from (exc if fault is not exc else None)
+            state.restore(snap)
+            status = STAGE_SKIPPED
+            if self.on_stage_failure == "identity":
+                state.current_index = index
+                step.identity_fallback(state)
+                status = STAGE_IDENTITY
+            report.record(
+                StageRecord(
+                    index, step.name, status, elapsed,
+                    error=str(fault), error_type=type(fault).__name__,
+                )
+            )
+            warnings.warn(
+                DegradedPlanWarning(
+                    f"stage {index} ({step.name}) failed and was "
+                    + ("replaced by the identity"
+                       if status == STAGE_IDENTITY else "skipped")
+                    + f": {fault}",
+                    stage=f"{index}:{step.name}",
+                ),
+                stacklevel=3,
+            )
+            return
+        elapsed = time.perf_counter() - start
+        report.record(
+            StageRecord(
+                index, step.name, STAGE_OK, elapsed,
+                touches=sum(state.overhead.values()) - touches_before,
+            )
+        )
 
     def run(self, data: KernelData) -> InspectorResult:
         working = data.copy()
@@ -563,9 +900,12 @@ class ComposedInspector:
                 for pos, size in enumerate(working.loop_sizes())
             },
         )
+        report = PipelineReport(
+            plan_name="+".join(step.name for step in self.steps) or "baseline",
+            policy=self.on_stage_failure,
+        )
         for index, step in enumerate(self.steps):
-            state.current_index = index
-            step.run(state)
+            self._run_stage(state, index, step, report)
         state.finalize_payload()
 
         plan = (
@@ -582,4 +922,5 @@ class ComposedInspector:
             overhead=dict(state.overhead),
             data_moves=state.data_moves,
             stage_functions=dict(state.stage_functions),
+            report=report,
         )

@@ -12,18 +12,29 @@ A plan is the full story of one composition:
 
 2. **Run time.**  ``build_inspector()`` hands the same steps to the
    :class:`~repro.runtime.inspector.ComposedInspector`, which realizes the
-   UFS as index arrays.
+   UFS as index arrays.  :meth:`CompositionPlan.bind` is the hardened
+   entry point: it validates the dataset first, runs the inspector under
+   the plan's ``on_stage_failure`` policy, and — whenever any stage
+   degraded — re-runs the runtime verifier so the degraded executor is
+   still proven bit-identical to the untransformed kernel.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
-from repro.runtime.inspector import ComposedInspector, Step
+from repro.errors import ExecutorFault, LegalityError, ValidationError
+from repro.runtime.inspector import (
+    FAILURE_POLICIES,
+    ComposedInspector,
+    InspectorResult,
+    Step,
+)
+from repro.runtime.report import PipelineReport
+from repro.runtime.validate import POLICIES, validate_kernel_data
 from repro.uniform.kernel import Kernel
 from repro.uniform.legality import (
-    LegalityError,
     LegalityReport,
     check_data_reordering,
     check_iteration_reordering,
@@ -44,7 +55,14 @@ class PlannedTransformation:
 
 
 class CompositionPlan:
-    """A named sequence of run-time reordering transformation steps."""
+    """A named sequence of run-time reordering transformation steps.
+
+    ``on_stage_failure`` ∈ ``{'raise', 'skip', 'identity'}`` controls how
+    :meth:`bind` reacts when a stage fails validation or crashes at run
+    time (see :class:`~repro.runtime.inspector.ComposedInspector`);
+    ``validation`` ∈ ``{'strict', 'permissive'}`` sets the bind-time
+    dataset validation policy.
+    """
 
     def __init__(
         self,
@@ -52,11 +70,25 @@ class CompositionPlan:
         steps: List[Step],
         name: str = "",
         remap: str = "once",
+        on_stage_failure: str = "raise",
+        validation: str = "strict",
     ):
+        if on_stage_failure not in FAILURE_POLICIES:
+            raise ValidationError(
+                f"unknown on_stage_failure policy {on_stage_failure!r}",
+                hint=f"choose one of {FAILURE_POLICIES}",
+            )
+        if validation not in POLICIES:
+            raise ValidationError(
+                f"unknown validation policy {validation!r}",
+                hint=f"choose one of {POLICIES}",
+            )
         self.kernel = kernel
         self.steps = list(steps)
         self.name = name or "+".join(step.name for step in steps) or "baseline"
         self.remap = remap
+        self.on_stage_failure = on_stage_failure
+        self.validation = validation
         self._planned: Optional[List[PlannedTransformation]] = None
         self._final_state: Optional[ProgramState] = None
 
@@ -75,19 +107,38 @@ class CompositionPlan:
         planned: List[PlannedTransformation] = []
         for index, step in enumerate(self.steps):
             for transformation in step.symbolic(self.kernel, index):
-                if isinstance(transformation, DataReordering):
-                    report = check_data_reordering(state, transformation)
-                elif isinstance(transformation, IterationReordering):
-                    report = check_iteration_reordering(state, transformation)
-                else:  # pragma: no cover - steps only emit the two kinds
-                    raise TypeError(f"unexpected transformation {transformation!r}")
-                if strict and not report.proven:
+                try:
+                    if isinstance(transformation, DataReordering):
+                        report = check_data_reordering(state, transformation)
+                    elif isinstance(transformation, IterationReordering):
+                        report = check_iteration_reordering(state, transformation)
+                    else:  # pragma: no cover - steps only emit the two kinds
+                        raise TypeError(
+                            f"unexpected transformation {transformation!r}"
+                        )
+                    if strict and not report.proven:
+                        raise LegalityError(
+                            f"step {step!r} is not provably legal: "
+                            f"{len(report.obligations)} outstanding obligations "
+                            f"({', '.join(o.dependence.name for o in report.obligations)})",
+                            stage=f"{index}:{step.name}",
+                            hint="use a dependence-inspecting step (sparse "
+                            "tiling) for this subspace, or plan(strict=False) "
+                            "and rely on the runtime verifier",
+                        )
+                    planned.append(PlannedTransformation(transformation, report))
+                    state = state.apply(transformation)
+                except (ValueError, KeyError) as exc:
+                    if isinstance(exc, LegalityError):
+                        raise
                     raise LegalityError(
-                        f"step {step!r} is not provably legal: "
-                        f"{len(report.obligations)} outstanding obligations"
-                    )
-                planned.append(PlannedTransformation(transformation, report))
-                state = state.apply(transformation)
+                        f"step {step!r} cannot be threaded through the "
+                        f"composition: {exc}",
+                        stage=f"{index}:{step.name}",
+                        hint="the composition is malformed for this kernel "
+                        "— e.g. a tile-space step without a prior sparse "
+                        "tiling step",
+                    ) from exc
         self._planned = planned
         self._final_state = state
         return state
@@ -108,7 +159,56 @@ class CompositionPlan:
 
     def build_inspector(self) -> ComposedInspector:
         """The composed inspector realizing this plan."""
-        return ComposedInspector(self.steps, remap=self.remap)
+        return ComposedInspector(
+            self.steps,
+            remap=self.remap,
+            on_stage_failure=self.on_stage_failure,
+        )
+
+    def bind(
+        self,
+        data,
+        num_steps: int = 2,
+        verify: Optional[bool] = None,
+    ) -> InspectorResult:
+        """Validate, inspect, and (when degraded) verify — the safe path.
+
+        1. Validates ``data`` under the plan's ``validation`` policy
+           (typed :class:`~repro.errors.ValidationError` on failure).
+        2. Runs the composed inspector under ``on_stage_failure``.
+        3. If any stage degraded (or ``verify=True``), re-runs the
+           runtime verifier: the executor's output must be bit-identical
+           (within float tolerance) to the untransformed kernel.  A
+           mismatch raises :class:`~repro.errors.ExecutorFault` — a
+           degraded plan never silently corrupts.
+
+        Returns the :class:`InspectorResult`; its ``report`` records
+        validation findings, per-stage status, and the verifier verdict.
+        """
+        from repro.runtime.verify import verify_numeric_equivalence
+
+        validation_report = validate_kernel_data(data, policy=self.validation)
+        validation_report.raise_if_failed(stage="bind")
+
+        result = self.build_inspector().run(data)
+        report: PipelineReport = result.report
+        report.plan_name = self.name
+        report.validation = [str(f) for f in validation_report.findings]
+
+        should_verify = verify if verify is not None else report.degraded
+        if should_verify:
+            try:
+                verify_numeric_equivalence(data, result, num_steps=num_steps)
+            except AssertionError as exc:
+                report.verified = False
+                raise ExecutorFault(
+                    f"degraded plan failed the numeric safety net: {exc}",
+                    stage="verify",
+                    hint="the fallback left inconsistent state; rerun "
+                    "with on_stage_failure='raise' to localize the fault",
+                ) from exc
+            report.verified = True
+        return result
 
     def describe(self) -> str:
         lines = [f"CompositionPlan {self.name!r} on kernel {self.kernel.name!r}"]
@@ -117,6 +217,8 @@ class CompositionPlan:
             for transformation in step.symbolic(self.kernel, index):
                 lines.append(f"     {transformation.describe()}")
         lines.append(f"  remap policy: {self.remap}")
+        lines.append(f"  on_stage_failure: {self.on_stage_failure}")
+        lines.append(f"  validation: {self.validation}")
         return "\n".join(lines)
 
     def __repr__(self):

@@ -21,6 +21,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.errors import ExecutorFault
 from repro.kernels.data import KernelData
 from repro.presburger.evaluate import Environment
 from repro.presburger.ordering import lex_lt
@@ -38,18 +39,25 @@ def verify_numeric_equivalence(
 ) -> bool:
     """Baseline run == transformed run pulled back through ``sigma^-1``.
 
-    Raises ``AssertionError`` with the offending array name on mismatch;
-    returns ``True`` otherwise.
+    Raises :class:`~repro.errors.ExecutorFault` (an ``AssertionError``
+    subclass) naming the offending array and the first mismatching
+    positions; returns ``True`` otherwise.
     """
     baseline = run_numeric(original.copy(), num_steps)
     transformed = run_numeric(result.transformed.copy(), num_steps)
     inv = result.sigma_nodes.inverse()
     for name, expected in baseline.arrays.items():
         actual = inv.apply_to_data(transformed.arrays[name])
-        if not np.allclose(actual, expected, rtol=rtol, atol=atol):
+        close = np.isclose(actual, expected, rtol=rtol, atol=atol)
+        if not close.all():
             worst = float(np.abs(actual - expected).max())
-            raise AssertionError(
-                f"array {name!r} differs after pullback (max |delta| = {worst})"
+            raise ExecutorFault(
+                f"array {name!r} differs after pullback "
+                f"(max |delta| = {worst}, {int((~close).sum())} entries) at",
+                stage="numeric-equivalence",
+                indices=np.flatnonzero(~close)[:5].tolist(),
+                hint="an inspector stage moved the payload and index "
+                "arrays inconsistently",
             )
     return True
 
@@ -113,9 +121,13 @@ def verify_dependences(
         if dep.is_reduction:
             continue
         for src, dst in env.enumerate_relation(dep.relation):
-            assert lex_lt(src, dst), (
-                f"dependence {dep.name} violated: {src} !< {dst}"
-            )
+            if not lex_lt(src, dst):
+                raise ExecutorFault(
+                    f"dependence {dep.name} violated: {src} !< {dst}",
+                    stage="dependence-order",
+                    hint="a reordering function broke lexicographic "
+                    "order; the composition is illegal on this input",
+                )
             checked += 1
             if max_pairs is not None and checked >= max_pairs:
                 return checked

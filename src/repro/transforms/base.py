@@ -19,6 +19,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.presburger.constraints import eq
 from repro.presburger.relations import PresburgerRelation
 from repro.presburger.sets import Conjunction
@@ -71,10 +72,42 @@ class ReorderingFunction:
         seen[self.array] = True
         return bool(seen.all())
 
-    def require_permutation(self) -> "ReorderingFunction":
-        """The legality obligation for data reorderings (paper Section 4)."""
-        if not self.is_permutation():
-            raise ValueError(f"{self.name} is not a permutation")
+    def permutation_defects(self, limit: int = 5):
+        """Why the array fails to be a bijection on [0, n).
+
+        Returns ``(kind, positions)`` — ``kind`` one of ``"out-of-range"``
+        or ``"duplicate"`` with the first ``limit`` offending positions in
+        the array — or ``(None, [])`` for a valid permutation.
+        """
+        n = len(self.array)
+        outside = np.flatnonzero((self.array < 0) | (self.array >= n))
+        if len(outside):
+            return "out-of-range", outside[:limit].tolist()
+        counts = np.bincount(self.array, minlength=n)
+        dup_values = np.flatnonzero(counts > 1)
+        if len(dup_values):
+            positions = np.flatnonzero(np.isin(self.array, dup_values))
+            return "duplicate", positions[:limit].tolist()
+        return None, []
+
+    def require_permutation(self, stage: Optional[str] = None) -> "ReorderingFunction":
+        """The legality obligation for data reorderings (paper Section 4).
+
+        Raises :class:`~repro.errors.ValidationError` naming the array and
+        the first few offending positions instead of a bare assertion.
+        """
+        kind, positions = self.permutation_defects()
+        if kind is not None:
+            values = [int(self.array[p]) for p in positions]
+            raise ValidationError(
+                f"index array {self.name!r} (n={len(self.array)}) is not a "
+                f"permutation: {kind} values {values} at",
+                stage=stage,
+                indices=positions,
+                hint="every slot in [0, n) must appear exactly once; "
+                "regenerate the reordering or run under "
+                "on_stage_failure='skip' to degrade",
+            )
         return self
 
     @property

@@ -33,8 +33,9 @@ from repro.uniform.mappings import Dependence
 from repro.uniform.state import DataReordering, IterationReordering, ProgramState
 
 
-class LegalityError(Exception):
-    """Raised when a transformation is provably illegal at compile time."""
+# Migrated to the structured taxonomy; re-exported here so existing
+# ``from repro.uniform.legality import LegalityError`` imports keep working.
+from repro.errors import LegalityError
 
 
 @dataclass

@@ -51,3 +51,66 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTypedErrorHandling:
+    """Typed errors exit nonzero with a one-line message, no traceback."""
+
+    def test_unknown_dataset_exits_nonzero(self, capsys):
+        assert main(["quickstart", "--dataset", "nope"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: BindError:")
+        assert "unknown dataset" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_unknown_kernel_exits_nonzero(self, capsys):
+        assert main(["quickstart", "--kernel", "spmv"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: BindError:")
+        assert "unknown kernel" in err
+
+    def test_doctor_unknown_dataset_exits_nonzero(self, capsys):
+        assert main(["doctor", "--dataset", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "error: BindError:" in err and "hint" in err
+
+    def test_malformed_composition_is_typed(self, capsys):
+        # tilePack without a prior tiling step used to escape as a raw
+        # ValueError traceback from the relation algebra.
+        assert main(
+            ["doctor", "--scale", "256", "cpack", "tilepack"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error: LegalityError:" in err
+        assert "tilepack" in err
+
+
+class TestDoctor:
+    def test_doctor_passes_on_generated_dataset(self, capsys):
+        rc = main(
+            ["doctor", "--kernel", "irreg", "--dataset", "foil",
+             "--scale", "256"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PipelineReport" in out
+        assert "validation of Dataset('foil')" in out
+        assert "all checks passed" in out
+        assert "verified bit-identical" in out
+
+    def test_doctor_accepts_steps_and_policy(self, capsys):
+        rc = main(
+            ["doctor", "--dataset", "mol1", "--scale", "256", "--permissive",
+             "--on-stage-failure", "identity", "cpack", "lexgroup"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stage 0 [cpack]: ok" in out
+
+    def test_quickstart_accepts_policy_flags(self, capsys):
+        assert main(
+            ["quickstart", "--scale", "256", "--dataset", "foil",
+             "--permissive"]
+        ) == 0
+        assert "normalized" in capsys.readouterr().out

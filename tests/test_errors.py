@@ -1,0 +1,72 @@
+"""The structured exception taxonomy (repro.errors)."""
+
+import pytest
+
+from repro.errors import (
+    BindError,
+    DegradedPlanWarning,
+    ExecutorFault,
+    InspectorFault,
+    LegalityError,
+    ReproError,
+    ValidationError,
+)
+
+
+class TestTaxonomy:
+    def test_every_type_is_a_repro_error(self):
+        for cls in (
+            ValidationError,
+            BindError,
+            LegalityError,
+            InspectorFault,
+            ExecutorFault,
+            DegradedPlanWarning,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_backwards_compatible_builtin_bases(self):
+        # Pre-taxonomy call sites catch these builtins; they must keep working.
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(BindError, KeyError)
+        assert issubclass(BindError, ValueError)
+        assert issubclass(InspectorFault, RuntimeError)
+        assert issubclass(ExecutorFault, AssertionError)
+        assert issubclass(DegradedPlanWarning, UserWarning)
+
+    def test_legality_error_alias_from_uniform(self):
+        from repro.uniform.legality import LegalityError as Alias
+
+        assert Alias is LegalityError
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.ReproError is ReproError
+        assert repro.ValidationError is ValidationError
+
+
+class TestMessageFormat:
+    def test_stage_and_hint_in_message(self):
+        err = ValidationError("bad array", stage="2:fst", hint="fix it")
+        text = str(err)
+        assert "[stage 2:fst]" in text
+        assert "bad array" in text
+        assert "(hint: fix it)" in text
+
+    def test_indices_capped_at_five(self):
+        err = InspectorFault("oops", indices=list(range(12)))
+        text = str(err)
+        assert "[0, 1, 2, 3, 4, ... (+7 more)]" in text
+        assert err.indices == list(range(12))
+
+    def test_bind_error_str_is_not_reprd(self):
+        # KeyError.__str__ would render repr(args[0]); BindError overrides it.
+        err = BindError("unknown dataset 'x'")
+        assert str(err) == "unknown dataset 'x'"
+
+    def test_structured_context_attributes(self):
+        err = ReproError("m", stage="s", indices=[3, 1], hint="h")
+        assert err.stage == "s"
+        assert err.indices == [3, 1]
+        assert err.hint == "h"
