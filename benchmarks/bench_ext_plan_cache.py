@@ -1,0 +1,183 @@
+"""Extension: plan-cache amortization (Figures 8/9 with a warm cache).
+
+The paper's amortization figures charge every executor run a share of
+the inspector's one-time cost: a composition pays off only after
+``inspector_cycles / savings_per_step`` outer-loop iterations.  The
+:mod:`repro.plancache` subsystem moves that cost *out of the process
+lifetime entirely*: a warm bind replays the realized index arrays from
+the content-addressed cache, no inspector stage executes, and the
+break-even point collapses to the first executor run.
+
+This benchmark measures cold-vs-warm ``CompositionPlan.bind`` wall
+clock, asserts the warm bind skips all inspector stages (stage
+counters) and is >= 5x faster, proves the warm result is bit-identical
+to the cold one, and recomputes the Figure 8 amortization with the
+inspector cost zeroed.  Machine-readable results land in
+``benchmarks/results/BENCH_plancache.json``.
+"""
+
+import json
+import math
+import time
+from collections import Counter
+
+import numpy as np
+
+from benchmarks.conftest import save_and_print
+from repro.cachesim.machines import machine_by_name
+from repro.eval.compositions import composition_steps
+from repro.eval.experiments import run_cell
+from repro.kernels.data import make_kernel_data
+from repro.kernels.datasets import generate_dataset
+from repro.kernels.specs import kernel_by_name
+from repro.plancache import PlanCache
+from repro.runtime import CompositionPlan, run_numeric
+
+#: Larger than DEFAULT_SCALE (smaller inputs) so the full cold/warm
+#: sweep stays fast; the cold:warm ratio only grows with input size.
+SCALE = 64
+
+MACHINE = "power3"
+
+CASES = (
+    ("moldyn", "mol1", "cpack"),
+    ("moldyn", "mol1", "cpack+fst"),
+    ("moldyn", "mol1", "cpack2x+fst"),
+    ("irreg", "foil", "cpack+fst"),
+    ("nbf", "foil", "gpart"),
+)
+
+WARM_ROUNDS = 3
+
+#: The acceptance bar: a warm bind must beat a cold bind by this factor.
+MIN_SPEEDUP = 5.0
+
+
+def _timed_bind(plan, data, cache):
+    start = time.perf_counter()
+    result = plan.bind(data, cache=cache)
+    return result, time.perf_counter() - start
+
+
+def _case_row(kernel, dataset, composition, cache_root):
+    machine = machine_by_name(MACHINE)
+    data = make_kernel_data(kernel, generate_dataset(dataset, scale=SCALE))
+    steps = composition_steps(composition, data, machine)
+    plan = CompositionPlan(kernel_by_name(kernel), steps, name=composition)
+    cache = PlanCache(directory=cache_root / f"{kernel}-{dataset}-{composition}")
+
+    cold, cold_s = _timed_bind(plan, data, cache)
+    assert cold.report.cache == "stored"
+    assert cache.stats.misses == 1 and cache.stats.stores == 1
+
+    warm, warm_s = None, math.inf
+    for _ in range(WARM_ROUNDS):
+        warm, elapsed = _timed_bind(plan, data, cache)
+        warm_s = min(warm_s, elapsed)
+
+    # Every warm bind hit, and *every* inspector stage was skipped —
+    # the stage counters are the proof the acceptance criteria ask for.
+    assert warm.report.cache == "hit"
+    assert cache.stats.hits == WARM_ROUNDS
+    assert cache.stats.stages_skipped == len(steps) * WARM_ROUNDS
+    step_name_counts = Counter(step.name for step in steps)
+    for name, count in step_name_counts.items():
+        assert cache.stats.stage_hits[name] == WARM_ROUNDS * count
+
+    # Bit-identical executor state and output: cold vs warm.
+    assert np.array_equal(cold.transformed.left, warm.transformed.left)
+    assert np.array_equal(cold.transformed.right, warm.transformed.right)
+    assert np.array_equal(cold.sigma_nodes.array, warm.sigma_nodes.array)
+    cold_run = run_numeric(cold.transformed.copy(), num_steps=2)
+    warm_run = run_numeric(warm.transformed.copy(), num_steps=2)
+    for name in cold_run.arrays:
+        assert np.array_equal(cold_run.arrays[name], warm_run.arrays[name])
+
+    speedup = cold_s / warm_s
+    assert speedup >= MIN_SPEEDUP, (
+        f"{kernel}/{dataset}/{composition}: warm bind only "
+        f"{speedup:.1f}x faster than cold ({cold_s * 1e3:.1f} ms -> "
+        f"{warm_s * 1e3:.2f} ms)"
+    )
+
+    # Figure 8 quantities for this cell: the cold curve charges the
+    # inspector; the warm curve's inspector cost is zero, so break-even
+    # collapses to the first executor run.
+    cell = run_cell(kernel, dataset, MACHINE, composition, scale=SCALE)
+    cold_break_even = (
+        math.ceil(cell.amortization_steps)
+        if math.isfinite(cell.amortization_steps)
+        else None
+    )
+    return {
+        "kernel": kernel,
+        "dataset": dataset,
+        "composition": composition,
+        "stages": len(steps),
+        "cold_bind_ms": cold_s * 1e3,
+        "warm_bind_ms": warm_s * 1e3,
+        "speedup": speedup,
+        "hit_rate": cache.stats.hit_rate,
+        "stages_skipped": cache.stats.stages_skipped,
+        "inspector_cycles": cell.inspector_cycles,
+        "savings_per_step_cycles": cell.savings_per_step,
+        "cold_break_even_runs": cold_break_even,
+        "warm_break_even_runs": 1,
+    }
+
+
+def test_plan_cache_amortization(benchmark, results_dir, tmp_path):
+    rows = [_case_row(*case, cache_root=tmp_path) for case in CASES]
+
+    # Harness timing: one representative warm bind under pytest-benchmark.
+    kernel, dataset, composition = CASES[1]
+    machine = machine_by_name(MACHINE)
+    data = make_kernel_data(kernel, generate_dataset(dataset, scale=SCALE))
+    steps = composition_steps(composition, data, machine)
+    plan = CompositionPlan(kernel_by_name(kernel), steps, name=composition)
+    cache = PlanCache(directory=tmp_path / "bench-harness")
+    plan.bind(data, cache=cache)  # populate
+    benchmark.pedantic(
+        lambda: plan.bind(data, cache=cache), rounds=3, iterations=1
+    )
+
+    # The warm cache shifts every finite break-even point to 1 run.
+    for row in rows:
+        if row["cold_break_even_runs"] is not None:
+            assert row["warm_break_even_runs"] <= row["cold_break_even_runs"]
+        assert row["warm_break_even_runs"] == 1
+
+    payload = {
+        "benchmark": "plan_cache_amortization",
+        "scale": SCALE,
+        "machine": MACHINE,
+        "warm_rounds": WARM_ROUNDS,
+        "min_speedup": MIN_SPEEDUP,
+        "rows": rows,
+    }
+    json_path = results_dir / "BENCH_plancache.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    header = (
+        f"{'kernel':8} {'dataset':8} {'composition':12} "
+        f"{'cold ms':>8} {'warm ms':>8} {'speedup':>8} "
+        f"{'break-even cold':>16} {'warm':>5}"
+    )
+    lines = [
+        "Plan-cache amortization: cold vs warm CompositionPlan.bind "
+        f"(scale {SCALE}, {MACHINE}-like)",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        cold_be = (
+            str(row["cold_break_even_runs"])
+            if row["cold_break_even_runs"] is not None
+            else "never"
+        )
+        lines.append(
+            f"{row['kernel']:8} {row['dataset']:8} {row['composition']:12} "
+            f"{row['cold_bind_ms']:8.1f} {row['warm_bind_ms']:8.2f} "
+            f"{row['speedup']:7.1f}x {cold_be:>16} {row['warm_break_even_runs']:>5}"
+        )
+    save_and_print(results_dir, "ext_plan_cache", "\n".join(lines))

@@ -17,6 +17,7 @@ Layer map (each usable on its own):
                        legality
 ``repro.transforms``   the reordering algorithms over index arrays
 ``repro.runtime``      composed inspectors, executors, runtime verifier
+``repro.plancache``    content-addressed two-tier inspector plan cache
 ``repro.codegen``      specialized inspector/executor source generation
 ``repro.kernels``      moldyn / nbf / irreg + synthetic datasets
 ``repro.cachesim``     set-associative LRU hierarchy + machine models
@@ -33,6 +34,7 @@ __version__ = "1.0.0"
 
 from repro.errors import (
     BindError,
+    CacheError,
     DegradedPlanWarning,
     ExecutorFault,
     InspectorFault,
@@ -42,6 +44,7 @@ from repro.errors import (
 )
 from repro.kernels import generate_dataset, make_kernel_data
 from repro.kernels.specs import kernel_by_name
+from repro.plancache import PlanCache
 from repro.runtime import CompositionPlan
 from repro.runtime.inspector import (
     CPackStep,

@@ -14,8 +14,13 @@ Commands:
   ``gpart``, ``rcm``, ``lexgroup``, ``lexsort``, ``bucket``, ``fst``,
   ``cacheblock``, ``tilepack``;
 * ``doctor``            — validate a dataset and a composition end to
-  end and print the validation findings plus the per-stage
-  :class:`~repro.runtime.report.PipelineReport`.
+  end and print the validation findings, the per-stage
+  :class:`~repro.runtime.report.PipelineReport`, and plan-cache-dir
+  health;
+* ``cache stats``       — print the plan cache's tiers and counters;
+* ``cache clear``       — drop every cached plan;
+* ``cache warm <composition> <dataset>`` — pre-populate the plan cache
+  for a composition on a dataset, so later binds skip the inspectors.
 
 ``--strict`` (default) / ``--permissive`` select the validation policy;
 ``doctor`` additionally accepts ``--on-stage-failure {raise,skip,identity}``.
@@ -167,6 +172,27 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cache_health_lines(directory=None):
+    """Human-readable plan-cache-dir health (for ``doctor``/``cache``)."""
+    from repro.plancache import DiskStore
+
+    health = DiskStore(directory).health()
+    status = []
+    if not health["exists"]:
+        status.append("MISSING")
+    if not health["writable"]:
+        status.append("NOT WRITABLE")
+    if health["unreadable"]:
+        status.append(f"{health['unreadable']} unreadable artifacts")
+    lines = [
+        f"plan cache dir: {health['path']} "
+        f"[{', '.join(status) if status else 'healthy'}]",
+        f"  entries: {health['entries']}  "
+        f"total bytes: {health['total_bytes']}",
+    ]
+    return lines, health
+
+
 def _cmd_doctor(args) -> int:
     """Validate a dataset + composition and print the pipeline report."""
     from repro.kernels.data import make_kernel_data
@@ -194,10 +220,77 @@ def _cmd_doctor(args) -> int:
     plan.plan(strict=False)
     result = plan.bind(data, verify=True)
     print(result.report.describe())
+    print()
+    lines, health = _cache_health_lines(args.cache_dir)
+    for line in lines:
+        print(line)
+    cache_unhealthy = not health["writable"] or health["unreadable"] > 0
     degraded = result.report.degraded
     print()
-    print("doctor: " + ("DEGRADED (see fallbacks above)" if degraded else "all checks passed"))
+    print(
+        "doctor: "
+        + (
+            "DEGRADED (see fallbacks above)"
+            if degraded
+            else (
+                "all checks passed"
+                if not cache_unhealthy
+                else "all checks passed (plan cache dir unhealthy)"
+            )
+        )
+    )
     return 1 if degraded else 0
+
+
+def _cmd_cache(args) -> int:
+    """Inspect, clear, or warm the persistent plan cache."""
+    from repro.plancache import PlanCache
+
+    if args.cache_command == "stats":
+        lines, _health = _cache_health_lines(args.cache_dir)
+        for line in lines:
+            print(line)
+        cache = PlanCache(directory=args.cache_dir)
+        print(cache.describe())
+        return 0
+
+    if args.cache_command == "clear":
+        cache = PlanCache(directory=args.cache_dir)
+        removed = cache.clear()
+        print(f"removed {removed} cached plan(s)")
+        return 0
+
+    # warm: bind one composition x dataset through the cache.
+    from repro.cachesim.machines import machine_by_name
+    from repro.eval.compositions import COMPOSITIONS, composition_steps
+    from repro.kernels.data import make_kernel_data
+    from repro.kernels.datasets import generate_dataset
+    from repro.kernels.specs import kernel_by_name
+    from repro.runtime import CompositionPlan
+
+    if args.composition not in COMPOSITIONS:
+        raise SystemExit(
+            f"unknown composition {args.composition!r}; "
+            f"choose from {sorted(COMPOSITIONS)}"
+        )
+    data = make_kernel_data(
+        args.kernel, generate_dataset(args.dataset, scale=args.scale)
+    )
+    steps = composition_steps(
+        args.composition, data, machine_by_name(args.machine)
+    )
+    plan = CompositionPlan(
+        kernel_by_name(args.kernel), steps, name=args.composition
+    )
+    cache = PlanCache(directory=args.cache_dir)
+    result = plan.bind(data, cache=cache)
+    status = result.report.cache or "uncached"
+    print(
+        f"warmed {args.composition} on {args.kernel}/{args.dataset} "
+        f"(scale {args.scale}): {status}"
+    )
+    print(cache.stats.describe())
+    return 0
 
 
 def main(argv=None) -> int:
@@ -262,10 +355,39 @@ def main(argv=None) -> int:
         help="degradation policy for failing inspector stages",
     )
     p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="plan-cache directory to health-check "
+        "(default: $REPRO_PLANCACHE_DIR or ~/.cache/repro/plancache)",
+    )
+    p.add_argument(
         "steps", nargs="*",
         help="composition steps (default: cpack lexgroup fst)",
     )
     p.set_defaults(func=_cmd_doctor)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect, clear, or warm the persistent inspector plan cache",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "print cache-dir health, tiers, and counters"),
+        ("clear", "remove every cached plan"),
+    ):
+        cp = cache_sub.add_parser(name, help=help_text)
+        cp.add_argument("--cache-dir", default=None)
+        cp.set_defaults(func=_cmd_cache)
+    cp = cache_sub.add_parser(
+        "warm", help="pre-populate the cache for a composition x dataset"
+    )
+    cp.add_argument("composition", help="a named composition, e.g. cpack+fst")
+    cp.add_argument("dataset", help="dataset name (mol1/mol2/foil/auto)")
+    cp.add_argument("--kernel", default="moldyn")
+    cp.add_argument("--machine", default="pentium4")
+    cp.add_argument("--scale", type=int, default=None)
+    cp.add_argument("--cache-dir", default=None)
+    cp.set_defaults(func=_cmd_cache)
 
     args = parser.parse_args(argv)
     if getattr(args, "scale", None) is None and hasattr(args, "scale"):

@@ -21,6 +21,9 @@ Taxonomy::
     ├── ExecutorFault       the transformed executor's output diverged
     │                       from (or cannot be proven equal to) the
     │                       untransformed kernel
+    ├── CacheError          the plan cache is misconfigured (unwritable
+    │                       cache dir, invalid budget); corrupted cache
+    │                       *entries* never raise — they are safe misses
     └── DegradedPlanWarning a stage was skipped / replaced by the
                             identity under a permissive failure policy
 
@@ -114,6 +117,16 @@ class ExecutorFault(ReproError, AssertionError):
     """
 
 
+class CacheError(ReproError, OSError):
+    """The plan cache cannot be used as configured (e.g. the cache
+    directory is not writable, or the memory budget is invalid).
+
+    Note that *corrupted cache entries* never raise: they are demoted to
+    safe misses by design — this error covers configuration problems
+    only.
+    """
+
+
 class DegradedPlanWarning(ReproError, UserWarning):
     """A stage failed and the plan degraded (skip/identity) instead of
     raising.  Issued via :func:`warnings.warn`; carries the same
@@ -127,5 +140,6 @@ __all__ = [
     "LegalityError",
     "InspectorFault",
     "ExecutorFault",
+    "CacheError",
     "DegradedPlanWarning",
 ]

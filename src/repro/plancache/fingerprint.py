@@ -1,0 +1,216 @@
+"""Stable content fingerprints for datasets, steps, and plans.
+
+The plan cache is *content-addressed*: a cache key is the SHA-256 digest
+of everything the composed inspector's output depends on —
+
+* the **dataset** — the index arrays (``left``/``right``), their dtype,
+  the extents, the loop structure, and the record layout.  The node
+  *payload values* are deliberately excluded: inspectors only ever
+  traverse index arrays, and a cached result is re-applied to whatever
+  payload the caller binds (see :mod:`repro.plancache.memo`);
+* the **composition** — each step's class and parameters (including any
+  embedded arrays, e.g. a space-filling step's coordinates), the data
+  remap policy, and the stage-failure policy;
+* a **code-version salt** — a digest of the transform and inspector
+  sources, so editing an inspector algorithm silently invalidates every
+  entry it produced (the stale entry's key simply becomes unreachable).
+
+Fingerprints are hex strings, stable across processes and machines for
+identical content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Iterable, Optional
+
+import numpy as np
+
+#: Extra salt mixed into :func:`code_version_salt`.  Tests (and operators
+#: migrating cache formats) can set ``REPRO_PLANCACHE_SALT`` or assign the
+#: module attribute to force a cold cache without touching source files.
+SALT_EXTRA = os.environ.get("REPRO_PLANCACHE_SALT", "")
+
+#: Modules whose source feeds the code-version salt: the reordering
+#: algorithms themselves plus the composed inspector that drives them.
+_SALT_MODULE_NAMES = (
+    "repro.transforms",
+    "repro.runtime.inspector",
+)
+
+_code_salt_cache: Optional[str] = None
+
+
+def _hasher() -> "hashlib._Hash":
+    return hashlib.sha256()
+
+
+def _update(h, *fields) -> None:
+    """Feed tagged, length-prefixed fields so boundaries are unambiguous."""
+    for field in fields:
+        if isinstance(field, np.ndarray):
+            arr = np.ascontiguousarray(field)
+            blob = arr.tobytes()
+            tag = f"ndarray:{arr.dtype.str}:{arr.shape}:{len(blob)}:"
+            h.update(tag.encode())
+            h.update(blob)
+        else:
+            text = str(field)
+            h.update(f"str:{len(text)}:{text}".encode())
+
+
+def array_fingerprint(array: np.ndarray) -> str:
+    """Digest of one array's dtype, shape, and raw bytes."""
+    h = _hasher()
+    _update(h, array)
+    return h.hexdigest()
+
+
+def _module_sources() -> Iterable[bytes]:
+    """Source bytes of every salt module (submodules of packages too)."""
+    import importlib
+    import pkgutil
+
+    for name in _SALT_MODULE_NAMES:
+        module = importlib.import_module(name)
+        paths = getattr(module, "__path__", None)
+        names = [name]
+        if paths is not None:  # a package: walk its submodules
+            names += sorted(
+                f"{name}.{info.name}"
+                for info in pkgutil.iter_modules(paths)
+            )
+        for sub in names:
+            sub_module = importlib.import_module(sub)
+            source_file = getattr(sub_module, "__file__", None)
+            if source_file and os.path.exists(source_file):
+                with open(source_file, "rb") as fh:
+                    yield sub.encode()
+                    yield fh.read()
+
+
+def code_version_salt() -> str:
+    """Digest of the transform/inspector sources (+ ``SALT_EXTRA``).
+
+    Computed once per process; a source edit changes the digest in the
+    next process, so every previously cached plan self-invalidates (its
+    key is never generated again).
+    """
+    global _code_salt_cache
+    if _code_salt_cache is None:
+        h = _hasher()
+        for blob in _module_sources():
+            h.update(blob)
+        _code_salt_cache = h.hexdigest()
+    if SALT_EXTRA:
+        h = _hasher()
+        _update(h, _code_salt_cache, SALT_EXTRA)
+        return h.hexdigest()
+    return _code_salt_cache
+
+
+def dataset_fingerprint(data, include_payload: bool = False) -> str:
+    """Digest of a :class:`~repro.kernels.data.KernelData` instance.
+
+    Covers the index arrays, extents, dtypes, loop structure, and record
+    layout.  With ``include_payload`` the node payload *values* are mixed
+    in too — required by the verification memo (executor output depends
+    on payload), not by the inspector cache (inspectors do not).
+    """
+    h = _hasher()
+    _update(
+        h,
+        "kernel", data.kernel_name,
+        "num_nodes", data.num_nodes,
+        "node_record_bytes", data.node_record_bytes,
+        "inter_record_bytes", data.inter_record_bytes,
+    )
+    for loop in data.loops:
+        _update(h, "loop", loop.label, loop.domain)
+    _update(h, "left", data.left, "right", data.right)
+    for name in sorted(data.arrays):
+        _update(h, "payload-name", name)
+        if include_payload:
+            _update(h, data.arrays[name])
+    return h.hexdigest()
+
+
+def step_fingerprint(step) -> str:
+    """Digest of one step: its class plus every constructor parameter.
+
+    Parameters are discovered generically from the instance ``__dict__``
+    (sorted), so new step types participate without registration; ndarray
+    parameters (e.g. space-filling coordinates) hash by content.
+    """
+    h = _hasher()
+    _update(h, "step", type(step).__module__, type(step).__qualname__)
+    for key in sorted(vars(step)):
+        value = vars(step)[key]
+        _update(h, "param", key)
+        if isinstance(value, np.ndarray):
+            _update(h, value)
+        else:
+            _update(h, repr(value))
+    return h.hexdigest()
+
+
+def inspector_fingerprint(steps, remap: str, on_stage_failure: str) -> str:
+    """Digest of a composed inspector: steps + policies + code salt."""
+    h = _hasher()
+    _update(h, "remap", remap, "on_stage_failure", on_stage_failure)
+    _update(h, "salt", code_version_salt())
+    for step in steps:
+        _update(h, step_fingerprint(step))
+    return h.hexdigest()
+
+
+def plan_fingerprint(plan) -> str:
+    """Digest of a :class:`~repro.runtime.plan.CompositionPlan`."""
+    h = _hasher()
+    _update(h, "kernel", plan.kernel.name)
+    _update(
+        h,
+        inspector_fingerprint(plan.steps, plan.remap, plan.on_stage_failure),
+    )
+    return h.hexdigest()
+
+
+def combine(*fingerprints: str) -> str:
+    """Combine digests into one key (order-sensitive)."""
+    h = _hasher()
+    _update(h, "combine", *fingerprints)
+    return h.hexdigest()
+
+
+def bind_fingerprint(plan, data) -> str:
+    """The cache key of ``plan.bind(data)``: plan x dataset content."""
+    return combine(plan_fingerprint(plan), dataset_fingerprint(data))
+
+
+def verification_fingerprint(plan, data, num_steps: int) -> str:
+    """Memo key for the numeric verifier — payload-sensitive.
+
+    The verifier compares actual executor *outputs*, which depend on the
+    payload values, so — unlike the inspector cache key — this digest
+    includes them.
+    """
+    return combine(
+        plan_fingerprint(plan),
+        dataset_fingerprint(data, include_payload=True),
+        str(num_steps),
+    )
+
+
+__all__ = [
+    "array_fingerprint",
+    "bind_fingerprint",
+    "code_version_salt",
+    "combine",
+    "dataset_fingerprint",
+    "inspector_fingerprint",
+    "plan_fingerprint",
+    "step_fingerprint",
+    "verification_fingerprint",
+    "SALT_EXTRA",
+]

@@ -1,0 +1,108 @@
+"""Cache observability: hit/miss/evict/store counters.
+
+One :class:`CacheStats` instance rides along with each
+:class:`~repro.plancache.store.PlanCache`; every tier and every
+integration point (``CompositionPlan.bind``, ``ComposedInspector.run``,
+the verification memo) increments it.  ``python -m repro cache stats``
+prints it; the amortization benchmark serializes it into
+``BENCH_plancache.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+
+@dataclass
+class CacheStats:
+    """Counters for one plan-cache instance."""
+
+    #: Whole-bind lookups that found a reusable entry / found nothing.
+    hits: int = 0
+    misses: int = 0
+    #: Entries written (a miss that completed and was persisted).
+    stores: int = 0
+    #: In-memory entries dropped to respect the byte budget.
+    evictions: int = 0
+    #: Tier attribution of hits.
+    memory_hits: int = 0
+    disk_hits: int = 0
+    #: Disk artifacts rejected as unreadable / mismatched — each one is a
+    #: *safe miss*: the inspectors re-run instead of reusing bad state.
+    corrupt: int = 0
+    #: Numeric verifications skipped thanks to the verification memo.
+    verify_memo_hits: int = 0
+    #: Inspector stages never executed because the whole bind hit.
+    stages_skipped: int = 0
+    #: Per-stage (step-name) attribution of hits and misses.
+    stage_hits: Dict[str, int] = field(default_factory=dict)
+    stage_misses: Dict[str, int] = field(default_factory=dict)
+
+    # -- recording -------------------------------------------------------------
+
+    def record_hit(self, stage_names: Iterable[str], tier: str) -> None:
+        self.hits += 1
+        if tier == "memory":
+            self.memory_hits += 1
+        elif tier == "disk":
+            self.disk_hits += 1
+        for name in stage_names:
+            self.stage_hits[name] = self.stage_hits.get(name, 0) + 1
+            self.stages_skipped += 1
+
+    def record_miss(self, stage_names: Iterable[str]) -> None:
+        self.misses += 1
+        for name in stage_names:
+            self.stage_misses[name] = self.stage_misses.get(name, 0) + 1
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "corrupt": self.corrupt,
+            "verify_memo_hits": self.verify_memo_hits,
+            "stages_skipped": self.stages_skipped,
+            "hit_rate": self.hit_rate,
+            "stage_hits": dict(self.stage_hits),
+            "stage_misses": dict(self.stage_misses),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            "CacheStats("
+            f"hits={self.hits} [memory={self.memory_hits}, "
+            f"disk={self.disk_hits}], misses={self.misses}, "
+            f"hit_rate={self.hit_rate:.2f})",
+            f"  stores: {self.stores}  evictions: {self.evictions}  "
+            f"corrupt artifacts: {self.corrupt}",
+            f"  inspector stages skipped: {self.stages_skipped}  "
+            f"verifications memoized: {self.verify_memo_hits}",
+        ]
+        for name in sorted(set(self.stage_hits) | set(self.stage_misses)):
+            lines.append(
+                f"  stage {name}: {self.stage_hits.get(name, 0)} hits, "
+                f"{self.stage_misses.get(name, 0)} misses"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+__all__ = ["CacheStats"]

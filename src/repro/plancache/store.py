@@ -1,0 +1,350 @@
+"""Two-tier content-addressed storage for inspector plans.
+
+* :class:`MemoryLRU` — an in-process tier with a **byte budget**: entries
+  are evicted least-recently-used when the realized index arrays would
+  exceed the budget (inspector results are mostly ``int64`` arrays, so
+  bytes — not entry counts — are the right unit).
+* :class:`DiskStore` — a persistent tier of ``.npz`` artifacts under a
+  configurable cache directory, one file per key, written via
+  atomic-rename so a crashed writer can never leave a half-written entry
+  under a live key.  Unreadable or mismatched artifacts are a *safe
+  miss*: they are counted, removed, and the inspectors simply re-run.
+* :class:`PlanCache` — the facade composing both tiers (disk optional),
+  promoting disk hits into memory, and carrying the
+  :class:`~repro.plancache.stats.CacheStats` counters.
+
+Artifacts are self-describing: every ``.npz`` carries a ``__meta__``
+JSON member recording the format version and its own key, which the
+loader re-checks before trusting the arrays.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import CacheError
+from repro.plancache.stats import CacheStats
+
+#: Bump when the artifact layout changes; old artifacts become safe misses.
+FORMAT_VERSION = 1
+
+#: Default in-memory byte budget (64 MiB of realized index arrays).
+DEFAULT_MEMORY_BUDGET = 64 * 1024 * 1024
+
+#: Environment override for the disk tier's directory.
+CACHE_DIR_ENV = "REPRO_PLANCACHE_DIR"
+
+
+def resolve_cache_dir(directory=None) -> Path:
+    """The disk tier's directory: explicit arg > env var > user cache."""
+    if directory is not None:
+        return Path(directory).expanduser()
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro/plancache").expanduser()
+
+
+@dataclass
+class CacheEntry:
+    """One stored plan: JSON-able metadata + named index arrays."""
+
+    meta: dict
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self.arrays.values()) + len(
+            json.dumps(self.meta)
+        )
+
+
+class MemoryLRU:
+    """In-process LRU over a byte budget."""
+
+    def __init__(self, budget_bytes: int, stats: Optional[CacheStats] = None):
+        if budget_bytes <= 0:
+            raise CacheError(
+                f"memory budget must be positive, got {budget_bytes}",
+                stage="plancache",
+                hint="pass memory_budget_bytes > 0 or use_disk-only caching",
+            )
+        self.budget_bytes = int(budget_bytes)
+        self.stats = stats if stats is not None else CacheStats()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        return self._bytes
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        size = entry.nbytes
+        if size > self.budget_bytes:
+            return  # larger than the whole tier: disk-only
+        self.discard(key)
+        self._entries[key] = entry
+        self._bytes += size
+        while self._bytes > self.budget_bytes and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self.stats.evictions += 1
+
+    def discard(self, key: str) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._bytes -= entry.nbytes
+
+    def clear(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        self._bytes = 0
+        return count
+
+
+class DiskStore:
+    """Persistent tier: one atomic-rename ``.npz`` artifact per key."""
+
+    def __init__(self, directory=None, stats: Optional[CacheStats] = None):
+        self.directory = resolve_cache_dir(directory)
+        self.stats = stats if stats is not None else CacheStats()
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small under heavy use.
+        return self.directory / key[:2] / f"{key}.npz"
+
+    # -- read ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                meta = json.loads(bytes(npz["__meta__"]).decode("utf-8"))
+                if (
+                    meta.get("format") != FORMAT_VERSION
+                    or meta.get("key") != key
+                ):
+                    raise ValueError("artifact metadata mismatch")
+                arrays = {
+                    name: npz[name] for name in npz.files if name != "__meta__"
+                }
+        except Exception:
+            # Truncated, tampered, wrong-format, or foreign file: a safe
+            # miss.  Remove it so the slot heals on the next store.
+            self.stats.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return CacheEntry(meta=meta, arrays=arrays)
+
+    # -- write -----------------------------------------------------------------
+
+    def put(self, key: str, entry: CacheEntry) -> Path:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            meta = dict(entry.meta)
+            meta["format"] = FORMAT_VERSION
+            meta["key"] = key
+            blob = np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            )
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(fh, __meta__=blob, **entry.arrays)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            raise CacheError(
+                f"cannot write cache artifact under {self.directory}: {exc}",
+                stage="plancache",
+                hint=f"point {CACHE_DIR_ENV} (or --cache-dir) at a "
+                "writable directory, or disable the disk tier",
+            ) from exc
+        return path
+
+    # -- maintenance -----------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        if not self.directory.exists():
+            return []
+        return sorted(p.stem for p in self.directory.glob("*/*.npz"))
+
+    def total_bytes(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(p.stat().st_size for p in self.directory.glob("*/*.npz"))
+
+    def clear(self) -> int:
+        count = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*/*.npz"):
+                try:
+                    path.unlink()
+                    count += 1
+                except OSError:
+                    pass
+        return count
+
+    def health(self) -> dict:
+        """Cache-dir health for ``doctor``/``cache stats``.
+
+        Checks existence, writability (by touching a probe file), entry
+        count and size, and counts artifacts that fail to load.
+        """
+        exists = self.directory.exists()
+        writable = False
+        if exists:
+            try:
+                fd, probe = tempfile.mkstemp(
+                    prefix=".probe-", dir=self.directory
+                )
+                os.close(fd)
+                os.unlink(probe)
+                writable = True
+            except OSError:
+                writable = False
+        else:
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                writable = True
+                exists = True
+            except OSError:
+                pass
+        unreadable = 0
+        entries = 0
+        if exists:
+            for path in self.directory.glob("*/*.npz"):
+                entries += 1
+                try:
+                    with np.load(path, allow_pickle=False) as npz:
+                        json.loads(bytes(npz["__meta__"]).decode("utf-8"))
+                except Exception:
+                    unreadable += 1
+        return {
+            "path": str(self.directory),
+            "exists": exists,
+            "writable": writable,
+            "entries": entries,
+            "total_bytes": self.total_bytes(),
+            "unreadable": unreadable,
+        }
+
+
+class PlanCache:
+    """The two-tier inspector plan cache.
+
+    ``directory=None`` resolves via ``REPRO_PLANCACHE_DIR`` or the user
+    cache directory; ``use_disk=False`` keeps the cache purely
+    in-process (tests, ephemeral runs).
+    """
+
+    def __init__(
+        self,
+        directory=None,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+        use_disk: bool = True,
+    ):
+        self.stats = CacheStats()
+        self.memory = MemoryLRU(memory_budget_bytes, stats=self.stats)
+        self.disk: Optional[DiskStore] = (
+            DiskStore(directory, stats=self.stats) if use_disk else None
+        )
+
+    # -- tiered get/put --------------------------------------------------------
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """Look a key up (memory first, then disk); ``None`` on miss.
+
+        Tier-attribution counters are updated here; whole-bind hit/miss
+        and per-stage counters are recorded by the memoization layer,
+        which knows the stage names.
+        """
+        entry = self.memory.get(key)
+        if entry is not None:
+            entry.meta["tier"] = "memory"
+            return entry
+        if self.disk is not None:
+            entry = self.disk.get(key)
+            if entry is not None:
+                entry.meta["tier"] = "disk"
+                self.memory.put(key, entry)
+                return entry
+        return None
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        self.memory.put(key, entry)
+        if self.disk is not None:
+            self.disk.put(key, entry)
+        self.stats.stores += 1
+
+    def discard(self, key: str) -> None:
+        self.memory.discard(key)
+
+    def clear(self) -> int:
+        """Drop both tiers; returns the number of disk artifacts removed."""
+        self.memory.clear()
+        return self.disk.clear() if self.disk is not None else 0
+
+    def describe(self) -> str:
+        lines = [self.stats.describe()]
+        lines.append(
+            f"  memory tier: {len(self.memory)} entries, "
+            f"{self.memory.total_bytes} / {self.memory.budget_bytes} bytes"
+        )
+        if self.disk is not None:
+            health = self.disk.health()
+            lines.append(
+                f"  disk tier: {health['entries']} entries, "
+                f"{health['total_bytes']} bytes at {health['path']}"
+                + ("" if health["writable"] else " (NOT WRITABLE)")
+                + (
+                    f" ({health['unreadable']} unreadable)"
+                    if health["unreadable"]
+                    else ""
+                )
+            )
+        else:
+            lines.append("  disk tier: disabled")
+        return "\n".join(lines)
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheEntry",
+    "DEFAULT_MEMORY_BUDGET",
+    "DiskStore",
+    "FORMAT_VERSION",
+    "MemoryLRU",
+    "PlanCache",
+    "resolve_cache_dir",
+]

@@ -47,7 +47,12 @@ from repro.runtime.validate import (
     validate_dataset,
     validate_kernel_data,
 )
-from repro.runtime.verify import verify_numeric_equivalence, verify_dependences
+from repro.runtime.verify import (
+    clear_verification_memo,
+    verify_dependences,
+    verify_numeric_equivalence,
+    verify_numeric_equivalence_memoized,
+)
 
 __all__ = [
     "ExecutionPlan",
@@ -67,6 +72,8 @@ __all__ = [
     "TilePackStep",
     "CompositionPlan",
     "verify_numeric_equivalence",
+    "verify_numeric_equivalence_memoized",
+    "clear_verification_memo",
     "verify_dependences",
     "FAILURE_POLICIES",
     "POLICIES",

@@ -887,7 +887,48 @@ class ComposedInspector:
             )
         )
 
-    def run(self, data: KernelData) -> InspectorResult:
+    def run(
+        self,
+        data: KernelData,
+        cache=None,
+        cache_key: Optional[str] = None,
+    ) -> InspectorResult:
+        """Run the composed inspector — consulting ``cache`` first.
+
+        With a :class:`~repro.plancache.PlanCache`, the run is memoized
+        under ``cache_key`` (computed from the steps, policies, code
+        salt, and the dataset's content fingerprint when not supplied):
+        a hit replays the realized index arrays against the live payload
+        and **no inspector stage executes**; a miss runs every stage and
+        persists the result.  Hit/miss/stage counters land in
+        ``cache.stats``.
+        """
+        if cache is not None:
+            from repro.plancache import memo
+            from repro.plancache.fingerprint import (
+                combine,
+                dataset_fingerprint,
+                inspector_fingerprint,
+            )
+
+            if cache_key is None:
+                cache_key = combine(
+                    inspector_fingerprint(
+                        self.steps, self.remap, self.on_stage_failure
+                    ),
+                    dataset_fingerprint(data),
+                )
+            hit = memo.lookup(cache, cache_key, data, self.steps)
+            if hit is not None:
+                return hit
+        result = self._run_cold(data)
+        if cache is not None:
+            from repro.plancache import memo
+
+            memo.store(cache, cache_key, result, self.steps)
+        return result
+
+    def _run_cold(self, data: KernelData) -> InspectorResult:
         working = data.copy()
         n = working.num_nodes
         state = InspectorState(

@@ -170,35 +170,60 @@ class CompositionPlan:
         data,
         num_steps: int = 2,
         verify: Optional[bool] = None,
+        cache=None,
     ) -> InspectorResult:
         """Validate, inspect, and (when degraded) verify — the safe path.
 
         1. Validates ``data`` under the plan's ``validation`` policy
            (typed :class:`~repro.errors.ValidationError` on failure).
-        2. Runs the composed inspector under ``on_stage_failure``.
+        2. Runs the composed inspector under ``on_stage_failure``.  With
+           a :class:`~repro.plancache.PlanCache` as ``cache``, the run
+           is memoized under the (plan x dataset) content fingerprint: a
+           warm bind replays the realized index arrays against the live
+           payload and skips every inspector stage.
         3. If any stage degraded (or ``verify=True``), re-runs the
            runtime verifier: the executor's output must be bit-identical
            (within float tolerance) to the untransformed kernel.  A
            mismatch raises :class:`~repro.errors.ExecutorFault` — a
-           degraded plan never silently corrupts.
+           degraded plan never silently corrupts.  Verification verdicts
+           are memoized by (plan, dataset-with-payload) fingerprint, so
+           repeatedly binding the same degraded plan pays the two
+           executor runs once.
 
         Returns the :class:`InspectorResult`; its ``report`` records
-        validation findings, per-stage status, and the verifier verdict.
+        validation findings, per-stage status, the verifier verdict, and
+        the cache interaction (``hit``/``stored``).
         """
-        from repro.runtime.verify import verify_numeric_equivalence
+        from repro.runtime.verify import verify_numeric_equivalence_memoized
 
         validation_report = validate_kernel_data(data, policy=self.validation)
         validation_report.raise_if_failed(stage="bind")
 
-        result = self.build_inspector().run(data)
+        cache_key = None
+        if cache is not None:
+            from repro.plancache.fingerprint import bind_fingerprint
+
+            cache_key = bind_fingerprint(self, data)
+        result = self.build_inspector().run(
+            data, cache=cache, cache_key=cache_key
+        )
         report: PipelineReport = result.report
         report.plan_name = self.name
         report.validation = [str(f) for f in validation_report.findings]
 
         should_verify = verify if verify is not None else report.degraded
         if should_verify:
+            from repro.plancache.fingerprint import verification_fingerprint
+
+            memo_key = verification_fingerprint(self, data, num_steps)
             try:
-                verify_numeric_equivalence(data, result, num_steps=num_steps)
+                verify_numeric_equivalence_memoized(
+                    data,
+                    result,
+                    num_steps=num_steps,
+                    memo_key=memo_key,
+                    stats=cache.stats if cache is not None else None,
+                )
             except AssertionError as exc:
                 report.verified = False
                 raise ExecutorFault(

@@ -36,6 +36,29 @@ class StageRecord:
     def degraded(self) -> bool:
         return self.status in (STAGE_SKIPPED, STAGE_IDENTITY)
 
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "status": self.status,
+            "elapsed_s": self.elapsed_s,
+            "touches": self.touches,
+            "error": self.error,
+            "error_type": self.error_type,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "StageRecord":
+        return StageRecord(
+            index=int(payload["index"]),
+            name=payload["name"],
+            status=payload["status"],
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+            touches=int(payload.get("touches", 0)),
+            error=payload.get("error"),
+            error_type=payload.get("error_type"),
+        )
+
     def __str__(self) -> str:
         line = (
             f"stage {self.index} [{self.name}]: {self.status}"
@@ -57,6 +80,10 @@ class PipelineReport:
     validation: List[str] = field(default_factory=list)
     #: Did the post-degradation numeric safety net run, and did it pass?
     verified: Optional[bool] = None
+    #: Plan-cache interaction of the bind that produced this report:
+    #: ``None`` (no cache), ``"stored"`` (cold run, persisted), or
+    #: ``"hit"`` (stages replayed from cache — nothing ran).
+    cache: Optional[str] = None
 
     @property
     def degraded(self) -> bool:
@@ -78,9 +105,32 @@ class PipelineReport:
         self.stages.append(record)
         return record
 
+    def to_dict(self) -> dict:
+        return {
+            "plan_name": self.plan_name,
+            "policy": self.policy,
+            "stages": [s.to_dict() for s in self.stages],
+            "validation": list(self.validation),
+            "verified": self.verified,
+            "cache": self.cache,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "PipelineReport":
+        return PipelineReport(
+            plan_name=payload.get("plan_name", ""),
+            policy=payload.get("policy", "raise"),
+            stages=[StageRecord.from_dict(s) for s in payload.get("stages", [])],
+            validation=list(payload.get("validation", [])),
+            verified=payload.get("verified"),
+            cache=payload.get("cache"),
+        )
+
     def describe(self) -> str:
         head = f"PipelineReport({self.plan_name or 'composition'!s}"
         head += f", policy={self.policy!r}"
+        if self.cache is not None:
+            head += f", cache={self.cache}"
         if self.degraded:
             head += f", DEGRADED ({len(self.fallbacks)} fallbacks)"
         head += ")"

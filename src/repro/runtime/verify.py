@@ -62,6 +62,56 @@ def verify_numeric_equivalence(
     return True
 
 
+#: Successful verification verdicts keyed by
+#: (verification fingerprint, num_steps, rtol, atol).  Only successes are
+#: memoized — a failing verification raises and must re-run to re-raise
+#: with fresh diagnostics.  Bounded FIFO so long-lived processes cannot
+#: grow it without limit.
+_VERIFICATION_MEMO: Dict[tuple, bool] = {}
+_VERIFICATION_MEMO_LIMIT = 4096
+
+
+def clear_verification_memo() -> int:
+    """Drop every memoized verification verdict; returns how many."""
+    count = len(_VERIFICATION_MEMO)
+    _VERIFICATION_MEMO.clear()
+    return count
+
+
+def verify_numeric_equivalence_memoized(
+    original: KernelData,
+    result: InspectorResult,
+    num_steps: int = 2,
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+    memo_key: Optional[str] = None,
+    stats=None,
+) -> bool:
+    """:func:`verify_numeric_equivalence`, memoized by content.
+
+    ``memo_key`` must fingerprint everything the verdict depends on —
+    the plan *and* the dataset including payload values (see
+    :func:`repro.plancache.fingerprint.verification_fingerprint`).
+    Binding the same degraded plan to the same dataset twice then runs
+    the two full executor passes only once.  With ``memo_key=None`` the
+    memo is bypassed entirely.  ``stats`` (a
+    :class:`~repro.plancache.stats.CacheStats`) counts memoized skips.
+    """
+    key = (memo_key, num_steps, rtol, atol)
+    if memo_key is not None and _VERIFICATION_MEMO.get(key):
+        if stats is not None:
+            stats.verify_memo_hits += 1
+        return True
+    ok = verify_numeric_equivalence(
+        original, result, num_steps=num_steps, rtol=rtol, atol=atol
+    )
+    if memo_key is not None:
+        while len(_VERIFICATION_MEMO) >= _VERIFICATION_MEMO_LIMIT:
+            _VERIFICATION_MEMO.pop(next(iter(_VERIFICATION_MEMO)))
+        _VERIFICATION_MEMO[key] = ok
+    return ok
+
+
 def _bind_environment(
     original: KernelData,
     result: InspectorResult,

@@ -53,15 +53,22 @@ class TilingFunction:
 
     def schedule(self) -> List[List[np.ndarray]]:
         """``schedule[t][l]``: iterations of loop ``l`` in tile ``t``,
-        in increasing iteration order (the paper's ``sched(t, l)``)."""
-        out: List[List[np.ndarray]] = []
-        for t in range(self.num_tiles):
-            per_loop = [
-                np.flatnonzero(loop_tiles == t).astype(np.int64)
-                for loop_tiles in self.tiles
-            ]
-            out.append(per_loop)
-        return out
+        in increasing iteration order (the paper's ``sched(t, l)``).
+
+        Built by one stable counting-sort per loop instead of one full
+        scan per (tile, loop) pair, so the cost is
+        ``O(sum loop sizes)`` rather than ``O(num_tiles * sum sizes)``.
+        """
+        per_tile: List[List[np.ndarray]] = [
+            [None] * len(self.tiles) for _ in range(self.num_tiles)
+        ]
+        for l, loop_tiles in enumerate(self.tiles):
+            order = np.argsort(loop_tiles, kind="stable").astype(np.int64)
+            counts = np.bincount(loop_tiles, minlength=self.num_tiles)
+            bounds = np.concatenate(([0], np.cumsum(counts)))
+            for t in range(self.num_tiles):
+                per_tile[t][l] = order[bounds[t]:bounds[t + 1]]
+        return per_tile
 
     def tile_sizes(self) -> np.ndarray:
         """Total iterations per tile (across all loops)."""

@@ -1,0 +1,103 @@
+"""Content fingerprints: stability, sensitivity, and the code salt."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.specs import kernel_by_name
+from repro.plancache import fingerprint as fp
+from repro.runtime import (
+    CompositionPlan,
+    CPackStep,
+    FullSparseTilingStep,
+    GPartStep,
+    LexGroupStep,
+)
+
+from tests.plancache.conftest import tiny_data
+
+pytestmark = pytest.mark.plancache
+
+
+class TestDatasetFingerprint:
+    def test_identical_content_identical_digest(self):
+        a = tiny_data(seed=3)
+        b = tiny_data(seed=3)
+        assert a is not b
+        assert fp.dataset_fingerprint(a) == fp.dataset_fingerprint(b)
+
+    def test_mutated_index_array_changes_digest(self):
+        a = tiny_data(seed=3)
+        b = tiny_data(seed=3)
+        b.left[0] = (b.left[0] + 1) % b.num_nodes
+        assert fp.dataset_fingerprint(a) != fp.dataset_fingerprint(b)
+
+    def test_dtype_matters(self):
+        a = tiny_data(seed=3)
+        b = tiny_data(seed=3)
+        b.left = b.left.astype(np.int32)
+        assert fp.dataset_fingerprint(a) != fp.dataset_fingerprint(b)
+
+    def test_payload_values_excluded_by_default(self):
+        a = tiny_data(seed=3)
+        b = tiny_data(seed=3)
+        next(iter(b.arrays.values()))[0] += 1.0
+        assert fp.dataset_fingerprint(a) == fp.dataset_fingerprint(b)
+        assert fp.dataset_fingerprint(
+            a, include_payload=True
+        ) != fp.dataset_fingerprint(b, include_payload=True)
+
+    def test_kernel_name_matters(self):
+        a = tiny_data("nbf", seed=3)
+        b = tiny_data("irreg", seed=3)
+        assert fp.dataset_fingerprint(a) != fp.dataset_fingerprint(b)
+
+
+class TestStepAndPlanFingerprint:
+    def test_step_parameters_matter(self):
+        assert fp.step_fingerprint(GPartStep(128)) == fp.step_fingerprint(
+            GPartStep(128)
+        )
+        assert fp.step_fingerprint(GPartStep(128)) != fp.step_fingerprint(
+            GPartStep(64)
+        )
+
+    def test_step_class_matters(self):
+        assert fp.step_fingerprint(CPackStep()) != fp.step_fingerprint(
+            LexGroupStep()
+        )
+
+    def test_policies_matter(self):
+        steps = [CPackStep(), LexGroupStep()]
+        base = fp.inspector_fingerprint(steps, "once", "raise")
+        assert base == fp.inspector_fingerprint(steps, "once", "raise")
+        assert base != fp.inspector_fingerprint(steps, "each", "raise")
+        assert base != fp.inspector_fingerprint(steps, "once", "skip")
+
+    def test_plan_fingerprint_covers_kernel(self):
+        steps = [CPackStep(), LexGroupStep(), FullSparseTilingStep(8)]
+        a = CompositionPlan(kernel_by_name("moldyn"), steps)
+        b = CompositionPlan(kernel_by_name("irreg"), steps)
+        assert fp.plan_fingerprint(a) != fp.plan_fingerprint(b)
+
+    def test_bind_fingerprint_combines(self):
+        plan = CompositionPlan(kernel_by_name("moldyn"), [CPackStep()])
+        data = tiny_data(seed=5)
+        key = fp.bind_fingerprint(plan, data)
+        assert key == fp.bind_fingerprint(plan, data)
+        other = tiny_data(seed=6)
+        assert key != fp.bind_fingerprint(plan, other)
+
+
+class TestCodeSalt:
+    def test_salt_is_stable_within_process(self):
+        assert fp.code_version_salt() == fp.code_version_salt()
+
+    def test_salt_extra_bumps_every_key(self, monkeypatch):
+        steps = [CPackStep()]
+        before = fp.inspector_fingerprint(steps, "once", "raise")
+        monkeypatch.setattr(fp, "SALT_EXTRA", "simulated-code-change")
+        after = fp.inspector_fingerprint(steps, "once", "raise")
+        assert before != after
+
+    def test_combine_is_order_sensitive(self):
+        assert fp.combine("a", "b") != fp.combine("b", "a")
