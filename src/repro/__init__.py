@@ -17,6 +17,7 @@ Layer map (each usable on its own):
                        legality
 ``repro.transforms``   the reordering algorithms over index arrays
 ``repro.runtime``      composed inspectors, executors, runtime verifier
+``repro.analysis``     compile-time plan linter (RRT rules) + safe rewrites
 ``repro.plancache``    content-addressed two-tier inspector plan cache
 ``repro.codegen``      specialized inspector/executor source generation
 ``repro.kernels``      moldyn / nbf / irreg + synthetic datasets
@@ -42,6 +43,7 @@ from repro.errors import (
     ReproError,
     ValidationError,
 )
+from repro.analysis import analyze_plan, apply_fixes
 from repro.kernels import generate_dataset, make_kernel_data
 from repro.kernels.specs import kernel_by_name
 from repro.plancache import PlanCache
@@ -106,5 +108,7 @@ __all__ = [
     "generate_dataset",
     "make_kernel_data",
     "kernel_by_name",
+    "analyze_plan",
+    "apply_fixes",
     "quickstart",
 ]

@@ -14,9 +14,15 @@ Commands:
   ``gpart``, ``rcm``, ``lexgroup``, ``lexsort``, ``bucket``, ``fst``,
   ``cacheblock``, ``tilepack``;
 * ``doctor``            — validate a dataset and a composition end to
-  end and print the validation findings, the per-stage
-  :class:`~repro.runtime.report.PipelineReport`, and plan-cache-dir
-  health;
+  end and print the validation findings, the static-analysis report,
+  the per-stage :class:`~repro.runtime.report.PipelineReport`, and
+  plan-cache-dir health;
+* ``lint <spec.json | kernel step...>`` — run the compile-time plan
+  analyzer (rules ``RRT001``..``RRT005``) over a plan spec file or an
+  inline composition.  ``--json`` emits the machine-readable report,
+  ``--fix`` applies the safe remap-once/symmetry-halving rewrites and
+  re-lints the rewritten plan.  Exit code: 1 if errors remain, 0 on
+  warnings unless ``--strict``;
 * ``cache stats``       — print the plan cache's tiers and counters;
 * ``cache clear``       — drop every cached plan;
 * ``cache warm <composition> <dataset>`` — pre-populate the plan cache
@@ -121,34 +127,14 @@ def _cmd_describe(args) -> int:
 
 
 def _make_step(name: str):
-    from repro.runtime import (
-        BucketTilingStep,
-        CacheBlockStep,
-        CPackStep,
-        FullSparseTilingStep,
-        GPartStep,
-        LexGroupStep,
-        LexSortStep,
-        RCMStep,
-        TilePackStep,
-    )
+    from repro.errors import BindError
+    from repro.runtime.planspec import STEP_TYPES, make_step
 
-    table = {
-        "cpack": lambda: CPackStep(),
-        "gpart": lambda: GPartStep(128),
-        "rcm": lambda: RCMStep(),
-        "lexgroup": lambda: LexGroupStep(),
-        "lexsort": lambda: LexSortStep(),
-        "bucket": lambda: BucketTilingStep(128),
-        "fst": lambda: FullSparseTilingStep(128),
-        "cacheblock": lambda: CacheBlockStep(128),
-        "tilepack": lambda: TilePackStep(),
-    }
     try:
-        return table[name]()
-    except KeyError:
+        return make_step(name)
+    except BindError:
         raise SystemExit(
-            f"unknown step {name!r}; choose from {sorted(table)}"
+            f"unknown step {name!r}; choose from {sorted(STEP_TYPES)}"
         ) from None
 
 
@@ -170,6 +156,71 @@ def _cmd_plan(args) -> int:
         for note in planned.report.notes:
             print(f"  - {note}")
     return 0
+
+
+def _lint_plan(args):
+    """Resolve the lint target (spec file or inline composition) to a plan."""
+    import os
+
+    from repro.kernels.specs import kernel_by_name
+    from repro.runtime import CompositionPlan
+    from repro.runtime.planspec import load_plan_spec
+
+    target = args.target
+    if len(target) == 1 and (
+        target[0].endswith(".json") or os.path.exists(target[0])
+    ):
+        return load_plan_spec(target[0])
+    if len(target) < 2:
+        raise SystemExit(
+            "lint: give a plan spec (.json) path, or <kernel> <step> [<step> ...]"
+        )
+    kernel, step_names = target[0], target[1:]
+    return CompositionPlan(
+        kernel_by_name(kernel),
+        [_make_step(s) for s in step_names],
+        remap=args.remap,
+    )
+
+
+def _cmd_lint(args) -> int:
+    """Run the compile-time plan analyzer; exit 1 when errors remain."""
+    plan = _lint_plan(args)
+    report = plan.analyze(verifier=args.verifier)
+
+    fixes = None
+    if args.fix:
+        from repro.analysis import apply_fixes
+
+        result = apply_fixes(plan)
+        if result.changed:
+            fixes = result
+            plan = result.plan
+            report = plan.analyze(verifier=args.verifier)
+
+    if args.json:
+        import json
+
+        payload = report.to_dict()
+        payload["fixes_applied"] = (
+            [
+                {
+                    "code": rewrite.code,
+                    "description": rewrite.description,
+                    "stage_index": rewrite.stage_index,
+                }
+                for rewrite in fixes.applied
+            ]
+            if fixes is not None
+            else []
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        if fixes is not None:
+            print(fixes.describe())
+            print()
+        print(report.describe())
+    return report.exit_code(strict=args.lint_strict)
 
 
 def _cache_health_lines(directory=None):
@@ -218,6 +269,9 @@ def _cmd_doctor(args) -> int:
         validation=args.validation,
     )
     plan.plan(strict=False)
+    analysis = plan.analyze()
+    print(analysis.describe())
+    print()
     result = plan.bind(data, verify=True)
     print(result.report.describe())
     print()
@@ -227,19 +281,18 @@ def _cmd_doctor(args) -> int:
     cache_unhealthy = not health["writable"] or health["unreadable"] > 0
     degraded = result.report.degraded
     print()
-    print(
-        "doctor: "
-        + (
-            "DEGRADED (see fallbacks above)"
-            if degraded
-            else (
-                "all checks passed"
-                if not cache_unhealthy
-                else "all checks passed (plan cache dir unhealthy)"
-            )
-        )
-    )
-    return 1 if degraded else 0
+    if degraded:
+        verdict = "DEGRADED (see fallbacks above)"
+    elif analysis.errors:
+        verdict = f"analysis found {len(analysis.errors)} error(s) (see above)"
+    else:
+        verdict = "all checks passed"
+        if analysis.warnings:
+            verdict += f" ({len(analysis.warnings)} lint warning(s))"
+        if cache_unhealthy:
+            verdict += " (plan cache dir unhealthy)"
+    print("doctor: " + verdict)
+    return 1 if degraded or analysis.errors else 0
 
 
 def _cmd_cache(args) -> int:
@@ -365,6 +418,46 @@ def main(argv=None) -> int:
         help="composition steps (default: cpack lexgroup fst)",
     )
     p.set_defaults(func=_cmd_doctor)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the compile-time plan analyzer (RRT001..RRT005)",
+    )
+    p.add_argument(
+        "target",
+        nargs="+",
+        help="a plan spec (.json) path, or <kernel> <step> [<step> ...]",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    p.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply the safe rewrites (remap-once, symmetry-halving) and "
+        "re-lint the rewritten plan",
+    )
+    p.add_argument(
+        "--strict",
+        dest="lint_strict",
+        action="store_true",
+        help="exit nonzero on warnings too (default: errors only)",
+    )
+    p.add_argument(
+        "--remap",
+        choices=["once", "each"],
+        default="once",
+        help="payload remap policy for inline <kernel> <step>... targets "
+        "(spec files carry their own)",
+    )
+    p.add_argument(
+        "--verifier",
+        choices=["always", "on-degraded", "never"],
+        default="on-degraded",
+        help="runtime-verifier policy the analyzer assumes when judging "
+        "unproven obligations (always: demote RRT003 to a warning)",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
         "cache",

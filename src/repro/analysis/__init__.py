@@ -1,0 +1,98 @@
+"""Static analysis of composition plans — entirely at plan time.
+
+The paper's contributions 3 and 4 are *static*: legality of composed
+run-time reorderings is checkable at compile time, and the overhead
+reductions (remap data once, Figure 16; traverse one of two symmetric
+dependence sets, Section 6) are expressible in the framework.  This
+package discharges both before any dataset is bound:
+
+* :mod:`repro.analysis.dataflow` — a def/use graph over the plan's
+  stages, built from each transform's declarative
+  :class:`~repro.transforms.base.TransformTraits` metadata, its symbolic
+  transformations, and the planner's legality reports;
+* :mod:`repro.analysis.rules` — lint rules with stable codes
+  (``RRT001``..``RRT005``) over that graph;
+* :mod:`repro.analysis.diagnostics` — the severity model
+  (error/warn/info), machine-readable JSON output, and CLI exit codes;
+* :mod:`repro.analysis.rewrite` — the opt-in optimizer applying the
+  remap-once and symmetry-halving rewrites, re-checked against the
+  compile-time legality framework and proven bit-identical by the
+  runtime verifier in the test suite.
+
+Entry points: :func:`analyze_plan` (or
+:meth:`repro.runtime.plan.CompositionPlan.analyze`) and the
+``python -m repro lint`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.analysis.dataflow import DataflowGraph, StageNode, build_dataflow
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    AnalysisReport,
+    Diagnostic,
+)
+from repro.analysis.rewrite import (
+    FIXABLE_CODES,
+    AppliedRewrite,
+    RewriteResult,
+    apply_fixes,
+)
+from repro.analysis.rules import (
+    RULES,
+    VERIFIER_POLICIES,
+    AnalysisOptions,
+    run_rules,
+)
+
+
+def analyze_plan(
+    plan,
+    verifier: str = "on-degraded",
+    rules: Optional[Tuple[str, ...]] = None,
+) -> AnalysisReport:
+    """Run the full static analysis pass pipeline over a plan.
+
+    Builds the dataflow graph (planning the composition non-strictly if
+    needed), runs the selected lint rules, and returns the
+    :class:`AnalysisReport`.  ``verifier`` tells rule RRT003 how much the
+    runtime verifier will cover (see
+    :data:`~repro.analysis.rules.VERIFIER_POLICIES`).
+    """
+    options = AnalysisOptions(verifier=verifier, rules=rules)
+    graph = build_dataflow(plan)
+    report = AnalysisReport(
+        plan_name=plan.name, kernel_name=plan.kernel.name
+    )
+    report.dataflow = graph.summary()
+    codes, diagnostics = run_rules(graph, plan, options)
+    report.rules_run = codes
+    report.extend(diagnostics)
+    return report
+
+
+__all__ = [
+    "AnalysisOptions",
+    "AnalysisReport",
+    "AppliedRewrite",
+    "DataflowGraph",
+    "Diagnostic",
+    "ERROR",
+    "FIXABLE_CODES",
+    "INFO",
+    "RULES",
+    "RewriteResult",
+    "SEVERITIES",
+    "StageNode",
+    "VERIFIER_POLICIES",
+    "WARNING",
+    "analyze_plan",
+    "apply_fixes",
+    "build_dataflow",
+    "run_rules",
+]

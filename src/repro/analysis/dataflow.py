@@ -1,0 +1,266 @@
+"""Def/use dataflow over a :class:`~repro.runtime.plan.CompositionPlan`.
+
+The analyzer's substrate: every composition step becomes a
+:class:`StageNode` recording — purely from the step's declarative
+:class:`~repro.transforms.base.TransformTraits`, its symbolic
+transformations, and the planner's legality reports — what the stage
+*reads* (the resources its inspector traverses), what it *writes* (the
+spaces its reordering permutes), and which UFS names it *defines*.  The
+:class:`DataflowGraph` then derives def/use edges: stage ``j`` consumes
+stage ``i`` when something ``j`` reads is affected by something ``i``
+wrote; the executor is modeled as a final virtual consumer reading
+everything.  This is what Hueske et al. do for operator reordering with
+read/write sets, transplanted onto the paper's composition framework —
+entirely at plan time, before any dataset is bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.transforms.base import TransformTraits
+from repro.uniform.legality import LegalityReport
+from repro.uniform.state import DataReordering
+
+#: Which read-resources a write invalidates/feeds.  A data reordering
+#: renumbers the index-array *values* and relocates the payload (and
+#: thereby re-labels the concrete dependence endpoints); an iteration
+#: reordering permutes the interaction loop's traversal order (and the
+#: dependence edge order); a tiling feeds tiling consumers.
+WRITE_AFFECTS: Dict[str, Tuple[str, ...]] = {
+    "node_space": ("index_values", "payload", "dependences"),
+    "inter_order": ("iteration_order", "dependences"),
+    "tiling": ("tiling",),
+    "seed_partition": ("seed_partition",),
+    "schedule": ("schedule",),
+}
+
+#: What the executor (the final, always-present consumer) reads.
+EXECUTOR_READS = (
+    "index_values",
+    "iteration_order",
+    "payload",
+    "tiling",
+    "schedule",
+)
+
+
+def _affected(writes: Tuple[str, ...]) -> frozenset:
+    out = set()
+    for resource in writes:
+        out.update(WRITE_AFFECTS.get(resource, ()))
+    return frozenset(out)
+
+
+@dataclass
+class StageNode:
+    """One composition step, as the dataflow analysis sees it."""
+
+    index: int
+    name: str
+    traits: TransformTraits
+    #: Symbolic transformations the step contributed at plan time.
+    transformations: List[object] = field(default_factory=list)
+    #: The planner's legality reports for those transformations.
+    reports: List[LegalityReport] = field(default_factory=list)
+    #: UFS names this stage defines (``cp0``, ``lg1``, ``theta4``, ...).
+    defines: Tuple[str, ...] = ()
+
+    @property
+    def reads(self) -> Tuple[str, ...]:
+        return self.traits.reads
+
+    @property
+    def writes(self) -> Tuple[str, ...]:
+        return self.traits.writes
+
+    @property
+    def data_remaps(self) -> int:
+        """Payload remaps this stage incurs under ``remap='each'``."""
+        return sum(
+            1 for t in self.transformations if isinstance(t, DataReordering)
+        )
+
+    @property
+    def unproven_reports(self) -> List[LegalityReport]:
+        return [r for r in self.reports if not r.proven]
+
+    @property
+    def obligations(self) -> list:
+        return [o for r in self.reports for o in r.obligations]
+
+    def describe(self) -> str:
+        return (
+            f"stage {self.index} [{self.name}]: reads {set(self.reads) or '{}'} "
+            f"writes {set(self.writes) or '{}'} defines {set(self.defines) or '{}'}"
+        )
+
+
+class DataflowGraph:
+    """Stages + def/use edges + the plan-level facts rules consume."""
+
+    #: Virtual consumer index of the executor (== ``len(self.stages)``).
+    EXECUTOR: int
+
+    def __init__(
+        self,
+        stages: List[StageNode],
+        kernel_name: str = "",
+        plan_name: str = "",
+        remap: str = "once",
+        on_stage_failure: str = "raise",
+    ):
+        self.stages = list(stages)
+        self.kernel_name = kernel_name
+        self.plan_name = plan_name
+        self.remap = remap
+        self.on_stage_failure = on_stage_failure
+        self.EXECUTOR = len(self.stages)
+        self._uses = self._build_uses()
+
+    # -- edge derivation ----------------------------------------------------------
+
+    def _build_uses(self) -> Dict[int, List[int]]:
+        """``uses[i]`` = indices consuming something stage ``i`` wrote
+        (``EXECUTOR`` for the final executor)."""
+        uses: Dict[int, List[int]] = {s.index: [] for s in self.stages}
+        for producer in self.stages:
+            affected = _affected(producer.writes)
+            if not affected:
+                continue
+            for consumer in self.stages[producer.index + 1 :]:
+                if affected.intersection(consumer.reads):
+                    uses[producer.index].append(consumer.index)
+            if affected.intersection(EXECUTOR_READS):
+                uses[producer.index].append(self.EXECUTOR)
+        return uses
+
+    # -- queries ------------------------------------------------------------------
+
+    def consumers(self, index: int) -> List[int]:
+        """Stages (and possibly :attr:`EXECUTOR`) reading what ``index`` wrote."""
+        return list(self._uses.get(index, []))
+
+    def readers_of(self, resource: str, start: int, stop: int) -> List[int]:
+        """Stage indices in ``(start, stop)`` reading ``resource``."""
+        return [
+            s.index
+            for s in self.stages[start + 1 : stop]
+            if resource in s.reads
+        ]
+
+    def next_writer(self, index: int, resource: str) -> Optional[int]:
+        """The first stage after ``index`` writing ``resource``, if any."""
+        for stage in self.stages[index + 1 :]:
+            if resource in stage.writes:
+                return stage.index
+        return None
+
+    def data_reordering_stages(self) -> List[StageNode]:
+        """Stages that permute the node data space, in order."""
+        return [s for s in self.stages if "node_space" in s.writes]
+
+    def payload_moves(self) -> int:
+        """Payload relocations the composed inspector will perform.
+
+        Under ``remap='each'`` every data-reordering stage moves the
+        payload; under ``remap='once'`` the composed reordering moves it a
+        single time at the end (zero times if no data reordering exists).
+        """
+        remaps = sum(s.data_remaps for s in self.stages)
+        if remaps == 0:
+            return 0
+        return remaps if self.remap == "each" else 1
+
+    def defined_names(self) -> Dict[str, int]:
+        """UFS name -> defining stage index."""
+        return {
+            name: stage.index for stage in self.stages for name in stage.defines
+        }
+
+    # -- reporting ----------------------------------------------------------------
+
+    def summary(self) -> dict:
+        return {
+            "stages": len(self.stages),
+            "remap": self.remap,
+            "payload_moves": self.payload_moves(),
+            "data_reorderings": len(self.data_reordering_stages()),
+            "def_use_edges": sum(len(v) for v in self._uses.values()),
+            "unproven_stages": [
+                s.index for s in self.stages if s.unproven_reports
+            ],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"DataflowGraph({self.plan_name or 'composition'!s} on "
+            f"{self.kernel_name or '?'}, remap={self.remap!r}, "
+            f"{self.payload_moves()} payload move(s))"
+        ]
+        for stage in self.stages:
+            consumers = [
+                "executor" if c == self.EXECUTOR else str(c)
+                for c in self.consumers(stage.index)
+            ]
+            lines.append(
+                f"  {stage.describe()} -> used by "
+                f"{{{', '.join(consumers) or 'nobody'}}}"
+            )
+        return "\n".join(lines)
+
+
+def build_dataflow(plan) -> DataflowGraph:
+    """Build the def/use graph of a plan, entirely at plan time.
+
+    Plans the composition non-strictly if it has not been planned yet
+    (analysis must be able to look at plans whose legality is still
+    open — that is exactly what rule RRT003 diagnoses).
+    """
+    if getattr(plan, "_planned", None) is None:
+        plan.plan(strict=False)
+
+    by_stage: Dict[int, List] = {}
+    for planned in plan.planned_transformations:
+        by_stage.setdefault(planned.step_index, []).append(planned)
+
+    stages: List[StageNode] = []
+    for index, step in enumerate(plan.steps):
+        planned = by_stage.get(index, [])
+        defines: List[str] = []
+        for p in planned:
+            transformation = p.transformation
+            if isinstance(transformation, DataReordering):
+                if transformation.func_name not in defines:
+                    defines.append(transformation.func_name)
+            else:
+                for name in getattr(transformation, "introduces", ()):
+                    if name not in defines:
+                        defines.append(name)
+        stages.append(
+            StageNode(
+                index=index,
+                name=step.name,
+                traits=step.traits,
+                transformations=[p.transformation for p in planned],
+                reports=[p.report for p in planned],
+                defines=tuple(defines),
+            )
+        )
+    return DataflowGraph(
+        stages,
+        kernel_name=plan.kernel.name,
+        plan_name=plan.name,
+        remap=plan.remap,
+        on_stage_failure=plan.on_stage_failure,
+    )
+
+
+__all__ = [
+    "DataflowGraph",
+    "StageNode",
+    "build_dataflow",
+    "EXECUTOR_READS",
+    "WRITE_AFFECTS",
+]

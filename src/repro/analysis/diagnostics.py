@@ -1,0 +1,195 @@
+"""Diagnostics of the compile-time plan analyzer.
+
+Every finding a lint rule produces is a :class:`Diagnostic` with a stable
+machine-readable rule code (``RRT001`` ...), a severity from the
+:data:`SEVERITIES` model, the stage it points at, a human message, and an
+optional remediation hint.  An :class:`AnalysisReport` collects the
+diagnostics of one :meth:`~repro.runtime.plan.CompositionPlan.analyze`
+run, renders them for humans (``describe``) and machines (``to_dict`` /
+``to_json``), and maps them to process exit codes for the ``repro lint``
+CLI (errors exit 1; warnings exit 0 unless ``--strict``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Severity model, most severe first.
+ERROR = "error"
+WARNING = "warn"
+INFO = "info"
+SEVERITIES = (ERROR, WARNING, INFO)
+
+#: Display/sort rank per severity (lower = more severe).
+_SEVERITY_RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
+
+
+@dataclass
+class Diagnostic:
+    """One finding of one lint rule against one plan.
+
+    ``stage_index`` is the offending composition step (``None`` when the
+    finding is about the plan as a whole, e.g. its remap policy);
+    ``fixable`` marks findings the :mod:`repro.analysis.rewrite` optimizer
+    can discharge; ``related_stages`` names other steps participating in
+    the finding (e.g. the stage that overwrites a dead reordering).
+    """
+
+    code: str
+    severity: str
+    message: str
+    stage_index: Optional[int] = None
+    stage_name: str = ""
+    hint: Optional[str] = None
+    fixable: bool = False
+    related_stages: List[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; "
+                f"choose from {SEVERITIES}"
+            )
+
+    @property
+    def stage(self) -> str:
+        if self.stage_index is None:
+            return "plan"
+        return f"{self.stage_index}:{self.stage_name or '?'}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "stage_index": self.stage_index,
+            "stage_name": self.stage_name,
+            "hint": self.hint,
+            "fixable": self.fixable,
+            "related_stages": list(self.related_stages),
+        }
+
+    def __str__(self) -> str:
+        line = f"{self.code} [{self.severity}] @ {self.stage}: {self.message}"
+        if self.fixable:
+            line += " (fixable: repro lint --fix)"
+        if self.hint:
+            line += f" (hint: {self.hint})"
+        return line
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one static analysis run found about one plan."""
+
+    plan_name: str = ""
+    kernel_name: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Codes of rules that ran (a diagnostic-free code means "checked, clean").
+    rules_run: List[str] = field(default_factory=list)
+    #: Dataflow summary (stage count, payload moves, def/use edges, ...).
+    dataflow: Dict[str, object] = field(default_factory=dict)
+
+    def extend(self, diagnostics) -> "AnalysisReport":
+        self.diagnostics.extend(diagnostics)
+        return self
+
+    def sorted(self) -> List[Diagnostic]:
+        """Diagnostics ordered by severity, then stage, then code."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                _SEVERITY_RANK[d.severity],
+                d.stage_index if d.stage_index is not None else -1,
+                d.code,
+            ),
+        )
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == INFO]
+
+    @property
+    def fixable(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.fixable]
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def exit_code(self, strict: bool = False) -> int:
+        """The ``repro lint`` contract: errors exit 1; warnings exit 0
+        unless ``strict`` (infos never fail)."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def summary(self) -> dict:
+        """Compact, JSON-friendly digest (what ``PipelineReport.analysis``
+        and ``doctor`` carry)."""
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+            "fixable": len(self.fixable),
+            "codes": sorted({d.code for d in self.diagnostics}),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "plan_name": self.plan_name,
+            "kernel_name": self.kernel_name,
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+            "rules_run": list(self.rules_run),
+            "dataflow": dict(self.dataflow),
+            "summary": self.summary(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def describe(self) -> str:
+        head = f"AnalysisReport({self.plan_name or 'composition'!s}"
+        if self.kernel_name:
+            head += f" on {self.kernel_name}"
+        summary = self.summary()
+        head += (
+            f", {summary['errors']} error(s), {summary['warnings']} "
+            f"warning(s), {summary['infos']} info(s))"
+        )
+        lines = [head]
+        for diagnostic in self.sorted():
+            lines.append(f"  {diagnostic}")
+        if not self.diagnostics:
+            lines.append(
+                f"  clean: {len(self.rules_run)} rule(s) found nothing"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+]

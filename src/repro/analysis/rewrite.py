@@ -1,0 +1,176 @@
+"""Opt-in plan optimizer: apply the safe, fixable lint findings.
+
+Two rewrites, both proven bit-identical to the unrewritten plan by the
+runtime verifier in the test suite:
+
+* **remap-once** (RRT001): a plan that moves the payload after every
+  data reordering (``remap='each'``) is rewritten to compose the
+  reorderings and move the payload a single time (paper Figure 16).  The
+  executor sees identical index arrays and payload — only inspector
+  overhead changes.
+* **symmetry-halving** (RRT004): a sparse-tiling step traversing both
+  symmetric dependence edge sets is rewritten to traverse one
+  (``use_symmetry=True``, paper Section 6).  Tile growth visits the same
+  edges in the same order, so the tiling function is identical.
+
+After rewriting, the optimizer re-threads the plan through the
+compile-time framework — re-running
+:func:`~repro.uniform.legality.check_iteration_reordering` against every
+stage — and refuses the rewrite if any stage that was provably legal
+before is no longer provable.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import LegalityError
+from repro.runtime.plan import CompositionPlan
+
+#: Codes the optimizer knows how to discharge.
+FIXABLE_CODES = ("RRT001", "RRT004")
+
+
+@dataclass(frozen=True)
+class AppliedRewrite:
+    """One rewrite the optimizer performed."""
+
+    code: str
+    description: str
+    stage_index: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f" @ stage {self.stage_index}" if self.stage_index is not None else ""
+        return f"{self.code}{where}: {self.description}"
+
+
+@dataclass
+class RewriteResult:
+    """Outcome of :func:`apply_fixes`."""
+
+    original: CompositionPlan
+    plan: CompositionPlan
+    applied: List[AppliedRewrite] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+    def describe(self) -> str:
+        if not self.applied:
+            return "no applicable rewrites"
+        lines = [f"applied {len(self.applied)} rewrite(s):"]
+        for rewrite in self.applied:
+            lines.append(f"  {rewrite}")
+        return "\n".join(lines)
+
+
+def _stage_proofs(plan: CompositionPlan) -> dict:
+    """``step_index -> all reports proven?`` (plans non-strictly)."""
+    if getattr(plan, "_planned", None) is None:
+        plan.plan(strict=False)
+    proofs: dict = {}
+    for planned in plan.planned_transformations:
+        proofs[planned.step_index] = (
+            proofs.get(planned.step_index, True) and planned.report.proven
+        )
+    return proofs
+
+
+def apply_fixes(
+    plan: CompositionPlan,
+    codes: Optional[Tuple[str, ...]] = None,
+) -> RewriteResult:
+    """Apply the remap-once and symmetry-halving rewrites to ``plan``.
+
+    Returns a :class:`RewriteResult` whose ``plan`` is a *new*
+    :class:`CompositionPlan` (the input is never mutated); when nothing
+    applies, ``plan`` is the input itself and ``applied`` is empty.  The
+    rewritten plan is re-planned and every legality report re-checked:
+    a rewrite that loses a legality proof raises :class:`LegalityError`
+    instead of returning a weaker plan.
+    """
+    codes = tuple(codes) if codes is not None else FIXABLE_CODES
+    applied: List[AppliedRewrite] = []
+
+    new_steps = list(plan.steps)
+    new_remap = plan.remap
+
+    # RRT001: remap the payload once, after all reordering functions exist.
+    if "RRT001" in codes and plan.remap == "each":
+        data_stages = [
+            index
+            for index, step in enumerate(plan.steps)
+            if step.traits.is_data_reordering
+        ]
+        if len(data_stages) >= 2:
+            new_remap = "once"
+            applied.append(
+                AppliedRewrite(
+                    code="RRT001",
+                    description=(
+                        f"remap policy 'each' -> 'once': compose the "
+                        f"{len(data_stages)} data reorderings and move the "
+                        f"payload a single time"
+                    ),
+                )
+            )
+
+    # RRT004: traverse one of the two symmetric dependence edge sets.
+    if "RRT004" in codes:
+        from repro.runtime.inspector import node_loop_positions
+
+        if len(node_loop_positions(plan.kernel)) >= 2:
+            for index, step in enumerate(new_steps):
+                if not step.traits.symmetric_dependences:
+                    continue
+                if getattr(step, "use_symmetry", True):
+                    continue
+                fixed = copy.copy(step)
+                fixed.use_symmetry = True
+                new_steps[index] = fixed
+                applied.append(
+                    AppliedRewrite(
+                        code="RRT004",
+                        description=(
+                            "traverse one symmetric dependence edge set "
+                            "during tile growth (use_symmetry=True)"
+                        ),
+                        stage_index=index,
+                    )
+                )
+
+    if not applied:
+        return RewriteResult(original=plan, plan=plan)
+
+    rewritten = CompositionPlan(
+        plan.kernel,
+        new_steps,
+        name=plan.name,
+        remap=new_remap,
+        on_stage_failure=plan.on_stage_failure,
+        validation=plan.validation,
+    )
+
+    # Re-thread the rewritten plan through the framework: every stage's
+    # check_data_reordering/check_iteration_reordering runs again on the
+    # rewritten state.  A rewrite must never lose a legality proof.
+    before = _stage_proofs(plan)
+    after = _stage_proofs(rewritten)
+    regressions = [
+        index
+        for index, proven in before.items()
+        if proven and not after.get(index, False)
+    ]
+    if regressions:  # pragma: no cover - the two rewrites preserve proofs
+        raise LegalityError(
+            f"rewrite lost legality proofs at stage(s) {regressions}",
+            stage="analysis-rewrite",
+            hint="refusing the rewrite; report this as an optimizer bug",
+        )
+    return RewriteResult(original=plan, plan=rewritten, applied=applied)
+
+
+__all__ = ["AppliedRewrite", "FIXABLE_CODES", "RewriteResult", "apply_fixes"]

@@ -1,0 +1,308 @@
+"""Lint rules with stable codes over the plan dataflow graph.
+
+Rule catalog (codes are stable API — tools may match on them):
+
+==========  =========  ==========================================================
+``RRT001``  warn/fix   redundant intermediate data remap — the plan moves the
+                       payload after every data reordering (``remap='each'``)
+                       although composing the reorderings and remapping once
+                       is bit-identical and cheaper (paper Figure 16)
+``RRT002``  warn       dead reordering stage — an interaction-loop permutation
+                       is overwritten by a later order-insensitive permutation
+                       before anything reads the order it established
+``RRT003``  error      iteration reordering whose legality obligations are
+                       neither proven at plan time nor covered by a runtime
+                       verifier under the configured policy
+``RRT004``  warn/fix   symmetric dependence sets traversed twice during tile
+                       growth although one traversal suffices (paper Section 6)
+``RRT005``  info       adjacent composable permutations of the same space —
+                       fusable into a single gather
+==========  =========  ==========================================================
+
+Each rule is a pure function ``(graph, plan, options) -> [Diagnostic]``;
+the registry drives :func:`repro.analysis.analyze_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.dataflow import DataflowGraph
+from repro.analysis.diagnostics import ERROR, INFO, WARNING, Diagnostic
+from repro.errors import ValidationError
+from repro.presburger.simplify import definitely_empty
+
+#: When does the runtime verifier re-check the composition?  ``always``
+#: (the caller binds with ``verify=True``), ``on-degraded`` (the
+#: ``CompositionPlan.bind`` default: only after a stage fell back), or
+#: ``never`` (raw ``ComposedInspector.run``).
+VERIFIER_POLICIES = ("always", "on-degraded", "never")
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """Configuration of one analysis run."""
+
+    #: Runtime-verifier coverage assumed by RRT003 (see
+    #: :data:`VERIFIER_POLICIES`).
+    verifier: str = "on-degraded"
+    #: Restrict to these rule codes (``None`` = every registered rule).
+    rules: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self):
+        if self.verifier not in VERIFIER_POLICIES:
+            raise ValidationError(
+                f"unknown verifier policy {self.verifier!r}",
+                hint=f"choose one of {VERIFIER_POLICIES}",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Rules
+
+
+def rule_rrt001(
+    graph: DataflowGraph, plan, options: AnalysisOptions
+) -> List[Diagnostic]:
+    """Redundant intermediate data remap (remap-once opportunity)."""
+    if graph.remap != "each":
+        return []
+    movers = [s for s in graph.stages if s.data_remaps > 0]
+    if len(movers) < 2:
+        return []
+    total = sum(s.data_remaps for s in movers)
+    out = []
+    # Every move but the final one is redundant: no stage ever reads the
+    # intermediate payload *position* — inspectors traverse index arrays,
+    # and only the executor touches the payload, after the last remap.
+    for stage in movers[:-1]:
+        out.append(
+            Diagnostic(
+                code="RRT001",
+                severity=WARNING,
+                message=(
+                    f"intermediate data remap: stage {stage.index} moves the "
+                    f"payload under remap='each' although a later data "
+                    f"reordering (stage {movers[-1].index}) moves it again "
+                    f"before any executor use; composing the reorderings "
+                    f"remaps once instead of {total} times (Figure 16)"
+                ),
+                stage_index=stage.index,
+                stage_name=stage.name,
+                hint="set remap='once' on the plan (or run lint --fix)",
+                fixable=True,
+                related_stages=[movers[-1].index],
+            )
+        )
+    return out
+
+
+def rule_rrt002(
+    graph: DataflowGraph, plan, options: AnalysisOptions
+) -> List[Diagnostic]:
+    """Dead reordering stage: permutation overwritten before any use."""
+    out = []
+    for stage in graph.stages:
+        if set(stage.writes) != {"inter_order"}:
+            continue
+        overwriter_index = graph.next_writer(stage.index, "inter_order")
+        if overwriter_index is None:
+            continue
+        overwriter = graph.stages[overwriter_index]
+        if overwriter.traits.order_sensitive:
+            continue  # the later stage builds on this order — live
+        readers = [
+            s.index
+            for s in graph.stages[stage.index + 1 : overwriter_index]
+            if {"iteration_order", "dependences"}.intersection(s.reads)
+        ]
+        if readers:
+            continue
+        out.append(
+            Diagnostic(
+                code="RRT002",
+                severity=WARNING,
+                message=(
+                    f"dead reordering: stage {stage.index} permutes the "
+                    f"interaction loop but stage {overwriter_index} "
+                    f"({overwriter.name}) re-derives the order from values "
+                    f"alone before anything reads it — the stage {stage.index} "
+                    f"permutation is overwritten (up to tie-breaking) before "
+                    f"any executor use"
+                ),
+                stage_index=stage.index,
+                stage_name=stage.name,
+                hint=f"drop stage {stage.index} or move it after "
+                f"stage {overwriter_index}",
+                related_stages=[overwriter_index],
+            )
+        )
+    return out
+
+
+def rule_rrt003(
+    graph: DataflowGraph, plan, options: AnalysisOptions
+) -> List[Diagnostic]:
+    """Unproven legality obligations not covered by the runtime verifier."""
+    out = []
+    for stage in graph.stages:
+        for report in stage.unproven_reports:
+            # Last attempt to discharge statically: re-simplify each
+            # violation set — a set that *becomes* trivially false under
+            # existential elimination/congruence is proven empty.
+            open_obligations = [
+                o
+                for o in report.obligations
+                if not definitely_empty(o.violations)
+            ]
+            if not open_obligations:
+                continue
+            names = ", ".join(
+                o.dependence.name for o in open_obligations
+            )
+            covered = options.verifier == "always"
+            out.append(
+                Diagnostic(
+                    code="RRT003",
+                    severity=WARNING if covered else ERROR,
+                    message=(
+                        f"iteration reordering at stage {stage.index} has "
+                        f"{len(open_obligations)} legality obligation(s) "
+                        f"({names}) that are neither proven at plan time nor "
+                        f"discharged by a dependence-inspecting inspector"
+                        + (
+                            "; the runtime verifier will re-check them "
+                            "(verifier policy 'always')"
+                            if covered
+                            else f"; under verifier policy "
+                            f"{options.verifier!r} nothing re-checks them "
+                            f"at run time"
+                        )
+                    ),
+                    stage_index=stage.index,
+                    stage_name=stage.name,
+                    hint="use a dependence-inspecting step for this "
+                    "subspace, or bind with verify=True",
+                )
+            )
+    return out
+
+
+def rule_rrt004(
+    graph: DataflowGraph, plan, options: AnalysisOptions
+) -> List[Diagnostic]:
+    """Symmetric dependence set traversed twice during tile growth."""
+    from repro.runtime.inspector import node_loop_positions
+
+    if len(node_loop_positions(plan.kernel)) < 2:
+        return []  # only one dependence edge set — nothing is symmetric
+    out = []
+    for stage in graph.stages:
+        if not stage.traits.symmetric_dependences:
+            continue
+        step = plan.steps[stage.index]
+        if getattr(step, "use_symmetry", True):
+            continue
+        out.append(
+            Diagnostic(
+                code="RRT004",
+                severity=WARNING,
+                message=(
+                    f"stage {stage.index} grows tiles by traversing both "
+                    f"symmetric dependence edge sets; the (node -> "
+                    f"interaction) and (interaction -> node) sets satisfy "
+                    f"the same constraints, so one traversal suffices "
+                    f"(paper Section 6)"
+                ),
+                stage_index=stage.index,
+                stage_name=stage.name,
+                hint="construct the step with use_symmetry=True "
+                "(or run lint --fix)",
+                fixable=True,
+            )
+        )
+    return out
+
+
+def rule_rrt005(
+    graph: DataflowGraph, plan, options: AnalysisOptions
+) -> List[Diagnostic]:
+    """Adjacent composable permutations fusable into one gather."""
+    out = []
+    for stage, successor in zip(graph.stages, graph.stages[1:]):
+        for resource in ("node_space", "inter_order"):
+            if set(stage.writes) != {resource}:
+                continue
+            if set(successor.writes) != {resource}:
+                continue
+            if not successor.traits.order_sensitive and resource == "inter_order":
+                continue  # that adjacency is RRT002's dead-stage case
+            out.append(
+                Diagnostic(
+                    code="RRT005",
+                    severity=INFO,
+                    message=(
+                        f"stages {stage.index} and {successor.index} both "
+                        f"permute the same space "
+                        f"({'data' if resource == 'node_space' else 'interaction loop'}); "
+                        f"the permutations compose, so the index-array "
+                        f"adjustments are fusable into one gather"
+                    ),
+                    stage_index=stage.index,
+                    stage_name=stage.name,
+                    related_stages=[successor.index],
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Registry
+
+
+@dataclass(frozen=True)
+class Rule:
+    code: str
+    title: str
+    check: Callable[[DataflowGraph, object, AnalysisOptions], List[Diagnostic]]
+
+
+#: Every registered rule, by code, in catalog order.
+RULES: Dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        Rule("RRT001", "redundant intermediate data remap", rule_rrt001),
+        Rule("RRT002", "dead reordering stage", rule_rrt002),
+        Rule("RRT003", "unproven, uncovered legality obligation", rule_rrt003),
+        Rule("RRT004", "symmetric dependence set traversed twice", rule_rrt004),
+        Rule("RRT005", "adjacent permutations fusable into one gather", rule_rrt005),
+    )
+}
+
+
+def run_rules(
+    graph: DataflowGraph, plan, options: Optional[AnalysisOptions] = None
+) -> Tuple[List[str], List[Diagnostic]]:
+    """Run the selected rules; returns ``(codes_run, diagnostics)``."""
+    options = options or AnalysisOptions()
+    codes = options.rules or tuple(RULES)
+    unknown = [c for c in codes if c not in RULES]
+    if unknown:
+        raise ValidationError(
+            f"unknown rule code(s) {unknown}",
+            hint=f"registered rules: {sorted(RULES)}",
+        )
+    diagnostics: List[Diagnostic] = []
+    for code in codes:
+        diagnostics.extend(RULES[code].check(graph, plan, options))
+    return list(codes), diagnostics
+
+
+__all__ = [
+    "AnalysisOptions",
+    "Rule",
+    "RULES",
+    "VERIFIER_POLICIES",
+    "run_rules",
+]

@@ -25,6 +25,7 @@ from repro.presburger.relations import PresburgerRelation
 from repro.presburger.parser import parse_set, parse_relation, parse_expr
 from repro.presburger.evaluate import Environment
 from repro.presburger.ordering import lex_lt, lex_le, lex_compare
+from repro.presburger.simplify import definitely_empty, simplify_conjunction
 from repro.presburger.render import to_omega, set_to_omega, relation_to_omega
 
 __all__ = [
@@ -50,6 +51,8 @@ __all__ = [
     "lex_lt",
     "lex_le",
     "lex_compare",
+    "definitely_empty",
+    "simplify_conjunction",
     "to_omega",
     "set_to_omega",
     "relation_to_omega",

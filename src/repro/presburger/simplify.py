@@ -138,6 +138,24 @@ def simplify_conjunction(conj: Conjunction) -> Optional[Conjunction]:
     return Conjunction(constraints, exist_vars)
 
 
+def definitely_empty(obj) -> bool:
+    """Semi-decision emptiness query on a set or relation.
+
+    Stronger than ``is_empty_syntactically``: every conjunction is
+    re-simplified (existential elimination, congruence propagation,
+    contradiction detection), so a set whose conjunctions *become*
+    trivially false under simplification is recognized as empty.  Returns
+    ``True`` only when emptiness is proven; ``False`` means "unknown or
+    non-empty" — with uninterpreted function symbols the query is
+    undecidable in general, and the run-time verifier remains the final
+    arbiter.  The static plan analyzer uses this as its last attempt to
+    discharge a legality obligation before diagnosing it (rule RRT003).
+    """
+    return all(
+        simplify_conjunction(conj) is None for conj in obj.conjunctions
+    )
+
+
 def constraints_entail_false(constraints: Iterable[Constraint]) -> bool:
     """Cheap, incomplete unsatisfiability check on a constraint list.
 

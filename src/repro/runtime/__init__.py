@@ -40,6 +40,12 @@ from repro.runtime.inspector import (
     TilePackStep,
 )
 from repro.runtime.plan import CompositionPlan
+from repro.runtime.planspec import (
+    STEP_TYPES,
+    load_plan_spec,
+    make_step,
+    plan_from_spec,
+)
 from repro.runtime.report import PipelineReport, StageRecord
 from repro.runtime.validate import (
     POLICIES,
@@ -71,6 +77,10 @@ __all__ = [
     "CacheBlockStep",
     "TilePackStep",
     "CompositionPlan",
+    "STEP_TYPES",
+    "load_plan_spec",
+    "make_step",
+    "plan_from_spec",
     "verify_numeric_equivalence",
     "verify_numeric_equivalence_memoized",
     "clear_verification_memo",

@@ -56,7 +56,12 @@ from repro.transforms import (
     reverse_cuthill_mckee,
     tilepack,
 )
-from repro.transforms.base import ReorderingFunction, identity_reordering
+from repro.transforms.base import (
+    CONSERVATIVE_TRAITS,
+    ReorderingFunction,
+    identity_reordering,
+    traits_for,
+)
 from repro.transforms.fst import TilingFunction
 from repro.uniform.kernel import Kernel
 from repro.uniform.state import DataReordering, IterationReordering
@@ -316,6 +321,11 @@ class Step:
     symbol_prefix: Optional[str] = None
     #: Space the step's reordering covers: ``nodes``, ``inters``, ``tiles``.
     symbol_domain: str = "nodes"
+    #: Declarative dataflow metadata (:class:`~repro.transforms.base.TransformTraits`)
+    #: consumed by the static analyzer; defaults to the conservative
+    #: read-everything/write-everything traits so third-party steps lint
+    #: without declaring anything.
+    traits = CONSERVATIVE_TRAITS
 
     def run(self, state: InspectorState) -> None:
         raise NotImplementedError
@@ -383,6 +393,7 @@ class CPackStep(Step):
 
     name = "cpack"
     symbol_prefix = "cp"
+    traits = traits_for("cpack")
 
     def run(self, state: InspectorState) -> None:
         counter: Dict[str, int] = {}
@@ -405,6 +416,7 @@ class GPartStep(Step):
 
     name = "gpart"
     symbol_prefix = "gp"
+    traits = traits_for("gpart")
 
     def __init__(self, partition_size: int):
         if partition_size <= 0:
@@ -437,6 +449,7 @@ class RCMStep(Step):
 
     name = "rcm"
     symbol_prefix = "rcm"
+    traits = traits_for("rcm")
 
     def run(self, state: InspectorState) -> None:
         counter: Dict[str, int] = {}
@@ -462,6 +475,7 @@ class SpaceFillingStep(Step):
 
     name = "sfc"
     symbol_prefix = "sfc"
+    traits = traits_for("spacefill")
 
     def __init__(self, coords, curve: str = "hilbert", order: int = 10):
         self.coords = np.asarray(coords, dtype=np.float64)
@@ -532,6 +546,7 @@ class LexGroupStep(_InteractionReorderStep):
     """Lexicographical grouping of the interaction loop."""
 
     name = "lg"
+    traits = traits_for("lexgroup")
 
     def _delta(self, state, counter):
         return lexgroup(state.data.interaction_access_map(), counter=counter)
@@ -541,6 +556,7 @@ class LexSortStep(_InteractionReorderStep):
     """Lexicographical sorting of the interaction loop."""
 
     name = "ls"
+    traits = traits_for("lexsort")
 
     def _delta(self, state, counter):
         return lexsort(state.data.interaction_access_map(), counter=counter)
@@ -550,6 +566,7 @@ class BucketTilingStep(_InteractionReorderStep):
     """Bucket tiling of the interaction loop."""
 
     name = "bt"
+    traits = traits_for("bucket_tiling")
 
     def __init__(self, bucket_size: int):
         if bucket_size <= 0:
@@ -581,6 +598,7 @@ class FullSparseTilingStep(Step):
     name = "fst"
     symbol_prefix = "theta"
     symbol_domain = "tiles"
+    traits = traits_for("fst")
 
     def __init__(self, seed_block_size: int, use_symmetry: bool = True):
         if seed_block_size <= 0:
@@ -653,6 +671,7 @@ class CacheBlockStep(Step):
     name = "cb"
     symbol_prefix = "theta"
     symbol_domain = "tiles"
+    traits = traits_for("cache_block")
 
     def __init__(self, seed_block_size: int):
         if seed_block_size <= 0:
@@ -701,6 +720,7 @@ class TilePackStep(Step):
 
     name = "tilepack"
     symbol_prefix = "tp"
+    traits = traits_for("tilepack")
 
     def check_preconditions(self, state: InspectorState) -> None:
         if state.tiling is None:

@@ -48,10 +48,17 @@ from repro.uniform.state import (
 
 @dataclass
 class PlannedTransformation:
-    """One symbolic transformation with its legality report."""
+    """One symbolic transformation with its legality report.
+
+    ``step_index``/``step_name`` tie the transformation back to the
+    composition step that emitted it (the same attribution the report and
+    its obligations carry), so analyses can group by stage.
+    """
 
     transformation: object
     report: LegalityReport
+    step_index: int = -1
+    step_name: str = ""
 
 
 class CompositionPlan:
@@ -91,6 +98,7 @@ class CompositionPlan:
         self.validation = validation
         self._planned: Optional[List[PlannedTransformation]] = None
         self._final_state: Optional[ProgramState] = None
+        self._analysis = None  # last AnalysisReport from analyze()
 
     # -- compile-time side --------------------------------------------------------
 
@@ -116,17 +124,23 @@ class CompositionPlan:
                         raise TypeError(
                             f"unexpected transformation {transformation!r}"
                         )
+                    report.attach_stage(index, step.name)
                     if strict and not report.proven:
                         raise LegalityError(
                             f"step {step!r} is not provably legal: "
                             f"{len(report.obligations)} outstanding obligations "
-                            f"({', '.join(o.dependence.name for o in report.obligations)})",
+                            f"({', '.join(f'{o.dependence.name} @ stage {o.stage}' for o in report.obligations)})",
                             stage=f"{index}:{step.name}",
                             hint="use a dependence-inspecting step (sparse "
                             "tiling) for this subspace, or plan(strict=False) "
                             "and rely on the runtime verifier",
                         )
-                    planned.append(PlannedTransformation(transformation, report))
+                    planned.append(
+                        PlannedTransformation(
+                            transformation, report,
+                            step_index=index, step_name=step.name,
+                        )
+                    )
                     state = state.apply(transformation)
                 except (ValueError, KeyError) as exc:
                     if isinstance(exc, LegalityError):
@@ -154,6 +168,31 @@ class CompositionPlan:
         if self._final_state is None:
             self.plan()
         return self._final_state
+
+    # -- static analysis ----------------------------------------------------------
+
+    def analyze(self, verifier: str = "on-degraded", rules=None):
+        """Run the static analysis pass pipeline over this plan.
+
+        Entirely plan-time — no dataset needed.  Builds the def/use
+        dataflow graph across the stages, runs the lint rules
+        (``RRT001``..``RRT005``), and returns the
+        :class:`~repro.analysis.diagnostics.AnalysisReport`.  The report
+        is remembered, so a subsequent :meth:`bind`'s
+        :class:`~repro.runtime.report.PipelineReport` carries its summary
+        in the ``analysis`` field.
+        """
+        from repro.analysis import analyze_plan
+
+        self._analysis = analyze_plan(self, verifier=verifier, rules=rules)
+        return self._analysis
+
+    def optimized(self, codes=None) -> "CompositionPlan":
+        """A rewritten copy with the safe lint fixes applied (this plan
+        when none apply); see :func:`repro.analysis.rewrite.apply_fixes`."""
+        from repro.analysis import apply_fixes
+
+        return apply_fixes(self, codes=codes).plan
 
     # -- run-time side ---------------------------------------------------------------
 
@@ -210,6 +249,8 @@ class CompositionPlan:
         report: PipelineReport = result.report
         report.plan_name = self.name
         report.validation = [str(f) for f in validation_report.findings]
+        if self._analysis is not None:
+            report.analysis = self._analysis.summary()
 
         should_verify = verify if verify is not None else report.degraded
         if should_verify:

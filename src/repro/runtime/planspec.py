@@ -1,0 +1,148 @@
+"""Declarative plan specifications (JSON) -> :class:`CompositionPlan`.
+
+A *plan spec* is the serializable description of one composition::
+
+    {
+      "kernel": "moldyn",
+      "name": "fig16-remap-each",
+      "remap": "each",
+      "on_stage_failure": "raise",
+      "validation": "strict",
+      "steps": [
+        {"type": "cpack"},
+        {"type": "lexgroup"},
+        {"type": "fst", "seed_block_size": 64, "use_symmetry": false},
+        {"type": "tilepack"}
+      ]
+    }
+
+``python -m repro lint`` consumes these (the example plans under
+``examples/plans/`` are specs), and ``python -m repro plan``'s positional
+step names use the same :data:`STEP_TYPES` table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.errors import BindError, ValidationError
+from repro.runtime.inspector import (
+    BucketTilingStep,
+    CacheBlockStep,
+    CPackStep,
+    FullSparseTilingStep,
+    GPartStep,
+    LexGroupStep,
+    LexSortStep,
+    RCMStep,
+    Step,
+    TilePackStep,
+)
+
+#: Spec ``type`` -> step factory.  Parameters come from the spec entry;
+#: unknown parameters are rejected (typos must not silently default).
+STEP_TYPES: Dict[str, type] = {
+    "cpack": CPackStep,
+    "gpart": GPartStep,
+    "rcm": RCMStep,
+    "lexgroup": LexGroupStep,
+    "lexsort": LexSortStep,
+    "bucket": BucketTilingStep,
+    "fst": FullSparseTilingStep,
+    "cacheblock": CacheBlockStep,
+    "tilepack": TilePackStep,
+}
+
+#: Default constructor parameters for steps that require one.
+_STEP_DEFAULTS: Dict[str, dict] = {
+    "gpart": {"partition_size": 128},
+    "bucket": {"bucket_size": 128},
+    "fst": {"seed_block_size": 128},
+    "cacheblock": {"seed_block_size": 128},
+}
+
+
+def make_step(type_name: str, **params) -> Step:
+    """Instantiate one step from its spec type name and parameters."""
+    try:
+        cls = STEP_TYPES[type_name]
+    except KeyError:
+        raise BindError(
+            f"unknown step type {type_name!r}",
+            hint=f"choose from {sorted(STEP_TYPES)}",
+        ) from None
+    kwargs = dict(_STEP_DEFAULTS.get(type_name, {}))
+    kwargs.update(params)
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ValidationError(
+            f"bad parameters for step {type_name!r}: {exc}",
+            stage=type_name,
+            hint="see the step class constructor for accepted parameters",
+        ) from None
+
+
+def plan_from_spec(spec: dict):
+    """Build a :class:`~repro.runtime.plan.CompositionPlan` from a spec."""
+    from repro.kernels.specs import kernel_by_name
+    from repro.runtime.plan import CompositionPlan
+
+    if not isinstance(spec, dict):
+        raise ValidationError(
+            f"plan spec must be an object, got {type(spec).__name__}",
+            stage="planspec",
+        )
+    unknown = set(spec) - {
+        "kernel", "name", "remap", "on_stage_failure", "validation", "steps",
+    }
+    if unknown:
+        raise ValidationError(
+            f"unknown plan spec key(s) {sorted(unknown)}",
+            stage="planspec",
+        )
+    if "kernel" not in spec:
+        raise ValidationError("plan spec missing 'kernel'", stage="planspec")
+    kernel = kernel_by_name(spec["kernel"])
+
+    steps: List[Step] = []
+    for position, entry in enumerate(spec.get("steps", [])):
+        if isinstance(entry, str):
+            entry = {"type": entry}
+        if not isinstance(entry, dict) or "type" not in entry:
+            raise ValidationError(
+                f"step {position} must be a string or an object with a "
+                f"'type' key, got {entry!r}",
+                stage="planspec",
+            )
+        params = {k: v for k, v in entry.items() if k != "type"}
+        steps.append(make_step(entry["type"], **params))
+
+    return CompositionPlan(
+        kernel,
+        steps,
+        name=spec.get("name", ""),
+        remap=spec.get("remap", "once"),
+        on_stage_failure=spec.get("on_stage_failure", "raise"),
+        validation=spec.get("validation", "strict"),
+    )
+
+
+def load_plan_spec(path: str):
+    """Read a JSON plan spec file and build its plan."""
+    if not os.path.exists(path):
+        raise BindError(f"plan spec file not found: {path!r}")
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            spec = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"plan spec {path!r} is not valid JSON: {exc}",
+                stage="planspec",
+            ) from None
+    return plan_from_spec(spec)
+
+
+__all__ = ["STEP_TYPES", "load_plan_spec", "make_step", "plan_from_spec"]

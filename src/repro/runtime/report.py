@@ -84,6 +84,10 @@ class PipelineReport:
     #: ``None`` (no cache), ``"stored"`` (cold run, persisted), or
     #: ``"hit"`` (stages replayed from cache — nothing ran).
     cache: Optional[str] = None
+    #: Static-analysis summary of the plan that was bound (the
+    #: :meth:`~repro.analysis.diagnostics.AnalysisReport.summary` dict),
+    #: or ``None`` when the plan was never analyzed.
+    analysis: Optional[dict] = None
 
     @property
     def degraded(self) -> bool:
@@ -113,6 +117,7 @@ class PipelineReport:
             "validation": list(self.validation),
             "verified": self.verified,
             "cache": self.cache,
+            "analysis": dict(self.analysis) if self.analysis else None,
         }
 
     @staticmethod
@@ -124,6 +129,7 @@ class PipelineReport:
             validation=list(payload.get("validation", [])),
             verified=payload.get("verified"),
             cache=payload.get("cache"),
+            analysis=payload.get("analysis"),
         )
 
     def describe(self) -> str:
@@ -149,6 +155,12 @@ class PipelineReport:
                     if self.verified
                     else "FAILED verification"
                 )
+            )
+        if self.analysis is not None:
+            codes = ", ".join(self.analysis.get("codes", [])) or "clean"
+            lines.append(
+                f"  analysis: {self.analysis.get('errors', 0)} error(s), "
+                f"{self.analysis.get('warnings', 0)} warning(s) [{codes}]"
             )
         return "\n".join(lines)
 

@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
@@ -24,6 +25,188 @@ from repro.presburger.constraints import eq
 from repro.presburger.relations import PresburgerRelation
 from repro.presburger.sets import Conjunction
 from repro.presburger.terms import AffineExpr, var
+
+
+# ---------------------------------------------------------------------------
+# Declarative transform metadata (static-analysis side)
+
+#: Resources a transform's inspector may read or write.  ``reads`` name
+#: what the inspector traverses; ``writes`` name what the produced
+#: reordering permutes.  The static analyzer (:mod:`repro.analysis`)
+#: threads these through the composition to build its def/use graph.
+#:
+#: * ``"index_values"``    — the values of the index arrays (node numbering)
+#: * ``"iteration_order"`` — the interaction loop's current iteration order
+#: * ``"dependences"``     — the concrete cross-loop dependence edge sets
+#: * ``"tiling"``          — a previously produced tiling function
+#: * ``"coords"``          — externally supplied node coordinates
+#: * ``"payload"``         — the node payload values themselves
+#: * ``"node_space"``      — the data space (a data reordering ``sigma``)
+#: * ``"inter_order"``     — the interaction loop order (a ``delta``)
+#: * ``"seed_partition"``  — a seed partition for tile growth
+#: * ``"schedule"``        — an executor-facing (parallel) schedule
+RESOURCES = (
+    "index_values",
+    "iteration_order",
+    "dependences",
+    "tiling",
+    "coords",
+    "payload",
+    "node_space",
+    "inter_order",
+    "seed_partition",
+    "schedule",
+)
+
+
+@dataclass(frozen=True)
+class TransformTraits:
+    """Declarative dataflow metadata of one run-time reordering transform.
+
+    ``reads`` / ``writes`` use the :data:`RESOURCES` vocabulary.
+    ``order_sensitive`` records whether the produced reordering depends on
+    the *incoming order* of the space it permutes (a stable grouping does;
+    a full sort does not — up to tie-breaking).  ``symmetric_dependences``
+    marks inspectors able to traverse one of two symmetric dependence edge
+    sets (paper Section 6); ``inspects_dependences`` marks inspectors that
+    discharge iteration-reordering legality by construction.
+    """
+
+    name: str
+    kind: str  #: one of ``data`` / ``iteration`` / ``tiling`` / ``seed`` / ``schedule``
+    reads: Tuple[str, ...]
+    writes: Tuple[str, ...]
+    order_sensitive: bool = True
+    symmetric_dependences: bool = False
+    inspects_dependences: bool = False
+
+    def __post_init__(self):
+        for resource in self.reads + self.writes:
+            if resource not in RESOURCES:
+                raise ValueError(
+                    f"unknown resource {resource!r} in traits {self.name!r}; "
+                    f"choose from {RESOURCES}"
+                )
+
+    @property
+    def is_data_reordering(self) -> bool:
+        return "node_space" in self.writes
+
+    @property
+    def is_iteration_reordering(self) -> bool:
+        return "inter_order" in self.writes
+
+    @property
+    def is_tiling(self) -> bool:
+        return "tiling" in self.writes
+
+
+#: Default for transforms that declare nothing: assume they read and
+#: write everything, so third-party steps still lint — conservatively,
+#: producing no false "dead stage"/"fusable" diagnostics.
+CONSERVATIVE_TRAITS = TransformTraits(
+    name="unknown",
+    kind="unknown",
+    reads=RESOURCES,
+    writes=("node_space", "inter_order", "tiling", "schedule"),
+    order_sensitive=True,
+    symmetric_dependences=False,
+    inspects_dependences=False,
+)
+
+#: Traits of every transform in :mod:`repro.transforms`, keyed by module
+#: (algorithm) name.
+TRANSFORM_TRAITS: Dict[str, TransformTraits] = {
+    traits.name: traits
+    for traits in (
+        TransformTraits(
+            name="cpack",
+            kind="data",
+            reads=("index_values", "iteration_order"),
+            writes=("node_space",),
+        ),
+        TransformTraits(
+            name="gpart",
+            kind="data",
+            reads=("index_values",),
+            writes=("node_space",),
+        ),
+        TransformTraits(
+            name="rcm",
+            kind="data",
+            reads=("index_values",),
+            writes=("node_space",),
+        ),
+        TransformTraits(
+            name="spacefill",
+            kind="data",
+            reads=("coords", "node_space"),
+            writes=("node_space",),
+            order_sensitive=False,
+        ),
+        TransformTraits(
+            name="lexgroup",
+            kind="iteration",
+            reads=("index_values", "iteration_order"),
+            writes=("inter_order",),
+        ),
+        TransformTraits(
+            name="lexsort",
+            kind="iteration",
+            reads=("index_values",),
+            writes=("inter_order",),
+            order_sensitive=False,
+        ),
+        TransformTraits(
+            name="bucket_tiling",
+            kind="iteration",
+            reads=("index_values", "iteration_order"),
+            writes=("inter_order",),
+        ),
+        TransformTraits(
+            name="block_partition",
+            kind="seed",
+            reads=("iteration_order",),
+            writes=("seed_partition",),
+        ),
+        TransformTraits(
+            name="fst",
+            kind="tiling",
+            reads=("index_values", "iteration_order", "dependences"),
+            writes=("tiling",),
+            symmetric_dependences=True,
+            inspects_dependences=True,
+        ),
+        TransformTraits(
+            name="cache_block",
+            kind="tiling",
+            reads=("index_values", "iteration_order", "dependences"),
+            writes=("tiling",),
+            inspects_dependences=True,
+        ),
+        TransformTraits(
+            name="tilepack",
+            kind="data",
+            reads=("tiling",),
+            writes=("node_space",),
+            order_sensitive=False,
+            inspects_dependences=True,
+        ),
+        TransformTraits(
+            name="parallel",
+            kind="schedule",
+            reads=("tiling", "dependences"),
+            writes=("schedule",),
+            order_sensitive=False,
+        ),
+    )
+}
+
+
+def traits_for(name: str) -> TransformTraits:
+    """Traits of a transform by name; :data:`CONSERVATIVE_TRAITS` when the
+    transform declared nothing (third-party steps still lint)."""
+    return TRANSFORM_TRAITS.get(name, CONSERVATIVE_TRAITS)
 
 
 class ReorderingFunction:

@@ -24,7 +24,7 @@ paper assigns to the framework's legality checks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.presburger.ordering import lex_lt_conjunctions
 from repro.presburger.relations import PresburgerRelation
@@ -45,22 +45,56 @@ class Obligation:
     ``violations`` is the relation of dependence pairs that would violate
     lexicographic order in the transformed space; the obligation is that it
     be empty once the UFS are bound to the generated index arrays.
+
+    ``stage_index``/``stage_name`` identify the composition step that
+    incurred the obligation (attached by
+    :meth:`~repro.runtime.plan.CompositionPlan.plan`), so diagnostics can
+    point at the offending step rather than just the dependence.
     """
 
     dependence: Dependence
     violations: PresburgerRelation
+    stage_index: Optional[int] = None
+    stage_name: str = ""
+
+    @property
+    def stage(self) -> str:
+        """``"<index>:<name>"`` of the originating step, or ``"?"``."""
+        if self.stage_index is None:
+            return "?"
+        return f"{self.stage_index}:{self.stage_name or '?'}"
 
     def __repr__(self):
-        return f"Obligation({self.dependence.name}: require empty {self.violations!r})"
+        where = f" @ stage {self.stage}" if self.stage_index is not None else ""
+        return (
+            f"Obligation({self.dependence.name}{where}: "
+            f"require empty {self.violations!r})"
+        )
 
 
 @dataclass
 class LegalityReport:
-    """Outcome of a compile-time legality check."""
+    """Outcome of a compile-time legality check.
+
+    ``stage_index``/``stage_name`` are attached by the planner once the
+    report is associated with a concrete composition step (see
+    :meth:`attach_stage`).
+    """
 
     proven: bool
     obligations: List[Obligation] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    stage_index: Optional[int] = None
+    stage_name: str = ""
+
+    def attach_stage(self, index: int, name: str) -> "LegalityReport":
+        """Record the originating step on the report and its obligations."""
+        self.stage_index = index
+        self.stage_name = name
+        for obligation in self.obligations:
+            obligation.stage_index = index
+            obligation.stage_name = name
+        return self
 
     def __bool__(self):
         return self.proven

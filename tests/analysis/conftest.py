@@ -1,0 +1,87 @@
+"""Shared fixture plans for the static-analysis test suite."""
+
+import pytest
+
+from repro.kernels.specs import kernel_by_name
+from repro.runtime import CompositionPlan, make_step
+from repro.runtime.inspector import FullSparseTilingStep
+from repro.transforms.base import tile_insert_relation
+from repro.uniform.state import IterationReordering
+
+
+class UninspectedTilingStep(FullSparseTilingStep):
+    """A sparse-tiling step whose symbolic form does *not* claim
+    dependence inspection.
+
+    Its tile-insert relation carries the same legality obligations as
+    real full sparse tiling, but nothing discharges them — the RRT003
+    fixture: unproven obligations with no coverage.
+    """
+
+    name = "fst-uninspected"
+
+    def symbolic(self, kernel, index):
+        T = tile_insert_relation(f"theta{index}")
+        return [
+            IterationReordering(
+                T,
+                label=self.name,
+                introduces=(f"theta{index}",),
+                inspects_dependences=False,
+            )
+        ]
+
+
+def plan_of(*step_names, kernel="moldyn", remap="once", **plan_kwargs):
+    """A CompositionPlan over spec-style step names."""
+    return CompositionPlan(
+        kernel_by_name(kernel),
+        [make_step(name) for name in step_names],
+        remap=remap,
+        **plan_kwargs,
+    )
+
+
+@pytest.fixture
+def clean_plan():
+    """The paper's baseline composition — lints clean."""
+    return plan_of("cpack", "lexgroup", "fst")
+
+
+@pytest.fixture
+def fig16_plan():
+    """Two data reorderings under remap='each' — the RRT001 fixture."""
+    return CompositionPlan(
+        kernel_by_name("moldyn"),
+        [
+            make_step("cpack"),
+            make_step("lexgroup"),
+            make_step("fst", seed_block_size=64),
+            make_step("tilepack"),
+        ],
+        name="fig16-remap-each",
+        remap="each",
+    )
+
+
+@pytest.fixture
+def no_symmetry_plan():
+    """FST traversing both symmetric edge sets — the RRT004 fixture."""
+    return CompositionPlan(
+        kernel_by_name("moldyn"),
+        [
+            make_step("cpack"),
+            make_step("fst", seed_block_size=64, use_symmetry=False),
+        ],
+        name="fst-both-edge-sets",
+    )
+
+
+@pytest.fixture
+def unproven_plan():
+    """A tiling whose obligations nothing discharges — the RRT003 fixture."""
+    return CompositionPlan(
+        kernel_by_name("moldyn"),
+        [make_step("cpack"), UninspectedTilingStep(64)],
+        name="uninspected-tiling",
+    )

@@ -1,0 +1,77 @@
+"""The def/use dataflow graph underneath the lint rules."""
+
+from repro.analysis import build_dataflow
+from repro.analysis.dataflow import EXECUTOR_READS, WRITE_AFFECTS
+
+from tests.analysis.conftest import plan_of
+
+
+class TestStageNodes:
+    def test_one_node_per_step_with_traits(self, clean_plan):
+        graph = build_dataflow(clean_plan)
+        assert [s.name for s in graph.stages] == ["cpack", "lg", "fst"]
+        cpack, lg, fst = graph.stages
+        assert "node_space" in cpack.writes
+        assert set(lg.writes) == {"inter_order"}
+        assert "dependences" in fst.reads and "tiling" in fst.writes
+
+    def test_defines_are_the_stage_ufs_names(self, clean_plan):
+        graph = build_dataflow(clean_plan)
+        assert graph.defined_names() == {"cp0": 0, "lg1": 1, "theta2": 2}
+
+    def test_data_remaps_count_data_reorderings(self, fig16_plan):
+        graph = build_dataflow(fig16_plan)
+        assert [s.data_remaps for s in graph.stages] == [1, 0, 0, 1]
+
+    def test_unproven_reports_surface(self, unproven_plan):
+        graph = build_dataflow(unproven_plan)
+        assert graph.stages[1].unproven_reports
+        assert graph.stages[1].obligations
+        assert graph.summary()["unproven_stages"] == [1]
+
+
+class TestEdges:
+    def test_executor_is_the_final_consumer(self, clean_plan):
+        graph = build_dataflow(clean_plan)
+        for stage in graph.stages:
+            assert graph.EXECUTOR in graph.consumers(stage.index)
+
+    def test_cpack_feeds_dependence_inspecting_fst(self, clean_plan):
+        graph = build_dataflow(clean_plan)
+        # cpack relabels dependence endpoints; fst reads dependences.
+        assert 2 in graph.consumers(0)
+
+    def test_next_writer_and_readers_of(self):
+        graph = build_dataflow(plan_of("lexgroup", "cpack", "lexsort"))
+        assert graph.next_writer(0, "inter_order") == 2
+        assert graph.readers_of("index_values", 0, 2) == [1]
+
+    def test_write_affects_covers_all_executor_reads(self):
+        affected = {r for rs in WRITE_AFFECTS.values() for r in rs}
+        # every executor input can be produced by some write
+        assert set(EXECUTOR_READS) - affected == set()
+
+
+class TestPayloadMoves:
+    def test_remap_each_moves_per_data_reordering(self, fig16_plan):
+        assert build_dataflow(fig16_plan).payload_moves() == 2
+
+    def test_remap_once_moves_once(self):
+        plan = plan_of("cpack", "rcm", remap="once")
+        assert build_dataflow(plan).payload_moves() == 1
+
+    def test_no_data_reordering_moves_nothing(self):
+        assert build_dataflow(plan_of("lexgroup")).payload_moves() == 0
+
+
+class TestLazyPlanning:
+    def test_builds_from_unplanned_plan(self):
+        plan = plan_of("cpack", "lexgroup")
+        assert plan._planned is None
+        graph = build_dataflow(plan)
+        assert len(graph.stages) == 2
+
+    def test_describe_mentions_every_stage(self, clean_plan):
+        text = build_dataflow(clean_plan).describe()
+        assert "stage 0 [cpack]" in text
+        assert "executor" in text

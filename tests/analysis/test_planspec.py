@@ -1,0 +1,100 @@
+"""JSON plan specs: the declarative surface ``repro lint`` consumes."""
+
+import json
+
+import pytest
+
+from repro.errors import BindError, ValidationError
+from repro.runtime.planspec import (
+    STEP_TYPES,
+    load_plan_spec,
+    make_step,
+    plan_from_spec,
+)
+
+
+class TestMakeStep:
+    def test_defaults_cover_required_parameters(self):
+        for name in STEP_TYPES:
+            step = make_step(name)
+            assert step.name
+
+    def test_parameters_pass_through(self):
+        step = make_step("fst", seed_block_size=32, use_symmetry=False)
+        assert step.seed_block_size == 32
+        assert step.use_symmetry is False
+
+    def test_unknown_type_is_a_typed_error(self):
+        with pytest.raises(BindError, match="unknown step type"):
+            make_step("unroll-and-jam")
+
+    def test_unknown_parameter_is_a_typed_error(self):
+        with pytest.raises(ValidationError, match="bad parameters"):
+            make_step("cpack", block_size=8)
+
+
+class TestPlanFromSpec:
+    def test_full_spec_round_trip(self):
+        plan = plan_from_spec(
+            {
+                "kernel": "moldyn",
+                "name": "fig16",
+                "remap": "each",
+                "steps": [
+                    "cpack",
+                    {"type": "fst", "seed_block_size": 64},
+                ],
+            }
+        )
+        assert plan.name == "fig16"
+        assert plan.remap == "each"
+        assert [s.name for s in plan.steps] == ["cpack", "fst"]
+        assert plan.steps[1].seed_block_size == 64
+
+    def test_missing_kernel_rejected(self):
+        with pytest.raises(ValidationError, match="missing 'kernel'"):
+            plan_from_spec({"steps": ["cpack"]})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValidationError, match="unknown plan spec key"):
+            plan_from_spec({"kernel": "moldyn", "remaps": "once"})
+
+    def test_malformed_step_entry_rejected(self):
+        with pytest.raises(ValidationError, match="step 0"):
+            plan_from_spec({"kernel": "moldyn", "steps": [{"params": {}}]})
+
+
+class TestLoadPlanSpec:
+    def test_loads_and_lints_the_shipped_examples(self):
+        import pathlib
+
+        plans_dir = pathlib.Path(__file__).resolve().parents[2] / "examples" / "plans"
+        specs = sorted(plans_dir.glob("*.json"))
+        assert len(specs) >= 3
+        for path in specs:
+            plan = load_plan_spec(str(path))
+            report = plan.analyze()
+            # example plans must never carry errors (warnings are the
+            # point of the dirty ones) — the CI lint gate relies on it.
+            assert report.exit_code() == 0
+
+    def test_missing_file_is_a_typed_error(self, tmp_path):
+        with pytest.raises(BindError, match="not found"):
+            load_plan_spec(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_is_a_typed_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_plan_spec(str(path))
+
+    def test_spec_file_round_trips(self, tmp_path):
+        spec = {
+            "kernel": "moldyn",
+            "remap": "each",
+            "steps": ["cpack", "lexgroup", "fst", "tilepack"],
+        }
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(spec))
+        plan = load_plan_spec(str(path))
+        assert "RRT001" in {d.code for d in plan.analyze().diagnostics}

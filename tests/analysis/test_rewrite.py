@@ -1,0 +1,127 @@
+"""The opt-in optimizer: safe fixes, proven bit-identical at run time."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import FIXABLE_CODES, analyze_plan, apply_fixes
+from repro.kernels.data import make_kernel_data
+from repro.kernels.datasets import generate_dataset
+from repro.kernels.specs import kernel_by_name
+from repro.plancache.fingerprint import plan_fingerprint
+from repro.runtime import CompositionPlan, make_step, verify_numeric_equivalence
+
+SCALE = 256  # small inputs: the property binds every example twice
+
+
+class TestApplyFixes:
+    def test_remap_once_rewrite(self, fig16_plan):
+        result = apply_fixes(fig16_plan)
+        assert result.changed
+        assert [r.code for r in result.applied] == ["RRT001"]
+        assert result.plan is not fig16_plan
+        assert result.plan.remap == "once"
+        assert fig16_plan.remap == "each"  # input never mutated
+        assert not analyze_plan(result.plan).by_code("RRT001")
+
+    def test_symmetry_rewrite(self, no_symmetry_plan):
+        result = apply_fixes(no_symmetry_plan)
+        assert [r.code for r in result.applied] == ["RRT004"]
+        assert result.applied[0].stage_index == 1
+        assert result.plan.steps[1].use_symmetry is True
+        assert no_symmetry_plan.steps[1].use_symmetry is False
+        assert not analyze_plan(result.plan).by_code("RRT004")
+
+    def test_clean_plan_returned_unchanged(self, clean_plan):
+        result = apply_fixes(clean_plan)
+        assert not result.changed
+        assert result.plan is clean_plan
+        assert "no applicable rewrites" in result.describe()
+
+    def test_codes_restrict_the_rewrites(self, fig16_plan):
+        result = apply_fixes(fig16_plan, codes=("RRT004",))
+        assert not result.changed
+
+    def test_fixable_codes_match_rule_fixability(self, fig16_plan, no_symmetry_plan):
+        for plan in (fig16_plan, no_symmetry_plan):
+            for diagnostic in analyze_plan(plan).fixable:
+                assert diagnostic.code in FIXABLE_CODES
+
+    def test_optimized_is_the_plan_level_entry_point(self, fig16_plan):
+        assert fig16_plan.optimized().remap == "once"
+
+
+class TestFingerprints:
+    """Rewrites must be visible to the content-addressed plan cache."""
+
+    def test_remap_rewrite_changes_the_fingerprint(self, fig16_plan):
+        fixed = apply_fixes(fig16_plan).plan
+        assert plan_fingerprint(fixed) != plan_fingerprint(fig16_plan)
+
+    def test_symmetry_rewrite_changes_the_fingerprint(self, no_symmetry_plan):
+        fixed = apply_fixes(no_symmetry_plan).plan
+        assert plan_fingerprint(fixed) != plan_fingerprint(no_symmetry_plan)
+
+    def test_no_rewrite_keeps_the_fingerprint(self, clean_plan):
+        assert plan_fingerprint(apply_fixes(clean_plan).plan) == plan_fingerprint(
+            clean_plan
+        )
+
+
+def _bit_identical(dirty: CompositionPlan, fixed: CompositionPlan, data):
+    dirty_result = dirty.bind(data.copy())
+    fixed_result = fixed.bind(data.copy())
+    assert np.array_equal(
+        dirty_result.sigma_nodes.array, fixed_result.sigma_nodes.array
+    )
+    assert np.array_equal(
+        dirty_result.transformed.left, fixed_result.transformed.left
+    )
+    assert np.array_equal(
+        dirty_result.transformed.right, fixed_result.transformed.right
+    )
+    for name in dirty_result.transformed.arrays:
+        assert np.array_equal(
+            dirty_result.transformed.arrays[name],
+            fixed_result.transformed.arrays[name],
+        )
+    # and both match the untransformed kernel under pullback
+    assert verify_numeric_equivalence(data.copy(), fixed_result)
+
+
+class TestRewritesAreBitIdentical:
+    """The acceptance bar: ``--fix`` output is bit-identical under the
+    runtime verifier, over a property-sampled space of dirty plans."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        dataset=st.sampled_from(["mol1", "mol2"]),
+        seed_block_size=st.sampled_from([32, 64, 128]),
+        lexgroup=st.booleans(),
+        use_symmetry=st.booleans(),
+        tilepack=st.booleans(),
+    )
+    def test_fixed_plans_bind_bit_identically(
+        self, dataset, seed_block_size, lexgroup, use_symmetry, tilepack
+    ):
+        steps = [make_step("cpack")]
+        if lexgroup:
+            steps.append(make_step("lexgroup"))
+        steps.append(
+            make_step(
+                "fst",
+                seed_block_size=seed_block_size,
+                use_symmetry=use_symmetry,
+            )
+        )
+        if tilepack:
+            steps.append(make_step("tilepack"))
+        dirty = CompositionPlan(
+            kernel_by_name("moldyn"), steps, remap="each"
+        )
+        result = apply_fixes(dirty)
+        assume(result.changed)
+        data = make_kernel_data(
+            "moldyn", generate_dataset(dataset, scale=SCALE)
+        )
+        _bit_identical(dirty, result.plan, data)

@@ -1,0 +1,170 @@
+"""Each lint rule: a fixture plan that fires it, and a clean negative."""
+
+import pytest
+
+from repro.analysis import RULES, analyze_plan
+from repro.analysis.diagnostics import ERROR, INFO, WARNING
+from repro.errors import ValidationError
+
+from tests.analysis.conftest import plan_of
+
+
+def codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+class TestRRT001RedundantRemap:
+    def test_fires_on_fig16_remap_each(self, fig16_plan):
+        report = analyze_plan(fig16_plan)
+        findings = report.by_code("RRT001")
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.severity == WARNING
+        assert finding.fixable
+        assert finding.stage_index == 0  # the intermediate mover
+        assert finding.related_stages == [3]  # the final mover
+        assert "Figure 16" in finding.message
+
+    def test_clean_under_remap_once(self):
+        # same two data reorderings as fig16, composed into a single move
+        once = plan_of("cpack", "lexgroup", "fst", "tilepack", remap="once")
+        assert not analyze_plan(once).by_code("RRT001")
+
+    def test_clean_with_single_data_reordering(self):
+        plan = plan_of("cpack", "lexgroup", remap="each")
+        assert not analyze_plan(plan).by_code("RRT001")
+
+
+class TestRRT002DeadReordering:
+    def test_fires_on_lexgroup_then_lexsort(self):
+        report = analyze_plan(plan_of("lexgroup", "lexsort"))
+        (finding,) = report.by_code("RRT002")
+        assert finding.severity == WARNING
+        assert finding.stage_index == 0
+        assert finding.related_stages == [1]
+
+    def test_clean_when_overwriter_is_order_sensitive(self):
+        # lexgroup builds on the existing order — the first stage is live.
+        assert not analyze_plan(plan_of("lexsort", "lexgroup")).by_code("RRT002")
+
+    def test_clean_when_a_reader_intervenes(self):
+        # cpack consumes the iteration order (first-touch traversal)
+        # between the two permutations — the first one is live.
+        plan = plan_of("lexgroup", "cpack", "lexsort")
+        assert not analyze_plan(plan).by_code("RRT002")
+
+
+class TestRRT003UnprovenObligations:
+    def test_fires_as_error_without_verifier_coverage(self, unproven_plan):
+        report = analyze_plan(unproven_plan)
+        findings = report.by_code("RRT003")
+        assert findings
+        assert all(f.severity == ERROR for f in findings)
+        assert report.exit_code() == 1
+        assert {f.stage_index for f in findings} == {1}
+
+    def test_demoted_to_warning_under_verifier_always(self, unproven_plan):
+        report = analyze_plan(unproven_plan, verifier="always")
+        findings = report.by_code("RRT003")
+        assert findings
+        assert all(f.severity == WARNING for f in findings)
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_clean_when_inspector_discharges(self, clean_plan):
+        # real fst claims inspects_dependences — obligations discharged.
+        assert not analyze_plan(clean_plan).by_code("RRT003")
+
+
+class TestRRT004SymmetricTraversal:
+    def test_fires_on_use_symmetry_false(self, no_symmetry_plan):
+        (finding,) = analyze_plan(no_symmetry_plan).by_code("RRT004")
+        assert finding.severity == WARNING
+        assert finding.fixable
+        assert finding.stage_index == 1
+        assert "Section 6" in finding.message
+
+    def test_clean_with_symmetry_enabled(self, clean_plan):
+        assert not analyze_plan(clean_plan).by_code("RRT004")
+
+    def test_clean_on_single_node_loop_kernel(self):
+        from repro.kernels.specs import kernel_by_name
+        from repro.runtime import CompositionPlan, make_step
+        from repro.runtime.inspector import node_loop_positions
+
+        kernel = kernel_by_name("nbf")
+        if len(node_loop_positions(kernel)) >= 2:
+            pytest.skip("nbf grew a second node loop")
+        plan = CompositionPlan(
+            kernel,
+            [make_step("fst", seed_block_size=64, use_symmetry=False)],
+        )
+        assert not analyze_plan(plan).by_code("RRT004")
+
+
+class TestRRT005FusablePermutations:
+    def test_fires_on_adjacent_data_permutations(self):
+        (finding,) = analyze_plan(plan_of("cpack", "rcm")).by_code("RRT005")
+        assert finding.severity == INFO
+        assert finding.related_stages == [1]
+
+    def test_does_not_double_report_the_dead_stage_case(self):
+        report = analyze_plan(plan_of("lexgroup", "lexsort"))
+        assert report.by_code("RRT002")
+        assert not report.by_code("RRT005")
+
+    def test_clean_on_mixed_spaces(self, clean_plan):
+        assert not analyze_plan(clean_plan).by_code("RRT005")
+
+
+class TestRuleSelection:
+    def test_restricting_rules_runs_only_those(self, fig16_plan):
+        report = analyze_plan(fig16_plan, rules=("RRT002",))
+        assert report.rules_run == ["RRT002"]
+        assert not report.diagnostics
+
+    def test_unknown_rule_code_rejected(self, clean_plan):
+        with pytest.raises(ValidationError):
+            analyze_plan(clean_plan, rules=("RRT099",))
+
+    def test_unknown_verifier_policy_rejected(self, clean_plan):
+        with pytest.raises(ValidationError):
+            analyze_plan(clean_plan, verifier="sometimes")
+
+    def test_registry_is_the_stable_catalog(self):
+        assert sorted(RULES) == [
+            "RRT001", "RRT002", "RRT003", "RRT004", "RRT005",
+        ]
+
+
+class TestReportPlumbing:
+    def test_clean_plan_reports_clean(self, clean_plan):
+        report = analyze_plan(clean_plan)
+        assert report.clean
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 0
+        assert "clean" in report.describe()
+
+    def test_to_dict_round_trips_through_json(self, fig16_plan):
+        import json
+
+        payload = json.loads(analyze_plan(fig16_plan).to_json())
+        assert payload["summary"]["warnings"] == 1
+        assert payload["diagnostics"][0]["code"] == "RRT001"
+        assert payload["dataflow"]["payload_moves"] == 2
+
+    def test_analyze_summary_lands_in_pipeline_report(self, no_symmetry_plan):
+        from repro.kernels.data import make_kernel_data
+        from repro.kernels.datasets import generate_dataset
+
+        no_symmetry_plan.analyze()
+        data = make_kernel_data("moldyn", generate_dataset("mol1", scale=256))
+        result = no_symmetry_plan.bind(data)
+        assert result.report.analysis == {
+            "errors": 0,
+            "warnings": 1,
+            "infos": 0,
+            "fixable": 1,
+            "codes": ["RRT004"],
+        }
+        assert "RRT004" in result.report.describe()

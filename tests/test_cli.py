@@ -1,8 +1,13 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import pathlib
+
 import pytest
 
 from repro.__main__ import main
+
+#: The shipped example plan specs (what the CI lint gate runs over).
+PLANS = pathlib.Path(__file__).resolve().parent.parent / "examples" / "plans"
 
 
 class TestCLI:
@@ -86,6 +91,65 @@ class TestTypedErrorHandling:
         assert "tilepack" in err
 
 
+class TestLint:
+    def test_clean_plan_exits_zero(self, capsys):
+        assert main(["lint", "moldyn", "cpack", "lexgroup", "fst"]) == 0
+        out = capsys.readouterr().out
+        assert "AnalysisReport" in out
+        assert "clean" in out
+
+    def test_warning_exits_zero_unless_strict(self, capsys):
+        argv = ["lint", str(PLANS / "fig16_remap_each.json")]
+        assert main(argv) == 0
+        assert "RRT001" in capsys.readouterr().out
+        assert main(argv + ["--strict"]) == 1
+
+    def test_inline_remap_flag(self, capsys):
+        assert main(
+            ["lint", "moldyn", "cpack", "lexgroup", "fst", "tilepack",
+             "--remap", "each", "--strict"]
+        ) == 1
+        assert "RRT001" in capsys.readouterr().out
+
+    def test_fix_discharges_the_warning(self, capsys):
+        assert main(
+            ["lint", str(PLANS / "fst_no_symmetry.json"), "--fix",
+             "--strict"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "applied 1 rewrite(s)" in out
+        assert "use_symmetry=True" in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        import json
+
+        assert main(
+            ["lint", str(PLANS / "fig16_remap_each.json"), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["codes"] == ["RRT001"]
+        assert payload["fixes_applied"] == []
+
+    def test_json_output_records_fixes(self, capsys):
+        import json
+
+        assert main(
+            ["lint", str(PLANS / "fig16_remap_each.json"), "--json",
+             "--fix"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["codes"] == []
+        assert [f["code"] for f in payload["fixes_applied"]] == ["RRT001"]
+
+    def test_missing_spec_file_is_typed(self, capsys):
+        assert main(["lint", "no_such_plan.json"]) == 2
+        assert "error: BindError:" in capsys.readouterr().err
+
+    def test_kernel_without_steps_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "moldyn"])
+
+
 class TestDoctor:
     def test_doctor_passes_on_generated_dataset(self, capsys):
         rc = main(
@@ -107,6 +171,24 @@ class TestDoctor:
         out = capsys.readouterr().out
         assert rc == 0
         assert "stage 0 [cpack]: ok" in out
+
+    def test_doctor_reports_analysis_health(self, capsys):
+        rc = main(["doctor", "--dataset", "mol1", "--scale", "256"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "AnalysisReport" in out
+        assert "clean: 5 rule(s) found nothing" in out
+        assert "analysis: 0 error(s), 0 warning(s)" in out
+
+    def test_doctor_counts_lint_warnings_in_verdict(self, capsys):
+        rc = main(
+            ["doctor", "--dataset", "mol1", "--scale", "256",
+             "cpack", "lexgroup", "lexsort"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "RRT002" in out
+        assert "all checks passed (1 lint warning(s))" in out
 
     def test_quickstart_accepts_policy_flags(self, capsys):
         assert main(

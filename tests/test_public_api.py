@@ -10,6 +10,7 @@ PACKAGES = [
     "repro.uniform",
     "repro.transforms",
     "repro.runtime",
+    "repro.analysis",
     "repro.codegen",
     "repro.kernels",
     "repro.cachesim",
@@ -47,8 +48,13 @@ MODULES = [
     "repro.runtime.executor",
     "repro.runtime.inspector",
     "repro.runtime.plan",
+    "repro.runtime.planspec",
     "repro.runtime.verify",
     "repro.runtime.symbolic_executor",
+    "repro.analysis.dataflow",
+    "repro.analysis.diagnostics",
+    "repro.analysis.rules",
+    "repro.analysis.rewrite",
     "repro.codegen.emit",
     "repro.codegen.executor_gen",
     "repro.codegen.inspector_gen",
