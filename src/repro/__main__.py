@@ -77,15 +77,28 @@ def _cmd_figure(args) -> int:
         format_rows,
     )
 
+    import os
+
+    if getattr(args, "backend", None):
+        os.environ["REPRO_CACHESIM_BACKEND"] = args.backend
+
+    jobs = getattr(args, "jobs", 1)
+    if jobs is None:
+        from repro.eval.parallel import default_jobs
+
+        jobs = default_jobs()
+
     name = args.command
     if name in ("figure6", "figure7"):
         fn = figure6 if name == "figure6" else figure7
-        print(format_grid(fn(scale=args.scale), title=name))
+        print(format_grid(fn(scale=args.scale, jobs=jobs), title=name))
     elif name in ("figure8", "figure9"):
         fn = figure8 if name == "figure8" else figure9
         print(
             format_grid(
-                fn(scale=args.scale), value="amortization_steps", title=name
+                fn(scale=args.scale, jobs=jobs),
+                value="amortization_steps",
+                title=name,
             )
         )
     elif name == "figure16":
@@ -244,6 +257,48 @@ def _cache_health_lines(directory=None):
     return lines, health
 
 
+def _engine_health_lines():
+    """Simulator-backend + worker-pool health (for ``doctor``).
+
+    Runs a tiny reference-vs-vectorized cross-check (any mismatch here
+    means the fast engine cannot be trusted and ``REPRO_CACHESIM_BACKEND=
+    reference`` is the escape hatch) and probes the process pool the
+    parallel grid runner would use.
+    """
+    import os
+
+    import numpy as np
+
+    from repro.cachesim.cache import CacheConfig, SetAssociativeCache
+    from repro.cachesim.hierarchy import resolve_backend
+    from repro.cachesim.simd import simulate_level
+    from repro.eval.parallel import default_jobs, worker_pool_health
+
+    source = (
+        "env REPRO_CACHESIM_BACKEND"
+        if os.environ.get("REPRO_CACHESIM_BACKEND")
+        else "default"
+    )
+    lines = [f"cachesim backend: {resolve_backend(None)} ({source})"]
+    rng = np.random.default_rng(7)
+    lines_arr = rng.integers(0, 257, size=4096)
+    config = CacheConfig("L1", size_bytes=4096, line_bytes=64, associativity=4)
+    ref = SetAssociativeCache(config).access_lines(lines_arr)
+    vec = simulate_level(config, lines_arr)
+    agree = ref.stats.misses == vec.stats.misses and np.array_equal(
+        ref.miss_lines, vec.miss_lines
+    )
+    lines.append(
+        "  reference/vectorized cross-check: "
+        + ("identical" if agree else "MISMATCH (use backend=reference!)")
+    )
+    ok, message = worker_pool_health(min(2, default_jobs()))
+    lines.append(
+        f"experiment workers: {'ok' if ok else 'DEGRADED'} ({message})"
+    )
+    return lines
+
+
 def _cmd_doctor(args) -> int:
     """Validate a dataset + composition and print the pipeline report."""
     from repro.kernels.data import make_kernel_data
@@ -279,6 +334,9 @@ def _cmd_doctor(args) -> int:
     for line in lines:
         print(line)
     cache_unhealthy = not health["writable"] or health["unreadable"] > 0
+    print()
+    for line in _engine_health_lines():
+        print(line)
     degraded = result.report.degraded
     print()
     if degraded:
@@ -382,6 +440,20 @@ def main(argv=None) -> int:
     for fig in ("figure6", "figure7", "figure8", "figure9", "figure16", "figure17"):
         p = sub.add_parser(fig, help=f"regenerate {fig}")
         p.add_argument("--scale", type=int, default=None)
+        if fig in ("figure6", "figure7", "figure8", "figure9"):
+            p.add_argument(
+                "--jobs",
+                type=int,
+                default=None,
+                help="worker processes for the grid (default: all CPUs; "
+                "1 forces serial execution)",
+            )
+            p.add_argument(
+                "--backend",
+                choices=["auto", "reference", "vectorized"],
+                default=None,
+                help="cache-simulator engine (default: vectorized)",
+            )
         p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser("describe", help="dump a kernel's specifications")

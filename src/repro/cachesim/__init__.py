@@ -17,17 +17,27 @@ lines) — scaled together with the datasets so the decisive ratios
 """
 
 from repro.cachesim.cache import CacheConfig, CacheStats, SetAssociativeCache
-from repro.cachesim.hierarchy import HierarchyResult, MemoryHierarchy
+from repro.cachesim.hierarchy import (
+    BACKENDS,
+    HierarchyResult,
+    MemoryHierarchy,
+    resolve_backend,
+)
 from repro.cachesim.machines import MACHINES, Machine, machine_by_name
+from repro.cachesim.simd import classify_hits, simulate_level
 from repro.cachesim.trace import AccessTrace, TraceBuilder
 from repro.cachesim.model import simulate_cost
 
 __all__ = [
+    "BACKENDS",
     "CacheConfig",
     "CacheStats",
     "SetAssociativeCache",
     "MemoryHierarchy",
     "HierarchyResult",
+    "classify_hits",
+    "resolve_backend",
+    "simulate_level",
     "Machine",
     "MACHINES",
     "machine_by_name",

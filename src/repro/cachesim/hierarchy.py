@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -9,6 +10,25 @@ import numpy as np
 
 from repro.cachesim.cache import CacheConfig, CacheStats, SetAssociativeCache
 from repro.cachesim.trace import AccessTrace
+
+#: Simulator backends: ``reference`` is the per-access oracle loop,
+#: ``vectorized`` the batched engine of :mod:`repro.cachesim.simd`
+#: (bit-identical, property-tested).  ``auto`` resolves to the
+#: ``REPRO_CACHESIM_BACKEND`` environment variable or ``vectorized``.
+BACKENDS = ("auto", "reference", "vectorized")
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Normalize a backend selector to ``reference`` or ``vectorized``."""
+    if backend in (None, "auto"):
+        backend = os.environ.get("REPRO_CACHESIM_BACKEND", "vectorized")
+    if backend == "auto":
+        backend = "vectorized"
+    if backend not in ("reference", "vectorized"):
+        raise ValueError(
+            f"unknown cachesim backend {backend!r}; choose from {BACKENDS}"
+        )
+    return backend
 
 
 @dataclass
@@ -33,13 +53,18 @@ class MemoryHierarchy:
     rescaled between levels).  Levels must have non-decreasing line sizes.
     """
 
-    def __init__(self, configs: Sequence[CacheConfig]):
+    def __init__(
+        self,
+        configs: Sequence[CacheConfig],
+        backend: str = "reference",
+    ):
         if not configs:
             raise ValueError("need at least one cache level")
         for a, b in zip(configs, configs[1:]):
             if b.line_bytes < a.line_bytes:
                 raise ValueError("line sizes must be non-decreasing")
         self.configs = tuple(configs)
+        self.backend = resolve_backend(backend)
 
     def simulate_lines(
         self,
@@ -62,8 +87,13 @@ class MemoryHierarchy:
             shift = config.line_shift - prev_shift
             if shift:
                 current = current >> shift
-            cache = SetAssociativeCache(config)
-            result = cache.access_lines(current, current_writes)
+            if self.backend == "vectorized":
+                from repro.cachesim.simd import simulate_level
+
+                result = simulate_level(config, current, current_writes)
+            else:
+                cache = SetAssociativeCache(config)
+                result = cache.access_lines(current, current_writes)
             stats.append(result.stats)
             if current_writes is None:
                 current = result.miss_lines

@@ -183,27 +183,46 @@ class AccessTrace:
         starts = bases[self.region_ids] + self.elements * rb
         return starts, rb
 
-    def line_sequence(self, line_bytes: int) -> np.ndarray:
-        """Expand record accesses into cache-line numbers, in order.
+    def _expanded_lines(
+        self, line_bytes: int
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
+        """Per-access first line numbers plus the expansion layout.
 
-        A record spanning multiple lines contributes one access per line
-        (consecutively), modeling the extra traffic of records wider than
-        — or misaligned with — the cache line.
+        Returns ``(first, counts, pos)`` where ``counts`` is how many
+        lines each record touches and ``pos`` its offset in the expanded
+        stream; both are ``None`` when every record fits one line (the
+        expanded stream is then ``first`` itself).
         """
-        if len(self) == 0:
-            return np.empty(0, dtype=np.int64)
         shift = int(line_bytes).bit_length() - 1
         if (1 << shift) != line_bytes:
             raise ValueError("line_bytes must be a power of two")
         starts, rb = self.byte_starts()
         first = starts >> shift
-        last = (starts + rb - 1) >> shift
-        counts = last - first + 1
-        total = int(counts.sum())
-        # Offsets within each expanded group: 0,1,...,count-1.
-        group_starts = np.repeat(np.cumsum(counts) - counts, counts)
-        within = np.arange(total, dtype=np.int64) - group_starts
-        return np.repeat(first, counts) + within
+        counts = ((starts + rb - 1) >> shift) - first + 1
+        if int(counts.max()) == 1:
+            return first, None, None
+        return first, counts, np.cumsum(counts) - counts
+
+    def line_sequence(self, line_bytes: int) -> np.ndarray:
+        """Expand record accesses into cache-line numbers, in order.
+
+        A record spanning multiple lines contributes one access per line
+        (consecutively), modeling the extra traffic of records wider than
+        — or misaligned with — the cache line.  Records span few lines,
+        so the expansion scatters one pass per extra line instead of
+        paying the ragged ``repeat``/``arange`` machinery.
+        """
+        if len(self) == 0:
+            return np.empty(0, dtype=np.int64)
+        first, counts, pos = self._expanded_lines(line_bytes)
+        if counts is None:
+            return first
+        out = np.empty(int(counts.sum()), dtype=np.int64)
+        out[pos] = first
+        for k in range(1, int(counts.max())):
+            sel = np.flatnonzero(counts > k)
+            out[pos[sel] + k] = first[sel] + k
+        return out
 
     def line_sequence_with_writes(
         self, line_bytes: int
@@ -213,7 +232,12 @@ class AccessTrace:
         lines = self.line_sequence(line_bytes)
         if self.writes is None:
             return lines, np.zeros(len(lines), dtype=bool)
-        starts, rb = self.byte_starts()
-        shift = int(line_bytes).bit_length() - 1
-        counts = ((starts + rb - 1) >> shift) - (starts >> shift) + 1
-        return lines, np.repeat(self.writes, counts)
+        _first, counts, pos = self._expanded_lines(line_bytes)
+        if counts is None:
+            return lines, self.writes.copy()
+        wout = np.empty(len(lines), dtype=bool)
+        wout[pos] = self.writes
+        for k in range(1, int(counts.max())):
+            sel = np.flatnonzero(counts > k)
+            wout[pos[sel] + k] = self.writes[sel]
+        return lines, wout

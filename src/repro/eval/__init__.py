@@ -5,6 +5,8 @@
   seeds sized to the L1, as the paper does);
 * :mod:`repro.eval.experiments` — run one (kernel, dataset, machine,
   composition) cell: inspector, executor trace, cache simulation, cost;
+* :mod:`repro.eval.parallel` — the same grids fanned across worker
+  processes (deterministic row order, serial fallback on pool failure);
 * :mod:`repro.eval.figures` — one function per paper artifact (Table 1,
   Figures 6/7/8/9/16/17), each returning structured rows;
 * :mod:`repro.eval.report` — plain-text rendering of those rows.
@@ -20,7 +22,9 @@ from repro.eval.experiments import (
     CellResult,
     run_cell,
     run_grid,
+    set_plan_cache,
 )
+from repro.eval.parallel import default_jobs, run_grid_parallel, worker_pool_health
 from repro.eval.figures import (
     figure6,
     figure7,
@@ -38,8 +42,12 @@ __all__ = [
     "composition_steps",
     "BENCHMARK_DATASETS",
     "CellResult",
+    "default_jobs",
     "run_cell",
     "run_grid",
+    "run_grid_parallel",
+    "set_plan_cache",
+    "worker_pool_health",
     "table1",
     "figure6",
     "figure7",

@@ -32,6 +32,18 @@ BENCHMARK_DATASETS: Dict[str, Tuple[str, str]] = {
     "moldyn": ("mol1", "mol2"),
 }
 
+#: Process-wide inspector plan cache consulted by :func:`run_cell`.
+#: ``None`` (the default) runs inspectors cold; the parallel runner's
+#: worker initializer installs a per-worker memory-tier cache so cells
+#: sharing an inspector fingerprint replay the realized plan.
+_PLAN_CACHE = None
+
+
+def set_plan_cache(cache) -> None:
+    """Install (or clear, with ``None``) the process's plan cache."""
+    global _PLAN_CACHE
+    _PLAN_CACHE = cache
+
 
 @dataclass
 class CellResult:
@@ -119,7 +131,7 @@ def run_cell(
         inspector = ComposedInspector(
             steps, remap=remap, on_stage_failure=on_stage_failure
         )
-        result = inspector.run(data)
+        result = inspector.run(data, cache=_PLAN_CACHE)
         trace = emit_trace(result.transformed, result.plan, num_steps=1)
         touches = result.total_touches
         moves = result.data_moves
@@ -153,8 +165,21 @@ def run_grid(
     scale: int = DEFAULT_SCALE,
     remap: str = "once",
     kernels: Optional[Tuple[str, ...]] = None,
+    jobs: Optional[int] = None,
 ) -> List[CellResult]:
-    """Run a full figure grid: every benchmark x dataset x composition."""
+    """Run a full figure grid: every benchmark x dataset x composition.
+
+    ``jobs`` > 1 dispatches the cells to worker processes (see
+    :mod:`repro.eval.parallel`); row order and values are identical to a
+    serial run either way.  ``None``/``1`` stays in process.
+    """
+    if jobs is not None and jobs != 1:
+        from repro.eval.parallel import run_grid_parallel
+
+        return run_grid_parallel(
+            machine, compositions, scale=scale, remap=remap,
+            kernels=kernels, jobs=jobs,
+        )
     rows: List[CellResult] = []
     for kernel, datasets in BENCHMARK_DATASETS.items():
         if kernels is not None and kernel not in kernels:

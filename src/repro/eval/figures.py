@@ -7,7 +7,7 @@ the *shape* of the reproduction and the benchmark harness can print them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cachesim.machines import machine_by_name
 from repro.eval.compositions import (
@@ -62,24 +62,24 @@ def table1(scale: int = DEFAULT_SCALE) -> List[DatasetRow]:
     return rows
 
 
-def figure6(scale: int = DEFAULT_SCALE) -> List[CellResult]:
+def figure6(scale: int = DEFAULT_SCALE, jobs: Optional[int] = None) -> List[CellResult]:
     """Normalized executor time (no overhead), Power3-like machine."""
-    return run_grid("power3", FIGURE_COMPOSITIONS, scale=scale)
+    return run_grid("power3", FIGURE_COMPOSITIONS, scale=scale, jobs=jobs)
 
 
-def figure7(scale: int = DEFAULT_SCALE) -> List[CellResult]:
+def figure7(scale: int = DEFAULT_SCALE, jobs: Optional[int] = None) -> List[CellResult]:
     """Normalized executor time (no overhead), Pentium4-like machine."""
-    return run_grid("pentium4", FIGURE_COMPOSITIONS, scale=scale)
+    return run_grid("pentium4", FIGURE_COMPOSITIONS, scale=scale, jobs=jobs)
 
 
-def figure8(scale: int = DEFAULT_SCALE) -> List[CellResult]:
+def figure8(scale: int = DEFAULT_SCALE, jobs: Optional[int] = None) -> List[CellResult]:
     """Amortization in outer-loop iterations, Power3-like machine."""
-    return run_grid("power3", FIGURE_COMPOSITIONS, scale=scale)
+    return run_grid("power3", FIGURE_COMPOSITIONS, scale=scale, jobs=jobs)
 
 
-def figure9(scale: int = DEFAULT_SCALE) -> List[CellResult]:
+def figure9(scale: int = DEFAULT_SCALE, jobs: Optional[int] = None) -> List[CellResult]:
     """Amortization in outer-loop iterations, Pentium4-like machine."""
-    return run_grid("pentium4", FIGURE_COMPOSITIONS, scale=scale)
+    return run_grid("pentium4", FIGURE_COMPOSITIONS, scale=scale, jobs=jobs)
 
 
 @dataclass

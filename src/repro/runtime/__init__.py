@@ -22,7 +22,12 @@ package *executes* them:
   robustness test suite.
 """
 
-from repro.runtime.executor import ExecutionPlan, emit_trace, run_numeric
+from repro.runtime.executor import (
+    ExecutionPlan,
+    emit_trace,
+    run_numeric,
+    run_numeric_wavefront,
+)
 from repro.runtime.faults import CORRUPTORS, Fault, FaultyStep, inject
 from repro.runtime.inspector import (
     FAILURE_POLICIES,
@@ -64,6 +69,7 @@ __all__ = [
     "ExecutionPlan",
     "emit_trace",
     "run_numeric",
+    "run_numeric_wavefront",
     "ComposedInspector",
     "InspectorResult",
     "CPackStep",

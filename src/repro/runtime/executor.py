@@ -148,3 +148,87 @@ def run_numeric(
     for _ in range(num_steps):
         step(data.arrays, data.left, data.right)
     return data
+
+
+def run_numeric_wavefront(
+    data: KernelData,
+    schedule: List[List[np.ndarray]],
+    waves=None,
+    num_steps: int = 1,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+) -> KernelData:
+    """Execute the kernel arithmetic tile by tile, wave by wave.
+
+    ``schedule[t][pos]`` are the iterations of loop ``pos`` inside tile
+    ``t`` (a :meth:`TilingFunction.schedule`); ``waves`` is a
+    :class:`~repro.transforms.parallel.WavefrontSchedule` over the tiles
+    (``None`` treats every tile as its own wave — plain sequential tile
+    order).  Tiles within a wave share no dependences, so the executor
+    runs each kernel phase as a stage across the whole wave:
+
+    * node phases update disjoint iteration subsets — fully parallel;
+    * interaction phases split gather/commit: the pure gathers of all
+      tiles run concurrently, then the reduction commits apply **in
+      ascending tile order**, serially.
+
+    Floating-point reductions reassociate with application *order*, and
+    the order here is fixed by tile id — never by thread timing — so
+    ``parallel=True`` and ``parallel=False`` produce bit-identical
+    payloads (asserted by the test suite).  Cross-step dependences are
+    covered by the barrier between time steps.  Returns ``data``.
+    """
+    from repro.kernels.executors import PHASE_FUNCTIONS
+
+    phases = PHASE_FUNCTIONS[data.kernel_name]
+    if any(len(tile) != len(phases) for tile in schedule):
+        raise ValueError(
+            f"schedule tiles must cover {len(phases)} loops of "
+            f"{data.kernel_name}"
+        )
+    for pos, (phase, desc) in enumerate(zip(phases, data.loops)):
+        if phase.domain != desc.domain:
+            raise ValueError(
+                f"phase {pos} domain {phase.domain!r} does not match "
+                f"loop domain {desc.domain!r}"
+            )
+
+    if waves is None:
+        wave_groups = [np.array([t], dtype=np.int64) for t in range(len(schedule))]
+    else:
+        wave_groups = waves.groups()
+
+    pool = None
+    if parallel:
+        from concurrent.futures import ThreadPoolExecutor
+
+        pool = ThreadPoolExecutor(max_workers=max_workers)
+
+    def _map(fn, items):
+        if pool is None:
+            return [fn(item) for item in items]
+        return list(pool.map(fn, items))
+
+    arrays, left, right = data.arrays, data.left, data.right
+    try:
+        for _step in range(num_steps):
+            for group in wave_groups:
+                tiles = [schedule[int(t)] for t in group]
+                for pos, phase in enumerate(phases):
+                    work = [t[pos] for t in tiles if len(t[pos])]
+                    if not work:
+                        continue
+                    if phase.domain == "nodes":
+                        _map(lambda it: phase.apply(arrays, it), work)
+                    else:
+                        ends = [(left[it], right[it]) for it in work]
+                        payloads = _map(
+                            lambda lr: phase.gather(arrays, lr[0], lr[1]),
+                            ends,
+                        )
+                        for (l, r), payload in zip(ends, payloads):
+                            phase.commit(arrays, l, r, payload)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return data

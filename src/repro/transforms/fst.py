@@ -62,12 +62,14 @@ class TilingFunction:
         per_tile: List[List[np.ndarray]] = [
             [None] * len(self.tiles) for _ in range(self.num_tiles)
         ]
+        if self.num_tiles == 0:
+            return per_tile
         for l, loop_tiles in enumerate(self.tiles):
             order = np.argsort(loop_tiles, kind="stable").astype(np.int64)
             counts = np.bincount(loop_tiles, minlength=self.num_tiles)
-            bounds = np.concatenate(([0], np.cumsum(counts)))
-            for t in range(self.num_tiles):
-                per_tile[t][l] = order[bounds[t]:bounds[t + 1]]
+            pieces = np.split(order, np.cumsum(counts[:-1]))
+            for t, piece in enumerate(pieces):
+                per_tile[t][l] = piece
         return per_tile
 
     def tile_sizes(self) -> np.ndarray:

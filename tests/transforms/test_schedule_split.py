@@ -1,0 +1,116 @@
+"""Vectorized schedule construction: split-based groups and tiles.
+
+``WavefrontSchedule.groups`` and ``TilingFunction.schedule`` now build
+their per-wave / per-tile index lists with one stable sort plus
+``np.split`` instead of one scan per group; these tests pin the
+vectorized results to the obvious per-group definition, including the
+empty-group edge cases the split construction must preserve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.transforms.fst import TilingFunction
+from repro.transforms.parallel import (
+    CyclicDependenceError,
+    WavefrontSchedule,
+    wavefront_schedule,
+)
+
+
+def _reference_waves(num_iterations, src, dst):
+    """One-node-at-a-time Kahn worklist (the pre-vectorization loop)."""
+    indegree = np.zeros(num_iterations, dtype=np.int64)
+    np.add.at(indegree, dst, 1)
+    succ = [[] for _ in range(num_iterations)]
+    for a, b in zip(src, dst):
+        succ[int(a)].append(int(b))
+    wave = np.zeros(num_iterations, dtype=np.int64)
+    ready = [int(v) for v in np.flatnonzero(indegree == 0)]
+    processed = 0
+    while ready:
+        v = ready.pop()
+        processed += 1
+        for w in succ[v]:
+            wave[w] = max(wave[w], wave[v] + 1)
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                ready.append(w)
+    assert processed == num_iterations
+    return wave
+
+
+def test_groups_match_per_wave_scan():
+    rng = np.random.default_rng(5)
+    wave = rng.integers(0, 9, size=200)
+    sched = WavefrontSchedule(wave, 12)  # waves 9..11 are empty
+    groups = sched.groups()
+    assert len(groups) == 12
+    for w, group in enumerate(groups):
+        assert np.array_equal(group, np.flatnonzero(wave == w))
+    assert sched.max_parallelism == max(len(g) for g in groups)
+    assert groups[11].size == 0
+
+
+def test_groups_empty_schedule():
+    sched = WavefrontSchedule(np.empty(0, dtype=np.int64), 0)
+    assert sched.groups() == []
+    assert sched.max_parallelism == 0
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_frontier_loop_matches_worklist_reference(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 120))
+    m = int(rng.integers(0, 4 * n))
+    # Random DAG: edges only go low -> high iteration id.
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    lo, hi = np.minimum(src, dst), np.maximum(src, dst)
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    got = wavefront_schedule(n, lo, hi)
+    want = _reference_waves(n, lo, hi)
+    assert np.array_equal(got.wave, want)
+    assert got.num_waves == (int(want.max()) + 1 if n else 0)
+
+
+def test_frontier_loop_counter_preserved():
+    src = np.array([0, 1], dtype=np.int64)
+    dst = np.array([1, 2], dtype=np.int64)
+    counter = {}
+    wavefront_schedule(3, src, dst, counter=counter)
+    assert counter["touches"] == 2 * 2 + 2 * 3
+
+
+def test_cycle_still_detected():
+    src = np.array([0, 1, 2], dtype=np.int64)
+    dst = np.array([1, 2, 0], dtype=np.int64)
+    with pytest.raises(CyclicDependenceError, match="dependence cycles"):
+        wavefront_schedule(3, src, dst)
+
+
+def test_tiling_schedule_with_empty_tiles():
+    """Regression: tiles with no iterations in some (or every) loop must
+    come back as empty arrays, not be dropped or shifted."""
+    tiles = [
+        np.array([0, 3, 0, 3, 3], dtype=np.int64),  # tiles 1, 2 empty
+        np.array([3, 3, 3], dtype=np.int64),  # only tile 3 populated
+    ]
+    fn = TilingFunction(tiles, num_tiles=5)  # tile 4 empty everywhere
+    sched = fn.schedule()
+    assert len(sched) == 5
+    assert np.array_equal(sched[0][0], [0, 2])
+    assert np.array_equal(sched[3][0], [1, 3, 4])
+    for t in (1, 2, 4):
+        assert sched[t][0].size == 0
+    assert sched[0][1].size == 0 and np.array_equal(sched[3][1], [0, 1, 2])
+    # Every loop iteration appears exactly once across tiles.
+    for l, loop_tiles in enumerate(tiles):
+        flat = np.concatenate([sched[t][l] for t in range(5)])
+        assert np.array_equal(np.sort(flat), np.arange(len(loop_tiles)))
+
+
+def test_tiling_schedule_zero_tiles():
+    fn = TilingFunction([np.empty(0, dtype=np.int64)], num_tiles=0)
+    assert fn.schedule() == []
