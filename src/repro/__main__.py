@@ -15,8 +15,17 @@ Commands:
   ``cacheblock``, ``tilepack``;
 * ``doctor``            — validate a dataset and a composition end to
   end and print the validation findings, the static-analysis report,
-  the per-stage :class:`~repro.runtime.report.PipelineReport`, and
-  plan-cache-dir health;
+  the per-stage :class:`~repro.runtime.report.PipelineReport`,
+  plan-cache-dir health, engine health, and a ``ServiceStats`` block
+  (a live self-exercise of the bind service).  ``--json`` emits one
+  machine-readable payload instead;
+* ``serve``             — run the concurrent bind service on localhost
+  HTTP (default) or stdin/stdout (``--stdio``): plan-spec requests in,
+  bit-identical bind responses out, with single-flight coalescing,
+  admission control, and telemetry;
+* ``bench-serve``       — closed-loop load benchmark of the service:
+  the same duplicate-heavy workload with coalescing on vs off, with
+  throughput ratio, latency percentiles, and bit-identity checks;
 * ``lint <spec.json | kernel step...>`` — run the compile-time plan
   analyzer (rules ``RRT001``..``RRT005``) over a plan spec file or an
   inline composition.  ``--json`` emits the machine-readable report,
@@ -279,7 +288,8 @@ def _engine_health_lines():
         if os.environ.get("REPRO_CACHESIM_BACKEND")
         else "default"
     )
-    lines = [f"cachesim backend: {resolve_backend(None)} ({source})"]
+    backend = resolve_backend(None)
+    lines = [f"cachesim backend: {backend} ({source})"]
     rng = np.random.default_rng(7)
     lines_arr = rng.integers(0, 257, size=4096)
     config = CacheConfig("L1", size_bytes=4096, line_bytes=64, associativity=4)
@@ -296,7 +306,37 @@ def _engine_health_lines():
     lines.append(
         f"experiment workers: {'ok' if ok else 'DEGRADED'} ({message})"
     )
-    return lines
+    payload = {
+        "cachesim_backend": backend,
+        "backend_source": source,
+        "crosscheck_identical": bool(agree),
+        "worker_pool": {"ok": bool(ok), "message": message},
+    }
+    return lines, payload
+
+
+def _service_stats_lines(scale=None):
+    """ServiceStats: live self-exercise of the bind service (``doctor``)."""
+    from repro.service import service_self_check
+
+    check = service_self_check(scale=scale)
+    counters = check["counters"]
+    lines = [
+        "service: " + ("ok" if check["ok"] else "DEGRADED"),
+        f"  requests: {check['requests']}  "
+        f"accepted: {counters.get('accepted', 0)}  "
+        f"coalesced: {counters.get('coalesced', 0)}  "
+        f"rejected: {counters.get('rejected', 0)}  "
+        f"shed: {counters.get('shed', 0)}",
+        "  accounting invariant: "
+        + ("holds" if check["accounting_ok"] else "VIOLATED"),
+        "  responses bit-identical to direct bind: "
+        + ("yes" if check["bit_identical"] else "NO"),
+    ]
+    p50 = check.get("p50_total_ms")
+    if p50 is not None:
+        lines.append(f"  p50 total latency: {p50:.2f} ms")
+    return lines, check
 
 
 def _cmd_doctor(args) -> int:
@@ -307,14 +347,16 @@ def _cmd_doctor(args) -> int:
     from repro.runtime import CompositionPlan
     from repro.runtime.validate import validate_dataset, validate_kernel_data
 
+    as_json = getattr(args, "json", False)
+    blocks = []  # human-readable text blocks, printed unless --json
+
     dataset = generate_dataset(args.dataset, scale=args.scale)
-    print(validate_dataset(dataset, policy=args.validation).describe())
-    print()
+    dataset_report = validate_dataset(dataset, policy=args.validation)
+    blocks.append(dataset_report.describe())
     data = make_kernel_data(args.kernel, dataset)
     report = validate_kernel_data(data, policy=args.validation)
-    print(report.describe())
+    blocks.append(report.describe())
     report.raise_if_failed(stage="doctor")
-    print()
 
     steps = [_make_step(s) for s in (args.steps or ["cpack", "lexgroup", "fst"])]
     plan = CompositionPlan(
@@ -325,20 +367,20 @@ def _cmd_doctor(args) -> int:
     )
     plan.plan(strict=False)
     analysis = plan.analyze()
-    print(analysis.describe())
-    print()
+    blocks.append(analysis.describe())
     result = plan.bind(data, verify=True)
-    print(result.report.describe())
-    print()
-    lines, health = _cache_health_lines(args.cache_dir)
-    for line in lines:
-        print(line)
+    blocks.append(result.report.describe())
+
+    cache_lines, health = _cache_health_lines(args.cache_dir)
+    blocks.append("\n".join(cache_lines))
     cache_unhealthy = not health["writable"] or health["unreadable"] > 0
-    print()
-    for line in _engine_health_lines():
-        print(line)
+    engine_lines, engine = _engine_health_lines()
+    blocks.append("\n".join(engine_lines))
+    service_lines, service = _service_stats_lines(scale=args.scale)
+    blocks.append("\n".join(service_lines))
+
     degraded = result.report.degraded
-    print()
+    service_unhealthy = not service["ok"]
     if degraded:
         verdict = "DEGRADED (see fallbacks above)"
     elif analysis.errors:
@@ -349,8 +391,42 @@ def _cmd_doctor(args) -> int:
             verdict += f" ({len(analysis.warnings)} lint warning(s))"
         if cache_unhealthy:
             verdict += " (plan cache dir unhealthy)"
-    print("doctor: " + verdict)
-    return 1 if degraded or analysis.errors else 0
+        if service_unhealthy:
+            verdict += " (service self-check failed)"
+    exit_code = 1 if degraded or analysis.errors else 0
+
+    if as_json:
+        import json
+
+        payload = {
+            "kernel": args.kernel,
+            "dataset": args.dataset,
+            "scale": args.scale,
+            "validation": {
+                "dataset": {
+                    "ok": dataset_report.ok,
+                    "findings": [str(f) for f in dataset_report.findings],
+                },
+                "kernel_data": {
+                    "ok": report.ok,
+                    "findings": [str(f) for f in report.findings],
+                },
+            },
+            "analysis": analysis.summary(),
+            "pipeline": result.report.to_dict(),
+            "plan_cache": health,
+            "engine": engine,
+            "service": service,
+            "verdict": verdict,
+            "exit_code": exit_code,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for block in blocks:
+            print(block)
+            print()
+        print("doctor: " + verdict)
+    return exit_code
 
 
 def _cmd_cache(args) -> int:
@@ -402,6 +478,125 @@ def _cmd_cache(args) -> int:
     )
     print(cache.stats.describe())
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the concurrent bind service (localhost HTTP or stdio)."""
+    from repro.plancache import PlanCache
+    from repro.service import JsonlSink, PlanService, ServiceConfig, Telemetry
+
+    sink = None
+    if args.trace:
+        sink = JsonlSink(
+            sys.stderr if args.trace == "-" else open(args.trace, "a")
+        )
+    telemetry = Telemetry(sink=sink)
+    cache = (
+        None
+        if args.no_cache
+        else PlanCache(directory=args.cache_dir)
+    )
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        overload=args.overload,
+        coalesce=not args.no_coalesce,
+        executor=args.executor,
+        default_scale=args.scale,
+    )
+    with PlanService(config, cache=cache, telemetry=telemetry) as service:
+        for item in args.preload or []:
+            kernel, _, ds = item.partition(":")
+            fingerprint = service.preload_handle(
+                kernel, ds or "mol1", args.scale
+            )
+            print(
+                f"preloaded {kernel}/{ds or 'mol1'} scale={args.scale}: "
+                f"{fingerprint[:12]}",
+                file=sys.stderr,
+            )
+        if args.stdio:
+            from repro.service.protocol import serve_stdio
+
+            served = serve_stdio(service, sys.stdin, sys.stdout)
+            print(f"served {served} request(s)", file=sys.stderr)
+        else:
+            from repro.service.httpd import (
+                DEFAULT_HOST,
+                DEFAULT_PORT,
+                ServiceHTTPServer,
+                endpoint,
+            )
+
+            host = args.host if args.host is not None else DEFAULT_HOST
+            port = args.port if args.port is not None else DEFAULT_PORT
+            server = ServiceHTTPServer((host, port), service)
+            print(
+                f"serving on {endpoint(server)} "
+                f"(workers={config.workers}, queue={config.queue_depth}, "
+                f"overload={config.overload}, "
+                f"coalesce={'on' if config.coalesce else 'off'})",
+                file=sys.stderr,
+            )
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.server_close()
+        stats = service.stats()
+    print(
+        "final: "
+        + " ".join(f"{k}={v}" for k, v in sorted(stats["counters"].items())),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    """Benchmark the service's single-flight coalescing (on vs off)."""
+    from repro.service.loadgen import coalescing_benchmark
+
+    result = coalescing_benchmark(
+        requests=args.requests,
+        distinct=args.distinct,
+        clients=args.clients,
+        workers=args.workers,
+        scale=args.scale,
+        dataset=args.dataset,
+    )
+    accounting_ok = (
+        result["enabled"]["accounting_ok"] and result["disabled"]["accounting_ok"]
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(
+            f"bench-serve: {result['requests']} requests over "
+            f"{result['distinct_specs']} distinct spec(s), "
+            f"{result['clients']} clients, {result['workers']} workers, "
+            f"scale {result['scale']}"
+        )
+        for label in ("enabled", "disabled"):
+            mode = result[label]
+            latency = mode["latency"]
+            print(
+                f"  coalescing {label:8s}: "
+                f"{mode['throughput_rps']:8.1f} req/s  "
+                f"binds={mode['binds_executed']}  "
+                f"coalesced={mode['coalesced_responses']}  "
+                f"p50={latency['p50_ms']:.1f}ms "
+                f"p95={latency['p95_ms']:.1f}ms "
+                f"p99={latency['p99_ms']:.1f}ms"
+            )
+        print(
+            f"  throughput ratio: {result['throughput_ratio']:.2f}x  "
+            f"bit-identical: {'yes' if result['bit_identical'] else 'NO'}  "
+            f"accounting: {'ok' if accounting_ok else 'VIOLATED'}"
+        )
+    return 0 if result["bit_identical"] and accounting_ok else 1
 
 
 def main(argv=None) -> int:
@@ -486,10 +681,92 @@ def main(argv=None) -> int:
         "(default: $REPRO_PLANCACHE_DIR or ~/.cache/repro/plancache)",
     )
     p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON payload instead of text",
+    )
+    p.add_argument(
         "steps", nargs="*",
         help="composition steps (default: cpack lexgroup fst)",
     )
     p.set_defaults(func=_cmd_doctor)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the concurrent bind service (localhost HTTP or --stdio)",
+    )
+    p.add_argument("--host", default=None, help="bind address (default: 127.0.0.1)")
+    p.add_argument(
+        "--port", type=int, default=None, help="TCP port (default: 8177; 0 = ephemeral)"
+    )
+    p.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve line-delimited JSON on stdin/stdout instead of HTTP",
+    )
+    p.add_argument("--workers", type=int, default=4, help="bind worker threads")
+    p.add_argument(
+        "--queue-depth", type=int, default=64, help="admission queue bound"
+    )
+    p.add_argument(
+        "--overload",
+        choices=["block", "reject", "shed-oldest"],
+        default="block",
+        help="policy when the queue is full",
+    )
+    p.add_argument(
+        "--executor",
+        choices=["threads", "processes"],
+        default="threads",
+        help="where binds run (processes degrade to threads if the pool dies)",
+    )
+    p.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable single-flight coalescing of identical in-flight requests",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="serve without a plan cache"
+    )
+    p.add_argument("--cache-dir", default=None, help="plan-cache directory")
+    p.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help="default dataset scale for requests that omit one",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="append per-request tracing spans as JSON lines ('-' = stderr)",
+    )
+    p.add_argument(
+        "--preload",
+        action="append",
+        default=None,
+        metavar="KERNEL:DATASET",
+        help="materialize a dataset handle before accepting traffic "
+        "(repeatable), e.g. --preload moldyn:mol1",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="benchmark service coalescing (duplicate-heavy load, on vs off)",
+    )
+    p.add_argument("--requests", type=int, default=48)
+    p.add_argument(
+        "--distinct", type=int, default=2, help="distinct plan specs in the mix"
+    )
+    p.add_argument("--clients", type=int, default=16)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--scale", type=int, default=32)
+    p.add_argument("--dataset", default="mol1")
+    p.add_argument(
+        "--json", action="store_true", help="emit the machine-readable result"
+    )
+    p.set_defaults(func=_cmd_bench_serve)
 
     p = sub.add_parser(
         "lint",

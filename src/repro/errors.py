@@ -24,6 +24,12 @@ Taxonomy::
     ├── CacheError          the plan cache is misconfigured (unwritable
     │                       cache dir, invalid budget); corrupted cache
     │                       *entries* never raise — they are safe misses
+    ├── ServiceOverloadError the bind service's bounded admission queue
+    │                       is full (reject policy) or the request was
+    │                       shed (shed-oldest policy) before executing
+    ├── DeadlineExceededError a request's deadline expired while it was
+    │                       queued or coalesced, under the strict
+    │                       ``on_deadline='raise'`` policy
     └── DegradedPlanWarning a stage was skipped / replaced by the
                             identity under a permissive failure policy
 
@@ -127,6 +133,30 @@ class CacheError(ReproError, OSError):
     """
 
 
+class ServiceOverloadError(ReproError, RuntimeError):
+    """The bind service refused a request under admission control.
+
+    Raised (or returned as a typed error response) when the bounded
+    request queue is full under the ``reject`` backpressure policy, when
+    a ``block`` admission timed out, or when a queued request was dropped
+    under the ``shed-oldest`` policy.  ``shed`` distinguishes the two
+    fates: a rejected request never entered the queue, a shed one did.
+    """
+
+    def __init__(self, message: str, *, shed: bool = False, **kwargs):
+        self.shed = shed
+        super().__init__(message, **kwargs)
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A service request's deadline expired before its result was served.
+
+    Only raised under the strict ``on_deadline='raise'`` policy; the
+    permissive ``'degrade'`` policy serves the (late) result anyway and
+    marks the response, mirroring the stage-failure degradation policies.
+    """
+
+
 class DegradedPlanWarning(ReproError, UserWarning):
     """A stage failed and the plan degraded (skip/identity) instead of
     raising.  Issued via :func:`warnings.warn`; carries the same
@@ -141,5 +171,7 @@ __all__ = [
     "InspectorFault",
     "ExecutorFault",
     "CacheError",
+    "ServiceOverloadError",
+    "DeadlineExceededError",
     "DegradedPlanWarning",
 ]

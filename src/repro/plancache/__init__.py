@@ -48,9 +48,11 @@ from repro.plancache.store import (
     DEFAULT_MEMORY_BUDGET,
     DiskStore,
     FORMAT_VERSION,
+    MAX_BYTES_ENV,
     MemoryLRU,
     PlanCache,
     resolve_cache_dir,
+    resolve_max_bytes,
 )
 
 __all__ = [
@@ -60,8 +62,10 @@ __all__ = [
     "DEFAULT_MEMORY_BUDGET",
     "DiskStore",
     "FORMAT_VERSION",
+    "MAX_BYTES_ENV",
     "MemoryLRU",
     "PlanCache",
+    "resolve_max_bytes",
     "array_fingerprint",
     "bind_fingerprint",
     "code_version_salt",

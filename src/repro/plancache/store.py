@@ -13,6 +13,30 @@
   promoting disk hits into memory, and carrying the
   :class:`~repro.plancache.stats.CacheStats` counters.
 
+Concurrency contract
+--------------------
+
+The disk tier is shared state: the bind service's worker threads — and
+any number of *processes* (parallel grid workers, a second service) —
+may hammer one cache directory at once.  Every path is therefore written
+to tolerate racing peers, with no cross-process lock:
+
+* writes stay atomic (``mkstemp`` + ``os.replace``): concurrent writers
+  of the same key each publish a complete artifact and the last rename
+  wins; readers only ever observe a complete file;
+* a file that *vanishes* between the existence check and ``np.load``
+  (a peer's eviction, ``clear()``, or corrupt-entry unlink) is a plain
+  miss — it is **not** counted corrupt and not re-unlinked;
+* the optional disk byte budget (``max_bytes``) is enforced *after* the
+  atomic rename, never from a pre-write size check (that ordering is the
+  classic TOCTOU: a stale size check would let N racing writers each
+  conclude there is room).  Eviction is oldest-first, never touches the
+  key just written, and treats every ``stat``/``unlink`` of a vanished
+  file as a peer having won the race;
+* :class:`PlanCache` additionally serializes its in-process tier behind
+  an ``RLock`` so service threads can share one facade.
+
+
 Artifacts are self-describing: every ``.npz`` carries a ``__meta__``
 JSON member recording the format version and its own key, which the
 loader re-checks before trusting the arrays.
@@ -23,6 +47,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,6 +66,26 @@ DEFAULT_MEMORY_BUDGET = 64 * 1024 * 1024
 
 #: Environment override for the disk tier's directory.
 CACHE_DIR_ENV = "REPRO_PLANCACHE_DIR"
+
+#: Environment override for the disk tier's byte budget (0 = unlimited).
+MAX_BYTES_ENV = "REPRO_PLANCACHE_MAX_BYTES"
+
+
+def resolve_max_bytes(max_bytes=None) -> Optional[int]:
+    """Disk byte budget: explicit arg > env var > unlimited (``None``)."""
+    if max_bytes is not None:
+        return int(max_bytes) or None
+    env = os.environ.get(MAX_BYTES_ENV)
+    if env:
+        try:
+            return int(env) or None
+        except ValueError:
+            raise CacheError(
+                f"{MAX_BYTES_ENV}={env!r} is not an integer",
+                stage="plancache",
+                hint="set it to a byte count, or unset it for unlimited",
+            ) from None
+    return None
 
 
 def resolve_cache_dir(directory=None) -> Path:
@@ -122,9 +167,15 @@ class MemoryLRU:
 class DiskStore:
     """Persistent tier: one atomic-rename ``.npz`` artifact per key."""
 
-    def __init__(self, directory=None, stats: Optional[CacheStats] = None):
+    def __init__(
+        self,
+        directory=None,
+        stats: Optional[CacheStats] = None,
+        max_bytes=None,
+    ):
         self.directory = resolve_cache_dir(directory)
         self.stats = stats if stats is not None else CacheStats()
+        self.max_bytes = resolve_max_bytes(max_bytes)
 
     def _path(self, key: str) -> Path:
         # Two-level fan-out keeps directories small under heavy use.
@@ -147,6 +198,10 @@ class DiskStore:
                 arrays = {
                     name: npz[name] for name in npz.files if name != "__meta__"
                 }
+        except FileNotFoundError:
+            # Vanished between exists() and load(): a concurrent peer
+            # evicted or cleared it.  A plain miss, not corruption.
+            return None
         except Exception:
             # Truncated, tampered, wrong-format, or foreign file: a safe
             # miss.  Remove it so the slot heals on the next store.
@@ -176,7 +231,13 @@ class DiskStore:
             try:
                 with os.fdopen(fd, "wb") as fh:
                     np.savez(fh, __meta__=blob, **entry.arrays)
-                os.replace(tmp_name, path)
+                try:
+                    os.replace(tmp_name, path)
+                except FileNotFoundError:
+                    # A racing clear() removed the fan-out directory
+                    # between mkdir and rename; re-create and retry once.
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    os.replace(tmp_name, path)
             except BaseException:
                 try:
                     os.unlink(tmp_name)
@@ -190,7 +251,46 @@ class DiskStore:
                 hint=f"point {CACHE_DIR_ENV} (or --cache-dir) at a "
                 "writable directory, or disable the disk tier",
             ) from exc
+        # Budget enforcement runs *after* the atomic rename (a pre-write
+        # size check would be a TOCTOU against racing writers) and never
+        # evicts the artifact just published.
+        if self.max_bytes is not None:
+            self._evict_to_budget(keep=path)
         return path
+
+    def _evict_to_budget(self, keep: Optional[Path] = None) -> int:
+        """Best-effort oldest-first eviction down to ``max_bytes``.
+
+        Every ``stat``/``unlink`` tolerates a vanished file (a racing
+        peer evicted it first); sizes are re-measured at eviction time,
+        not carried over from a stale scan.  Returns artifacts removed.
+        """
+        if self.max_bytes is None:
+            return 0
+        entries = []
+        total = 0
+        for path in self.directory.glob("*/*.npz"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # lost the race to a peer: already gone
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        removed = 0
+        for _, size, path in sorted(entries, key=lambda e: (e[0], str(e[2]))):
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                pass  # a peer removed it; its bytes are gone either way
+            else:
+                removed += 1
+                self.stats.evictions += 1
+            total -= size
+        return removed
 
     # -- maintenance -----------------------------------------------------------
 
@@ -202,7 +302,13 @@ class DiskStore:
     def total_bytes(self) -> int:
         if not self.directory.exists():
             return 0
-        return sum(p.stat().st_size for p in self.directory.glob("*/*.npz"))
+        total = 0
+        for p in self.directory.glob("*/*.npz"):
+            try:
+                total += p.stat().st_size
+            except OSError:
+                pass  # vanished mid-scan (racing eviction/clear)
+        return total
 
     def clear(self) -> int:
         count = 0
@@ -244,12 +350,14 @@ class DiskStore:
         entries = 0
         if exists:
             for path in self.directory.glob("*/*.npz"):
-                entries += 1
                 try:
                     with np.load(path, allow_pickle=False) as npz:
                         json.loads(bytes(npz["__meta__"]).decode("utf-8"))
+                except FileNotFoundError:
+                    continue  # vanished mid-scan: neither entry nor corrupt
                 except Exception:
                     unreadable += 1
+                entries += 1
         return {
             "path": str(self.directory),
             "exists": exists,
@@ -273,12 +381,19 @@ class PlanCache:
         directory=None,
         memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
         use_disk: bool = True,
+        disk_max_bytes=None,
     ):
         self.stats = CacheStats()
         self.memory = MemoryLRU(memory_budget_bytes, stats=self.stats)
         self.disk: Optional[DiskStore] = (
-            DiskStore(directory, stats=self.stats) if use_disk else None
+            DiskStore(directory, stats=self.stats, max_bytes=disk_max_bytes)
+            if use_disk
+            else None
         )
+        # The in-memory tier's OrderedDict is not safe under concurrent
+        # mutation; the bind service shares one facade across worker
+        # threads, so the tiered operations serialize here.
+        self._lock = threading.RLock()
 
     # -- tiered get/put --------------------------------------------------------
 
@@ -289,30 +404,36 @@ class PlanCache:
         and per-stage counters are recorded by the memoization layer,
         which knows the stage names.
         """
-        entry = self.memory.get(key)
-        if entry is not None:
-            entry.meta["tier"] = "memory"
-            return entry
+        with self._lock:
+            entry = self.memory.get(key)
+            if entry is not None:
+                entry.meta["tier"] = "memory"
+                return entry
         if self.disk is not None:
             entry = self.disk.get(key)
             if entry is not None:
                 entry.meta["tier"] = "disk"
-                self.memory.put(key, entry)
+                with self._lock:
+                    self.memory.put(key, entry)
                 return entry
         return None
 
     def put(self, key: str, entry: CacheEntry) -> None:
-        self.memory.put(key, entry)
+        with self._lock:
+            self.memory.put(key, entry)
         if self.disk is not None:
             self.disk.put(key, entry)
-        self.stats.stores += 1
+        with self._lock:
+            self.stats.stores += 1
 
     def discard(self, key: str) -> None:
-        self.memory.discard(key)
+        with self._lock:
+            self.memory.discard(key)
 
     def clear(self) -> int:
         """Drop both tiers; returns the number of disk artifacts removed."""
-        self.memory.clear()
+        with self._lock:
+            self.memory.clear()
         return self.disk.clear() if self.disk is not None else 0
 
     def describe(self) -> str:
@@ -344,7 +465,9 @@ __all__ = [
     "DEFAULT_MEMORY_BUDGET",
     "DiskStore",
     "FORMAT_VERSION",
+    "MAX_BYTES_ENV",
     "MemoryLRU",
     "PlanCache",
     "resolve_cache_dir",
+    "resolve_max_bytes",
 ]

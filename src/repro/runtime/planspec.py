@@ -130,6 +130,64 @@ def plan_from_spec(spec: dict):
     )
 
 
+#: Step class -> spec ``type`` (the inverse of :data:`STEP_TYPES`).
+_TYPE_BY_CLASS = {cls: name for name, cls in STEP_TYPES.items()}
+
+
+def step_to_spec(step: Step) -> dict:
+    """Serialize one step back to its spec entry.
+
+    Parameters are discovered generically from the instance ``__dict__``
+    (the same convention the plan-cache fingerprint relies on), so every
+    shipped step type round-trips without registration.  Steps whose
+    class is not in :data:`STEP_TYPES` (e.g. space-filling steps, whose
+    coordinate arrays have no spec syntax) are rejected.
+    """
+    type_name = _TYPE_BY_CLASS.get(type(step))
+    if type_name is None:
+        raise ValidationError(
+            f"step {type(step).__name__} has no plan-spec type and cannot "
+            "be serialized",
+            stage="planspec",
+            hint=f"serializable step types: {sorted(STEP_TYPES)}",
+        )
+    entry: dict = {"type": type_name}
+    for key in sorted(vars(step)):
+        value = vars(step)[key]
+        if not isinstance(value, (bool, int, float, str)):
+            raise ValidationError(
+                f"step {type_name!r} parameter {key!r} of type "
+                f"{type(value).__name__} is not spec-serializable",
+                stage="planspec",
+            )
+        entry[key] = value
+    return entry
+
+
+def plan_to_spec(plan) -> dict:
+    """Serialize a :class:`CompositionPlan` back to its plan spec.
+
+    The inverse of :func:`plan_from_spec`: ``plan_from_spec(plan_to_spec(p))``
+    builds a plan with the same cache fingerprint, and re-serializing is
+    byte-stable (``dumps_plan_spec`` reaches a fixed point after one
+    round trip — the service relies on this to treat specs as a wire
+    format).
+    """
+    return {
+        "kernel": plan.kernel.name,
+        "name": plan.name,
+        "remap": plan.remap,
+        "on_stage_failure": plan.on_stage_failure,
+        "validation": plan.validation,
+        "steps": [step_to_spec(step) for step in plan.steps],
+    }
+
+
+def dumps_plan_spec(spec: dict) -> str:
+    """Canonical JSON encoding of a plan spec (stable key order)."""
+    return json.dumps(spec, indent=2, sort_keys=True) + "\n"
+
+
 def load_plan_spec(path: str):
     """Read a JSON plan spec file and build its plan."""
     if not os.path.exists(path):
@@ -145,4 +203,12 @@ def load_plan_spec(path: str):
     return plan_from_spec(spec)
 
 
-__all__ = ["STEP_TYPES", "load_plan_spec", "make_step", "plan_from_spec"]
+__all__ = [
+    "STEP_TYPES",
+    "dumps_plan_spec",
+    "load_plan_spec",
+    "make_step",
+    "plan_from_spec",
+    "plan_to_spec",
+    "step_to_spec",
+]

@@ -1,0 +1,67 @@
+"""repro.service — the concurrent inspector-compilation service.
+
+The ROADMAP's serving layer: a thread-safe front door that lets many
+concurrent clients submit bind/inspect requests (plan spec + dataset
+handle) against shared datasets, with
+
+* **single-flight coalescing** — N concurrent identical requests cost
+  one inspector run (keyed by the plan cache's content fingerprint);
+* **admission control** — a bounded queue with a configurable
+  backpressure policy (``block`` / ``reject`` / ``shed-oldest``) and
+  per-request deadlines;
+* **built-in telemetry** — counters (every request accounted), latency
+  histograms (p50/p95/p99), and per-stage JSON-line tracing spans.
+
+Front ends: ``python -m repro serve`` (localhost HTTP or stdin/stdout),
+``python -m repro bench-serve`` (closed-loop load generator), and the
+``ServiceStats`` block in ``python -m repro doctor``.
+
+Quick in-process use::
+
+    from repro.service import BindRequest, PlanService, ServiceConfig
+
+    spec = {"kernel": "moldyn", "steps": ["cpack", "lexgroup"]}
+    with PlanService(ServiceConfig(workers=4)) as svc:
+        response = svc.bind(BindRequest(spec=spec, dataset="mol1"))
+        assert response.status == "ok"
+"""
+
+from repro.service.request import (
+    BindRequest,
+    BindResponse,
+    DEADLINE_POLICIES,
+    result_digests,
+)
+from repro.service.server import (
+    EXECUTORS,
+    OVERLOAD_POLICIES,
+    PlanService,
+    ServiceConfig,
+    Ticket,
+    service_self_check,
+)
+from repro.service.telemetry import (
+    Counter,
+    Histogram,
+    JsonlSink,
+    ListSink,
+    Telemetry,
+)
+
+__all__ = [
+    "BindRequest",
+    "BindResponse",
+    "Counter",
+    "DEADLINE_POLICIES",
+    "EXECUTORS",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "OVERLOAD_POLICIES",
+    "PlanService",
+    "ServiceConfig",
+    "Telemetry",
+    "Ticket",
+    "result_digests",
+    "service_self_check",
+]

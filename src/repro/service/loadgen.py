@@ -1,0 +1,224 @@
+"""Closed-loop load generator for the bind service.
+
+Drives a :class:`~repro.service.server.PlanService` the way a fleet of
+clients would: ``clients`` threads each submit one request, wait for its
+response, and immediately submit the next (closed loop — the outstanding
+request count is bounded by the client count, so the generator measures
+the service's latency under a fixed concurrency, not an unbounded
+arrival queue).
+
+The generator records client-side latency per request, aggregates
+p50/p95/p99, and returns every response — the service benchmarks use the
+responses' content digests to prove each answer bit-identical to a
+direct ``CompositionPlan.bind()``, and the coalesced/cache provenance to
+prove single-flight engaged.  ``repro bench-serve`` and
+``benchmarks/bench_ext_service.py`` both run on this module.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.service.request import BindRequest, BindResponse
+from repro.service.server import PlanService
+from repro.service.telemetry import Histogram
+
+
+def duplicate_heavy_requests(
+    specs: List[dict],
+    dataset: str,
+    scale: Optional[int],
+    total: int,
+    **request_kwargs,
+) -> List[BindRequest]:
+    """A duplicate-heavy workload: ``total`` requests round-robined over
+    ``specs`` — with few distinct specs and many requests, almost every
+    request duplicates an earlier one (the coalescing stress shape)."""
+    return [
+        BindRequest(
+            spec=dict(specs[i % len(specs)]),
+            dataset=dataset,
+            scale=scale,
+            **request_kwargs,
+        )
+        for i in range(total)
+    ]
+
+
+def run_load(
+    service: PlanService,
+    requests: List[BindRequest],
+    clients: int = 8,
+) -> dict:
+    """Run ``requests`` through ``service`` with ``clients`` closed-loop
+    client threads; returns throughput, latency percentiles, outcome
+    counts, and the raw responses (submission order is per-client
+    interleaved, as real traffic would be)."""
+    clients = max(1, min(int(clients), len(requests) or 1))
+    latency = Histogram()
+    responses: List[Optional[BindResponse]] = [None] * len(requests)
+    next_index = {"value": 0}
+    index_lock = threading.Lock()
+    telemetry = service.telemetry
+
+    def client_loop() -> None:
+        while True:
+            with index_lock:
+                index = next_index["value"]
+                if index >= len(requests):
+                    return
+                next_index["value"] = index + 1
+            start = telemetry.now()
+            response = service.bind(requests[index])
+            latency.observe((telemetry.now() - start) * 1e3)
+            responses[index] = response
+
+    threads = [
+        threading.Thread(target=client_loop, name=f"loadgen-client-{i}")
+        for i in range(clients)
+    ]
+    wall_start = telemetry.now()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = telemetry.now() - wall_start
+
+    completed = [r for r in responses if r is not None]
+    ok = [r for r in completed if r.status == "ok"]
+    errors: Dict[str, int] = {}
+    for r in completed:
+        if r.status != "ok" and r.error:
+            name = r.error.get("type", "unknown")
+            errors[name] = errors.get(name, 0) + 1
+    return {
+        "requests": len(requests),
+        "clients": clients,
+        "wall_s": wall_s,
+        "throughput_rps": (len(completed) / wall_s) if wall_s > 0 else 0.0,
+        "ok": len(ok),
+        "coalesced_responses": sum(1 for r in ok if r.coalesced),
+        "cache_hits": sum(1 for r in ok if r.cache == "hit"),
+        "errors": errors,
+        "latency": latency.summary(),
+        "responses": responses,
+    }
+
+
+def _distinct_specs(distinct: int) -> List[dict]:
+    """``distinct`` plan specs that share nothing cache-wise (the fst
+    seed block size is a fingerprinted step parameter)."""
+    return [
+        {
+            "kernel": "moldyn",
+            "name": f"serve-{index}",
+            "steps": [
+                {"type": "cpack"},
+                {"type": "lexgroup"},
+                {"type": "fst", "seed_block_size": 32 * (index + 1)},
+            ],
+        }
+        for index in range(distinct)
+    ]
+
+
+def coalescing_benchmark(
+    requests: int = 48,
+    distinct: int = 2,
+    clients: int = 16,
+    workers: int = 2,
+    scale: int = 32,
+    dataset: str = "mol1",
+    specs: Optional[List[dict]] = None,
+) -> dict:
+    """Measure single-flight coalescing: same duplicate-heavy workload,
+    coalescing enabled vs disabled.
+
+    Runs **without** a plan cache on purpose: the cache amortizes
+    *repeat* binds after a flight completes, coalescing amortizes
+    *concurrent* binds while one is in flight — disabling the cache
+    isolates the mechanism under test (with a cache, the disabled run
+    would mostly measure warm-bind rehydration instead).
+
+    Also proves the service contract: every OK response's content
+    digests equal a direct ``CompositionPlan.bind()`` of the same spec,
+    and the admission counters account for every request.
+    """
+    from repro.kernels.data import make_kernel_data
+    from repro.kernels.datasets import generate_dataset
+    from repro.runtime.planspec import plan_from_spec
+    from repro.service.server import PlanService, ServiceConfig
+
+    specs = specs if specs is not None else _distinct_specs(distinct)
+    distinct = len(specs)
+
+    # Ground truth: one direct bind per distinct spec.
+    expected: List[Dict[str, str]] = []
+    data_cache: Dict[str, object] = {}
+    for spec in specs:
+        plan = plan_from_spec(spec)
+        data = data_cache.get(plan.kernel.name)
+        if data is None:
+            data = data_cache[plan.kernel.name] = make_kernel_data(
+                plan.kernel.name, generate_dataset(dataset, scale=scale)
+            )
+        from repro.service.request import result_digests
+
+        expected.append(result_digests(plan.bind(data)))
+
+    modes = {}
+    for label, coalesce in (("enabled", True), ("disabled", False)):
+        config = ServiceConfig(
+            workers=workers,
+            queue_depth=max(requests, 1),
+            overload="block",
+            coalesce=coalesce,
+        )
+        workload = duplicate_heavy_requests(specs, dataset, scale, requests)
+        with PlanService(config, cache=None) as service:
+            for spec in specs:
+                service.preload_handle(
+                    plan_from_spec(spec).kernel.name, dataset, scale
+                )
+            run = run_load(service, workload, clients=clients)
+            stats = service.stats()
+        mismatches = sum(
+            1
+            for index, response in enumerate(run["responses"])
+            if response is None
+            or response.status != "ok"
+            or response.fingerprints != expected[index % distinct]
+        )
+        run.pop("responses")
+        modes[label] = {
+            **run,
+            "binds_executed": stats["counters"].get("binds_executed", 0),
+            "counters": stats["counters"],
+            "accounting_ok": stats["accounting_ok"],
+            "digest_mismatches": mismatches,
+        }
+
+    enabled, disabled = modes["enabled"], modes["disabled"]
+    return {
+        "requests": requests,
+        "distinct_specs": distinct,
+        "clients": clients,
+        "workers": workers,
+        "scale": scale,
+        "dataset": dataset,
+        "enabled": enabled,
+        "disabled": disabled,
+        "throughput_ratio": (
+            enabled["throughput_rps"] / disabled["throughput_rps"]
+            if disabled["throughput_rps"] > 0
+            else float("inf")
+        ),
+        "bit_identical": (
+            enabled["digest_mismatches"] == 0
+            and disabled["digest_mismatches"] == 0
+        ),
+    }
+
+
+__all__ = ["coalescing_benchmark", "duplicate_heavy_requests", "run_load"]

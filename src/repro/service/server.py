@@ -1,0 +1,847 @@
+"""The concurrent inspector-compilation service (the front door).
+
+:class:`PlanService` turns the batch pipeline into a system that takes
+traffic: many concurrent clients submit :class:`BindRequest`s (plan spec
++ dataset handle) and receive :class:`BindResponse`s, with the inspector
+work shared, bounded, and observable.
+
+Architecture (one request, end to end)::
+
+    submit ──> parse spec ──> resolve dataset handle ──> fingerprint
+        │                                                    │
+        │            ┌── identical flight in-flight? ────────┤
+        │            │yes: attach (coalesced — single-flight)│no
+        │            ▼                                       ▼
+        │         waiters                        admission control
+        │            │                      (bounded queue; block /
+        │            │                       reject / shed-oldest)
+        │            │                                       │
+        │            └───────────┬───────────────────────────┘
+        │                        ▼
+        │              worker threads dequeue ──> CompositionPlan.bind
+        │              (optionally on the PR-4-style process pool)
+        ▼                        │
+    wait(deadline) <── flight resolves: result + content digests
+
+* **Single-flight coalescing.**  Requests are keyed by the plan cache's
+  content fingerprint (plan x dataset x bind options).  N concurrent
+  identical binds cost **one** inspector run; followers attach to the
+  in-flight entry and receive the same
+  :class:`~repro.runtime.inspector.InspectorResult` — bit-identity is
+  structural, not re-verified per follower.
+* **Admission control.**  The flight queue is bounded.  ``block`` makes
+  submitters wait (optionally up to ``admission_timeout_s``); ``reject``
+  raises a typed :class:`~repro.errors.ServiceOverloadError`;
+  ``shed-oldest`` drops the oldest *queued* flight to admit the new one
+  (its waiters get the typed error with ``shed=True``).
+* **Deadlines.**  Per-request, relative to submission, applied by the
+  waiter: ``on_deadline='raise'`` stops waiting at the deadline and
+  returns a typed :class:`~repro.errors.DeadlineExceededError`;
+  ``'degrade'`` mirrors the stage-failure degradation policies — the
+  late result is served, marked ``deadline_missed``, and counted.
+* **Telemetry.**  Every request is accounted: the admission counters
+  satisfy ``accepted + coalesced + rejected + shed == submitted``
+  (shed waiters are *re-classified* from their admission bucket when
+  dropped, so the invariant is exact at every instant the lock is not
+  held).  Latency histograms (``queue_ms``/``bind_ms``/``total_ms``)
+  and per-stage spans complete the picture.
+
+Executors: ``"threads"`` binds in the worker thread (NumPy releases the
+GIL across the hot gathers); ``"processes"`` dispatches distinct flights
+onto a ``ProcessPoolExecutor`` — the same pool machinery, degradation
+policy, and per-worker plan-cache reuse as the PR-4 parallel grid runner
+(:mod:`repro.eval.parallel`) — and falls back to in-thread execution on
+any pool-level failure rather than failing requests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceOverloadError,
+    ValidationError,
+)
+from repro.service.request import BindRequest, BindResponse, result_digests
+from repro.service.telemetry import Telemetry
+
+#: Recognized backpressure policies for a full admission queue.
+OVERLOAD_POLICIES = ("block", "reject", "shed-oldest")
+
+#: Recognized flight executors.
+EXECUTORS = ("threads", "processes")
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`PlanService` instance."""
+
+    workers: int = 4
+    queue_depth: int = 64
+    overload: str = "block"
+    coalesce: bool = True
+    executor: str = "threads"
+    #: ``block`` admissions give up after this many seconds (None: wait
+    #: forever); rejected with the typed overload error on timeout.
+    admission_timeout_s: Optional[float] = None
+    #: Scale for requests that do not pin one.
+    default_scale: Optional[int] = None
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValidationError(
+                f"workers must be >= 1, got {self.workers}", stage="service"
+            )
+        if self.queue_depth < 1:
+            raise ValidationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}",
+                stage="service",
+            )
+        if self.overload not in OVERLOAD_POLICIES:
+            raise ValidationError(
+                f"unknown overload policy {self.overload!r}",
+                stage="service",
+                hint=f"choose one of {OVERLOAD_POLICIES}",
+            )
+        if self.executor not in EXECUTORS:
+            raise ValidationError(
+                f"unknown executor {self.executor!r}",
+                stage="service",
+                hint=f"choose one of {EXECUTORS}",
+            )
+
+
+class _Waiter:
+    """One submitted request attached to a flight."""
+
+    __slots__ = ("request", "submitted_at", "lead")
+
+    def __init__(self, request: BindRequest, submitted_at: float, lead: bool):
+        self.request = request
+        self.submitted_at = submitted_at
+        self.lead = lead  # admitted the flight (False: coalesced follower)
+
+
+class _Flight:
+    """One distinct unit of inspector work (1..N waiters)."""
+
+    QUEUED, RUNNING, DONE, SHED = "queued", "running", "done", "shed"
+
+    def __init__(self, key: str, request: BindRequest, enqueued_at: float):
+        self.key = key
+        self.spec = request.spec
+        self.dataset = request.dataset
+        self.scale = request.scale
+        self.num_steps = request.num_steps
+        self.verify = request.verify
+        self.state = _Flight.QUEUED
+        self.waiters: List[_Waiter] = []
+        self.event = threading.Event()
+        self.enqueued_at = enqueued_at
+        self.started_at: Optional[float] = None
+        self.bind_s: float = 0.0
+        self.result = None
+        self.digests: Dict[str, str] = {}
+        self.error: Optional[BaseException] = None
+
+
+@dataclass
+class Ticket:
+    """Handle returned by :meth:`PlanService.submit`; redeem via ``wait``."""
+
+    flight: _Flight
+    waiter: _Waiter
+    request: BindRequest = field(init=False)
+
+    def __post_init__(self):
+        self.request = self.waiter.request
+
+
+class PlanService:
+    """Thread-safe, queue-based plan-compilation and inspection service.
+
+    Use as a context manager (workers start on entry, drain on exit), or
+    call :meth:`start`/:meth:`stop` explicitly::
+
+        with PlanService(ServiceConfig(workers=4), cache=PlanCache()) as svc:
+            response = svc.bind(BindRequest(spec=spec, dataset="mol1"))
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        cache=None,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.cache = cache
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._work_ready = threading.Condition(self._lock)
+        self._queue: "deque[_Flight]" = deque()
+        self._inflight: Dict[str, _Flight] = {}
+        self._threads: List[threading.Thread] = []
+        self._stopping = False
+        self._started = False
+        self._ids = itertools.count(1)
+        #: (kernel, dataset, scale) -> (KernelData, dataset fingerprint).
+        self._handles: Dict[Tuple[str, str, int], Tuple[object, str]] = {}
+        self._handles_lock = threading.Lock()
+        self._pool = None
+        self._pool_broken = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "PlanService":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            self._stopping = False
+        for index in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the workers; queued flights are shed unless ``drain``."""
+        with self._lock:
+            if not self._started:
+                return
+            if not drain:
+                while self._queue:
+                    self._shed_locked(self._queue.popleft())
+            self._stopping = True
+            self._work_ready.notify_all()
+            self._not_full.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        with self._lock:
+            # Anything a worker never picked up (stop raced submit).
+            while self._queue:
+                self._shed_locked(self._queue.popleft())
+            self._started = False
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    def __enter__(self) -> "PlanService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- dataset handles -------------------------------------------------------
+
+    def _resolve_handle(self, kernel: str, dataset: str, scale: int):
+        """Shared, memoized (dataset, fingerprint) for one handle.
+
+        Binds never mutate their input (``ComposedInspector`` copies it),
+        so one :class:`~repro.kernels.data.KernelData` instance safely
+        serves every concurrent flight over the same handle — and its
+        content fingerprint is hashed once, not per request.
+
+        Resolution is single-flighted like binds are: generating a cold
+        dataset while holding ``_handles_lock`` makes concurrent callers
+        wait for the one materialization instead of each redundantly
+        regenerating it (a thundering herd of N identical generations is
+        N times the work and, under the GIL, far more than N times the
+        wall clock).  Distinct handles briefly serialize on a cold start
+        — resolution is rare and memoized, so that is the cheap side of
+        the trade.
+        """
+        key = (kernel, dataset, int(scale))
+        with self._handles_lock:
+            cached = self._handles.get(key)
+            if cached is not None:
+                return cached
+            from repro.kernels.data import make_kernel_data
+            from repro.kernels.datasets import generate_dataset
+            from repro.plancache.fingerprint import dataset_fingerprint
+
+            data = make_kernel_data(kernel, generate_dataset(dataset, scale=scale))
+            fingerprint = dataset_fingerprint(data)
+            self._handles[key] = (data, fingerprint)
+            return data, fingerprint
+
+    def preload_handle(self, kernel: str, dataset: str, scale: int) -> str:
+        """Materialize one dataset handle ahead of traffic; returns its
+        content fingerprint.  Servers call this at startup so the first
+        real request doesn't pay dataset generation (``repro serve``
+        does, and the benchmarks preload so they measure steady-state
+        serving rather than one cold materialization per mode)."""
+        _, fingerprint = self._resolve_handle(kernel, dataset, int(scale))
+        return fingerprint
+
+    def _flight_key(self, plan, dataset_fp: str, request: BindRequest) -> str:
+        from repro.plancache.fingerprint import combine, plan_fingerprint
+
+        return combine(
+            plan_fingerprint(plan),
+            dataset_fp,
+            f"num_steps={request.num_steps}",
+            f"verify={request.verify}",
+        )
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, request: BindRequest) -> Ticket:
+        """Admit one request; returns a :class:`Ticket` to wait on.
+
+        Raises :class:`~repro.errors.ServiceOverloadError` under the
+        ``reject`` policy (or a ``block`` timeout) and propagates typed
+        validation errors for malformed specs/handles — both count as
+        ``rejected`` so every submitted request lands in exactly one
+        admission bucket.
+        """
+        if not self._started:
+            raise ServiceOverloadError(
+                "service is not running",
+                stage="service",
+                hint="use `with PlanService(...) as svc:` or call start()",
+            )
+        telemetry = self.telemetry
+        telemetry.counter("submitted").add()
+        submitted_at = telemetry.now()
+        if not request.request_id:
+            request.request_id = f"r{next(self._ids)}"
+
+        try:
+            from repro.runtime.planspec import plan_from_spec
+
+            plan = plan_from_spec(request.spec)
+            scale = request.scale
+            if scale is None:
+                scale = self.config.default_scale
+            if scale is None:
+                from repro.kernels.datasets import DEFAULT_SCALE
+
+                scale = DEFAULT_SCALE
+            data, dataset_fp = self._resolve_handle(
+                plan.kernel.name, request.dataset, scale
+            )
+            key = self._flight_key(plan, dataset_fp, request)
+        except ReproError:
+            telemetry.counter("rejected").add()
+            raise
+        request.scale = int(scale)
+
+        waiter = _Waiter(request, submitted_at, lead=False)
+        with self._lock:
+            flight = self._inflight.get(key) if self.config.coalesce else None
+            if flight is not None and flight.state in (
+                _Flight.QUEUED, _Flight.RUNNING,
+            ):
+                flight.waiters.append(waiter)
+                telemetry.counter("coalesced").add()
+                telemetry.emit_span(
+                    "coalesce", request.request_id, 0.0,
+                    flight=flight.waiters[0].request.request_id,
+                )
+                return Ticket(flight=flight, waiter=waiter)
+
+            self._admit_locked(waiter)  # may block, raise, or shed a peer
+            waiter.lead = True
+            flight = _Flight(key, request, enqueued_at=telemetry.now())
+            flight.waiters.append(waiter)
+            self._queue.append(flight)
+            self._inflight[key] = flight
+            telemetry.counter("accepted").add()
+            telemetry.emit_span(
+                "enqueue", request.request_id, 0.0, queue_len=len(self._queue)
+            )
+            self._work_ready.notify()
+        return Ticket(flight=flight, waiter=waiter)
+
+    def _admit_locked(self, waiter: _Waiter) -> None:
+        """Apply the backpressure policy; caller holds the lock."""
+        config = self.config
+        if len(self._queue) < config.queue_depth:
+            return
+        if config.overload == "reject":
+            self.telemetry.counter("rejected").add()
+            raise ServiceOverloadError(
+                f"admission queue full ({config.queue_depth} flights queued)",
+                stage="service",
+                hint="retry later, raise queue_depth, or use the "
+                "shed-oldest/block policies",
+            )
+        if config.overload == "shed-oldest":
+            while len(self._queue) >= config.queue_depth:
+                self._shed_locked(self._queue.popleft())
+            return
+        # block: wait for capacity (bounded by admission_timeout_s).
+        deadline = (
+            self.telemetry.now() + config.admission_timeout_s
+            if config.admission_timeout_s is not None
+            else None
+        )
+        while len(self._queue) >= config.queue_depth and not self._stopping:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - self.telemetry.now()
+                if remaining <= 0:
+                    self.telemetry.counter("rejected").add()
+                    raise ServiceOverloadError(
+                        "admission blocked longer than "
+                        f"{config.admission_timeout_s}s",
+                        stage="service",
+                        hint="the service is saturated; retry later or "
+                        "raise queue_depth/workers",
+                    )
+            self._not_full.wait(timeout=remaining)
+        if self._stopping:
+            self.telemetry.counter("rejected").add()
+            raise ServiceOverloadError(
+                "service is shutting down", stage="service"
+            )
+
+    def _shed_locked(self, flight: _Flight) -> None:
+        """Drop a queued flight; re-classify its waiters as shed."""
+        flight.state = _Flight.SHED
+        flight.error = ServiceOverloadError(
+            "request shed from the admission queue (shed-oldest policy)",
+            shed=True,
+            stage="service",
+            hint="resubmit, or switch the service to the block policy",
+        )
+        self._inflight.pop(flight.key, None)
+        leads = sum(1 for w in flight.waiters if w.lead)
+        followers = len(flight.waiters) - leads
+        # Exact accounting: a shed waiter moves from its admission
+        # bucket into ``shed`` so the invariant
+        # accepted + coalesced + rejected + shed == submitted holds.
+        self.telemetry.counter("accepted").add(-leads)
+        self.telemetry.counter("coalesced").add(-followers)
+        self.telemetry.counter("shed").add(len(flight.waiters))
+        for w in flight.waiters:
+            self.telemetry.emit_span("shed", w.request.request_id, 0.0)
+        flight.event.set()
+
+    # -- waiting / responses ---------------------------------------------------
+
+    def wait(self, ticket: Ticket) -> BindResponse:
+        """Block until the ticket's flight resolves (or its deadline)."""
+        telemetry = self.telemetry
+        request = ticket.request
+        flight = ticket.flight
+        timeout = None
+        deadline_missed = False
+        if request.deadline_s is not None:
+            remaining = request.deadline_s - (
+                telemetry.now() - ticket.waiter.submitted_at
+            )
+            if request.on_deadline == "raise":
+                # Stop waiting at the deadline; a late result is an error.
+                if not flight.event.wait(timeout=max(0.0, remaining)):
+                    telemetry.counter("deadline_raised").add()
+                    telemetry.counter("failed").add()
+                    return self._error_response(
+                        ticket,
+                        DeadlineExceededError(
+                            f"deadline of {request.deadline_s}s expired "
+                            "before the flight resolved",
+                            stage="service",
+                            hint="raise the deadline, or use "
+                            "on_deadline='degrade' to accept late results",
+                        ),
+                    )
+            else:
+                flight.event.wait()
+                deadline_missed = (
+                    telemetry.now() - ticket.waiter.submitted_at
+                ) > request.deadline_s
+                if deadline_missed:
+                    telemetry.counter("deadline_degraded").add()
+        else:
+            flight.event.wait()
+
+        if flight.state == _Flight.SHED or flight.error is not None:
+            telemetry.counter("failed").add()
+            return self._error_response(ticket, flight.error)
+        # Deadline may also have expired between enqueue and resolution
+        # even though wait() returned promptly (tiny deadlines).
+        if (
+            request.deadline_s is not None
+            and request.on_deadline == "raise"
+            and (telemetry.now() - ticket.waiter.submitted_at)
+            > request.deadline_s
+        ):
+            telemetry.counter("deadline_raised").add()
+            telemetry.counter("failed").add()
+            return self._error_response(
+                ticket,
+                DeadlineExceededError(
+                    f"deadline of {request.deadline_s}s expired while the "
+                    "request was queued",
+                    stage="service",
+                    hint="raise the deadline, or use on_deadline='degrade'",
+                ),
+            )
+
+        result = flight.result
+        report = result.report
+        queue_ms = (
+            (flight.started_at - ticket.waiter.submitted_at) * 1e3
+            if flight.started_at is not None
+            else 0.0
+        )
+        total_ms = (telemetry.now() - ticket.waiter.submitted_at) * 1e3
+        telemetry.histogram("queue_ms").observe(max(0.0, queue_ms))
+        telemetry.histogram("total_ms").observe(total_ms)
+        telemetry.counter("completed").add()
+        telemetry.emit_span(
+            "respond", request.request_id, total_ms,
+            coalesced=not ticket.waiter.lead,
+            cache=report.cache if report is not None else None,
+        )
+        return BindResponse(
+            request_id=request.request_id,
+            status="ok",
+            coalesced=not ticket.waiter.lead,
+            cache=report.cache if report is not None else None,
+            fingerprints=dict(flight.digests),
+            overhead=dict(result.overhead),
+            data_moves=result.data_moves,
+            report=report.to_dict() if report is not None else None,
+            timing={
+                "queue_ms": max(0.0, queue_ms),
+                "bind_ms": 0.0 if not ticket.waiter.lead else flight.bind_s * 1e3,
+                "total_ms": total_ms,
+            },
+            deadline_missed=deadline_missed,
+        )
+
+    def _error_response(self, ticket: Ticket, error: BaseException) -> BindResponse:
+        request = ticket.request
+        total_ms = (self.telemetry.now() - ticket.waiter.submitted_at) * 1e3
+        return BindResponse(
+            request_id=request.request_id,
+            status="error",
+            coalesced=not ticket.waiter.lead,
+            timing={"total_ms": total_ms},
+            error={
+                "type": type(error).__name__,
+                "message": str(error),
+                "shed": bool(getattr(error, "shed", False)),
+            },
+        )
+
+    def bind(self, request: BindRequest) -> BindResponse:
+        """Submit and wait — the closed-loop client call.
+
+        Admission failures (reject/timeout/malformed) come back as typed
+        error *responses* rather than raising, so closed-loop clients can
+        account every outcome; in-process callers that prefer exceptions
+        use :meth:`submit`/:meth:`wait` directly.
+        """
+        try:
+            ticket = self.submit(request)
+        except ReproError as exc:
+            self.telemetry.counter("failed").add()
+            return BindResponse(
+                request_id=request.request_id or "",
+                status="error",
+                error={
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "shed": bool(getattr(exc, "shed", False)),
+                },
+            )
+        return self.wait(ticket)
+
+    def bind_result(self, request: BindRequest):
+        """Submit, wait, and return the live ``InspectorResult``.
+
+        For in-process callers that need the realized arrays (not just
+        digests).  Raises the flight's typed error on failure.
+        """
+        ticket = self.submit(request)
+        response = self.wait(ticket)
+        if response.status != "ok":
+            if ticket.flight.error is not None:
+                raise ticket.flight.error
+            raise DeadlineExceededError(
+                response.error["message"] if response.error else "deadline",
+                stage="service",
+            )
+        return ticket.flight.result
+
+    # -- worker side -----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._stopping:
+                    self._work_ready.wait()
+                if self._stopping and not self._queue:
+                    return
+                flight = self._queue.popleft()
+                flight.state = _Flight.RUNNING
+                self._not_full.notify()
+            self._execute(flight)
+
+    def _execute(self, flight: _Flight) -> None:
+        telemetry = self.telemetry
+        flight.started_at = telemetry.now()
+        lead_id = flight.waiters[0].request.request_id
+        start = telemetry.now()
+        try:
+            with telemetry.span(
+                "bind", lead_id, waiters=len(flight.waiters),
+                dataset=flight.dataset,
+            ):
+                result = self._bind_flight(flight)
+            flight.bind_s = telemetry.now() - start
+            telemetry.histogram("bind_ms").observe(flight.bind_s * 1e3)
+            telemetry.counter("binds_executed").add()
+            flight.result = result
+            flight.digests = result_digests(result)
+        except BaseException as exc:  # noqa: BLE001 - resolved, not leaked
+            flight.bind_s = telemetry.now() - start
+            telemetry.counter("bind_failures").add()
+            flight.error = exc
+        finally:
+            with self._lock:
+                # A running flight can no longer be shed (shedding only
+                # pops queued flights), so DONE is unconditional.
+                flight.state = _Flight.DONE
+                self._inflight.pop(flight.key, None)
+            flight.event.set()
+
+    def _bind_flight(self, flight: _Flight):
+        """One inspector run for one flight (thread or process executor)."""
+        if self.config.executor == "processes" and not self._pool_broken:
+            try:
+                return self._bind_on_pool(flight)
+            except _pool_errors() as exc:
+                # PR-4 degradation policy: a broken pool degrades the
+                # executor, it never fails the request.
+                self._pool_broken = True
+                self.telemetry.counter("executor_degraded").add()
+                warnings.warn(
+                    f"service process pool degraded to threads: {exc!r}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return _bind_in_thread(
+            flight.spec,
+            self._resolve_handle_for_flight(flight),
+            flight.num_steps,
+            flight.verify,
+            self.cache,
+        )
+
+    def _resolve_handle_for_flight(self, flight: _Flight):
+        from repro.runtime.planspec import plan_from_spec
+
+        kernel = plan_from_spec(flight.spec).kernel.name
+        data, _ = self._resolve_handle(kernel, flight.dataset, flight.scale)
+        return data
+
+    def _bind_on_pool(self, flight: _Flight):
+        from concurrent.futures import ProcessPoolExecutor
+
+        if self._pool is None:
+            with self._lock:
+                if self._pool is None:
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.config.workers,
+                        initializer=_init_bind_worker,
+                    )
+        future = self._pool.submit(
+            _bind_in_process,
+            flight.spec,
+            flight.dataset,
+            flight.scale,
+            flight.num_steps,
+            flight.verify,
+        )
+        return future.result()
+
+    # -- stats -----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-able service statistics (``GET /stats``, ``doctor``)."""
+        snap = self.telemetry.snapshot()
+        counters = snap["counters"]
+        submitted = counters.get("submitted", 0)
+        accounted = (
+            counters.get("accepted", 0)
+            + counters.get("coalesced", 0)
+            + counters.get("rejected", 0)
+            + counters.get("shed", 0)
+        )
+        with self._lock:
+            queue_len = len(self._queue)
+            inflight = len(self._inflight)
+        return {
+            "config": {
+                "workers": self.config.workers,
+                "queue_depth": self.config.queue_depth,
+                "overload": self.config.overload,
+                "coalesce": self.config.coalesce,
+                "executor": self.config.executor,
+            },
+            "queue_len": queue_len,
+            "inflight": inflight,
+            "counters": counters,
+            "histograms": snap["histograms"],
+            "accounting_ok": submitted == accounted,
+        }
+
+    def describe(self) -> str:
+        stats = self.stats()
+        counters = stats["counters"]
+        lines = [
+            "service stats:",
+            f"  workers: {stats['config']['workers']}  "
+            f"queue: {stats['queue_len']}/{stats['config']['queue_depth']} "
+            f"({stats['config']['overload']})  "
+            f"executor: {stats['config']['executor']}",
+            "  requests: "
+            + "  ".join(
+                f"{name}={counters.get(name, 0)}"
+                for name in (
+                    "submitted", "accepted", "coalesced", "rejected",
+                    "shed", "completed", "failed",
+                )
+            ),
+            f"  accounting invariant "
+            f"(accepted+coalesced+rejected+shed == submitted): "
+            + ("ok" if stats["accounting_ok"] else "VIOLATED"),
+        ]
+        for name in ("queue_ms", "bind_ms", "total_ms"):
+            summary = stats["histograms"].get(name)
+            if summary and summary["count"]:
+                lines.append(
+                    f"  {name}: n={summary['count']} "
+                    f"p50={summary['p50_ms']:.2f} p95={summary['p95_ms']:.2f} "
+                    f"p99={summary['p99_ms']:.2f}"
+                )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Executor plumbing (module-level so the process executor pickles by
+# reference, mirroring repro.eval.parallel).
+
+
+def _bind_in_thread(spec, data, num_steps, verify, cache):
+    from repro.runtime.planspec import plan_from_spec
+
+    plan = plan_from_spec(spec)
+    return plan.bind(data, num_steps=num_steps, verify=verify, cache=cache)
+
+
+def _init_bind_worker() -> None:
+    """Per-process initialization: a worker-local memory-tier plan cache."""
+    global _WORKER_CACHE
+    try:
+        from repro.plancache import PlanCache
+
+        _WORKER_CACHE = PlanCache(use_disk=False)
+    except Exception:  # pragma: no cover - cache reuse is best-effort
+        _WORKER_CACHE = None
+
+
+_WORKER_CACHE = None
+_WORKER_HANDLES: Dict[Tuple[str, str, int], object] = {}
+
+
+def _bind_in_process(spec, dataset, scale, num_steps, verify):
+    """Worker-process flight execution (memoized dataset handles)."""
+    from repro.kernels.data import make_kernel_data
+    from repro.kernels.datasets import generate_dataset
+    from repro.runtime.planspec import plan_from_spec
+
+    plan = plan_from_spec(spec)
+    key = (plan.kernel.name, dataset, int(scale))
+    data = _WORKER_HANDLES.get(key)
+    if data is None:
+        data = make_kernel_data(
+            plan.kernel.name, generate_dataset(dataset, scale=scale)
+        )
+        _WORKER_HANDLES[key] = data
+    return plan.bind(data, num_steps=num_steps, verify=verify, cache=_WORKER_CACHE)
+
+
+def _pool_errors():
+    from repro.eval.parallel import _POOL_ERRORS
+
+    return _POOL_ERRORS
+
+
+# ---------------------------------------------------------------------------
+# Self-check (the ``repro doctor`` ServiceStats block).
+
+
+def service_self_check(scale: Optional[int] = None) -> dict:
+    """Spin up a tiny in-process service and exercise the contract.
+
+    Submits a small duplicate-heavy burst, then reports the counters,
+    the accounting invariant, whether single-flight coalescing engaged,
+    and whether every response was bit-identical to a direct
+    ``CompositionPlan.bind()``.  Used by ``repro doctor``.
+    """
+    from repro.kernels.datasets import DEFAULT_SCALE
+    from repro.runtime.planspec import plan_from_spec
+
+    if scale is None:
+        scale = max(DEFAULT_SCALE, 256)  # tiny dataset: this is a probe
+    spec = {
+        "kernel": "moldyn",
+        "steps": [{"type": "cpack"}, {"type": "lexgroup"}],
+    }
+    with PlanService(ServiceConfig(workers=2, queue_depth=16)) as svc:
+        tickets = [
+            svc.submit(
+                BindRequest(spec=dict(spec), dataset="mol1", scale=scale)
+            )
+            for _ in range(6)
+        ]
+        responses = [svc.wait(t) for t in tickets]
+        stats = svc.stats()
+        data, _ = svc._resolve_handle("moldyn", "mol1", scale)
+    direct = plan_from_spec(spec).bind(data)
+    expected = result_digests(direct)
+    bit_identical = all(
+        r.status == "ok" and r.fingerprints == expected for r in responses
+    )
+    return {
+        "requests": len(responses),
+        "counters": stats["counters"],
+        "accounting_ok": stats["accounting_ok"],
+        "coalesced": stats["counters"].get("coalesced", 0),
+        "bit_identical": bit_identical,
+        "p50_total_ms": stats["histograms"]["total_ms"]["p50_ms"],
+        "ok": bool(
+            bit_identical
+            and stats["accounting_ok"]
+            and stats["counters"].get("failed", 0) == 0
+        ),
+    }
+
+
+__all__ = [
+    "EXECUTORS",
+    "OVERLOAD_POLICIES",
+    "PlanService",
+    "ServiceConfig",
+    "Ticket",
+    "service_self_check",
+]

@@ -1,0 +1,279 @@
+"""Built-in telemetry for the bind service: counters, histograms, spans.
+
+Three primitives, all safe under concurrent service threads:
+
+* :class:`Counter` — a monotonically increasing (or explicitly adjusted)
+  integer.  CPython's GIL makes ``int`` reads atomic, so reads are
+  lock-free; increments take a tiny lock only to stay correct on
+  GIL-free builds and under ``+=`` read-modify-write races.
+* :class:`Histogram` — latency samples in milliseconds with streaming
+  count/sum/min/max and a bounded reservoir for percentiles
+  (``p50``/``p95``/``p99``).  The reservoir keeps the most recent
+  ``capacity`` samples (a sliding window — a serving system cares about
+  *recent* latency, and the closed-loop benchmarks never exceed it).
+* spans — per-request, per-stage trace records emitted as JSON lines to
+  a pluggable sink, so one request is observable end to end:
+  ``enqueue -> coalesce -> bind -> respond``.
+
+:class:`Telemetry` composes them: named counters, named histograms, a
+span emitter, and a JSON-able :meth:`snapshot` (what ``GET /stats`` and
+``repro doctor --json`` serve).
+
+Sinks are anything callable with one ``str`` argument (one JSON line,
+no trailing newline).  :class:`JsonlSink` adapts a file object with a
+write lock; the default sink drops spans (counters and histograms still
+aggregate).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+#: Default reservoir size for percentile estimation.
+DEFAULT_RESERVOIR = 8192
+
+#: Percentiles every summary reports.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class Counter:
+    """A thread-safe integer counter with a lock-free read path."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, initial: int = 0):
+        self._value = int(initial)
+        self._lock = threading.Lock()
+
+    def add(self, amount: int = 1) -> int:
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self):
+        return f"Counter({self._value})"
+
+
+class Histogram:
+    """Latency histogram: streaming aggregates + percentile reservoir."""
+
+    def __init__(self, capacity: int = DEFAULT_RESERVOIR):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._samples: "deque[float]" = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value_ms: float) -> None:
+        value_ms = float(value_ms)
+        with self._lock:
+            self._samples.append(value_ms)
+            self._count += 1
+            self._sum += value_ms
+            self._min = value_ms if self._min is None else min(self._min, value_ms)
+            self._max = value_ms if self._max is None else max(self._max, value_ms)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile over the reservoir (``None`` if empty)."""
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return None
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
+    def summary(self) -> dict:
+        with self._lock:
+            ordered = sorted(self._samples)
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+        out = {
+            "count": count,
+            "mean_ms": (total / count) if count else None,
+            "min_ms": lo,
+            "max_ms": hi,
+        }
+        for p in PERCENTILES:
+            if ordered:
+                rank = max(1, -(-len(ordered) * p // 100))
+                value = ordered[int(rank) - 1]
+            else:
+                value = None
+            out[f"p{p:g}_ms"] = value
+        return out
+
+
+class JsonlSink:
+    """Adapt a writable file object into a span sink (one JSON line each)."""
+
+    def __init__(self, stream):
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def __call__(self, line: str) -> None:
+        with self._lock:
+            self._stream.write(line + "\n")
+            flush = getattr(self._stream, "flush", None)
+            if flush is not None:
+                flush()
+
+
+class ListSink:
+    """Collect span records in memory (tests, ``doctor`` self-exercise)."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+        self._lock = threading.Lock()
+
+    def __call__(self, line: str) -> None:
+        with self._lock:
+            self.lines.append(line)
+
+    def records(self) -> List[dict]:
+        with self._lock:
+            return [json.loads(line) for line in self.lines]
+
+
+class Telemetry:
+    """Named counters + histograms + a span emitter, one facade.
+
+    ``sink`` receives every span as a JSON line; ``clock`` is injectable
+    for deterministic tests (defaults to :func:`time.monotonic` for
+    durations — wall-clock timestamps are recorded separately so traces
+    can be correlated across processes).
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Callable[[str], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._sink = sink
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- registry --------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            return counter
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            return histogram
+
+    def now(self) -> float:
+        return self._clock()
+
+    # -- spans -----------------------------------------------------------------
+
+    def emit_span(
+        self,
+        stage: str,
+        request_id: str,
+        elapsed_ms: float,
+        **fields,
+    ) -> None:
+        """Record one per-request stage span (JSON line to the sink)."""
+        if self._sink is None:
+            return
+        record = {
+            "ts": time.time(),
+            "stage": stage,
+            "request_id": request_id,
+            "elapsed_ms": round(float(elapsed_ms), 3),
+        }
+        record.update(fields)
+        self._sink(json.dumps(record, sort_keys=True))
+
+    class _Span:
+        __slots__ = ("_telemetry", "_stage", "_request_id", "_fields", "_start")
+
+        def __init__(self, telemetry, stage, request_id, fields):
+            self._telemetry = telemetry
+            self._stage = stage
+            self._request_id = request_id
+            self._fields = fields
+
+        def __enter__(self):
+            self._start = self._telemetry.now()
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            elapsed_ms = (self._telemetry.now() - self._start) * 1e3
+            fields = dict(self._fields)
+            if exc is not None:
+                fields["error"] = type(exc).__name__
+            self._telemetry.emit_span(
+                self._stage, self._request_id, elapsed_ms, **fields
+            )
+            return False
+
+    def span(self, stage: str, request_id: str, **fields) -> "_Span":
+        """Context manager timing one stage of one request."""
+        return self._Span(self, stage, request_id, fields)
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able view of every counter and histogram."""
+        with self._lock:
+            counters = {name: c.value for name, c in self._counters.items()}
+            histograms = dict(self._histograms)
+        return {
+            "counters": dict(sorted(counters.items())),
+            "histograms": {
+                name: histograms[name].summary() for name in sorted(histograms)
+            },
+        }
+
+    def describe(self) -> str:
+        snap = self.snapshot()
+        lines = ["telemetry:"]
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name}: {value}")
+        for name, summary in snap["histograms"].items():
+            if summary["count"] == 0:
+                continue
+            lines.append(
+                f"  {name}: n={summary['count']} "
+                f"p50={summary['p50_ms']:.2f}ms "
+                f"p95={summary['p95_ms']:.2f}ms "
+                f"p99={summary['p99_ms']:.2f}ms "
+                f"max={summary['max_ms']:.2f}ms"
+            )
+        return "\n".join(lines)
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_RESERVOIR",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "PERCENTILES",
+    "Telemetry",
+]

@@ -1,0 +1,118 @@
+"""Plan-spec round-tripping: every shipped spec survives
+``plan_from_spec -> plan_to_spec -> plan_from_spec`` with a byte-stable
+canonical encoding and an unchanged plan-cache fingerprint.
+
+The service treats plan specs as its wire format, so serialization must
+be a fixed point: one round trip canonicalizes (defaults become
+explicit), and every round trip after that is byte-identical.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.plancache.fingerprint import plan_fingerprint
+from repro.runtime.planspec import (
+    STEP_TYPES,
+    dumps_plan_spec,
+    make_step,
+    plan_from_spec,
+    plan_to_spec,
+    step_to_spec,
+)
+
+PLANS = pathlib.Path(__file__).resolve().parents[2] / "examples" / "plans"
+PLAN_FILES = sorted(PLANS.glob("*.json"))
+
+
+def roundtrip(spec):
+    return plan_to_spec(plan_from_spec(spec))
+
+
+class TestShippedPlans:
+    def test_examples_exist(self):
+        assert PLAN_FILES, f"no example plans found under {PLANS}"
+
+    @pytest.mark.parametrize(
+        "path", PLAN_FILES, ids=[p.stem for p in PLAN_FILES]
+    )
+    def test_roundtrip_reaches_byte_stable_fixed_point(self, path):
+        spec = json.loads(path.read_text())
+        once = roundtrip(spec)
+        encoded = dumps_plan_spec(once)
+        # One round trip canonicalizes; every further one is identity.
+        assert dumps_plan_spec(roundtrip(once)) == encoded
+        assert dumps_plan_spec(roundtrip(json.loads(encoded))) == encoded
+
+    @pytest.mark.parametrize(
+        "path", PLAN_FILES, ids=[p.stem for p in PLAN_FILES]
+    )
+    def test_roundtrip_preserves_the_cache_fingerprint(self, path):
+        spec = json.loads(path.read_text())
+        plan = plan_from_spec(spec)
+        rebuilt = plan_from_spec(plan_to_spec(plan))
+        assert plan_fingerprint(rebuilt) == plan_fingerprint(plan)
+
+    @pytest.mark.parametrize(
+        "path", PLAN_FILES, ids=[p.stem for p in PLAN_FILES]
+    )
+    def test_roundtrip_preserves_plan_settings(self, path):
+        spec = json.loads(path.read_text())
+        plan = plan_from_spec(spec)
+        out = plan_to_spec(plan)
+        assert out["kernel"] == spec["kernel"]
+        assert out["name"] == spec.get("name", "")
+        assert out["remap"] == spec.get("remap", "once")
+        assert out["on_stage_failure"] == spec.get("on_stage_failure", "raise")
+        assert out["validation"] == spec.get("validation", "strict")
+        assert [s["type"] for s in out["steps"]] == [
+            (s if isinstance(s, str) else s["type"]) for s in spec["steps"]
+        ]
+
+
+class TestEveryStepType:
+    @pytest.mark.parametrize("type_name", sorted(STEP_TYPES))
+    def test_default_constructed_step_roundtrips(self, type_name):
+        step = make_step(type_name)
+        entry = step_to_spec(step)
+        assert entry["type"] == type_name
+        rebuilt = step_to_spec(make_step(type_name, **{
+            k: v for k, v in entry.items() if k != "type"
+        }))
+        assert rebuilt == entry
+
+    @pytest.mark.parametrize("type_name", sorted(STEP_TYPES))
+    def test_full_plan_with_step_fingerprints_stably(self, type_name):
+        spec = {"kernel": "moldyn", "steps": [{"type": type_name}]}
+        plan = plan_from_spec(spec)
+        rebuilt = plan_from_spec(plan_to_spec(plan))
+        assert plan_fingerprint(rebuilt) == plan_fingerprint(plan)
+
+
+class TestRejections:
+    def test_unserializable_step_is_typed(self):
+        class Opaque:
+            pass
+
+        step = make_step("fst")
+        step.callback = Opaque()  # a non-scalar parameter
+        with pytest.raises(ValidationError, match="not spec-serializable"):
+            step_to_spec(step)
+
+    def test_unknown_step_class_is_typed(self):
+        class NotAStep:
+            pass
+
+        with pytest.raises(ValidationError, match="no plan-spec type"):
+            step_to_spec(NotAStep())
+
+    def test_dumps_is_canonical(self):
+        spec = {"kernel": "moldyn", "steps": []}
+        text = dumps_plan_spec(spec)
+        assert text.endswith("\n")
+        assert json.loads(text) == spec
+        # Key order is normalized, so dict insertion order cannot leak.
+        reordered = {"steps": [], "kernel": "moldyn"}
+        assert dumps_plan_spec(reordered) == text

@@ -1,0 +1,54 @@
+"""Fixtures for the bind-service suite: tiny datasets, short queues.
+
+Scale semantics are inverted (larger scale = smaller dataset), so the
+suite runs everything at ``SCALE = 256`` — binds take milliseconds and
+the coalescing/overload shapes come from concurrency, not data volume.
+"""
+
+import pytest
+
+from repro.service import PlanService, ServiceConfig
+
+#: Tiny-dataset scale for every service test.
+SCALE = 256
+
+#: A representative three-step plan spec (data + iteration reordering).
+SPEC = {
+    "kernel": "moldyn",
+    "name": "svc-test",
+    "steps": [
+        {"type": "cpack"},
+        {"type": "lexgroup"},
+        {"type": "fst", "seed_block_size": 32},
+    ],
+}
+
+
+def make_request(spec=None, **kwargs):
+    from repro.service import BindRequest
+
+    kwargs.setdefault("dataset", "mol1")
+    kwargs.setdefault("scale", SCALE)
+    return BindRequest(spec=dict(spec if spec is not None else SPEC), **kwargs)
+
+
+def direct_digests(spec=None, dataset="mol1", scale=SCALE, **bind_kwargs):
+    """Ground truth: digests of a direct ``CompositionPlan.bind()``."""
+    from repro.kernels.data import make_kernel_data
+    from repro.kernels.datasets import generate_dataset
+    from repro.runtime.planspec import plan_from_spec
+    from repro.service import result_digests
+
+    plan = plan_from_spec(dict(spec if spec is not None else SPEC))
+    data = make_kernel_data(
+        plan.kernel.name, generate_dataset(dataset, scale=scale)
+    )
+    return result_digests(plan.bind(data, **bind_kwargs))
+
+
+@pytest.fixture
+def service():
+    with PlanService(
+        ServiceConfig(workers=2, queue_depth=16), cache=None
+    ) as svc:
+        yield svc

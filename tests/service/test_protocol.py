@@ -1,0 +1,113 @@
+"""Wire protocol: JSON codec, typed-error mapping, stdio loop."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ServiceOverloadError, ValidationError
+from repro.service import BindResponse, PlanService, ServiceConfig
+from repro.service.protocol import (
+    DEFAULT_ERROR_STATUS,
+    HTTP_STATUS_BY_ERROR,
+    decode_request,
+    encode_response,
+    error_response,
+    handle_line,
+    http_status_for,
+    serve_stdio,
+)
+
+from tests.service.conftest import SCALE, SPEC, direct_digests
+
+pytestmark = pytest.mark.service
+
+
+def request_line(**overrides):
+    payload = {"spec": dict(SPEC), "dataset": "mol1", "scale": SCALE}
+    payload.update(overrides)
+    return json.dumps(payload)
+
+
+class TestCodec:
+    def test_decode_request_round_trips(self):
+        request = decode_request(request_line(num_steps=3, verify=True))
+        assert request.dataset == "mol1"
+        assert request.num_steps == 3
+        assert request.verify is True
+        assert decode_request(json.dumps(request.to_dict())).spec == request.spec
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            decode_request("{nope")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ValidationError, match="JSON object"):
+            decode_request("[1, 2]")
+
+    def test_encode_response_is_one_sorted_json_line(self):
+        response = BindResponse(request_id="r1", status="ok")
+        line = encode_response(response)
+        assert "\n" not in line
+        decoded = json.loads(line)
+        assert decoded["request_id"] == "r1"
+        assert BindResponse.from_dict(decoded).status == "ok"
+
+
+class TestErrorMapping:
+    def test_ok_maps_to_200(self):
+        assert http_status_for(BindResponse(request_id="r", status="ok")) == 200
+
+    @pytest.mark.parametrize(
+        "error_type,status", sorted(HTTP_STATUS_BY_ERROR.items())
+    )
+    def test_typed_errors_map_to_contracted_statuses(self, error_type, status):
+        response = BindResponse(
+            request_id="r", status="error", error={"type": error_type}
+        )
+        assert http_status_for(response) == status
+
+    def test_unknown_typed_error_gets_default_status(self):
+        response = BindResponse(
+            request_id="r", status="error", error={"type": "KernelError"}
+        )
+        assert http_status_for(response) == DEFAULT_ERROR_STATUS
+
+    def test_error_response_preserves_shed_flag(self):
+        exc = ServiceOverloadError("shed", shed=True, stage="service")
+        response = error_response(exc, request_id="r9")
+        assert response.error["shed"] is True
+        assert response.request_id == "r9"
+        assert http_status_for(response) == 503
+
+
+class TestStdio:
+    @pytest.fixture
+    def service(self):
+        with PlanService(
+            ServiceConfig(workers=2, queue_depth=8), cache=None
+        ) as svc:
+            yield svc
+
+    def test_handle_line_skips_blanks(self, service):
+        assert handle_line(service, "") is None
+        assert handle_line(service, "   \n") is None
+
+    def test_handle_line_serves_one_request(self, service):
+        encoded = handle_line(service, request_line())
+        response = BindResponse.from_dict(json.loads(encoded))
+        assert response.status == "ok"
+        assert response.fingerprints == direct_digests()
+
+    def test_serve_stdio_closed_loop(self, service):
+        stdin = io.StringIO(
+            "\n".join([request_line(), "", "not json", request_line()]) + "\n"
+        )
+        stdout = io.StringIO()
+        served = serve_stdio(service, stdin, stdout)
+        lines = stdout.getvalue().splitlines()
+        assert served == 3  # the blank line is skipped
+        statuses = [json.loads(line)["status"] for line in lines]
+        assert statuses == ["ok", "error", "ok"]
+        error = json.loads(lines[1])["error"]
+        assert error["type"] == "ValidationError"

@@ -1,0 +1,376 @@
+"""PlanService core: coalescing, admission control, deadlines, stats.
+
+Overload shapes are made deterministic by stalling the bind stage on an
+event (the worker parks inside ``_bind_flight``), filling the admission
+queue with *distinct* specs (identical ones would coalesce instead of
+queueing), and only then releasing the stall.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    ServiceOverloadError,
+    ValidationError,
+)
+from repro.plancache import PlanCache
+from repro.service import (
+    BindRequest,
+    PlanService,
+    ServiceConfig,
+    service_self_check,
+)
+
+from tests.service.conftest import SCALE, SPEC, direct_digests, make_request
+
+pytestmark = pytest.mark.service
+
+
+def distinct_spec(index):
+    spec = dict(SPEC)
+    spec["steps"] = [
+        {"type": "cpack"},
+        {"type": "fst", "seed_block_size": 16 * (index + 1)},
+    ]
+    return spec
+
+
+def stall_binds(service):
+    """Park every bind on an event; returns the release event."""
+    release = threading.Event()
+    original = service._bind_flight
+
+    def stalled(flight):
+        release.wait()
+        return original(flight)
+
+    service._bind_flight = stalled
+    return release
+
+
+def invariant_holds(service):
+    counters = service.stats()["counters"]
+    return counters.get("submitted", 0) == (
+        counters.get("accepted", 0)
+        + counters.get("coalesced", 0)
+        + counters.get("rejected", 0)
+        + counters.get("shed", 0)
+    )
+
+
+class TestCoalescing:
+    def test_identical_concurrent_requests_cost_one_bind(self, service):
+        release = stall_binds(service)
+        responses = [None] * 8
+
+        def client(i):
+            responses[i] = service.bind(make_request())
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        # Wait until every request has attached to the stalled flight.
+        deadline = threading.Event()
+        for _ in range(200):
+            if service.stats()["counters"].get("coalesced", 0) == 7:
+                break
+            deadline.wait(0.01)
+        release.set()
+        for t in threads:
+            t.join()
+
+        counters = service.stats()["counters"]
+        assert counters["binds_executed"] == 1
+        assert counters["accepted"] == 1
+        assert counters["coalesced"] == 7
+        assert invariant_holds(service)
+        expected = direct_digests()
+        leads = [r for r in responses if not r.coalesced]
+        assert len(leads) == 1
+        for r in responses:
+            assert r.status == "ok"
+            assert r.fingerprints == expected
+
+    def test_distinct_specs_do_not_coalesce(self, service):
+        release = stall_binds(service)
+        tickets = [
+            service.submit(make_request(distinct_spec(0))),
+            service.submit(make_request(distinct_spec(1))),
+        ]
+        # Two concurrent but *distinct* specs: two flights, no sharing.
+        assert tickets[0].flight is not tickets[1].flight
+        assert service.stats()["counters"].get("coalesced", 0) == 0
+        release.set()
+        assert all(service.wait(t).status == "ok" for t in tickets)
+        assert service.stats()["counters"]["binds_executed"] == 2
+
+    def test_coalescing_can_be_disabled(self):
+        with PlanService(
+            ServiceConfig(workers=2, queue_depth=32, coalesce=False),
+            cache=None,
+        ) as service:
+            release = stall_binds(service)
+            threads = [
+                threading.Thread(
+                    target=service.bind, args=(make_request(),)
+                )
+                for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for _ in range(200):
+                if service.stats()["counters"].get("accepted", 0) == 4:
+                    break
+                threading.Event().wait(0.01)
+            release.set()
+            for t in threads:
+                t.join()
+            counters = service.stats()["counters"]
+            assert counters["accepted"] == 4
+            assert counters.get("coalesced", 0) == 0
+            assert counters["binds_executed"] == 4
+
+    def test_sequential_identical_requests_rebind(self, service):
+        first = service.bind(make_request())
+        second = service.bind(make_request())
+        # No flight in progress the second time: nothing to coalesce.
+        assert not first.coalesced and not second.coalesced
+        assert first.fingerprints == second.fingerprints
+        assert service.stats()["counters"]["binds_executed"] == 2
+
+
+class TestBitIdentity:
+    def test_response_digests_match_direct_bind(self, service):
+        for index in range(3):
+            spec = distinct_spec(index)
+            response = service.bind(make_request(spec))
+            assert response.status == "ok"
+            assert response.fingerprints == direct_digests(spec)
+
+    def test_verify_and_num_steps_are_part_of_the_flight_key(self, service):
+        release = stall_binds(service)
+        tickets = [
+            service.submit(make_request(verify=True)),
+            service.submit(make_request(verify=False)),
+            service.submit(make_request(num_steps=3)),
+        ]
+        assert service.stats()["counters"].get("coalesced", 0) == 0
+        release.set()
+        for ticket in tickets:
+            assert service.wait(ticket).status == "ok"
+
+    def test_bind_result_returns_live_arrays(self, service):
+        result = service.bind_result(make_request())
+        from repro.service import result_digests
+
+        assert result_digests(result) == direct_digests()
+
+
+class TestAdmissionControl:
+    def overloaded_service(self, overload, queue_depth=2):
+        service = PlanService(
+            ServiceConfig(
+                workers=1, queue_depth=queue_depth, overload=overload
+            ),
+            cache=None,
+        ).start()
+        release = stall_binds(service)
+        # One flight running (dequeued), queue_depth more parked in queue.
+        running = service.submit(make_request(distinct_spec(0)))
+        for _ in range(200):
+            if service.stats()["queue_len"] == 0:
+                break
+            threading.Event().wait(0.01)
+        queued = [
+            service.submit(make_request(distinct_spec(i + 1)))
+            for i in range(queue_depth)
+        ]
+        return service, release, [running] + queued
+
+    def test_reject_policy_raises_typed_overload(self):
+        service, release, tickets = self.overloaded_service("reject")
+        try:
+            with pytest.raises(ServiceOverloadError) as excinfo:
+                service.submit(make_request(distinct_spec(9)))
+            assert not excinfo.value.shed
+            # bind() wraps the same failure as a typed error response.
+            response = service.bind(make_request(distinct_spec(8)))
+            assert response.status == "error"
+            assert response.error["type"] == "ServiceOverloadError"
+            release.set()
+            for ticket in tickets:
+                assert service.wait(ticket).status == "ok"
+            assert service.stats()["counters"]["rejected"] == 2
+            assert invariant_holds(service)
+        finally:
+            release.set()
+            service.stop()
+
+    def test_shed_oldest_reclassifies_the_victim(self):
+        service, release, tickets = self.overloaded_service("shed-oldest")
+        try:
+            newest = service.submit(make_request(distinct_spec(9)))
+            release.set()
+            responses = [service.wait(t) for t in tickets]
+            # The oldest *queued* flight was shed; the running one and
+            # the newcomer completed.
+            shed = [r for r in responses if r.status == "error"]
+            assert len(shed) == 1
+            assert shed[0].error["type"] == "ServiceOverloadError"
+            assert shed[0].error["shed"] is True
+            assert service.wait(newest).status == "ok"
+            counters = service.stats()["counters"]
+            assert counters["shed"] == 1
+            assert invariant_holds(service)
+        finally:
+            release.set()
+            service.stop()
+
+    def test_block_policy_times_out_with_typed_error(self):
+        service = PlanService(
+            ServiceConfig(
+                workers=1,
+                queue_depth=1,
+                overload="block",
+                admission_timeout_s=0.05,
+            ),
+            cache=None,
+        ).start()
+        release = stall_binds(service)
+        try:
+            running = service.submit(make_request(distinct_spec(0)))
+            for _ in range(200):
+                if service.stats()["queue_len"] == 0:
+                    break
+                threading.Event().wait(0.01)
+            queued = service.submit(make_request(distinct_spec(1)))
+            with pytest.raises(ServiceOverloadError, match="blocked longer"):
+                service.submit(make_request(distinct_spec(2)))
+            release.set()
+            assert service.wait(running).status == "ok"
+            assert service.wait(queued).status == "ok"
+            assert invariant_holds(service)
+        finally:
+            release.set()
+            service.stop()
+
+    def test_block_policy_admits_once_capacity_frees(self):
+        with PlanService(
+            ServiceConfig(workers=2, queue_depth=1, overload="block"),
+            cache=None,
+        ) as service:
+            responses = [
+                service.bind(make_request(distinct_spec(i))) for i in range(4)
+            ]
+            assert all(r.status == "ok" for r in responses)
+            assert invariant_holds(service)
+
+    def test_malformed_spec_counts_as_rejected(self, service):
+        response = service.bind(
+            make_request({"kernel": "no-such-kernel", "steps": ["cpack"]})
+        )
+        assert response.status == "error"
+        assert response.error["type"] == "BindError"
+        assert service.stats()["counters"]["rejected"] == 1
+        assert invariant_holds(service)
+
+    def test_unknown_dataset_is_typed(self, service):
+        response = service.bind(make_request(dataset="no-such-dataset"))
+        assert response.status == "error"
+        assert invariant_holds(service)
+
+    def test_submit_without_start_is_overload(self):
+        service = PlanService(ServiceConfig(workers=1), cache=None)
+        with pytest.raises(ServiceOverloadError, match="not running"):
+            service.submit(make_request())
+
+
+class TestDeadlines:
+    def test_zero_deadline_raise_policy_is_deterministic(self, service):
+        response = service.bind(
+            make_request(deadline_s=0.0, on_deadline="raise")
+        )
+        assert response.status == "error"
+        assert response.error["type"] == "DeadlineExceededError"
+
+    def test_zero_deadline_degrade_serves_late_and_marks(self, service):
+        response = service.bind(
+            make_request(deadline_s=0.0, on_deadline="degrade")
+        )
+        assert response.status == "ok"
+        assert response.deadline_missed is True
+        assert response.fingerprints == direct_digests()
+
+    def test_generous_deadline_is_met(self, service):
+        response = service.bind(
+            make_request(deadline_s=60.0, on_deadline="raise")
+        )
+        assert response.status == "ok"
+        assert response.deadline_missed is False
+
+    def test_unknown_deadline_policy_rejected_at_request_build(self):
+        with pytest.raises(ValidationError):
+            BindRequest(spec=dict(SPEC), dataset="mol1", on_deadline="panic")
+
+    def test_deadline_error_type_is_catchable_as_timeout(self):
+        assert issubclass(DeadlineExceededError, TimeoutError)
+
+
+class TestPlanCacheIntegration:
+    def test_second_round_hits_the_cache(self):
+        cache = PlanCache(use_disk=False)
+        with PlanService(
+            ServiceConfig(workers=2, queue_depth=16), cache=cache
+        ) as service:
+            cold = service.bind(make_request())
+            warm = service.bind(make_request())
+        assert cold.cache == "stored"
+        assert warm.cache == "hit"
+        assert cold.fingerprints == warm.fingerprints
+
+    def test_cacheless_service_reports_no_provenance(self, service):
+        assert service.bind(make_request()).cache is None
+
+
+class TestStatsAndSelfCheck:
+    def test_stats_shape(self, service):
+        service.bind(make_request())
+        stats = service.stats()
+        assert stats["accounting_ok"] is True
+        assert stats["config"]["workers"] == 2
+        assert stats["queue_len"] == 0
+        assert stats["inflight"] == 0
+        assert stats["histograms"]["total_ms"]["count"] == 1
+        assert "p95_ms" in stats["histograms"]["total_ms"]
+
+    def test_describe_mentions_the_invariant(self, service):
+        service.bind(make_request())
+        assert "service stats:" in service.describe()
+
+    def test_self_check_passes(self):
+        check = service_self_check(scale=SCALE)
+        assert check["ok"] is True
+        assert check["accounting_ok"] is True
+        assert check["bit_identical"] is True
+        assert check["coalesced"] > 0
+
+    def test_stop_drains_queued_work(self):
+        service = PlanService(
+            ServiceConfig(workers=1, queue_depth=8), cache=None
+        ).start()
+        tickets = [
+            service.submit(make_request(distinct_spec(i))) for i in range(3)
+        ]
+        service.stop(drain=True)
+        for ticket in tickets:
+            assert service.wait(ticket).status == "ok"
+
+    def test_stopped_service_rejects_new_work(self):
+        service = PlanService(ServiceConfig(workers=1), cache=None).start()
+        service.stop()
+        with pytest.raises(ServiceOverloadError):
+            service.submit(make_request())

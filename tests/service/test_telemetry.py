@@ -1,0 +1,148 @@
+"""Telemetry primitives: counters, histograms, spans, snapshots."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service import Counter, Histogram, JsonlSink, ListSink, Telemetry
+
+pytestmark = pytest.mark.service
+
+
+class TestCounter:
+    def test_starts_at_zero_and_adds(self):
+        c = Counter()
+        assert c.value == 0
+        assert c.add() == 1
+        assert c.add(5) == 6
+        assert c.add(-2) == 4
+
+    def test_concurrent_increments_are_exact(self):
+        c = Counter()
+        per_thread, threads = 2000, 8
+
+        def bump():
+            for _ in range(per_thread):
+                c.add()
+
+        workers = [threading.Thread(target=bump) for _ in range(threads)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert c.value == per_thread * threads
+
+
+class TestHistogram:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            Histogram(capacity=0)
+
+    def test_empty_summary_is_all_none(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        for key in ("mean_ms", "min_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms"):
+            assert summary[key] is None
+
+    def test_nearest_rank_percentiles(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100 ms
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        assert h.percentile(99) == 99.0
+        summary = h.summary()
+        assert summary["count"] == 100
+        assert summary["min_ms"] == 1.0
+        assert summary["max_ms"] == 100.0
+        assert summary["mean_ms"] == pytest.approx(50.5)
+        assert summary["p50_ms"] == 50.0
+
+    def test_single_sample(self):
+        h = Histogram()
+        h.observe(7.0)
+        assert h.percentile(50) == 7.0
+        assert h.percentile(99) == 7.0
+
+    def test_reservoir_is_sliding_window(self):
+        h = Histogram(capacity=4)
+        for v in (1.0, 2.0, 3.0, 4.0, 100.0):
+            h.observe(v)
+        # Streaming aggregates see everything; percentiles see the window.
+        assert h.count == 5
+        assert h.summary()["min_ms"] == 1.0
+        assert h.percentile(1) == 2.0  # 1.0 slid out of the reservoir
+
+
+class TestSpans:
+    def test_emit_span_writes_one_json_line(self):
+        sink = ListSink()
+        t = Telemetry(sink=sink)
+        t.emit_span("bind", "r1", 12.5, waiters=3)
+        (record,) = sink.records()
+        assert record["stage"] == "bind"
+        assert record["request_id"] == "r1"
+        assert record["elapsed_ms"] == 12.5
+        assert record["waiters"] == 3
+        assert "ts" in record
+
+    def test_span_context_manager_times_and_tags_errors(self):
+        sink = ListSink()
+        t = Telemetry(sink=sink)
+        with t.span("ok-stage", "r1"):
+            pass
+        with pytest.raises(RuntimeError):
+            with t.span("bad-stage", "r2"):
+                raise RuntimeError("boom")
+        records = sink.records()
+        assert [r["stage"] for r in records] == ["ok-stage", "bad-stage"]
+        assert "error" not in records[0]
+        assert records[1]["error"] == "RuntimeError"
+
+    def test_no_sink_drops_spans_silently(self):
+        Telemetry().emit_span("bind", "r1", 1.0)  # must not raise
+
+    def test_jsonl_sink_appends_newline_terminated_lines(self):
+        class Buffer:
+            def __init__(self):
+                self.chunks = []
+
+            def write(self, chunk):
+                self.chunks.append(chunk)
+
+            def flush(self):
+                pass
+
+        buffer = Buffer()
+        t = Telemetry(sink=JsonlSink(buffer))
+        t.emit_span("bind", "r1", 1.0)
+        t.emit_span("bind", "r2", 2.0)
+        lines = "".join(buffer.chunks).splitlines()
+        assert [json.loads(l)["request_id"] for l in lines] == ["r1", "r2"]
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_able_and_sorted(self):
+        t = Telemetry()
+        t.counter("zeta").add(3)
+        t.counter("alpha").add()
+        t.histogram("lat").observe(5.0)
+        snap = t.snapshot()
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        assert snap["counters"]["zeta"] == 3
+        assert snap["histograms"]["lat"]["count"] == 1
+        json.dumps(snap)  # must serialize
+
+    def test_registries_return_the_same_instance(self):
+        t = Telemetry()
+        assert t.counter("x") is t.counter("x")
+        assert t.histogram("y") is t.histogram("y")
+
+    def test_describe_mentions_counters_and_percentiles(self):
+        t = Telemetry()
+        t.counter("submitted").add(4)
+        t.histogram("total_ms").observe(3.0)
+        text = t.describe()
+        assert "submitted: 4" in text
+        assert "p50=" in text
