@@ -480,8 +480,55 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _serve_http_until_signal(service, host, port, drain_s) -> dict:
+    """Serve HTTP until SIGTERM/SIGINT, then drain gracefully.
+
+    The accept loop runs on a daemon thread; the main thread parks on an
+    event so the signal handlers (which Python runs on the main thread)
+    can trigger a graceful drain: stop accepting, let in-flight flights
+    finish within ``drain_s`` seconds, flush telemetry, exit.
+    """
+    import signal
+    import threading
+
+    from repro.service.httpd import ServiceHTTPServer, endpoint
+
+    server = ServiceHTTPServer((host, port), service)
+    print(f"serving on {endpoint(server)}", file=sys.stderr)
+    stop = threading.Event()
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(
+            signum, lambda *_: stop.set()
+        )
+    accept_thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    accept_thread.start()
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.shutdown()
+        server.server_close()
+        accept_thread.join(timeout=5.0)
+    print(
+        f"draining (deadline {drain_s}s)...", file=sys.stderr
+    )
+    outcome = service.drain(drain_s)
+    print(
+        "drained cleanly"
+        if outcome["drained"]
+        else f"drain deadline hit: {outcome['abandoned_flights']} "
+        "flight(s) shed",
+        file=sys.stderr,
+    )
+    return outcome
+
+
 def _cmd_serve(args) -> int:
-    """Run the concurrent bind service (localhost HTTP or stdio)."""
+    """Run the bind service (in-process threads or a sharded fleet)."""
     from repro.plancache import PlanCache
     from repro.service import JsonlSink, PlanService, ServiceConfig, Telemetry
 
@@ -491,20 +538,57 @@ def _cmd_serve(args) -> int:
             sys.stderr if args.trace == "-" else open(args.trace, "a")
         )
     telemetry = Telemetry(sink=sink)
-    cache = (
-        None
-        if args.no_cache
-        else PlanCache(directory=args.cache_dir)
-    )
-    config = ServiceConfig(
-        workers=args.workers,
-        queue_depth=args.queue_depth,
-        overload=args.overload,
-        coalesce=not args.no_coalesce,
-        executor=args.executor,
-        default_scale=args.scale,
-    )
-    with PlanService(config, cache=cache, telemetry=telemetry) as service:
+    if args.shards:
+        from repro.service import FleetConfig, FleetService
+        from repro.service.chaos import ChaosPlan
+
+        cache_dir = None
+        if not args.no_cache:
+            probe = PlanCache(directory=args.cache_dir)
+            cache_dir = (
+                str(probe.disk.directory) if probe.disk is not None else None
+            )
+        overload = args.overload
+        if overload == "shed-oldest":
+            # Fleet flights run in caller threads; there is no parked
+            # queue to shed from, so the nearest policy is reject.
+            overload = "reject"
+        config = FleetConfig(
+            shards=args.shards,
+            queue_depth=args.queue_depth,
+            overload=overload,
+            cache_dir=cache_dir,
+            default_scale=args.scale,
+            chaos=ChaosPlan.from_env(),
+        )
+        service = FleetService(config, telemetry=telemetry)
+        banner = (
+            f"fleet: shards={config.shards} queue={config.queue_depth} "
+            f"overload={config.overload} "
+            f"cache={'off' if cache_dir is None else cache_dir}"
+        )
+    else:
+        cache = (
+            None
+            if args.no_cache
+            else PlanCache(directory=args.cache_dir)
+        )
+        config = ServiceConfig(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            overload=args.overload,
+            coalesce=not args.no_coalesce,
+            executor=args.executor,
+            default_scale=args.scale,
+        )
+        service = PlanService(config, cache=cache, telemetry=telemetry)
+        banner = (
+            f"workers={config.workers} queue={config.queue_depth} "
+            f"overload={config.overload} "
+            f"coalesce={'on' if config.coalesce else 'off'}"
+        )
+    with service:
+        print(banner, file=sys.stderr)
         for item in args.preload or []:
             kernel, _, ds = item.partition(":")
             fingerprint = service.preload_handle(
@@ -520,30 +604,13 @@ def _cmd_serve(args) -> int:
 
             served = serve_stdio(service, sys.stdin, sys.stdout)
             print(f"served {served} request(s)", file=sys.stderr)
+            service.drain(args.drain_s)
         else:
-            from repro.service.httpd import (
-                DEFAULT_HOST,
-                DEFAULT_PORT,
-                ServiceHTTPServer,
-                endpoint,
-            )
+            from repro.service.httpd import DEFAULT_HOST, DEFAULT_PORT
 
             host = args.host if args.host is not None else DEFAULT_HOST
             port = args.port if args.port is not None else DEFAULT_PORT
-            server = ServiceHTTPServer((host, port), service)
-            print(
-                f"serving on {endpoint(server)} "
-                f"(workers={config.workers}, queue={config.queue_depth}, "
-                f"overload={config.overload}, "
-                f"coalesce={'on' if config.coalesce else 'off'})",
-                file=sys.stderr,
-            )
-            try:
-                server.serve_forever()
-            except KeyboardInterrupt:
-                pass
-            finally:
-                server.server_close()
+            _serve_http_until_signal(service, host, port, args.drain_s)
         stats = service.stats()
     print(
         "final: "
@@ -555,6 +622,8 @@ def _cmd_serve(args) -> int:
 
 def _cmd_bench_serve(args) -> int:
     """Benchmark the service's single-flight coalescing (on vs off)."""
+    if args.chaos:
+        return _bench_serve_chaos(args)
     from repro.service.loadgen import coalescing_benchmark
 
     result = coalescing_benchmark(
@@ -597,6 +666,58 @@ def _cmd_bench_serve(args) -> int:
             f"accounting: {'ok' if accounting_ok else 'VIOLATED'}"
         )
     return 0 if result["bit_identical"] and accounting_ok else 1
+
+
+def _bench_serve_chaos(args) -> int:
+    """Chaos campaign against the sharded fleet (bench-serve --chaos)."""
+    from repro.service.loadgen import fleet_chaos_benchmark
+
+    result = fleet_chaos_benchmark(
+        requests=args.requests,
+        distinct=args.distinct,
+        clients=args.clients,
+        shards=args.shards or 2,
+        scale=args.scale,
+        dataset=args.dataset,
+        kill_rate=args.kill_rate,
+        seed=args.chaos_seed,
+    )
+    healthy = (
+        result["bit_identical"]
+        and result["accounting_ok"]
+        and result["availability"] >= 0.99
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        counters = result["counters"]
+        latency = result["latency"]
+        print(
+            f"bench-serve --chaos: {result['requests']} requests over "
+            f"{result['distinct_specs']} distinct spec(s), "
+            f"{result['clients']} clients, {result['shards']} shards, "
+            f"kill_rate={result['chaos']['kill_rate']:.2f} "
+            f"seed={result['chaos']['seed']}"
+        )
+        print(
+            f"  availability: {result['availability'] * 100:.1f}%  "
+            f"bit-identical: {'yes' if result['bit_identical'] else 'NO'}  "
+            f"accounting: {'ok' if result['accounting_ok'] else 'VIOLATED'}"
+        )
+        print(
+            f"  resilience: crashes={counters.get('worker_crashes', 0)} "
+            f"retries={counters.get('retries', 0)} "
+            f"restarts={counters.get('worker_restarts', 0)} "
+            f"fallback={counters.get('fallback_binds', 0)}"
+        )
+        print(
+            f"  latency: p50={latency['p50_ms']:.1f}ms "
+            f"p95={latency['p95_ms']:.1f}ms p99={latency['p99_ms']:.1f}ms  "
+            f"throughput={result['throughput_rps']:.1f} req/s"
+        )
+    return 0 if healthy else 1
 
 
 def main(argv=None) -> int:
@@ -706,6 +827,20 @@ def main(argv=None) -> int:
     )
     p.add_argument("--workers", type=int, default=4, help="bind worker threads")
     p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="serve from a supervised worker-process fleet of this many "
+        "shards instead of in-process threads (0 = in-process)",
+    )
+    p.add_argument(
+        "--drain-s",
+        type=float,
+        default=5.0,
+        help="graceful-shutdown deadline: seconds to let in-flight "
+        "requests finish after SIGTERM/SIGINT",
+    )
+    p.add_argument(
         "--queue-depth", type=int, default=64, help="admission queue bound"
     )
     p.add_argument(
@@ -763,6 +898,31 @@ def main(argv=None) -> int:
     p.add_argument("--workers", type=int, default=2)
     p.add_argument("--scale", type=int, default=32)
     p.add_argument("--dataset", default="mol1")
+    p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run a deterministic chaos campaign against the sharded "
+        "fleet (worker SIGKILLs mid-bind) instead of the coalescing "
+        "comparison",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="fleet shards for --chaos (default 2)",
+    )
+    p.add_argument(
+        "--kill-rate",
+        type=float,
+        default=0.1,
+        help="per-dispatch worker SIGKILL probability for --chaos",
+    )
+    p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic chaos schedule",
+    )
     p.add_argument(
         "--json", action="store_true", help="emit the machine-readable result"
     )

@@ -30,6 +30,13 @@ Taxonomy::
     ├── DeadlineExceededError a request's deadline expired while it was
     │                       queued or coalesced, under the strict
     │                       ``on_deadline='raise'`` policy
+    ├── WorkerCrashError    a fleet shard worker died (SIGKILL, wedged
+    │                       past its liveness deadline, or its pipe
+    │                       broke) while a request was in flight
+    ├── CircuitOpenError    a shard's circuit breaker is open (the shard
+    │                       is dark) and no probe slot was available
+    ├── RetryExhaustedError a request burned its whole retry budget
+    │                       without any shard completing it
     └── DegradedPlanWarning a stage was skipped / replaced by the
                             identity under a permissive failure policy
 
@@ -157,6 +164,52 @@ class DeadlineExceededError(ReproError, TimeoutError):
     """
 
 
+class WorkerCrashError(ReproError, ConnectionError):
+    """A fleet shard worker process died while a request was in flight.
+
+    Covers three fates that look identical from the parent's side: the
+    process was killed (chaos SIGKILL, OOM), it wedged past its liveness
+    deadline and the supervisor killed it, or its pipe broke mid-reply.
+    The fleet treats all three as retryable shard failures; ``attempt``
+    records which retry observed the crash.
+    """
+
+    def __init__(self, message: str, *, attempt: int = 0, **kwargs):
+        self.attempt = attempt
+        super().__init__(message, **kwargs)
+
+
+class CircuitOpenError(ReproError, RuntimeError):
+    """A shard's circuit breaker is open — the shard is dark.
+
+    Raised internally when a request routes to a shard whose breaker has
+    opened (K consecutive failures) and the half-open probe slot is
+    taken.  The fleet reroutes or degrades to an in-process bind rather
+    than surfacing this to clients, so seeing it at the surface means
+    every shard *and* the in-process fallback were unavailable.
+    """
+
+
+class RetryExhaustedError(ReproError, RuntimeError):
+    """A request burned its whole retry budget without completing.
+
+    ``attempts`` is how many shard dispatches were made; ``last_error``
+    is the final shard failure (usually a :class:`WorkerCrashError`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempts: int = 0,
+        last_error: Optional[BaseException] = None,
+        **kwargs,
+    ):
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(message, **kwargs)
+
+
 class DegradedPlanWarning(ReproError, UserWarning):
     """A stage failed and the plan degraded (skip/identity) instead of
     raising.  Issued via :func:`warnings.warn`; carries the same
@@ -173,5 +226,8 @@ __all__ = [
     "CacheError",
     "ServiceOverloadError",
     "DeadlineExceededError",
+    "WorkerCrashError",
+    "CircuitOpenError",
+    "RetryExhaustedError",
     "DegradedPlanWarning",
 ]

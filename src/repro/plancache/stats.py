@@ -31,6 +31,10 @@ class CacheStats:
     #: Disk artifacts rejected as unreadable / mismatched — each one is a
     #: *safe miss*: the inspectors re-run instead of reusing bad state.
     corrupt: int = 0
+    #: Of the corrupt artifacts, how many were moved into the
+    #: ``quarantine/`` sibling (with a reason file) instead of unlinked —
+    #: chaos-injected corruption stays observable, not a silent cold miss.
+    corrupt_quarantined: int = 0
     #: Numeric verifications skipped thanks to the verification memo.
     verify_memo_hits: int = 0
     #: Inspector stages never executed because the whole bind hit.
@@ -76,6 +80,7 @@ class CacheStats:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "corrupt": self.corrupt,
+            "corrupt_quarantined": self.corrupt_quarantined,
             "verify_memo_hits": self.verify_memo_hits,
             "stages_skipped": self.stages_skipped,
             "hit_rate": self.hit_rate,
@@ -90,7 +95,8 @@ class CacheStats:
             f"disk={self.disk_hits}], misses={self.misses}, "
             f"hit_rate={self.hit_rate:.2f})",
             f"  stores: {self.stores}  evictions: {self.evictions}  "
-            f"corrupt artifacts: {self.corrupt}",
+            f"corrupt artifacts: {self.corrupt} "
+            f"({self.corrupt_quarantined} quarantined)",
             f"  inspector stages skipped: {self.stages_skipped}  "
             f"verifications memoized: {self.verify_memo_hits}",
         ]

@@ -8,7 +8,9 @@
   configurable cache directory, one file per key, written via
   atomic-rename so a crashed writer can never leave a half-written entry
   under a live key.  Unreadable or mismatched artifacts are a *safe
-  miss*: they are counted, removed, and the inspectors simply re-run.
+  miss*: they are counted, **quarantined** (moved to a ``quarantine/``
+  sibling with a reason file, so injected or real corruption stays
+  observable and diagnosable), and the inspectors simply re-run.
 * :class:`PlanCache` — the facade composing both tiers (disk optional),
   promoting disk hits into memory, and carrying the
   :class:`~repro.plancache.stats.CacheStats` counters.
@@ -25,8 +27,8 @@ to tolerate racing peers, with no cross-process lock:
   of the same key each publish a complete artifact and the last rename
   wins; readers only ever observe a complete file;
 * a file that *vanishes* between the existence check and ``np.load``
-  (a peer's eviction, ``clear()``, or corrupt-entry unlink) is a plain
-  miss — it is **not** counted corrupt and not re-unlinked;
+  (a peer's eviction, ``clear()``, or corrupt-entry quarantine) is a
+  plain miss — it is **not** counted corrupt and not re-quarantined;
 * the optional disk byte budget (``max_bytes``) is enforced *after* the
   atomic rename, never from a pre-write size check (that ordering is the
   classic TOCTOU: a stale size check would let N racing writers each
@@ -69,6 +71,9 @@ CACHE_DIR_ENV = "REPRO_PLANCACHE_DIR"
 
 #: Environment override for the disk tier's byte budget (0 = unlimited).
 MAX_BYTES_ENV = "REPRO_PLANCACHE_MAX_BYTES"
+
+#: Sibling directory (under the cache dir) where corrupt artifacts land.
+QUARANTINE_DIR = "quarantine"
 
 
 def resolve_max_bytes(max_bytes=None) -> Optional[int]:
@@ -181,6 +186,12 @@ class DiskStore:
         # Two-level fan-out keeps directories small under heavy use.
         return self.directory / key[:2] / f"{key}.npz"
 
+    def _artifacts(self):
+        """Live artifacts under the fan-out dirs (quarantine excluded)."""
+        for path in self.directory.glob("*/*.npz"):
+            if path.parent.name != QUARANTINE_DIR:
+                yield path
+
     # -- read ------------------------------------------------------------------
 
     def get(self, key: str) -> Optional[CacheEntry]:
@@ -202,16 +213,58 @@ class DiskStore:
             # Vanished between exists() and load(): a concurrent peer
             # evicted or cleared it.  A plain miss, not corruption.
             return None
-        except Exception:
+        except Exception as exc:
             # Truncated, tampered, wrong-format, or foreign file: a safe
-            # miss.  Remove it so the slot heals on the next store.
+            # miss.  Quarantine it (don't silently unlink) so injected
+            # corruption is observable, and the slot heals on next store.
             self.stats.corrupt += 1
+            self._quarantine(path, key, exc)
+            return None
+        return CacheEntry(meta=meta, arrays=arrays)
+
+    # -- quarantine ------------------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.directory / QUARANTINE_DIR
+
+    def _quarantine(self, path: Path, key: str, reason: BaseException) -> None:
+        """Move a corrupt artifact into ``quarantine/`` with a reason file.
+
+        Best-effort and race-tolerant: a peer may quarantine (or evict)
+        the same file first — its rename wins, ours is a no-op.  Falls
+        back to plain unlink if the quarantine directory cannot be
+        created (e.g. a read-only sibling), so a corrupt entry never
+        stays live under its key either way.
+        """
+        target = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except FileNotFoundError:
+            return  # a racing peer quarantined/evicted it first
+        except OSError:
             try:
                 path.unlink()
             except OSError:
                 pass
-            return None
-        return CacheEntry(meta=meta, arrays=arrays)
+            return
+        self.stats.corrupt_quarantined += 1
+        reason_path = target.with_suffix(".reason.txt")
+        try:
+            reason_path.write_text(
+                f"key: {key}\n"
+                f"error: {type(reason).__name__}: {reason}\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            pass  # the artifact itself is quarantined; the note is extra
+
+    def quarantined(self) -> List[str]:
+        """Keys currently sitting in quarantine (sorted)."""
+        if not self.quarantine_dir.exists():
+            return []
+        return sorted(p.stem for p in self.quarantine_dir.glob("*.npz"))
 
     # -- write -----------------------------------------------------------------
 
@@ -269,7 +322,7 @@ class DiskStore:
             return 0
         entries = []
         total = 0
-        for path in self.directory.glob("*/*.npz"):
+        for path in self._artifacts():
             try:
                 stat = path.stat()
             except OSError:
@@ -297,13 +350,13 @@ class DiskStore:
     def keys(self) -> List[str]:
         if not self.directory.exists():
             return []
-        return sorted(p.stem for p in self.directory.glob("*/*.npz"))
+        return sorted(p.stem for p in self._artifacts())
 
     def total_bytes(self) -> int:
         if not self.directory.exists():
             return 0
         total = 0
-        for p in self.directory.glob("*/*.npz"):
+        for p in self._artifacts():
             try:
                 total += p.stat().st_size
             except OSError:
@@ -313,7 +366,7 @@ class DiskStore:
     def clear(self) -> int:
         count = 0
         if self.directory.exists():
-            for path in self.directory.glob("*/*.npz"):
+            for path in self._artifacts():
                 try:
                     path.unlink()
                     count += 1
@@ -349,7 +402,7 @@ class DiskStore:
         unreadable = 0
         entries = 0
         if exists:
-            for path in self.directory.glob("*/*.npz"):
+            for path in self._artifacts():
                 try:
                     with np.load(path, allow_pickle=False) as npz:
                         json.loads(bytes(npz["__meta__"]).decode("utf-8"))
@@ -365,6 +418,7 @@ class DiskStore:
             "entries": entries,
             "total_bytes": self.total_bytes(),
             "unreadable": unreadable,
+            "quarantined": len(self.quarantined()),
         }
 
 

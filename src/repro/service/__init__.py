@@ -12,8 +12,19 @@ handle) against shared datasets, with
 * **built-in telemetry** — counters (every request accounted), latency
   histograms (p50/p95/p99), and per-stage JSON-line tracing spans.
 
-Front ends: ``python -m repro serve`` (localhost HTTP or stdin/stdout),
-``python -m repro bench-serve`` (closed-loop load generator), and the
+* **a supervised worker fleet** (:mod:`repro.service.fleet`) — the same
+  request surface sharded across N worker *processes* by plan-cache
+  fingerprint, with heartbeat supervision, crash restart, retry with
+  deterministic backoff, per-shard circuit breakers, and in-process
+  degradation when every shard is dark;
+* **a chaos harness** (:mod:`repro.service.chaos`) — seed-deterministic
+  worker kills, heartbeat stalls, latency spikes, and cache corruption,
+  with a bit-identity bar: recovered responses must carry the same
+  SHA-256 digests as the no-fault run.
+
+Front ends: ``python -m repro serve`` (localhost HTTP or stdin/stdout,
+``--shards N`` for the fleet), ``python -m repro bench-serve``
+(closed-loop load generator, ``--chaos`` for fault campaigns), and the
 ``ServiceStats`` block in ``python -m repro doctor``.
 
 Quick in-process use::
@@ -26,6 +37,13 @@ Quick in-process use::
         assert response.status == "ok"
 """
 
+from repro.service.chaos import ChaosPlan, WorkerChaos
+from repro.service.fleet import (
+    FleetConfig,
+    FleetService,
+    HashRing,
+    backoff_delay,
+)
 from repro.service.request import (
     BindRequest,
     BindResponse,
@@ -40,6 +58,7 @@ from repro.service.server import (
     Ticket,
     service_self_check,
 )
+from repro.service.supervisor import CircuitBreaker, Supervisor
 from repro.service.telemetry import (
     Counter,
     Histogram,
@@ -51,17 +70,25 @@ from repro.service.telemetry import (
 __all__ = [
     "BindRequest",
     "BindResponse",
+    "ChaosPlan",
+    "CircuitBreaker",
     "Counter",
     "DEADLINE_POLICIES",
     "EXECUTORS",
+    "FleetConfig",
+    "FleetService",
+    "HashRing",
     "Histogram",
     "JsonlSink",
     "ListSink",
     "OVERLOAD_POLICIES",
     "PlanService",
     "ServiceConfig",
+    "Supervisor",
     "Telemetry",
     "Ticket",
+    "WorkerChaos",
+    "backoff_delay",
     "result_digests",
     "service_self_check",
 ]

@@ -1,0 +1,1064 @@
+"""The sharded, supervised bind fleet (PlanService grown into a fleet).
+
+:class:`~repro.service.server.PlanService` serves binds from one
+process; its failure modes are all-or-nothing.  :class:`FleetService`
+shards the same request surface across N worker *processes* and makes
+worker death a routine, accounted, **invisible** event:
+
+Architecture (one request, end to end)::
+
+    bind ──> route key (plan fingerprint x dataset handle x bind opts)
+      │                         │
+      │   ┌─ identical flight in flight? ── yes: attach (coalesced)
+      │   no                    │
+      │   ▼                    ▼
+      │  admission      consistent-hash ring ──> shard S
+      │  (bounded,              │    (vnodes; each shard's memory LRU
+      │   block/reject)         │     stays hot on its own key range)
+      │                         ▼
+      │        circuit breaker S closed/half-open? ──no──> next shard
+      │                         │yes          (all dark: in-process
+      │                         ▼                  single-flight bind)
+      │            worker process S: PlanCache bind
+      │            (shared DiskStore L2 — a respawned
+      │             worker warm-starts from disk)
+      │                         │
+      │        crash / wedge / timeout?  ──> breaker.record_failure,
+      │                         │            backoff (exponential +
+      │                         │            deterministic jitter),
+      │                         │            retry on surviving shard
+      │                         │            (deadline budget inherited,
+      │                         │             never refreshed)
+      ▼                         ▼
+    wait(deadline) <── digests + report (SHA-256 bit-identity contract)
+
+The supervisor (:mod:`repro.service.supervisor`) restarts crashed and
+wedged workers under a per-shard restart budget; a shard past its budget
+goes *dark* (breaker latched open) and the ring routes around it.  When
+every shard is dark the fleet degrades to in-process single-flight
+binding — accepted requests are never dropped because the fleet died.
+
+Responses carry the same SHA-256 content digests as the single-process
+service: a request recovered across a worker SIGKILL must produce
+digests bit-identical to the no-fault run.  The chaos harness
+(:mod:`repro.service.chaos`) exists to prove exactly that.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import repro.errors as errors_module
+from repro.errors import (
+    DeadlineExceededError,
+    ReproError,
+    RetryExhaustedError,
+    ServiceOverloadError,
+    ValidationError,
+    WorkerCrashError,
+)
+from repro.service.chaos import CacheCorruptor, ChaosPlan
+from repro.service.request import BindRequest, BindResponse, result_digests
+from repro.service.supervisor import (
+    CircuitBreaker,
+    Supervisor,
+    mp_context,
+)
+from repro.service.telemetry import Telemetry
+
+#: Fleet backpressure policies (no shed: flights run in caller threads,
+#: so there is no queue of parked work to shed from).
+FLEET_OVERLOAD_POLICIES = ("block", "reject")
+
+#: Fallback policies when every shard is dark.
+FALLBACK_POLICIES = ("inprocess", "error")
+
+
+@dataclass
+class FleetConfig:
+    """Tunables of one :class:`FleetService`."""
+
+    shards: int = 2
+    #: Max concurrently admitted flights (leads; followers ride free).
+    queue_depth: int = 64
+    overload: str = "block"
+    admission_timeout_s: Optional[float] = None
+    #: Retries after the first dispatch (so ``max_retries + 1`` total
+    #: shard attempts before :class:`RetryExhaustedError`).
+    max_retries: int = 3
+    backoff_base_s: float = 0.02
+    backoff_cap_s: float = 0.5
+    #: Per-dispatch reply deadline; a shard that blows it is treated as
+    #: wedged (killed + restarted) and the request retried elsewhere.
+    attempt_timeout_s: float = 30.0
+    #: Circuit breaker: open after this many consecutive failures.
+    failure_threshold: int = 3
+    breaker_cooldown_s: float = 0.25
+    #: Supervisor liveness: heartbeat older than this => wedged.
+    liveness_deadline_s: float = 1.5
+    supervisor_poll_s: float = 0.05
+    restart_budget: int = 8
+    #: Virtual nodes per shard on the consistent-hash ring.
+    virtual_nodes: int = 64
+    #: Shared DiskStore directory (the crash-consistent L2 every worker
+    #: and the in-process fallback warm-start from).  ``None``: workers
+    #: run memory-only caches (tests that want cold binds).
+    cache_dir: Optional[str] = None
+    fallback: str = "inprocess"
+    default_scale: Optional[int] = None
+    #: Reproducible fault injection; ``None`` (or all-zero rates) = off.
+    chaos: Optional[ChaosPlan] = None
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ValidationError(
+                f"shards must be >= 1, got {self.shards}", stage="fleet"
+            )
+        if self.queue_depth < 1:
+            raise ValidationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}",
+                stage="fleet",
+            )
+        if self.overload not in FLEET_OVERLOAD_POLICIES:
+            raise ValidationError(
+                f"unknown overload policy {self.overload!r}",
+                stage="fleet",
+                hint=f"choose one of {FLEET_OVERLOAD_POLICIES}",
+            )
+        if self.fallback not in FALLBACK_POLICIES:
+            raise ValidationError(
+                f"unknown fallback policy {self.fallback!r}",
+                stage="fleet",
+                hint=f"choose one of {FALLBACK_POLICIES}",
+            )
+        if self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be >= 0, got {self.max_retries}",
+                stage="fleet",
+            )
+        if self.virtual_nodes < 1:
+            raise ValidationError(
+                f"virtual_nodes must be >= 1, got {self.virtual_nodes}",
+                stage="fleet",
+            )
+
+
+def backoff_delay(
+    base_s: float, cap_s: float, request_id: str, attempt: int, seed: int = 0
+) -> float:
+    """Exponential backoff with *deterministic* jitter.
+
+    ``base * 2^attempt`` scaled by a jitter factor in [0.5, 1.0) drawn
+    from SHA-256 over ``(seed, request_id, attempt)`` — two runs of the
+    same workload back off identically (chaos runs stay reproducible),
+    while distinct requests de-synchronize instead of retrying in
+    lockstep (no thundering herd onto the surviving shard).
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{request_id}:{attempt}".encode("utf-8")
+    ).digest()
+    unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return min(cap_s, base_s * (2.0 ** attempt)) * (0.5 + unit / 2.0)
+
+
+class HashRing:
+    """Consistent-hash ring: route key -> shard, stable under membership.
+
+    Each shard owns ``virtual_nodes`` points; a key routes to the first
+    point clockwise.  ``route()`` walks clockwise past shards the caller
+    excludes (tried-and-failed, breaker-open), so a dead shard's keys
+    spill onto its ring successors — and *only* its keys move, which is
+    what keeps every other shard's memory LRU hot across a failure.
+    """
+
+    def __init__(self, shards: int, virtual_nodes: int = 64):
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(virtual_nodes):
+                digest = hashlib.sha256(
+                    f"shard-{shard}:vnode-{vnode}".encode("ascii")
+                ).digest()
+                points.append((int.from_bytes(digest[:8], "big"), shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._shards = [s for _, s in points]
+        self.shards = shards
+
+    def _key_point(self, key: str) -> int:
+        digest = hashlib.sha256(key.encode("ascii")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def route(self, key: str, exclude: Optional[Set[int]] = None):
+        """The key's shard, skipping ``exclude``; ``None`` if all are."""
+        exclude = exclude or set()
+        if len(exclude) >= self.shards:
+            return None
+        start = bisect.bisect_right(self._hashes, self._key_point(key))
+        seen: Set[int] = set()
+        for offset in range(len(self._shards)):
+            shard = self._shards[(start + offset) % len(self._shards)]
+            if shard in seen:
+                continue
+            seen.add(shard)
+            if shard not in exclude:
+                return shard
+        return None
+
+
+class _FleetFlight:
+    """One distinct dispatch (1 lead + N coalesced followers)."""
+
+    def __init__(self, key: str, request: BindRequest, submitted_at: float):
+        self.key = key
+        self.request = request
+        self.submitted_at = submitted_at
+        self.event = threading.Event()
+        self.body: Optional[dict] = None
+        self.error: Optional[BaseException] = None
+        self.attempts = 0
+        self.shard: Optional[int] = None
+        self.fallback = False
+        self.bind_ms = 0.0
+
+
+class _Waiter:
+    __slots__ = ("request", "submitted_at", "lead")
+
+    def __init__(self, request: BindRequest, submitted_at: float, lead: bool):
+        self.request = request
+        self.submitted_at = submitted_at
+        self.lead = lead
+
+
+class FleetService:
+    """Supervised sharded bind fleet with the ``PlanService`` surface.
+
+    ``bind``/``stats``/``describe``/``preload_handle`` match
+    :class:`~repro.service.server.PlanService`, so the HTTP/stdio front
+    ends, the load generator, and the benchmarks drive either service
+    unchanged.  Use as a context manager::
+
+        with FleetService(FleetConfig(shards=4, cache_dir=dir)) as fleet:
+            response = fleet.bind(BindRequest(spec=spec, dataset="mol1"))
+    """
+
+    def __init__(
+        self,
+        config: Optional[FleetConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.config = config if config is not None else FleetConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.ring = HashRing(self.config.shards, self.config.virtual_nodes)
+        self.breakers = [
+            CircuitBreaker(
+                failure_threshold=self.config.failure_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+                on_transition=self._breaker_transition,
+            )
+            for _ in range(self.config.shards)
+        ]
+        self.supervisor = Supervisor(
+            self._start_worker,
+            shards=self.config.shards,
+            liveness_deadline_s=self.config.liveness_deadline_s,
+            poll_s=self.config.supervisor_poll_s,
+            restart_budget=self.config.restart_budget,
+            on_shard_down=self._shard_down,
+            telemetry=self.telemetry,
+        )
+        self.corruptor: Optional[CacheCorruptor] = None
+        chaos = self.config.chaos
+        if (
+            chaos is not None
+            and chaos.corrupt_rate > 0
+            and self.config.cache_dir
+        ):
+            self.corruptor = CacheCorruptor(chaos, self.config.cache_dir)
+        self._lock = threading.Lock()
+        self._capacity = threading.Condition(self._lock)
+        self._flights: Dict[str, _FleetFlight] = {}
+        self._active = 0  # admitted (lead) flights currently running
+        self._ids = itertools.count(1)
+        self._dispatch_seq = itertools.count(0)  # chaos decision points
+        self._started = False
+        self._draining = False
+        #: Parent-side dataset handles (the in-process fallback path).
+        self._handles: Dict[Tuple[str, str, int], Tuple[object, str]] = {}
+        self._handles_lock = threading.Lock()
+        self._fallback_cache = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "FleetService":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            self._draining = False
+        self.supervisor.start()
+        return self
+
+    def stop(self) -> None:
+        with self._lock:
+            if not self._started:
+                return
+            self._started = False
+            self._capacity.notify_all()
+        self.supervisor.stop()
+
+    def drain(self, deadline_s: Optional[float] = None) -> dict:
+        """Graceful shutdown: stop admitting, finish in-flight, stop.
+
+        New submissions are rejected the moment draining starts; flights
+        already admitted run to completion, bounded by ``deadline_s``
+        (``None``: wait for all of them).  Telemetry is flushed either
+        way.  Returns what happened: flights drained vs still running at
+        the deadline.
+        """
+        with self._lock:
+            self._draining = True
+            self._capacity.notify_all()
+        deadline = (
+            self.telemetry.now() + deadline_s if deadline_s is not None
+            else None
+        )
+        while True:
+            with self._lock:
+                remaining = self._active
+            if remaining == 0:
+                break
+            if deadline is not None and self.telemetry.now() >= deadline:
+                break
+            time.sleep(0.005)
+        with self._lock:
+            abandoned = self._active
+        self.stop()
+        self.telemetry.flush()
+        return {"drained": abandoned == 0, "abandoned_flights": abandoned}
+
+    def __enter__(self) -> "FleetService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- worker spawning -------------------------------------------------------
+
+    def _start_worker(self, index: int, generation: int):
+        ctx = mp_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        heartbeat = ctx.Value("d", time.monotonic())
+        options = {
+            "cache_dir": self.config.cache_dir,
+            "chaos": (
+                self.config.chaos.to_dict()
+                if self.config.chaos is not None
+                else None
+            ),
+        }
+        process = ctx.Process(
+            target=_fleet_worker_main,
+            args=(index, generation, child_conn, heartbeat, options),
+            name=f"repro-fleet-shard-{index}-gen-{generation}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent keeps only its end
+        return process, parent_conn, heartbeat
+
+    def _shard_down(self, index: int, reason: str) -> None:
+        if reason == "restart-budget-exhausted":
+            self.breakers[index].force_open()
+
+    def _breaker_transition(self, old: str, new: str) -> None:
+        self.telemetry.counter(f"breaker_{new.replace('-', '_')}").add()
+
+    # -- routing ---------------------------------------------------------------
+
+    def _route_key(self, request: BindRequest) -> Tuple[str, int]:
+        """(route key, resolved scale) — the sharding identity.
+
+        Built from the plan-cache *plan* fingerprint plus the dataset
+        handle and bind options.  The dataset's own content fingerprint
+        is intentionally not materialized here (that would generate the
+        dataset in the parent); handles are deterministic, so
+        name+scale identifies the content.
+        """
+        from repro.plancache.fingerprint import combine, plan_fingerprint
+        from repro.runtime.planspec import plan_from_spec
+
+        plan = plan_from_spec(request.spec)
+        scale = request.scale
+        if scale is None:
+            scale = self.config.default_scale
+        if scale is None:
+            from repro.kernels.datasets import DEFAULT_SCALE
+
+            scale = DEFAULT_SCALE
+        key = combine(
+            plan_fingerprint(plan),
+            f"dataset={request.dataset}",
+            f"scale={int(scale)}",
+            f"num_steps={request.num_steps}",
+            f"verify={request.verify}",
+        )
+        return key, int(scale)
+
+    # -- the client surface ----------------------------------------------------
+
+    def bind(self, request: BindRequest) -> BindResponse:
+        """Submit, (maybe) dispatch, and wait — every outcome a response."""
+        telemetry = self.telemetry
+        submitted_at = telemetry.now()
+        try:
+            flight, lead = self._attach(request, submitted_at)
+        except ReproError as exc:
+            telemetry.counter("failed").add()
+            return self._error_response(request, submitted_at, exc, lead=True)
+        waiter = _Waiter(request, submitted_at, lead)
+        if lead:
+            try:
+                self._run_flight(flight)
+            finally:
+                with self._lock:
+                    self._flights.pop(flight.key, None)
+                    self._active -= 1
+                    self._capacity.notify()
+                flight.event.set()
+            return self._respond(flight, waiter)
+        return self._wait(flight, waiter)
+
+    def _attach(
+        self, request: BindRequest, submitted_at: float
+    ) -> Tuple[_FleetFlight, bool]:
+        """Coalesce onto an in-flight dispatch or admit a new one."""
+        if not self._started:
+            raise ServiceOverloadError(
+                "fleet is not running",
+                stage="fleet",
+                hint="use `with FleetService(...) as fleet:` or call start()",
+            )
+        self.telemetry.counter("submitted").add()
+        if not request.request_id:
+            request.request_id = f"f{next(self._ids)}"
+        try:
+            key, scale = self._route_key(request)
+        except ReproError:
+            self.telemetry.counter("rejected").add()
+            raise
+        request.scale = scale
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None and not flight.event.is_set():
+                self.telemetry.counter("coalesced").add()
+                self.telemetry.emit_span(
+                    "coalesce", request.request_id, 0.0,
+                    flight=flight.request.request_id,
+                )
+                return flight, False
+            self._admit_locked()
+            flight = _FleetFlight(key, request, submitted_at)
+            self._flights[key] = flight
+            self._active += 1
+            self.telemetry.counter("accepted").add()
+            return flight, True
+
+    def _admit_locked(self) -> None:
+        config = self.config
+        if self._draining:
+            self.telemetry.counter("rejected").add()
+            raise ServiceOverloadError(
+                "fleet is draining (graceful shutdown in progress)",
+                stage="fleet",
+                hint="resubmit to another instance",
+            )
+        if self._active < config.queue_depth:
+            return
+        if config.overload == "reject":
+            self.telemetry.counter("rejected").add()
+            raise ServiceOverloadError(
+                f"fleet admission full ({config.queue_depth} flights active)",
+                stage="fleet",
+                hint="retry later, raise queue_depth, or use the block "
+                "policy",
+            )
+        deadline = (
+            self.telemetry.now() + config.admission_timeout_s
+            if config.admission_timeout_s is not None
+            else None
+        )
+        while self._active >= config.queue_depth and self._started:
+            if self._draining:
+                break
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - self.telemetry.now()
+                if remaining <= 0:
+                    self.telemetry.counter("rejected").add()
+                    raise ServiceOverloadError(
+                        "fleet admission blocked longer than "
+                        f"{config.admission_timeout_s}s",
+                        stage="fleet",
+                    )
+            self._capacity.wait(timeout=remaining)
+        if not self._started or self._draining:
+            self.telemetry.counter("rejected").add()
+            raise ServiceOverloadError(
+                "fleet is shutting down", stage="fleet"
+            )
+
+    # -- dispatch with retry / backoff / breaker -------------------------------
+
+    def _remaining_budget(self, flight: _FleetFlight) -> Optional[float]:
+        """The lead request's *remaining* deadline budget.
+
+        Retries inherit this — a retry never gets a fresh deadline, so a
+        request that crashes its way past its deadline fails with one
+        :class:`DeadlineExceededError`, not a late success.
+        """
+        deadline_s = flight.request.deadline_s
+        if deadline_s is None:
+            return None
+        return deadline_s - (self.telemetry.now() - flight.submitted_at)
+
+    def _run_flight(self, flight: _FleetFlight) -> None:
+        telemetry = self.telemetry
+        start = telemetry.now()
+        try:
+            body = self._dispatch_with_retries(flight)
+            flight.body = body
+            flight.bind_ms = (telemetry.now() - start) * 1e3
+            telemetry.histogram("bind_ms").observe(flight.bind_ms)
+            telemetry.counter("binds_executed").add()
+        except BaseException as exc:  # noqa: BLE001 - resolved, not leaked
+            flight.error = exc
+            telemetry.counter("bind_failures").add()
+
+    def _dispatch_with_retries(self, flight: _FleetFlight) -> dict:
+        config = self.config
+        request = flight.request
+        excluded: Set[int] = set()
+        last_error: Optional[BaseException] = None
+        attempt = 0
+        while attempt <= config.max_retries:
+            remaining = self._remaining_budget(flight)
+            if remaining is not None and remaining <= 0:
+                raise DeadlineExceededError(
+                    f"deadline of {request.deadline_s}s expired after "
+                    f"{flight.attempts} dispatch attempt(s) — retries "
+                    "inherit the original budget",
+                    stage="fleet",
+                )
+            shard = self.ring.route(flight.key, exclude=excluded)
+            if shard is None or not self.breakers[shard].allow():
+                if shard is not None:
+                    # Breaker refused (open / probe taken): route past it.
+                    excluded.add(shard)
+                    continue
+                return self._fallback_bind(flight)
+            attempt += 1
+            flight.attempts = attempt
+            flight.shard = shard
+            sequence = next(self._dispatch_seq)
+            if self.corruptor is not None:
+                self.corruptor.maybe_corrupt(sequence)
+            timeout = config.attempt_timeout_s
+            if remaining is not None:
+                timeout = min(timeout, max(remaining, 0.001))
+            payload = {
+                "op": "bind",
+                "seq": sequence,
+                "request_id": request.request_id,
+                "spec": request.spec,
+                "dataset": request.dataset,
+                "scale": request.scale,
+                "num_steps": request.num_steps,
+                "verify": request.verify,
+            }
+            handle = self.supervisor.handles[shard]
+            try:
+                with self.telemetry.span(
+                    "dispatch", request.request_id, shard=shard,
+                    attempt=attempt,
+                ):
+                    status, body = handle.call(payload, timeout)
+            except WorkerCrashError as exc:
+                exc.attempt = attempt
+                self.telemetry.counter("worker_crashes").add()
+                self.breakers[shard].record_failure()
+                last_error = exc
+                excluded.add(shard)
+                if len(excluded) >= self.ring.shards:
+                    # Every shard tried once this round: allow respawned
+                    # workers a fresh chance on the next lap.
+                    excluded.clear()
+                if attempt <= config.max_retries:
+                    self.telemetry.counter("retries").add()
+                    delay = backoff_delay(
+                        config.backoff_base_s,
+                        config.backoff_cap_s,
+                        request.request_id,
+                        attempt,
+                        seed=(
+                            self.config.chaos.seed
+                            if self.config.chaos is not None
+                            else 0
+                        ),
+                    )
+                    if remaining is not None:
+                        delay = min(delay, max(remaining, 0.0))
+                    if delay > 0:
+                        time.sleep(delay)
+                continue
+            self.breakers[shard].record_success()
+            if status == "ok":
+                return body
+            # A typed request error from a healthy shard: not retryable,
+            # not a shard failure.
+            raise _rebuild_error(body)
+        raise RetryExhaustedError(
+            f"request {request.request_id} failed on every attempt "
+            f"({flight.attempts} dispatches across the fleet)",
+            stage="fleet",
+            attempts=flight.attempts,
+            last_error=last_error,
+            hint="raise max_retries, or check why shards keep dying "
+            "(see stats()['shards'])",
+        )
+
+    # -- in-process degradation ------------------------------------------------
+
+    def _resolve_handle(self, kernel: str, dataset: str, scale: int):
+        key = (kernel, dataset, int(scale))
+        with self._handles_lock:
+            cached = self._handles.get(key)
+            if cached is not None:
+                return cached
+            from repro.kernels.data import make_kernel_data
+            from repro.kernels.datasets import generate_dataset
+            from repro.plancache.fingerprint import dataset_fingerprint
+
+            data = make_kernel_data(
+                kernel, generate_dataset(dataset, scale=scale)
+            )
+            fingerprint = dataset_fingerprint(data)
+            self._handles[key] = (data, fingerprint)
+            return data, fingerprint
+
+    def _fallback_bind(self, flight: _FleetFlight) -> dict:
+        """Every shard dark: bind in-process (single-flight via the
+        flight itself) so accepted requests survive total fleet loss."""
+        if self.config.fallback != "inprocess":
+            raise RetryExhaustedError(
+                "every shard is dark and in-process fallback is disabled",
+                stage="fleet",
+                attempts=flight.attempts,
+            )
+        self.telemetry.counter("fallback_binds").add()
+        flight.fallback = True
+        from repro.runtime.planspec import plan_from_spec
+
+        request = flight.request
+        plan = plan_from_spec(request.spec)
+        data, _ = self._resolve_handle(
+            plan.kernel.name, request.dataset, request.scale
+        )
+        if self._fallback_cache is None and self.config.cache_dir:
+            from repro.plancache import PlanCache
+
+            self._fallback_cache = PlanCache(directory=self.config.cache_dir)
+        start = self.telemetry.now()
+        result = plan.bind(
+            data,
+            num_steps=request.num_steps,
+            verify=request.verify,
+            cache=self._fallback_cache,
+        )
+        report = result.report
+        return {
+            "fingerprints": result_digests(result),
+            "cache": report.cache if report is not None else None,
+            "overhead": dict(result.overhead),
+            "data_moves": result.data_moves,
+            "report": report.to_dict() if report is not None else None,
+            "bind_ms": (self.telemetry.now() - start) * 1e3,
+            "shard": None,
+            "fallback": True,
+        }
+
+    # -- responses -------------------------------------------------------------
+
+    def _wait(self, flight: _FleetFlight, waiter: _Waiter) -> BindResponse:
+        request = waiter.request
+        if request.deadline_s is not None and request.on_deadline == "raise":
+            remaining = request.deadline_s - (
+                self.telemetry.now() - waiter.submitted_at
+            )
+            if not flight.event.wait(timeout=max(0.0, remaining)):
+                self.telemetry.counter("deadline_raised").add()
+                self.telemetry.counter("failed").add()
+                return self._error_response(
+                    request,
+                    waiter.submitted_at,
+                    DeadlineExceededError(
+                        f"deadline of {request.deadline_s}s expired before "
+                        "the coalesced flight resolved",
+                        stage="fleet",
+                    ),
+                    lead=False,
+                )
+        else:
+            flight.event.wait()
+        return self._respond(flight, waiter)
+
+    def _respond(self, flight: _FleetFlight, waiter: _Waiter) -> BindResponse:
+        telemetry = self.telemetry
+        request = waiter.request
+        elapsed = telemetry.now() - waiter.submitted_at
+        if flight.error is not None:
+            telemetry.counter("failed").add()
+            if isinstance(flight.error, DeadlineExceededError):
+                telemetry.counter("deadline_raised").add()
+            return self._error_response(
+                request, waiter.submitted_at, flight.error, waiter.lead
+            )
+        deadline_missed = False
+        if request.deadline_s is not None and elapsed > request.deadline_s:
+            if request.on_deadline == "raise":
+                telemetry.counter("deadline_raised").add()
+                telemetry.counter("failed").add()
+                return self._error_response(
+                    request,
+                    waiter.submitted_at,
+                    DeadlineExceededError(
+                        f"deadline of {request.deadline_s}s expired while "
+                        "the flight was being served",
+                        stage="fleet",
+                    ),
+                    waiter.lead,
+                )
+            deadline_missed = True
+            telemetry.counter("deadline_degraded").add()
+        body = flight.body
+        total_ms = elapsed * 1e3
+        telemetry.histogram("total_ms").observe(total_ms)
+        telemetry.counter("completed").add()
+        telemetry.emit_span(
+            "respond", request.request_id, total_ms,
+            coalesced=not waiter.lead, shard=flight.shard,
+            attempts=flight.attempts, fallback=flight.fallback,
+        )
+        return BindResponse(
+            request_id=request.request_id,
+            status="ok",
+            coalesced=not waiter.lead,
+            cache=body.get("cache"),
+            fingerprints=dict(body.get("fingerprints", {})),
+            overhead=dict(body.get("overhead", {})),
+            data_moves=body.get("data_moves", 0),
+            report=body.get("report"),
+            timing={
+                "bind_ms": body.get("bind_ms", 0.0) if waiter.lead else 0.0,
+                "total_ms": total_ms,
+            },
+            deadline_missed=deadline_missed,
+        )
+
+    def _error_response(
+        self,
+        request: BindRequest,
+        submitted_at: float,
+        error: BaseException,
+        lead: bool,
+    ) -> BindResponse:
+        total_ms = (self.telemetry.now() - submitted_at) * 1e3
+        return BindResponse(
+            request_id=request.request_id,
+            status="error",
+            coalesced=not lead,
+            timing={"total_ms": total_ms},
+            error={
+                "type": type(error).__name__,
+                "message": str(error),
+                "shed": bool(getattr(error, "shed", False)),
+                "attempts": int(getattr(error, "attempts", 0) or 0),
+            },
+        )
+
+    # -- warmup ----------------------------------------------------------------
+
+    def preload_handle(self, kernel: str, dataset: str, scale: int) -> str:
+        """Materialize one dataset handle on every live shard (and note
+        the fingerprint).  Shards that crash during preload are skipped —
+        the supervisor respawns them and they warm lazily."""
+        fingerprint = ""
+        payload = {
+            "op": "preload",
+            "kernel": kernel,
+            "dataset": dataset,
+            "scale": int(scale),
+        }
+        for handle in self.supervisor.handles:
+            message = dict(payload, seq=next(self._dispatch_seq))
+            try:
+                status, body = handle.call(
+                    message, self.config.attempt_timeout_s
+                )
+            except WorkerCrashError:
+                continue
+            if status == "ok":
+                fingerprint = body.get("fingerprint", fingerprint)
+        if not fingerprint:
+            _, fingerprint = self._resolve_handle(kernel, dataset, int(scale))
+        return fingerprint
+
+    # -- stats -----------------------------------------------------------------
+
+    def health(self) -> dict:
+        shards = self.supervisor.stats()
+        alive = sum(1 for s in shards if s["alive"])
+        dark = sum(1 for s in shards if s["dark"])
+        return {
+            "ok": self._started and not self._draining,
+            "draining": self._draining,
+            "shards": len(shards),
+            "alive": alive,
+            "dark": dark,
+        }
+
+    def stats(self) -> dict:
+        snap = self.telemetry.snapshot()
+        counters = snap["counters"]
+        submitted = counters.get("submitted", 0)
+        accounted = (
+            counters.get("accepted", 0)
+            + counters.get("coalesced", 0)
+            + counters.get("rejected", 0)
+            + counters.get("shed", 0)
+        )
+        shards = self.supervisor.stats()
+        for entry, breaker in zip(shards, self.breakers):
+            entry["breaker"] = breaker.state
+            entry["consecutive_failures"] = breaker.consecutive_failures
+        with self._lock:
+            active = self._active
+        return {
+            "config": {
+                "shards": self.config.shards,
+                "queue_depth": self.config.queue_depth,
+                "overload": self.config.overload,
+                "max_retries": self.config.max_retries,
+                "failure_threshold": self.config.failure_threshold,
+                "restart_budget": self.config.restart_budget,
+                "cache_dir": self.config.cache_dir,
+                "chaos": (
+                    self.config.chaos.to_dict()
+                    if self.config.chaos is not None
+                    else None
+                ),
+            },
+            "queue_len": active,
+            "inflight": active,
+            "shards": shards,
+            "counters": counters,
+            "histograms": snap["histograms"],
+            "accounting_ok": submitted == accounted,
+        }
+
+    def describe(self) -> str:
+        stats = self.stats()
+        counters = stats["counters"]
+        lines = [
+            "fleet stats:",
+            f"  shards: {stats['config']['shards']}  "
+            f"active flights: {stats['queue_len']}/"
+            f"{stats['config']['queue_depth']} "
+            f"({stats['config']['overload']})",
+            "  requests: "
+            + "  ".join(
+                f"{name}={counters.get(name, 0)}"
+                for name in (
+                    "submitted", "accepted", "coalesced", "rejected",
+                    "shed", "completed", "failed",
+                )
+            ),
+            "  resilience: "
+            + "  ".join(
+                f"{name}={counters.get(name, 0)}"
+                for name in (
+                    "retries", "worker_crashes", "worker_restarts",
+                    "workers_wedged", "fallback_binds", "shards_dark",
+                )
+            ),
+            "  accounting invariant "
+            "(accepted+coalesced+rejected+shed == submitted): "
+            + ("ok" if stats["accounting_ok"] else "VIOLATED"),
+        ]
+        for shard in stats["shards"]:
+            lines.append(
+                f"  shard {shard['shard']}: "
+                f"{'alive' if shard['alive'] else 'DOWN'}"
+                f"{' (dark)' if shard['dark'] else ''}  "
+                f"pid={shard['pid']}  gen={shard['generation']}  "
+                f"restarts={shard['restarts']}  served={shard['served']}  "
+                f"breaker={shard['breaker']}"
+            )
+        return "\n".join(lines)
+
+
+def _rebuild_error(body: dict) -> ReproError:
+    """Re-raise a worker's typed error under its original class."""
+    name = body.get("type", "ReproError")
+    cls = getattr(errors_module, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ReproError
+    try:
+        return cls(body.get("message", "worker error"))
+    except TypeError:  # pragma: no cover - unusual constructor signature
+        return ReproError(body.get("message", "worker error"))
+
+
+# ---------------------------------------------------------------------------
+# Worker side (module-level: picklable under any start method).
+
+
+def _fleet_worker_main(index, generation, conn, heartbeat, options):
+    """One shard: heartbeat thread + serial bind loop over the pipe.
+
+    The worker's plan cache is memory-LRU over the *shared* DiskStore
+    directory (when configured) — the crash-consistent L2 that lets a
+    respawned generation warm-start instead of re-running inspectors its
+    predecessor already paid for.
+    """
+    from repro.kernels.data import make_kernel_data
+    from repro.kernels.datasets import generate_dataset
+    from repro.plancache import PlanCache
+    from repro.plancache.fingerprint import dataset_fingerprint
+    from repro.runtime.planspec import plan_from_spec
+    from repro.service.chaos import ChaosPlan, WorkerChaos
+
+    chaos = None
+    chaos_payload = options.get("chaos")
+    if chaos_payload:
+        plan = ChaosPlan.from_dict(chaos_payload)
+        if plan.enabled:
+            chaos = WorkerChaos(plan)
+
+    def _heartbeat_loop():
+        while True:
+            if chaos is not None:
+                chaos.heartbeat_gate()
+            heartbeat.value = time.monotonic()
+            time.sleep(0.05)
+
+    threading.Thread(
+        target=_heartbeat_loop,
+        name=f"repro-fleet-heartbeat-{index}",
+        daemon=True,
+    ).start()
+
+    cache_dir = options.get("cache_dir")
+    cache = (
+        PlanCache(directory=cache_dir)
+        if cache_dir
+        else PlanCache(use_disk=False)
+    )
+    handles: Dict[Tuple[str, str, int], object] = {}
+
+    def _handle(kernel: str, dataset: str, scale: int):
+        key = (kernel, dataset, int(scale))
+        data = handles.get(key)
+        if data is None:
+            data = make_kernel_data(
+                kernel, generate_dataset(dataset, scale=scale)
+            )
+            handles[key] = data
+        return data
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if not isinstance(message, dict) or message.get("op") == "stop":
+            return
+        sequence = message.get("seq", -1)
+        op = message.get("op")
+        try:
+            if op == "preload":
+                data = _handle(
+                    message["kernel"], message["dataset"], message["scale"]
+                )
+                reply = ("ok", {"fingerprint": dataset_fingerprint(data)})
+            elif op == "ping":
+                reply = ("ok", {"pid": os.getpid(), "shard": index})
+            elif op == "bind":
+                if chaos is not None:
+                    chaos.before_bind(sequence)
+                start = time.monotonic()
+                plan = plan_from_spec(message["spec"])
+                data = _handle(
+                    plan.kernel.name, message["dataset"], message["scale"]
+                )
+                result = plan.bind(
+                    data,
+                    num_steps=message["num_steps"],
+                    verify=message["verify"],
+                    cache=cache,
+                )
+                report = result.report
+                reply = (
+                    "ok",
+                    {
+                        "fingerprints": result_digests(result),
+                        "cache": (
+                            report.cache if report is not None else None
+                        ),
+                        "overhead": dict(result.overhead),
+                        "data_moves": result.data_moves,
+                        "report": (
+                            report.to_dict() if report is not None else None
+                        ),
+                        "bind_ms": (time.monotonic() - start) * 1e3,
+                        "shard": index,
+                        "generation": generation,
+                    },
+                )
+            else:
+                reply = (
+                    "error",
+                    {
+                        "type": "ValidationError",
+                        "message": f"unknown worker op {op!r}",
+                    },
+                )
+        except ReproError as exc:
+            reply = ("error", {"type": type(exc).__name__, "message": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - typed at the boundary
+            reply = (
+                "error",
+                {"type": "InspectorFault",
+                 "message": f"{type(exc).__name__}: {exc}"},
+            )
+        try:
+            conn.send((sequence, *reply))
+        except (BrokenPipeError, OSError):
+            return
+
+
+__all__ = [
+    "FALLBACK_POLICIES",
+    "FLEET_OVERLOAD_POLICIES",
+    "FleetConfig",
+    "FleetService",
+    "HashRing",
+    "backoff_delay",
+]

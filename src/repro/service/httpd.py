@@ -62,7 +62,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/healthz":
-            self._reply(200, {"ok": True})
+            # Fleet services report shard liveness; a draining or
+            # stopped fleet answers 503 so load balancers stop routing
+            # to it while in-flight requests finish.
+            health_fn = getattr(self.service, "health", None)
+            health = health_fn() if callable(health_fn) else {"ok": True}
+            self._reply(200 if health.get("ok", False) else 503, health)
         elif self.path == "/stats":
             self._reply(200, self.service.stats())
         else:
@@ -98,6 +103,11 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server bound to one :class:`PlanService`."""
 
     daemon_threads = True
+    #: The socketserver default backlog (5) drops simultaneous connects
+    #: under bursty load — clients see connection resets before the
+    #: service's admission control ever gets a say.  Deep enough for the
+    #: smoke gate's 50-way burst with headroom.
+    request_queue_size = 128
 
     def __init__(self, address: Tuple[str, int], service: PlanService):
         super().__init__(address, _Handler)

@@ -34,6 +34,11 @@ HTTP_STATUS_BY_ERROR = {
     "BindError": 400,
     "ServiceOverloadError": 503,
     "DeadlineExceededError": 504,
+    # Fleet resilience errors: the request was well-formed but the
+    # service tier could not complete it — retryable, so 503.
+    "WorkerCrashError": 503,
+    "CircuitOpenError": 503,
+    "RetryExhaustedError": 503,
 }
 
 #: Fallback status for any other typed pipeline error.

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 import warnings
 from collections import deque
 from dataclasses import dataclass, field
@@ -191,6 +192,7 @@ class PlanService:
         self._threads: List[threading.Thread] = []
         self._stopping = False
         self._started = False
+        self._draining = False
         self._ids = itertools.count(1)
         #: (kernel, dataset, scale) -> (KernelData, dataset fingerprint).
         self._handles: Dict[Tuple[str, str, int], Tuple[object, str]] = {}
@@ -206,6 +208,7 @@ class PlanService:
                 return self
             self._started = True
             self._stopping = False
+            self._draining = False
         for index in range(self.config.workers):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -238,6 +241,41 @@ class PlanService:
         if self._pool is not None:
             self._pool.shutdown(wait=False)
             self._pool = None
+
+    def drain(self, deadline_s: Optional[float] = None) -> dict:
+        """Graceful shutdown: stop admitting, finish in-flight, stop.
+
+        The moment draining starts new submissions are rejected (so the
+        accounting invariant still holds for late arrivals); flights
+        already queued or running are given ``deadline_s`` seconds to
+        finish (``None``: wait for all of them), anything still pending
+        at the deadline is shed with exact accounting, and telemetry is
+        flushed either way.  Returns ``{"drained": bool,
+        "abandoned_flights": int}`` so callers (the ``repro serve``
+        signal handler) can report what the shutdown left behind.
+        """
+        with self._lock:
+            if not self._started:
+                return {"drained": True, "abandoned_flights": 0}
+            self._draining = True
+            self._not_full.notify_all()
+        deadline = (
+            self.telemetry.now() + deadline_s if deadline_s is not None
+            else None
+        )
+        while True:
+            with self._lock:
+                pending = len(self._queue) + len(self._inflight)
+            if pending == 0:
+                break
+            if deadline is not None and self.telemetry.now() >= deadline:
+                break
+            time.sleep(0.005)
+        with self._lock:
+            abandoned = len(self._queue) + len(self._inflight)
+        self.stop(drain=abandoned == 0)
+        self.telemetry.flush()
+        return {"drained": abandoned == 0, "abandoned_flights": abandoned}
 
     def __enter__(self) -> "PlanService":
         return self.start()
@@ -370,6 +408,13 @@ class PlanService:
     def _admit_locked(self, waiter: _Waiter) -> None:
         """Apply the backpressure policy; caller holds the lock."""
         config = self.config
+        if self._draining:
+            self.telemetry.counter("rejected").add()
+            raise ServiceOverloadError(
+                "service is draining (graceful shutdown in progress)",
+                stage="service",
+                hint="resubmit to another instance",
+            )
         if len(self._queue) < config.queue_depth:
             return
         if config.overload == "reject":
@@ -390,7 +435,11 @@ class PlanService:
             if config.admission_timeout_s is not None
             else None
         )
-        while len(self._queue) >= config.queue_depth and not self._stopping:
+        while (
+            len(self._queue) >= config.queue_depth
+            and not self._stopping
+            and not self._draining
+        ):
             remaining = None
             if deadline is not None:
                 remaining = deadline - self.telemetry.now()
@@ -404,7 +453,7 @@ class PlanService:
                         "raise queue_depth/workers",
                     )
             self._not_full.wait(timeout=remaining)
-        if self._stopping:
+        if self._stopping or self._draining:
             self.telemetry.counter("rejected").add()
             raise ServiceOverloadError(
                 "service is shutting down", stage="service"

@@ -1,0 +1,421 @@
+"""Supervision tree for the sharded bind fleet: liveness + restarts.
+
+Three pieces, composed by :class:`repro.service.fleet.FleetService`:
+
+* :class:`CircuitBreaker` — the per-shard health gate.  Closed while a
+  shard answers; opens after ``failure_threshold`` *consecutive*
+  failures (crashes, timeouts); after ``cooldown_s`` it admits exactly
+  one half-open probe — success closes it, failure re-opens it.  A shard
+  whose restart budget is exhausted is forced open permanently (dark).
+* :class:`WorkerHandle` — one shard's process + duplex pipe + heartbeat
+  cell.  ``call()`` is the parent-side RPC: serial per shard (a lock),
+  with crash detection woven into the wait loop — a worker that dies or
+  wedges mid-request surfaces as a typed
+  :class:`~repro.errors.WorkerCrashError`, never a hang.  Every restart
+  bumps the handle's generation and replaces the pipe wholesale, so a
+  half-written reply from a killed worker can never desync a later call.
+* :class:`Supervisor` — the monitor thread.  Scans every shard each
+  ``poll_s``: a dead process is restarted; a live process whose
+  heartbeat is older than ``liveness_deadline_s`` is declared wedged,
+  SIGKILLed, and restarted.  Restarts are bounded by a per-shard budget;
+  past it the shard goes dark and the fleet degrades around it.
+
+Heartbeats are a ``multiprocessing.Value('d')`` the worker's daemon
+heartbeat thread refreshes with ``time.monotonic()`` — on Linux the
+monotonic clock is system-wide, so the parent compares timestamps
+directly.  The heartbeat thread is separate from the bind loop on
+purpose: a worker stuck *inside* a bind still heartbeats (slow is not
+dead), while a worker whose interpreter is truly wedged (or whose
+heartbeat is chaos-stalled) stops and gets the liveness deadline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import CircuitOpenError, WorkerCrashError
+
+#: Circuit breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """Per-shard circuit breaker: closed -> open -> half-open -> closed.
+
+    Thread-safe.  ``allow()`` is the admission question ("may I send this
+    shard a request?"); callers report the outcome via
+    ``record_success()`` / ``record_failure()``.  While open, ``allow()``
+    refuses until ``cooldown_s`` has passed, then admits exactly one
+    probe (half-open); a failed probe re-opens with a fresh cooldown.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self._forced = False
+
+    def _transition(self, new_state: str) -> None:
+        old, self._state = self._state, new_state
+        if old != new_state and self._on_transition is not None:
+            self._on_transition(old, new_state)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    @property
+    def forced_open(self) -> bool:
+        with self._lock:
+            return self._forced
+
+    def allow(self) -> bool:
+        """May a request be sent?  Claims the probe slot when half-open."""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._forced:
+                return False
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.cooldown_s:
+                    return False
+                self._transition(HALF_OPEN)
+                self._probe_inflight = True
+                return True
+            # HALF_OPEN: one probe at a time.
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            if not self._forced:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_inflight = False
+            if (
+                self._state == HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+
+    def force_open(self) -> None:
+        """Latch open permanently (restart budget exhausted: dark shard)."""
+        with self._lock:
+            self._forced = True
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+
+
+def mp_context():
+    """Fork where available (fast spawns, inherited imports); the
+    default context elsewhere — worker mains are module-level and their
+    arguments picklable, so both work."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class WorkerHandle:
+    """One shard: process + pipe + heartbeat, behind a per-shard lock.
+
+    The RPC protocol is serial per shard (requests carry sequence
+    numbers; one request is in flight per pipe at a time), which is also
+    what keeps each shard's memory LRU hot — a shard only ever sees its
+    own hash range.
+    """
+
+    #: Poll granularity of the reply wait loop (also the crash-detection
+    #: latency floor).
+    POLL_S = 0.02
+
+    def __init__(self, index: int):
+        self.index = index
+        self.lock = threading.Lock()
+        self.process = None
+        self.conn = None
+        self.heartbeat = None
+        self.generation = 0
+        self.restarts = 0
+        self.dark = False
+        self.served = 0
+
+    def attach(self, process, conn, heartbeat) -> None:
+        """Install a (re)spawned worker; caller holds ``lock``."""
+        self.process = process
+        self.conn = conn
+        self.heartbeat = heartbeat
+        self.generation += 1
+
+    @property
+    def alive(self) -> bool:
+        process = self.process
+        return process is not None and process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        process = self.process
+        return process.pid if process is not None else None
+
+    def heartbeat_age(self, clock: Callable[[], float] = time.monotonic):
+        cell = self.heartbeat
+        if cell is None:
+            return None
+        return max(0.0, clock() - cell.value)
+
+    def call(self, payload: dict, timeout_s: float) -> Tuple[str, dict]:
+        """Send one request and wait for its reply (serial per shard).
+
+        Raises :class:`WorkerCrashError` if the worker dies mid-request
+        or does not answer within ``timeout_s`` (the worker is then
+        killed so a late reply cannot desync the next call — the
+        supervisor restarts it with a fresh pipe).
+        """
+        with self.lock:
+            process, conn = self.process, self.conn
+            if self.dark or process is None or not process.is_alive():
+                raise WorkerCrashError(
+                    f"shard {self.index} has no live worker",
+                    stage="fleet",
+                )
+            try:
+                conn.send(payload)
+            except (OSError, ValueError) as exc:
+                raise WorkerCrashError(
+                    f"shard {self.index} pipe broke on send: {exc}",
+                    stage="fleet",
+                ) from exc
+            deadline = time.monotonic() + timeout_s
+            while True:
+                try:
+                    ready = conn.poll(self.POLL_S)
+                except (OSError, ValueError) as exc:
+                    raise WorkerCrashError(
+                        f"shard {self.index} pipe broke mid-wait: {exc}",
+                        stage="fleet",
+                    ) from exc
+                if ready:
+                    try:
+                        sequence, status, body = conn.recv()
+                    except (EOFError, OSError) as exc:
+                        raise WorkerCrashError(
+                            f"shard {self.index} worker died mid-reply "
+                            f"(pid {process.pid})",
+                            stage="fleet",
+                        ) from exc
+                    if sequence != payload["seq"]:
+                        continue  # stale pre-crash reply: discard
+                    self.served += 1
+                    return status, body
+                if not process.is_alive():
+                    raise WorkerCrashError(
+                        f"shard {self.index} worker died mid-request "
+                        f"(pid {process.pid}, "
+                        f"exitcode {process.exitcode})",
+                        stage="fleet",
+                    )
+                if time.monotonic() >= deadline:
+                    self.kill()
+                    raise WorkerCrashError(
+                        f"shard {self.index} did not answer within "
+                        f"{timeout_s:.1f}s (wedged; killed for restart)",
+                        stage="fleet",
+                        hint="raise attempt_timeout_s if binds are "
+                        "legitimately slower than this",
+                    )
+
+    def kill(self) -> None:
+        process = self.process
+        if process is not None and process.is_alive():
+            process.kill()
+
+    def close(self) -> None:
+        self.kill()
+        process, conn = self.process, self.conn
+        if process is not None:
+            process.join(timeout=2.0)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.process = None
+        self.conn = None
+
+
+class Supervisor:
+    """Monitor thread + restart policy over a fleet of worker handles.
+
+    ``start_worker(index, generation)`` must return a started
+    ``(process, conn, heartbeat)`` triple; the supervisor owns spawning
+    at startup, kill-restarting wedged workers, respawning crashed ones
+    (within ``restart_budget`` per shard), and darkening shards that
+    exhaust their budget.
+    """
+
+    def __init__(
+        self,
+        start_worker: Callable[[int, int], tuple],
+        shards: int,
+        liveness_deadline_s: float = 1.5,
+        poll_s: float = 0.05,
+        restart_budget: int = 8,
+        on_shard_down: Optional[Callable[[int, str], None]] = None,
+        on_shard_up: Optional[Callable[[int], None]] = None,
+        telemetry=None,
+    ):
+        self.start_worker = start_worker
+        self.handles: List[WorkerHandle] = [
+            WorkerHandle(i) for i in range(shards)
+        ]
+        self.liveness_deadline_s = float(liveness_deadline_s)
+        self.poll_s = float(poll_s)
+        self.restart_budget = int(restart_budget)
+        self.on_shard_down = on_shard_down
+        self.on_shard_up = on_shard_up
+        self.telemetry = telemetry
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "Supervisor":
+        for handle in self.handles:
+            with handle.lock:
+                handle.attach(
+                    *self.start_worker(handle.index, handle.generation + 1)
+                )
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._monitor_loop, name="repro-fleet-supervisor",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        for handle in self.handles:
+            handle.close()
+
+    # -- monitoring ------------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter(name).add()
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.poll_s):
+            for handle in self.handles:
+                if handle.dark:
+                    continue
+                if not handle.alive:
+                    self._restart(handle, reason="crashed")
+                    continue
+                age = handle.heartbeat_age()
+                if age is not None and age > self.liveness_deadline_s:
+                    # Wedged: the process is alive but its heartbeat
+                    # thread has not ticked within the deadline.
+                    self._count("workers_wedged")
+                    handle.kill()
+                    self._restart(handle, reason="wedged")
+
+    def _restart(self, handle: WorkerHandle, reason: str) -> None:
+        if self._stop.is_set():
+            return
+        if handle.restarts >= self.restart_budget:
+            handle.dark = True
+            self._count("shards_dark")
+            if self.on_shard_down is not None:
+                self.on_shard_down(handle.index, "restart-budget-exhausted")
+            return
+        if self.on_shard_down is not None:
+            self.on_shard_down(handle.index, reason)
+        # The per-shard lock serializes with any caller still inside
+        # call(); a caller blocked there notices the death within one
+        # poll tick and bails with WorkerCrashError, releasing the lock.
+        with handle.lock:
+            old_process, old_conn = handle.process, handle.conn
+            if old_process is not None:
+                old_process.join(timeout=2.0)
+            if old_conn is not None:
+                try:
+                    old_conn.close()
+                except OSError:
+                    pass
+            handle.attach(
+                *self.start_worker(handle.index, handle.generation + 1)
+            )
+            handle.restarts += 1
+        self._count("worker_restarts")
+        if self.on_shard_up is not None:
+            self.on_shard_up(handle.index)
+
+    # -- stats -----------------------------------------------------------------
+
+    def stats(self) -> List[dict]:
+        out = []
+        for handle in self.handles:
+            age = handle.heartbeat_age()
+            out.append(
+                {
+                    "shard": handle.index,
+                    "pid": handle.pid,
+                    "alive": handle.alive,
+                    "dark": handle.dark,
+                    "generation": handle.generation,
+                    "restarts": handle.restarts,
+                    "served": handle.served,
+                    "heartbeat_age_s": (
+                        round(age, 3) if age is not None else None
+                    ),
+                }
+            )
+        return out
+
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "HALF_OPEN",
+    "OPEN",
+    "Supervisor",
+    "WorkerHandle",
+    "mp_context",
+]

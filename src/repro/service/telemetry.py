@@ -238,6 +238,18 @@ class Telemetry:
 
     # -- snapshots -------------------------------------------------------------
 
+    def flush(self) -> None:
+        """Flush the span sink, if it has anything to flush.
+
+        Sinks are plain callables; file-backed ones (or wrappers around
+        buffered streams) may expose ``flush()``.  Called by graceful
+        shutdown paths so no span is lost when the process exits.
+        """
+        sink = self._sink
+        flush = getattr(sink, "flush", None)
+        if callable(flush):
+            flush()
+
     def snapshot(self) -> dict:
         """JSON-able view of every counter and histogram."""
         with self._lock:

@@ -1,0 +1,92 @@
+"""Corrupt-artifact quarantine: preserved for autopsy, never re-served.
+
+A torn/corrupt ``.npz`` used to be unlinked on read; now it is moved to
+a ``quarantine/`` sibling with a reason file so operators can inspect
+what went wrong, while the cache still degrades it to an observable safe
+miss and subsequent operations (eviction, health, clear) ignore the
+quarantined bytes entirely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.plancache import CacheEntry, DiskStore, PlanCache
+from repro.plancache.store import QUARANTINE_DIR
+
+pytestmark = pytest.mark.plancache
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+def seeded_store(tmp_path):
+    store = DiskStore(tmp_path / "cache")
+    path = store.put(
+        KEY,
+        CacheEntry(meta={"n": 1}, arrays={"a": np.arange(8, dtype=np.int64)}),
+    )
+    return store, path
+
+
+def corrupt(path):
+    data = path.read_bytes()
+    path.write_bytes(data[: max(1, len(data) // 3)])
+
+
+class TestQuarantine:
+    def test_corrupt_read_quarantines_with_reason(self, tmp_path):
+        store, path = seeded_store(tmp_path)
+        corrupt(path)
+        assert store.get(KEY) is None  # safe miss, no exception
+        assert not path.exists()
+        assert store.quarantined() == [path.stem]
+        qdir = store.quarantine_dir
+        assert (qdir / path.name).exists()
+        reason = (qdir / f"{path.stem}.reason.txt").read_text()
+        assert KEY in reason and "error:" in reason
+        assert store.stats.corrupt == 1
+        assert store.stats.corrupt_quarantined == 1
+
+    def test_quarantined_artifact_is_invisible_to_store_ops(self, tmp_path):
+        store, path = seeded_store(tmp_path)
+        corrupt(path)
+        store.get(KEY)
+        # keys/total_bytes/health must not count the quarantined bytes.
+        assert store.keys() == []
+        assert store.total_bytes() == 0
+        health = store.health()
+        assert health["entries"] == 0
+        assert health["quarantined"] == 1
+        # clear() wipes live artifacts but leaves the quarantine corpus.
+        store.put(OTHER, CacheEntry(meta={}, arrays={"b": np.zeros(4)}))
+        assert store.clear() == 1
+        assert store.quarantined() == [path.stem]
+
+    def test_rebind_after_quarantine_is_bit_identical(self, tmp_path):
+        from tests.plancache.conftest import tiny_data
+        from repro.runtime.planspec import plan_from_spec
+        from repro.service.request import result_digests
+
+        spec = {"kernel": "moldyn", "steps": [{"type": "cpack"}]}
+        data = tiny_data()
+        plan = plan_from_spec(spec)
+
+        cache = PlanCache(directory=tmp_path / "cache")
+        first = plan.bind(data, cache=cache)
+        artifacts = list((tmp_path / "cache").glob("*/*.npz"))
+        assert artifacts and artifacts[0].parent.name != QUARANTINE_DIR
+        corrupt(artifacts[0])
+
+        # A fresh process (fresh memory tier) over the same directory:
+        # corrupt artifact -> quarantine -> recompute, bit-identical.
+        rebound = PlanCache(directory=tmp_path / "cache")
+        second = plan.bind(data, cache=rebound)
+        assert result_digests(first) == result_digests(second)
+        assert rebound.stats.corrupt_quarantined == 1
+        assert rebound.disk.quarantined()
+
+    def test_stats_describe_mentions_quarantined(self, tmp_path):
+        store, path = seeded_store(tmp_path)
+        corrupt(path)
+        store.get(KEY)
+        assert "1 quarantined" in store.stats.describe()
