@@ -315,6 +315,30 @@ def _engine_health_lines():
     return lines, payload
 
 
+def _executor_backend_lines():
+    """Executor-backend selection + toolchain probe (for ``doctor``)."""
+    from repro.lowering.executor import executor_backend_report
+
+    report = executor_backend_report()
+    tool = report["toolchain"]
+    lines = [
+        f"executor backend: {report['backend']} ({report['source']})",
+        "  toolchain: "
+        + (
+            f"{tool['compiler']} [{tool['version']}]"
+            if tool["available"]
+            else f"unavailable ({tool['reason']}) — C rung degrades to numpy"
+        ),
+        f"  compiled artifacts: {report['artifacts']['artifacts']} "
+        f"({report['artifacts']['total_bytes']} bytes) in "
+        f"{report['artifacts']['directory']}",
+    ]
+    if report["degraded"]:
+        for frm, to, reason in report["fallbacks"]:
+            lines.append(f"  FALLBACK: {frm} -> {to} ({reason})")
+    return lines, report
+
+
 def _service_stats_lines(scale=None):
     """ServiceStats: live self-exercise of the bind service (``doctor``)."""
     from repro.service import service_self_check
@@ -376,6 +400,8 @@ def _cmd_doctor(args) -> int:
     cache_unhealthy = not health["writable"] or health["unreadable"] > 0
     engine_lines, engine = _engine_health_lines()
     blocks.append("\n".join(engine_lines))
+    executor_lines, executor_report = _executor_backend_lines()
+    blocks.append("\n".join(executor_lines))
     service_lines, service = _service_stats_lines(scale=args.scale)
     blocks.append("\n".join(service_lines))
 
@@ -416,6 +442,7 @@ def _cmd_doctor(args) -> int:
             "pipeline": result.report.to_dict(),
             "plan_cache": health,
             "engine": engine,
+            "executor": executor_report,
             "service": service,
             "verdict": verdict,
             "exit_code": exit_code,
@@ -531,6 +558,28 @@ def _cmd_serve(args) -> int:
     """Run the bind service (in-process threads or a sharded fleet)."""
     from repro.plancache import PlanCache
     from repro.service import JsonlSink, PlanService, ServiceConfig, Telemetry
+
+    if args.executor_backend:
+        import os
+
+        from repro.lowering.executor import (
+            EXECUTOR_BACKEND_ENV,
+            resolve_executor_backend,
+        )
+
+        # Validate (and surface any toolchain fallback) up front, then
+        # publish via the env var so every bind worker resolves it.
+        resolution = resolve_executor_backend(args.executor_backend)
+        os.environ[EXECUTOR_BACKEND_ENV] = args.executor_backend
+        print(
+            f"executor backend: {resolution.backend}"
+            + (
+                f" (requested {resolution.requested}, degraded)"
+                if resolution.degraded
+                else ""
+            ),
+            file=sys.stderr,
+        )
 
     sink = None
     if args.trace:
@@ -859,6 +908,13 @@ def main(argv=None) -> int:
         "--no-coalesce",
         action="store_true",
         help="disable single-flight coalescing of identical in-flight requests",
+    )
+    p.add_argument(
+        "--executor-backend",
+        choices=["auto", "library", "numpy", "c"],
+        default=None,
+        help="executor tier for binds (default: REPRO_EXECUTOR_BACKEND or "
+        "library; c degrades to numpy without a toolchain)",
     )
     p.add_argument(
         "--no-cache", action="store_true", help="serve without a plan cache"

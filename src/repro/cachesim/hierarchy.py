@@ -17,18 +17,28 @@ from repro.cachesim.trace import AccessTrace
 #: ``REPRO_CACHESIM_BACKEND`` environment variable or ``vectorized``.
 BACKENDS = ("auto", "reference", "vectorized")
 
+#: Environment override consulted when no explicit backend is passed.
+BACKEND_ENV = "REPRO_CACHESIM_BACKEND"
+
 
 def resolve_backend(backend: Optional[str]) -> str:
-    """Normalize a backend selector to ``reference`` or ``vectorized``."""
-    if backend in (None, "auto"):
-        backend = os.environ.get("REPRO_CACHESIM_BACKEND", "vectorized")
-    if backend == "auto":
-        backend = "vectorized"
-    if backend not in ("reference", "vectorized"):
-        raise ValueError(
-            f"unknown cachesim backend {backend!r}; choose from {BACKENDS}"
-        )
-    return backend
+    """Normalize a backend selector to ``reference`` or ``vectorized``.
+
+    Precedence (explicit argument > ``REPRO_CACHESIM_BACKEND`` > default)
+    and validation are the shared policy of :func:`repro.backends.resolve`
+    — identical to the executor-backend switch.  Both engines are always
+    available, so this switch never takes a fallback rung.
+    """
+    from repro import backends
+
+    return backends.resolve(
+        backend,
+        subsystem="cachesim",
+        choices=BACKENDS,
+        env_var=BACKEND_ENV,
+        default="auto",
+        ladder=("vectorized", "reference"),
+    ).backend
 
 
 @dataclass

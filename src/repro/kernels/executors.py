@@ -55,8 +55,25 @@ STEP_FUNCTIONS: Dict[str, Callable] = {
 }
 
 
-def run_steps(data: KernelData, num_steps: int) -> KernelData:
-    """Run the kernel's time loop in place; returns ``data`` for chaining."""
+def run_steps(
+    data: KernelData, num_steps: int, backend: Optional[str] = None
+) -> KernelData:
+    """Run the kernel's time loop in place; returns ``data`` for chaining.
+
+    ``backend`` selects the executor tier (``library`` | ``numpy`` | ``c``,
+    resolved like every backend switch: argument >
+    ``REPRO_EXECUTOR_BACKEND`` > the library default); all tiers are
+    bit-identical.
+    """
+    from repro.lowering.executor import resolve_executor_backend
+
+    resolved = resolve_executor_backend(backend).backend
+    if resolved != "library":
+        from repro.lowering.executor import compile_executor
+
+        compiled = compile_executor(data.kernel_name, backend=resolved)
+        compiled.run(data.arrays, data.left, data.right, num_steps=num_steps)
+        return data
     step = STEP_FUNCTIONS[data.kernel_name]
     for _ in range(num_steps):
         step(data.arrays, data.left, data.right)

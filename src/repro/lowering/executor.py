@@ -1,0 +1,393 @@
+"""Bind-time compilation and selection of executor backends.
+
+Three backends implement the same executor contract:
+
+* ``library`` — the hand-written NumPy step/phase functions of
+  :mod:`repro.kernels.executors` (the default; zero compilation);
+* ``numpy``  — generated vectorized-NumPy source from
+  :mod:`repro.lowering.emit_numpy`, exec'd at bind time;
+* ``c``      — generated C from :mod:`repro.lowering.emit_c`, compiled
+  to a shared object at bind time and driven through ``ctypes``.
+
+Selection follows the shared policy of :func:`repro.backends.resolve`
+(argument > ``REPRO_EXECUTOR_BACKEND`` > default ``library``); asking
+for ``c`` on a machine without a toolchain degrades to ``numpy`` with a
+single :class:`~repro.backends.BackendFallbackWarning`.
+
+Compiled artifacts (the generated ``.py`` source, the ``.c`` source,
+and the built ``.so``) are content-addressed in the plan cache's
+:class:`~repro.plancache.artifacts.ArtifactStore` under
+:func:`artifact_key` — lowered-IR hash x pass config x emitter version
+x toolchain fingerprint — so a warm bind is a file read + dlopen, not a
+compile.  A per-process memo on top makes repeat binds free.
+
+All backends are **bit-identical** (asserted by the compiled identity
+suite): the callable returned by :func:`compile_executor` has the same
+signature and the same floating-point behavior per backend.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import backends
+from repro.errors import ValidationError
+from repro.lowering import toolchain
+from repro.lowering.ir import Program, ir_hash, lower_kernel
+from repro.lowering.passes import LoweringRewriter, PassConfig, RewriteState
+
+#: Valid selector values for the executor switch (``auto`` = best
+#: available: ``c`` with a toolchain, else ``numpy``).
+EXECUTOR_BACKENDS = ("auto", "library", "numpy", "c")
+
+#: Environment override consulted when no explicit backend is passed.
+EXECUTOR_BACKEND_ENV = "REPRO_EXECUTOR_BACKEND"
+
+#: Default backend: the library executor (no compilation surprises
+#: unless a backend is asked for).
+DEFAULT_EXECUTOR_BACKEND = "library"
+
+#: Best-first ladder for ``auto`` resolution and unavailability walks.
+EXECUTOR_LADDER = ("c", "numpy", "library")
+
+
+def resolve_executor_backend(
+    backend: Optional[str] = None, warn: bool = True
+) -> backends.Resolution:
+    """Resolve the executor backend selector (shared policy; the ``c``
+    rung is gated on a live C toolchain)."""
+    return backends.resolve(
+        backend,
+        subsystem="executor",
+        choices=EXECUTOR_BACKENDS,
+        env_var=EXECUTOR_BACKEND_ENV,
+        default=DEFAULT_EXECUTOR_BACKEND,
+        ladder=EXECUTOR_LADDER,
+        available={"c": toolchain.have_toolchain},
+        warn=warn,
+    )
+
+
+def artifact_key(program: Program, config: PassConfig, emitter: str) -> str:
+    """Content address of one compiled executor build."""
+    tool = toolchain.toolchain_fingerprint() if emitter.startswith("c") else ""
+    blob = "\x1f".join((ir_hash(program), config.digest(), emitter, tool))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class CompiledExecutor:
+    """One bound executor: ``run`` plus its provenance.
+
+    * untiled: ``run(arrays, left, right, num_steps=1)``
+    * tiled:   ``run(arrays, left, right, schedule, wave_groups=None,
+      num_steps=1)``
+    """
+
+    kernel_name: str
+    backend: str
+    tiled: bool
+    run: Callable
+    ir_digest: str
+    artifact_path: Optional[str] = None
+    from_cache: bool = False
+    state: Optional[RewriteState] = None
+
+
+_MEMO: Dict[Tuple, CompiledExecutor] = {}
+_MEMO_LOCK = threading.Lock()
+
+
+def clear_executor_memo() -> None:
+    """Drop per-process compiled-executor memo (test hook)."""
+    with _MEMO_LOCK:
+        _MEMO.clear()
+
+
+def _as_f64(arrays: Dict[str, np.ndarray], names) -> List[np.ndarray]:
+    out = []
+    for name in names:
+        arr = arrays[name]
+        if arr.dtype != np.float64 or not arr.flags["C_CONTIGUOUS"]:
+            raise ValidationError(
+                f"compiled executors require contiguous float64 data "
+                f"({name!r} is {arr.dtype}, contiguous="
+                f"{arr.flags['C_CONTIGUOUS']})"
+            )
+        out.append(arr)
+    return out
+
+
+def _as_i64(arr: np.ndarray, what: str) -> np.ndarray:
+    arr = np.ascontiguousarray(arr)
+    if arr.dtype != np.int64:
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise ValidationError(f"{what} must be an integer array")
+        arr = arr.astype(np.int64)
+    return arr
+
+
+def _dptr(arr: np.ndarray):
+    return arr.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+
+
+def _iptr(arr: np.ndarray):
+    return arr.ctypes.data_as(ctypes.POINTER(ctypes.c_longlong))
+
+
+def _flatten_csr(chunks: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    off = np.zeros(len(chunks) + 1, dtype=np.int64)
+    for i, chunk in enumerate(chunks):
+        off[i + 1] = off[i] + len(chunk)
+    if chunks:
+        flat = np.concatenate([_as_i64(c, "schedule") for c in chunks])
+    else:  # pragma: no cover - empty schedules are rejected upstream
+        flat = np.zeros(0, dtype=np.int64)
+    return np.ascontiguousarray(flat), off
+
+
+def _library_runner(kernel_name: str, tiled: bool) -> Callable:
+    """The library backend behind the compiled-executor signature."""
+    from repro.kernels.executors import PHASE_FUNCTIONS, STEP_FUNCTIONS
+
+    if not tiled:
+        step = STEP_FUNCTIONS[kernel_name]
+
+        def run(arrays, left, right, num_steps=1):
+            for _ in range(num_steps):
+                step(arrays, left, right)
+            return arrays
+
+        return run
+
+    phases = PHASE_FUNCTIONS[kernel_name]
+
+    def run_tiled(arrays, left, right, schedule, wave_groups=None, num_steps=1):
+        if wave_groups is None:
+            wave_groups = [[t] for t in range(len(schedule))]
+        for _ in range(num_steps):
+            for group in wave_groups:
+                tiles = [schedule[int(t)] for t in group]
+                for pos, phase in enumerate(phases):
+                    work = [t[pos] for t in tiles if len(t[pos])]
+                    if not work:
+                        continue
+                    if phase.domain == "nodes":
+                        for it in work:
+                            phase.apply(arrays, it)
+                    else:
+                        ends = [(left[it], right[it]) for it in work]
+                        payloads = [
+                            phase.gather(arrays, l, r) for l, r in ends
+                        ]
+                        for (l, r), payload in zip(ends, payloads):
+                            phase.commit(arrays, l, r, payload)
+        return arrays
+
+    return run_tiled
+
+
+def _c_runner(so_path: str, program: Program, tiled: bool) -> Callable:
+    lib = ctypes.CDLL(so_path)
+    names = program.data_arrays
+    n_loops = len(program.loops)
+
+    if not tiled:
+        fn = lib.run
+        fn.restype = None
+
+        def run(arrays, left, right, num_steps=1):
+            datas = _as_f64(arrays, names)
+            left = _as_i64(left, "left")
+            right = _as_i64(right, "right")
+            num_nodes = datas[0].shape[0]
+            num_inter = left.shape[0]
+            scratch = np.empty(max(num_inter, 1), dtype=np.float64)
+            fn(
+                *[_dptr(d) for d in datas],
+                _iptr(left),
+                _iptr(right),
+                ctypes.c_longlong(num_nodes),
+                ctypes.c_longlong(num_inter),
+                ctypes.c_longlong(num_steps),
+                _dptr(scratch),
+            )
+            return arrays
+
+        return run
+
+    fn = lib.run_tiled
+    fn.restype = None
+
+    def run_tiled(arrays, left, right, schedule, wave_groups=None, num_steps=1):
+        datas = _as_f64(arrays, names)
+        left = _as_i64(left, "left")
+        right = _as_i64(right, "right")
+        num_nodes = datas[0].shape[0]
+        num_inter = left.shape[0]
+        if wave_groups is None:
+            wave_groups = [
+                np.array([t], dtype=np.int64) for t in range(len(schedule))
+            ]
+        keepalive = []  # the CSR arrays must outlive the foreign call
+        csr_ptrs = []
+        for pos in range(n_loops):
+            iters, off = _flatten_csr([tile[pos] for tile in schedule])
+            keepalive += [iters, off]
+            csr_ptrs += [_iptr(iters), _iptr(off)]
+        wave_tiles, wave_off = _flatten_csr(
+            [np.asarray(g, dtype=np.int64) for g in wave_groups]
+        )
+        scratch = np.empty(max(num_inter, 1), dtype=np.float64)
+        fn(
+            *[_dptr(d) for d in datas],
+            _iptr(left),
+            _iptr(right),
+            ctypes.c_longlong(num_nodes),
+            ctypes.c_longlong(num_inter),
+            ctypes.c_longlong(num_steps),
+            *csr_ptrs,
+            _iptr(wave_tiles),
+            _iptr(wave_off),
+            ctypes.c_longlong(len(wave_groups)),
+            _dptr(scratch),
+        )
+        del keepalive
+        return arrays
+
+    return run_tiled
+
+
+def _rewritten(kernel_name: str, tiled: bool, config: PassConfig) -> RewriteState:
+    from repro.kernels.specs import kernel_by_name
+
+    program = lower_kernel(kernel_by_name(kernel_name))
+    return LoweringRewriter(config=config, tiled=tiled).run(program)
+
+
+def compile_executor(
+    kernel_name: str,
+    backend: Optional[str] = None,
+    tiled: bool = False,
+    config: Optional[PassConfig] = None,
+    cache_dir=None,
+    memo: bool = True,
+) -> CompiledExecutor:
+    """Lower, rewrite, emit, (compile,) and bind one kernel executor.
+
+    ``backend`` follows the shared resolution policy; the returned
+    executor records which backend actually ran and whether its artifact
+    came from the content-addressed cache.
+    """
+    from repro.codegen.emit import compile_source
+    from repro.lowering import emit_c, emit_numpy
+    from repro.plancache.artifacts import ArtifactStore
+
+    resolved = resolve_executor_backend(backend).backend
+    config = config or PassConfig()
+
+    memo_key = (kernel_name, resolved, tiled, config.digest(), str(cache_dir))
+    if memo:
+        with _MEMO_LOCK:
+            hit = _MEMO.get(memo_key)
+        if hit is not None:
+            return hit
+
+    state = _rewritten(kernel_name, tiled, config)
+    program = state.program
+    digest = ir_hash(program)
+
+    if resolved == "library":
+        compiled = CompiledExecutor(
+            kernel_name=kernel_name,
+            backend="library",
+            tiled=tiled,
+            run=_library_runner(kernel_name, tiled),
+            ir_digest=digest,
+            state=state,
+        )
+    elif resolved == "numpy":
+        store = ArtifactStore(cache_dir)
+        emit = emit_numpy.emit_numpy_tiled if tiled else emit_numpy.emit_numpy
+        key = artifact_key(program, config, emit_numpy.EMITTER_VERSION)
+        path, hit = store.get_or_build_text(key, "py", lambda: emit(program))
+        fn = compile_source(path.read_text(), "run")
+        compiled = CompiledExecutor(
+            kernel_name=kernel_name,
+            backend="numpy",
+            tiled=tiled,
+            run=fn,
+            ir_digest=digest,
+            artifact_path=str(path),
+            from_cache=hit,
+            state=state,
+        )
+    else:  # "c"
+        store = ArtifactStore(cache_dir)
+        emit = emit_c.emit_c_tiled if tiled else emit_c.emit_c
+        key = artifact_key(program, config, emit_c.EMITTER_VERSION)
+        src_path, _ = store.get_or_build_text(key, "c", lambda: emit(program))
+        so_path, hit = store.get_or_build_file(
+            key, "so", lambda tmp: toolchain.compile_shared(src_path, tmp)
+        )
+        compiled = CompiledExecutor(
+            kernel_name=kernel_name,
+            backend="c",
+            tiled=tiled,
+            run=_c_runner(str(so_path), program, tiled),
+            ir_digest=digest,
+            artifact_path=str(so_path),
+            from_cache=hit,
+            state=state,
+        )
+
+    if memo:
+        with _MEMO_LOCK:
+            _MEMO[memo_key] = compiled
+    return compiled
+
+
+def executor_backend_report() -> dict:
+    """Doctor payload: selection, toolchain, and artifact-store state."""
+    from repro.plancache.artifacts import ArtifactStore
+
+    resolution = resolve_executor_backend(warn=False)
+    ok, reason = toolchain.have_toolchain()
+    cc = toolchain.find_compiler()
+    report = {
+        "backend": resolution.backend,
+        "source": resolution.source,
+        "requested": resolution.requested,
+        "degraded": resolution.degraded,
+        "fallbacks": [list(f) for f in resolution.fallbacks],
+        "choices": list(EXECUTOR_BACKENDS),
+        "toolchain": {
+            "available": ok,
+            "compiler": cc,
+            "version": toolchain.compiler_version(cc) if cc else None,
+            "fingerprint": toolchain.toolchain_fingerprint(),
+            "reason": reason or None,
+        },
+        "artifacts": ArtifactStore().health(),
+    }
+    return report
+
+
+__all__ = [
+    "DEFAULT_EXECUTOR_BACKEND",
+    "EXECUTOR_BACKENDS",
+    "EXECUTOR_BACKEND_ENV",
+    "EXECUTOR_LADDER",
+    "CompiledExecutor",
+    "artifact_key",
+    "clear_executor_memo",
+    "compile_executor",
+    "executor_backend_report",
+    "resolve_executor_backend",
+]

@@ -1,0 +1,137 @@
+"""Content-addressed store for compiled executor artifacts.
+
+Lives under the plan cache root (``<cache_dir>/artifacts/``) so one
+``REPRO_PLANCACHE_DIR`` governs both plan entries and compiled
+executors.  Artifacts are keyed by the full build fingerprint —
+lowered-IR hash x pass-config digest x emitter version x toolchain
+fingerprint (see :func:`repro.lowering.executor.artifact_key`) — so a
+warm bind loads a cached ``.so``/``.py`` byte-for-byte instead of
+recompiling, and any change to the IR, the pass pipeline, an emitter, or
+the system compiler silently addresses a fresh slot.
+
+Writes are crash-safe the same way the plan store's are: build into a
+``.tmp-`` sibling, ``os.replace`` into place (atomic on POSIX), so a
+concurrent reader sees either nothing or a complete artifact, and two
+racing builders of the same key both succeed (last rename wins with
+identical content).
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from repro.plancache.store import resolve_cache_dir
+
+#: Subdirectory of the plan-cache root holding compiled artifacts.
+ARTIFACT_SUBDIR = "artifacts"
+
+
+class ArtifactStore:
+    """Filesystem store mapping ``(key, suffix)`` to one artifact file."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.root = resolve_cache_dir(directory) / ARTIFACT_SUBDIR
+
+    def path(self, key: str, suffix: str) -> Path:
+        """Where ``(key, suffix)`` lives (two-level fan-out like git)."""
+        return self.root / key[:2] / f"{key}.{suffix}"
+
+    def get(self, key: str, suffix: str) -> Optional[Path]:
+        path = self.path(key, suffix)
+        return path if path.exists() else None
+
+    def _commit(self, tmp: Path, final: Path) -> Path:
+        final.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(tmp, final)
+        return final
+
+    def put_text(self, key: str, suffix: str, text: str) -> Path:
+        final = self.path(key, suffix)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = final.parent / f".tmp-{uuid.uuid4().hex}"
+        try:
+            tmp.write_text(text)
+            return self._commit(tmp, final)
+        finally:
+            if tmp.exists():  # commit failed
+                tmp.unlink()
+
+    def get_or_build_text(
+        self, key: str, suffix: str, build: Callable[[], str]
+    ) -> Tuple[Path, bool]:
+        """Return ``(path, hit)``; on miss, build the text and store it."""
+        existing = self.get(key, suffix)
+        if existing is not None:
+            return existing, True
+        return self.put_text(key, suffix, build()), False
+
+    def get_or_build_file(
+        self, key: str, suffix: str, build: Callable[[Path], None]
+    ) -> Tuple[Path, bool]:
+        """Return ``(path, hit)``; on miss, ``build(tmp_path)`` must write
+        the artifact to ``tmp_path``, which is then committed atomically."""
+        final = self.path(key, suffix)
+        if final.exists():
+            return final, True
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = final.parent / f".tmp-{uuid.uuid4().hex}"
+        try:
+            build(tmp)
+            if not tmp.exists():
+                raise RuntimeError(
+                    f"artifact builder produced no file for {key}.{suffix}"
+                )
+            return self._commit(tmp, final), False
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    def keys(self) -> List[str]:
+        if not self.root.exists():
+            return []
+        return sorted(
+            p.name.split(".", 1)[0]
+            for shard in self.root.iterdir()
+            if shard.is_dir()
+            for p in shard.iterdir()
+            if not p.name.startswith(".tmp-")
+        )
+
+    def total_bytes(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(
+            p.stat().st_size
+            for shard in self.root.iterdir()
+            if shard.is_dir()
+            for p in shard.iterdir()
+            if p.is_file()
+        )
+
+    def clear(self) -> int:
+        """Delete every artifact; returns how many files were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for p in sorted(shard.iterdir()):
+                p.unlink()
+                removed += 1
+            shard.rmdir()
+        return removed
+
+    def health(self) -> dict:
+        files = self.keys()
+        return {
+            "directory": str(self.root),
+            "artifacts": len(files),
+            "total_bytes": self.total_bytes(),
+        }
+
+
+__all__ = ["ARTIFACT_SUBDIR", "ArtifactStore"]

@@ -33,10 +33,12 @@ import numpy as np
 SALT_EXTRA = os.environ.get("REPRO_PLANCACHE_SALT", "")
 
 #: Modules whose source feeds the code-version salt: the reordering
-#: algorithms themselves plus the composed inspector that drives them.
+#: algorithms, the composed inspector that drives them, and the lowering
+#: tier whose compiled executors cached binds rehydrate into.
 _SALT_MODULE_NAMES = (
     "repro.transforms",
     "repro.runtime.inspector",
+    "repro.lowering",
 )
 
 _code_salt_cache: Optional[str] = None
@@ -90,12 +92,34 @@ def _module_sources() -> Iterable[bytes]:
                     yield fh.read()
 
 
-def code_version_salt() -> str:
-    """Digest of the transform/inspector sources (+ ``SALT_EXTRA``).
+def _executor_backend_tag() -> str:
+    """The active executor backend plus (for ``c``) the toolchain id.
 
-    Computed once per process; a source edit changes the digest in the
-    next process, so every previously cached plan self-invalidates (its
-    key is never generated again).
+    Mixed into the salt *fresh on every call* — ``REPRO_EXECUTOR_BACKEND``
+    can change between binds within one process, and a plan cached under
+    the C backend must never rehydrate into a mismatched interpreter-
+    backend bind (their executors are bit-identical by construction, but
+    the bind carries backend-specific artifacts and provenance).
+    """
+    from repro.lowering.executor import resolve_executor_backend
+
+    backend = resolve_executor_backend(warn=False).backend
+    if backend == "c":
+        from repro.lowering import toolchain
+
+        return f"executor:{backend}:{toolchain.toolchain_fingerprint()}"
+    return f"executor:{backend}"
+
+
+def code_version_salt() -> str:
+    """Digest of the transform/inspector/lowering sources, the active
+    executor backend (+ toolchain fingerprint), and ``SALT_EXTRA``.
+
+    The source digest is computed once per process; a source edit changes
+    it in the next process, so every previously cached plan
+    self-invalidates (its key is never generated again).  The backend tag
+    is re-read every call so flipping ``REPRO_EXECUTOR_BACKEND``
+    mid-process also misses.
     """
     global _code_salt_cache
     if _code_salt_cache is None:
@@ -103,11 +127,9 @@ def code_version_salt() -> str:
         for blob in _module_sources():
             h.update(blob)
         _code_salt_cache = h.hexdigest()
-    if SALT_EXTRA:
-        h = _hasher()
-        _update(h, _code_salt_cache, SALT_EXTRA)
-        return h.hexdigest()
-    return _code_salt_cache
+    h = _hasher()
+    _update(h, _code_salt_cache, _executor_backend_tag(), SALT_EXTRA)
+    return h.hexdigest()
 
 
 def dataset_fingerprint(data, include_payload: bool = False) -> str:

@@ -136,6 +136,7 @@ def emit_trace(
 def run_numeric(
     data: KernelData,
     num_steps: int = 1,
+    backend: Optional[str] = None,
 ) -> KernelData:
     """Execute the kernel arithmetic in place (plan-independent result).
 
@@ -143,7 +144,20 @@ def run_numeric(
     numeric result does not depend on the iteration order; executing with
     the (possibly transformed) index arrays and payload layout *in place*
     is the transformed executor of the paper's Figure 13.  Returns ``data``.
+
+    ``backend`` selects the executor tier (``library`` | ``numpy`` | ``c``;
+    argument > ``REPRO_EXECUTOR_BACKEND`` > ``library``).  Compiled
+    backends are bit-identical to the library step functions.
     """
+    from repro.lowering.executor import resolve_executor_backend
+
+    resolved = resolve_executor_backend(backend).backend
+    if resolved != "library":
+        from repro.lowering.executor import compile_executor
+
+        compiled = compile_executor(data.kernel_name, backend=resolved)
+        compiled.run(data.arrays, data.left, data.right, num_steps=num_steps)
+        return data
     step = STEP_FUNCTIONS[data.kernel_name]
     for _ in range(num_steps):
         step(data.arrays, data.left, data.right)
@@ -157,6 +171,7 @@ def run_numeric_wavefront(
     num_steps: int = 1,
     parallel: bool = True,
     max_workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> KernelData:
     """Execute the kernel arithmetic tile by tile, wave by wave.
 
@@ -177,6 +192,10 @@ def run_numeric_wavefront(
     ``parallel=True`` and ``parallel=False`` produce bit-identical
     payloads (asserted by the test suite).  Cross-step dependences are
     covered by the barrier between time steps.  Returns ``data``.
+
+    ``backend`` selects the executor tier; the compiled backends mirror
+    this wave/phase structure exactly (same fixed commit order) and are
+    bit-identical, so ``parallel``/``max_workers`` do not apply to them.
     """
     from repro.kernels.executors import PHASE_FUNCTIONS
 
@@ -192,6 +211,25 @@ def run_numeric_wavefront(
                 f"phase {pos} domain {phase.domain!r} does not match "
                 f"loop domain {desc.domain!r}"
             )
+
+    from repro.lowering.executor import resolve_executor_backend
+
+    resolved = resolve_executor_backend(backend).backend
+    if resolved != "library":
+        from repro.lowering.executor import compile_executor
+
+        compiled = compile_executor(
+            data.kernel_name, backend=resolved, tiled=True
+        )
+        compiled.run(
+            data.arrays,
+            data.left,
+            data.right,
+            schedule,
+            None if waves is None else waves.groups(),
+            num_steps=num_steps,
+        )
+        return data
 
     if waves is None:
         wave_groups = [np.array([t], dtype=np.int64) for t in range(len(schedule))]

@@ -1,0 +1,155 @@
+"""Backend binding: selection, artifact caching, and the no-toolchain path."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import backends
+from repro.backends import BackendFallbackWarning
+from repro.kernels import generate_dataset, make_kernel_data
+from repro.lowering import toolchain
+from repro.lowering.executor import (
+    artifact_key,
+    clear_executor_memo,
+    compile_executor,
+    executor_backend_report,
+    resolve_executor_backend,
+)
+from repro.lowering.ir import lower_kernel
+from repro.lowering.passes import PassConfig
+from repro.kernels.specs import kernel_by_name
+
+pytestmark = pytest.mark.compiled
+
+HAVE_CC = toolchain.have_toolchain()[0]
+
+
+@pytest.fixture(autouse=True)
+def _fresh(monkeypatch, tmp_path):
+    backends.reset_fallback_announcements()
+    clear_executor_memo()
+    monkeypatch.delenv("REPRO_EXECUTOR_BACKEND", raising=False)
+    monkeypatch.setenv("REPRO_PLANCACHE_DIR", str(tmp_path / "cache"))
+    yield
+    backends.reset_fallback_announcements()
+    clear_executor_memo()
+
+
+def _data(kernel="moldyn", scale=64):
+    return make_kernel_data(kernel, generate_dataset("mol1", scale=scale))
+
+
+class TestResolution:
+    def test_default_is_library(self):
+        res = resolve_executor_backend()
+        assert res.backend == "library" and res.source == "default"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR_BACKEND", "numpy")
+        assert resolve_executor_backend().backend == "numpy"
+        assert resolve_executor_backend("library").backend == "library"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            resolve_executor_backend("fortran")
+
+    def test_auto_prefers_c_with_a_toolchain(self):
+        res = resolve_executor_backend("auto")
+        assert res.backend == ("c" if HAVE_CC else "numpy")
+
+
+class TestNoToolchainFallback:
+    def test_c_degrades_to_numpy_with_single_warning(self, monkeypatch):
+        monkeypatch.setattr(toolchain, "find_compiler", lambda: None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = resolve_executor_backend("c")
+            again = resolve_executor_backend("c")
+        assert first.backend == "numpy" and again.backend == "numpy"
+        assert first.degraded
+        fallback_warnings = [
+            w for w in caught if issubclass(w.category, BackendFallbackWarning)
+        ]
+        assert len(fallback_warnings) == 1  # once per process, not per bind
+
+    def test_compile_executor_under_fallback_still_runs(self, monkeypatch):
+        monkeypatch.setattr(toolchain, "find_compiler", lambda: None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", BackendFallbackWarning)
+            ex = compile_executor("moldyn", backend="c")
+        assert ex.backend == "numpy"
+        d = _data()
+        ex.run(d.arrays, d.left, d.right, num_steps=2)
+
+    def test_auto_without_toolchain_is_numpy_and_silent(self, monkeypatch):
+        monkeypatch.setattr(toolchain, "find_compiler", lambda: None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            res = resolve_executor_backend("auto")
+        assert res.backend == "numpy" and not res.degraded
+        assert not [
+            w for w in caught if issubclass(w.category, BackendFallbackWarning)
+        ]
+
+    def test_doctor_report_reflects_missing_toolchain(self, monkeypatch):
+        monkeypatch.setattr(toolchain, "find_compiler", lambda: None)
+        report = executor_backend_report()
+        assert report["toolchain"]["available"] is False
+        assert report["toolchain"]["fingerprint"] == "none"
+        assert report["backend"] == "library"  # default needs no toolchain
+
+
+class TestArtifactCache:
+    def test_numpy_artifact_round_trip(self, tmp_path):
+        cold = compile_executor(
+            "nbf", backend="numpy", cache_dir=tmp_path, memo=False
+        )
+        warm = compile_executor(
+            "nbf", backend="numpy", cache_dir=tmp_path, memo=False
+        )
+        assert not cold.from_cache and warm.from_cache
+        assert cold.artifact_path == warm.artifact_path
+
+    @pytest.mark.skipif(not HAVE_CC, reason="no C toolchain")
+    def test_c_artifact_round_trip(self, tmp_path):
+        cold = compile_executor(
+            "irreg", backend="c", cache_dir=tmp_path, memo=False
+        )
+        warm = compile_executor(
+            "irreg", backend="c", cache_dir=tmp_path, memo=False
+        )
+        assert not cold.from_cache and warm.from_cache
+        assert cold.artifact_path.endswith(".so")
+
+    def test_memo_returns_the_same_bind(self, tmp_path):
+        a = compile_executor("moldyn", backend="numpy", cache_dir=tmp_path)
+        b = compile_executor("moldyn", backend="numpy", cache_dir=tmp_path)
+        assert a is b
+
+    def test_artifact_key_varies_by_config_and_emitter(self):
+        program = lower_kernel(kernel_by_name("moldyn"))
+        base = artifact_key(program, PassConfig(), "numpy-1")
+        assert base != artifact_key(program, PassConfig(fission=False), "numpy-1")
+        assert base != artifact_key(program, PassConfig(), "c-1")
+
+    def test_pass_ablation_stays_numerically_close(self, tmp_path):
+        """Disabling passes changes rounding, not math: results stay
+        within reduction-reassociation tolerance of the library run."""
+        from repro.runtime.executor import run_numeric
+
+        base = _data(scale=48)
+        ref = run_numeric(base.copy(), num_steps=2)
+        for config in (
+            PassConfig(fission=False, vectorize=False),
+            PassConfig(vectorize=False),
+        ):
+            ex = compile_executor(
+                "moldyn", backend="numpy", config=config, cache_dir=tmp_path
+            )
+            d = base.copy()
+            ex.run(d.arrays, d.left, d.right, num_steps=2)
+            for name in ref.arrays:
+                np.testing.assert_allclose(
+                    d.arrays[name], ref.arrays[name], rtol=1e-9, atol=1e-12
+                )

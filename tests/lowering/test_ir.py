@@ -1,0 +1,108 @@
+"""The lowering front end: STATEMENT_CODE -> loop-nest IR.
+
+The IR must preserve the statement expression trees *exactly as
+written* (grouping is floating-point semantics), recognize the update
+form, and hash stably.
+"""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.kernels.specs import STATEMENT_CODE, kernel_by_name
+KERNELS = tuple(STATEMENT_CODE)
+from repro.lowering.ir import (
+    BinOp,
+    Const,
+    Index,
+    Load,
+    Neg,
+    expr_loads,
+    ir_hash,
+    lower_kernel,
+    parse_statement,
+)
+
+pytestmark = pytest.mark.compiled
+
+IDX = ("left", "right")
+
+
+class TestParseStatement:
+    def test_direct_update(self):
+        upd = parse_statement("S", "x[i] = x[i] + 0.5 * v[i]", "i", IDX)
+        assert upd.array == "x" and upd.index == Index(None)
+        assert upd.increment == BinOp(
+            "*", Const(0.5), Load("v", Index(None))
+        )
+
+    def test_left_spine_folds_left_associatively(self):
+        upd = parse_statement(
+            "S", "x[i] = x[i] + 0.01 * v[i] + 0.0005 * f[i]", "i", IDX
+        )
+        # (0.01*v) + (0.0005*f), exactly numpy's evaluation of the chain.
+        assert upd.increment == BinOp(
+            "+",
+            BinOp("*", Const(0.01), Load("v", Index(None))),
+            BinOp("*", Const(0.0005), Load("f", Index(None))),
+        )
+
+    def test_subtracted_term_becomes_neg_when_leading(self):
+        upd = parse_statement(
+            "S", "f[right[j]] = f[right[j]] - (x[left[j]] - x[right[j]])",
+            "j", IDX,
+        )
+        assert isinstance(upd.increment, Neg)
+        assert upd.index == Index("right")
+
+    def test_right_operand_grouping_is_preserved(self):
+        upd = parse_statement(
+            "S", "y[left[j]] = y[left[j]] + 0.5 * (x[left[j]] + x[right[j]])",
+            "j", IDX,
+        )
+        inc = upd.increment
+        assert inc.op == "*" and inc.right.op == "+"
+
+    def test_rejects_non_update_form(self):
+        with pytest.raises(ValidationError, match="update form"):
+            parse_statement("S", "x[i] = v[i] + x[i]", "i", IDX)
+
+    def test_rejects_foreign_index_variable(self):
+        with pytest.raises(ValidationError):
+            parse_statement("S", "x[k] = x[k] + 1.0", "i", IDX)
+
+    def test_rejects_empty_increment(self):
+        with pytest.raises(ValidationError, match="empty increment"):
+            parse_statement("S", "x[i] = x[i]", "i", IDX)
+
+
+class TestLowerKernel:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_all_kernels_lower(self, name):
+        program = lower_kernel(kernel_by_name(name))
+        assert program.kernel_name == name
+        assert len(program.loops) == len(kernel_by_name(name).loops)
+        domains = {loop.domain for loop in program.loops}
+        assert domains == {"nodes", "inters"}
+
+    def test_interaction_loads_are_indirect(self):
+        program = lower_kernel(kernel_by_name("moldyn"))
+        inter = next(l for l in program.loops if l.domain == "inters")
+        for stmt in inter.stmts:
+            assert not stmt.index.direct
+            assert all(
+                not load.index.direct
+                for load in expr_loads(stmt.increment)
+            )
+
+    def test_ir_hash_is_stable_and_discriminating(self):
+        a = lower_kernel(kernel_by_name("moldyn"))
+        b = lower_kernel(kernel_by_name("moldyn"))
+        c = lower_kernel(kernel_by_name("nbf"))
+        assert ir_hash(a) == ir_hash(b)
+        assert ir_hash(a) != ir_hash(c)
+
+    def test_annotations_change_the_hash(self):
+        from repro.lowering.ir import replace
+
+        program = lower_kernel(kernel_by_name("irreg"))
+        assert ir_hash(program) != ir_hash(replace(program, tiled=True))

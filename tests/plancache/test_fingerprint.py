@@ -101,3 +101,54 @@ class TestCodeSalt:
 
     def test_combine_is_order_sensitive(self):
         assert fp.combine("a", "b") != fp.combine("b", "a")
+
+
+class TestExecutorBackendSalt:
+    """A cached plan produced under one executor backend must never
+    rehydrate into a bind running a different backend."""
+
+    def test_salt_tracks_the_active_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR_BACKEND", raising=False)
+        library = fp.code_version_salt()
+        monkeypatch.setenv("REPRO_EXECUTOR_BACKEND", "numpy")
+        numpy_salt = fp.code_version_salt()
+        monkeypatch.setenv("REPRO_EXECUTOR_BACKEND", "c")
+        c_salt = fp.code_version_salt()
+        assert len({library, numpy_salt, c_salt}) == 3
+        monkeypatch.delenv("REPRO_EXECUTOR_BACKEND", raising=False)
+        assert fp.code_version_salt() == library
+
+    def test_c_salt_includes_the_toolchain_fingerprint(self, monkeypatch):
+        from repro.lowering import toolchain
+
+        monkeypatch.setenv("REPRO_EXECUTOR_BACKEND", "c")
+        with_cc = fp.code_version_salt()
+        monkeypatch.setattr(
+            toolchain, "toolchain_fingerprint", lambda: "other-compiler"
+        )
+        assert fp.code_version_salt() != with_cc
+
+    def test_cross_backend_bind_is_a_miss_not_a_hit(
+        self, monkeypatch, tmp_path, moldyn_data
+    ):
+        """Regression: flipping REPRO_EXECUTOR_BACKEND between binds must
+        cold-miss (different key), never rehydrate the other backend's
+        cached plan."""
+        from repro.backends import BackendFallbackWarning
+        import warnings
+
+        from repro.plancache import PlanCache
+
+        cache = PlanCache(directory=tmp_path / "cache")
+        plan = CompositionPlan(kernel_by_name("moldyn"), [CPackStep()])
+        monkeypatch.delenv("REPRO_EXECUTOR_BACKEND", raising=False)
+        cold = plan.bind(moldyn_data, cache=cache)
+        assert cold.report.cache == "stored"
+        monkeypatch.setenv("REPRO_EXECUTOR_BACKEND", "numpy")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", BackendFallbackWarning)
+            other = plan.bind(moldyn_data, cache=cache)
+        assert other.report.cache == "stored"  # a fresh key, not a hit
+        monkeypatch.delenv("REPRO_EXECUTOR_BACKEND", raising=False)
+        warm = plan.bind(moldyn_data, cache=cache)
+        assert warm.report.cache == "hit"
