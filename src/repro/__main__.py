@@ -181,14 +181,28 @@ def _cmd_plan(args) -> int:
 
 
 def _lint_plan(args):
-    """Resolve the lint target (spec file or inline composition) to a plan."""
+    """Resolve the lint target (spec file, ``-`` for stdin, or inline
+    composition) to a plan."""
     import os
 
     from repro.kernels.specs import kernel_by_name
     from repro.runtime import CompositionPlan
-    from repro.runtime.planspec import load_plan_spec
+    from repro.runtime.planspec import load_plan_spec, plan_from_spec
 
     target = args.target
+    if len(target) == 1 and target[0] == "-":
+        import json
+
+        from repro.errors import ValidationError
+
+        try:
+            spec = json.load(sys.stdin)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"plan spec on stdin is not valid JSON: {exc}",
+                stage="planspec",
+            ) from None
+        return plan_from_spec(spec)
     if len(target) == 1 and (
         target[0].endswith(".json") or os.path.exists(target[0])
     ):
@@ -203,6 +217,43 @@ def _lint_plan(args):
         [_make_step(s) for s in step_names],
         remap=args.remap,
     )
+
+
+def _merge_ir_diagnostics(report, kernel_name, sanitize):
+    """Run the IR verifier over the plan's kernel executors (untiled and
+    tiled) and merge its IRV diagnostics into the lint report.  With
+    ``sanitize`` the bounds-guarded emitters will trap unproven accesses
+    at run time, so IRV errors demote to warnings (the exit-code contract
+    is unchanged either way)."""
+    from repro.analysis.diagnostics import ERROR, WARNING
+    from repro.analysis.irverify import verification_diagnostics
+
+    ir_reports = {}
+    seen = set()
+    report.rules_run = list(report.rules_run)
+    for tiled in (False, True):
+        codes, diagnostics, ir_report = verification_diagnostics(
+            kernel_name, tiled=tiled
+        )
+        shape = "tiled" if tiled else "untiled"
+        ir_reports[shape] = ir_report
+        for code in codes:
+            if code not in report.rules_run:
+                report.rules_run.append(code)
+        for diag in diagnostics:
+            fingerprint = (diag.code, diag.message)
+            if fingerprint in seen:
+                continue  # same finding in both shapes
+            seen.add(fingerprint)
+            diag.message = f"[{shape}] {diag.message}"
+            if sanitize and diag.severity == ERROR:
+                diag.severity = WARNING
+                diag.hint = (
+                    "accepted under --sanitize: the guarded executor "
+                    "traps this at run time"
+                )
+            report.diagnostics.append(diag)
+    return ir_reports
 
 
 def _cmd_lint(args) -> int:
@@ -220,6 +271,12 @@ def _cmd_lint(args) -> int:
             plan = result.plan
             report = plan.analyze(verifier=args.verifier)
 
+    ir_reports = None
+    if args.ir:
+        ir_reports = _merge_ir_diagnostics(
+            report, plan.kernel.name, args.sanitize
+        )
+
     if args.json:
         import json
 
@@ -236,12 +293,27 @@ def _cmd_lint(args) -> int:
             if fixes is not None
             else []
         )
+        if ir_reports is not None:
+            payload["irverify"] = {
+                shape: ir_report.to_dict()
+                for shape, ir_report in ir_reports.items()
+            }
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         if fixes is not None:
             print(fixes.describe())
             print()
         print(report.describe())
+        if ir_reports is not None:
+            for shape, ir_report in ir_reports.items():
+                summary = ir_report.summary()
+                print(
+                    f"irverify [{shape}]: "
+                    + ("proven" if ir_report.proven else "UNPROVEN")
+                    + f" ({summary['discharged']}/{summary['obligations']} "
+                    f"obligations, {summary['passes_validated']} passes "
+                    "validated)"
+                )
     return report.exit_code(strict=args.lint_strict)
 
 
@@ -316,11 +388,21 @@ def _engine_health_lines():
 
 
 def _executor_backend_lines():
-    """Executor-backend selection + toolchain probe (for ``doctor``)."""
+    """Executor-backend selection + toolchain probe + IR-verifier status
+    (for ``doctor``)."""
+    from repro.analysis.irverify import verify_executor
     from repro.lowering.executor import executor_backend_report
 
     report = executor_backend_report()
     tool = report["toolchain"]
+    usage = report["artifacts"].get("by_suffix", {})
+    usage_text = (
+        "  ".join(
+            f"{suffix}: {slot['files']} ({slot['bytes']} B)"
+            for suffix, slot in sorted(usage.items())
+        )
+        or "empty"
+    )
     lines = [
         f"executor backend: {report['backend']} ({report['source']})",
         "  toolchain: "
@@ -332,7 +414,26 @@ def _executor_backend_lines():
         f"  compiled artifacts: {report['artifacts']['artifacts']} "
         f"({report['artifacts']['total_bytes']} bytes) in "
         f"{report['artifacts']['directory']}",
+        f"  artifact disk usage: {usage_text}  "
+        "(evict with `repro cache gc --max-bytes N`)",
     ]
+    verification = {}
+    for kernel in ("moldyn", "nbf", "irreg"):
+        proven = all(
+            verify_executor(kernel, tiled=tiled).proven
+            for tiled in (False, True)
+        )
+        verification[kernel] = proven
+    report["verifier"]["kernels"] = verification
+    status = "  ".join(
+        f"{kernel}: {'proven' if ok else 'UNPROVEN'}"
+        for kernel, ok in verification.items()
+    )
+    lines.append(
+        f"  ir verifier [{report['verifier']['version']}]: {status}  "
+        f"sanitizer: {'on' if report['sanitize']['enabled'] else 'off'} "
+        f"({report['sanitize']['env']})"
+    )
     if report["degraded"]:
         for frm, to, reason in report["fallbacks"]:
             lines.append(f"  FALLBACK: {frm} -> {to} ({reason})")
@@ -474,6 +575,20 @@ def _cmd_cache(args) -> int:
         print(f"removed {removed} cached plan(s)")
         return 0
 
+    if args.cache_command == "gc":
+        from repro.plancache.artifacts import ArtifactStore
+
+        store = ArtifactStore(args.cache_dir)
+        result = store.gc(args.max_bytes)
+        print(
+            f"artifact gc: removed {result['removed_files']} file(s) / "
+            f"{result['removed_bytes']} bytes; "
+            f"{result['remaining_keys']} build(s) / "
+            f"{result['remaining_bytes']} bytes remain "
+            f"(budget {result['budget_bytes']})"
+        )
+        return 0
+
     # warm: bind one composition x dataset through the cache.
     from repro.cachesim.machines import machine_by_name
     from repro.eval.compositions import COMPOSITIONS, composition_steps
@@ -580,6 +695,30 @@ def _cmd_serve(args) -> int:
             ),
             file=sys.stderr,
         )
+        if resolution.backend != "library":
+            from repro.analysis.irverify import (
+                IRVERIFY_VERSION,
+                verify_executor,
+            )
+            from repro.lowering.executor import sanitize_enabled
+
+            status = "  ".join(
+                f"{kernel}:"
+                + (
+                    "proven"
+                    if all(
+                        verify_executor(kernel, tiled=tiled).proven
+                        for tiled in (False, True)
+                    )
+                    else "UNPROVEN"
+                )
+                for kernel in ("moldyn", "nbf", "irreg")
+            )
+            print(
+                f"ir verifier [{IRVERIFY_VERSION}]: {status}  "
+                f"sanitizer: {'on' if sanitize_enabled() else 'off'}",
+                file=sys.stderr,
+            )
 
     sink = None
     if args.trace:
@@ -1022,6 +1161,18 @@ def main(argv=None) -> int:
         help="runtime-verifier policy the analyzer assumes when judging "
         "unproven obligations (always: demote RRT003 to a warning)",
     )
+    p.add_argument(
+        "--ir",
+        action="store_true",
+        help="also run the IR verifier (IRV001..IRV005) over the plan's "
+        "kernel executors (untiled + tiled) and merge its diagnostics",
+    )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="with --ir: demote IRV errors to warnings — the sanitized "
+        "(bounds-guarded) executor traps them at run time instead",
+    )
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
@@ -1036,6 +1187,19 @@ def main(argv=None) -> int:
         cp = cache_sub.add_parser(name, help=help_text)
         cp.add_argument("--cache-dir", default=None)
         cp.set_defaults(func=_cmd_cache)
+    cp = cache_sub.add_parser(
+        "gc",
+        help="evict least-recently-used compiled/proof artifacts down to "
+        "a disk budget",
+    )
+    cp.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        help="disk budget for the artifact store (0 = evict everything)",
+    )
+    cp.add_argument("--cache-dir", default=None)
+    cp.set_defaults(func=_cmd_cache)
     cp = cache_sub.add_parser(
         "warm", help="pre-populate the cache for a composition x dataset"
     )

@@ -37,6 +37,14 @@ from repro.analysis.diagnostics import (
     AnalysisReport,
     Diagnostic,
 )
+from repro.analysis.irverify import (
+    IRV_CODES,
+    IRVERIFY_VERSION,
+    IRVerificationReport,
+    verification_diagnostics,
+    verify_executor,
+    verify_state,
+)
 from repro.analysis.rewrite import (
     FIXABLE_CODES,
     AppliedRewrite,
@@ -85,6 +93,9 @@ __all__ = [
     "ERROR",
     "FIXABLE_CODES",
     "INFO",
+    "IRV_CODES",
+    "IRVERIFY_VERSION",
+    "IRVerificationReport",
     "RULES",
     "RewriteResult",
     "SEVERITIES",
@@ -95,4 +106,7 @@ __all__ = [
     "apply_fixes",
     "build_dataflow",
     "run_rules",
+    "verification_diagnostics",
+    "verify_executor",
+    "verify_state",
 ]

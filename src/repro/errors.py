@@ -21,6 +21,9 @@ Taxonomy::
     ├── ExecutorFault       the transformed executor's output diverged
     │                       from (or cannot be proven equal to) the
     │                       untransformed kernel
+    ├── ExecutorBoundsError a sanitized compiled executor trapped an
+    │                       out-of-bounds index (corrupted sigma/delta
+    │                       arrays or tile schedule) before touching data
     ├── CacheError          the plan cache is misconfigured (unwritable
     │                       cache dir, invalid budget); corrupted cache
     │                       *entries* never raise — they are safe misses
@@ -130,6 +133,34 @@ class ExecutorFault(ReproError, AssertionError):
     """
 
 
+class ExecutorBoundsError(ReproError, IndexError):
+    """A sanitized compiled executor trapped an out-of-bounds index.
+
+    Raised by the sanitizer prologue of the guarded NumPy/C executors
+    (see :mod:`repro.lowering.emit_numpy` / :mod:`repro.lowering.emit_c`)
+    when an index array or tile-schedule entry would address outside its
+    target array.  The guard scans *before* any data mutation, so the
+    arrays are untouched when this raises — a corrupted dataset becomes a
+    typed error instead of silent memory corruption.
+
+    ``array`` names the offending index source (``left``, ``right``, a
+    schedule position, or a wave group); ``bound`` is the exclusive upper
+    bound the value violated.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        array: Optional[str] = None,
+        bound: Optional[int] = None,
+        **kwargs,
+    ):
+        self.array = array
+        self.bound = bound
+        super().__init__(message, **kwargs)
+
+
 class CacheError(ReproError, OSError):
     """The plan cache cannot be used as configured (e.g. the cache
     directory is not writable, or the memory budget is invalid).
@@ -223,6 +254,7 @@ __all__ = [
     "LegalityError",
     "InspectorFault",
     "ExecutorFault",
+    "ExecutorBoundsError",
     "CacheError",
     "ServiceOverloadError",
     "DeadlineExceededError",

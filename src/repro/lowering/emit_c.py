@@ -50,6 +50,40 @@ from repro.lowering.ir import (
 #: Bumped whenever emitted code changes shape; part of the artifact key.
 EMITTER_VERSION = "c-1"
 
+#: Appended to the artifact key when the sanitizer guard is emitted, so
+#: guarded and unguarded shared objects never collide in the cache.
+SANITIZE_TAG = "san1"
+
+#: ``err[0]`` codes of the sanitized executors (0 = clean run).  The
+#: runner maps these back to index-source names when raising the typed
+#: :class:`~repro.errors.ExecutorBoundsError`.
+GUARD_LEFT = 1
+GUARD_RIGHT = 2
+GUARD_SCHEDULE_BASE = 10  # + loop position
+GUARD_WAVES = 100
+
+
+def _emit_guard_fn(w: SourceWriter) -> None:
+    """The range scan the sanitized entry points call first.  On the
+    first out-of-range value it records (code, position, value, bound)
+    in ``err`` and the caller returns before touching any data array —
+    so a corrupted dataset leaves every array bit-untouched."""
+    with w.block(
+        "static int64_t _guard(const int64_t *v, int64_t n, int64_t bound, "
+        "int64_t code, int64_t *err) {"
+    ):
+        with w.block("for (int64_t _i = 0; _i < n; ++_i) {"):
+            with w.block("if (v[_i] < 0 || v[_i] >= bound) {"):
+                w.line("err[0] = code;")
+                w.line("err[1] = _i;")
+                w.line("err[2] = v[_i];")
+                w.line("err[3] = bound;")
+                w.line("return 1;")
+            w.line("}")
+        w.line("}")
+        w.line("return 0;")
+    w.line("}")
+
 
 def _render(expr: Expr, direct: str, via: Dict[str, str]) -> str:
     if isinstance(expr, Const):
@@ -90,13 +124,22 @@ def _data_params(program: Program) -> List[str]:
     return [f"double *{name}" for name in program.data_arrays]
 
 
-def emit_c(program: Program) -> str:
-    """C source of the untiled executor."""
+def emit_c(program: Program, sanitize: bool = False) -> str:
+    """C source of the untiled executor.
+
+    With ``sanitize`` the entry point gains an ``int64_t *err`` out-param
+    (4 slots: guard code, position, value, bound) and opens with a range
+    scan of ``left``/``right``; on the first violation it records the
+    evidence and returns before any data array is touched.  The compute
+    body is unchanged, so valid datasets stay bit-identical."""
     w = SourceWriter()
     w.line(f"/* C executor for '{program.kernel_name}' "
            "(generated by repro.lowering; do not edit). */")
     w.line("#include <stdint.h>")
     w.line()
+    if sanitize:
+        _emit_guard_fn(w)
+        w.line()
     params = _data_params(program) + [
         "const int64_t *left",
         "const int64_t *right",
@@ -105,7 +148,19 @@ def emit_c(program: Program) -> str:
         "int64_t num_steps",
         "double *scratch",
     ]
+    if sanitize:
+        params.append("int64_t *err")
     with w.block(f"void run({', '.join(params)}) {{"):
+        if sanitize:
+            w.line("err[0] = 0;")
+            w.line(
+                f"if (_guard(left, num_inter, num_nodes, {GUARD_LEFT}, err)) "
+                "return;"
+            )
+            w.line(
+                f"if (_guard(right, num_inter, num_nodes, {GUARD_RIGHT}, "
+                "err)) return;"
+            )
         with w.block("for (int64_t _step = 0; _step < num_steps; ++_step) {"):
             for loop in program.loops:
                 ivar = loop.index_var
@@ -154,13 +209,20 @@ def emit_c(program: Program) -> str:
     return w.source()
 
 
-def emit_c_tiled(program: Program) -> str:
-    """C source of the tiled wave executor (CSR schedule + wave order)."""
+def emit_c_tiled(program: Program, sanitize: bool = False) -> str:
+    """C source of the tiled wave executor (CSR schedule + wave order).
+
+    The sanitized variant gains ``int64_t num_tiles`` and ``int64_t *err``
+    and range-scans every CSR iteration array, the wave tile ids, and
+    ``left``/``right`` before the first step (see :func:`emit_c`)."""
     w = SourceWriter()
     w.line(f"/* Tiled C executor for '{program.kernel_name}' "
            "(generated by repro.lowering; do not edit). */")
     w.line("#include <stdint.h>")
     w.line()
+    if sanitize:
+        _emit_guard_fn(w)
+        w.line()
     params = _data_params(program) + [
         "const int64_t *left",
         "const int64_t *right",
@@ -176,7 +238,29 @@ def emit_c_tiled(program: Program) -> str:
         "int64_t num_waves",
         "double *scratch",
     ]
+    if sanitize:
+        params += ["int64_t num_tiles", "int64_t *err"]
     with w.block(f"void run_tiled({', '.join(params)}) {{"):
+        if sanitize:
+            w.line("err[0] = 0;")
+            w.line(
+                f"if (_guard(left, num_inter, num_nodes, {GUARD_LEFT}, err)) "
+                "return;"
+            )
+            w.line(
+                f"if (_guard(right, num_inter, num_nodes, {GUARD_RIGHT}, "
+                "err)) return;"
+            )
+            for pos, loop in enumerate(program.loops):
+                extent = "num_nodes" if loop.domain == "nodes" else "num_inter"
+                w.line(
+                    f"if (_guard(iters{pos}, off{pos}[num_tiles], {extent}, "
+                    f"{GUARD_SCHEDULE_BASE + pos}, err)) return;"
+                )
+            w.line(
+                "if (_guard(wave_tiles, wave_off[num_waves], num_tiles, "
+                f"{GUARD_WAVES}, err)) return;"
+            )
         with w.block("for (int64_t _step = 0; _step < num_steps; ++_step) {"):
             with w.block(
                 "for (int64_t _w = 0; _w < num_waves; ++_w) {"
@@ -262,4 +346,13 @@ def emit_c_tiled(program: Program) -> str:
     return w.source()
 
 
-__all__ = ["EMITTER_VERSION", "emit_c", "emit_c_tiled"]
+__all__ = [
+    "EMITTER_VERSION",
+    "GUARD_LEFT",
+    "GUARD_RIGHT",
+    "GUARD_SCHEDULE_BASE",
+    "GUARD_WAVES",
+    "SANITIZE_TAG",
+    "emit_c",
+    "emit_c_tiled",
+]

@@ -43,6 +43,10 @@ from repro.lowering.ir import (
 #: Bumped whenever emitted code changes shape; part of the artifact key.
 EMITTER_VERSION = "numpy-1"
 
+#: Appended to the artifact key when the sanitizer prologue is emitted,
+#: so guarded and unguarded modules never collide in the cache.
+SANITIZE_TAG = "san1"
+
 
 def _render(expr: Expr, direct: str, via: Dict[str, str]) -> str:
     """Render an expression; ``direct`` is the subscript text for direct
@@ -118,15 +122,70 @@ def _emit_prologue(w: SourceWriter, program: Program) -> None:
     w.line("_num_inter = left.shape[0]")
 
 
-def emit_numpy(program: Program) -> str:
-    """Source of the untiled NumPy executor for a rewritten program."""
+def _emit_guard_helper(w: SourceWriter) -> None:
+    """The masked pre-check the sanitizer prologue calls: one vectorized
+    range scan per index source, raising the typed trap *before* any data
+    array is touched (so a corrupted dataset leaves state unmodified)."""
+    with w.block("def _guard(name, values, bound):"):
+        w.line("values = np.asarray(values)")
+        w.line("_bad = np.flatnonzero((values < 0) | (values >= bound))")
+        with w.block("if _bad.size:"):
+            w.line("_pos = int(_bad[0])")
+            w.line(
+                "raise ExecutorBoundsError("
+                "f'{name}[{_pos}] = {int(values[_pos])} outside [0, {bound})',"
+                " array=name, bound=int(bound), stage='sanitizer',"
+                " indices=[int(_i) for _i in _bad[:5]])"
+            )
+
+
+def _emit_guard_calls(w: SourceWriter, tiled: bool) -> None:
+    """Sanitizer prologue body — the run-time discharge of the verifier's
+    assumed facts (index-array-range, tile-partition, wave-cover)."""
+    with w.block("if right.shape[0] != _num_inter:"):
+        w.line(
+            "raise ExecutorBoundsError("
+            "f'right has {right.shape[0]} entries, left has {_num_inter}',"
+            " array='right', bound=int(_num_inter), stage='sanitizer')"
+        )
+    w.line("_guard('left', left, _num_nodes)")
+    w.line("_guard('right', right, _num_nodes)")
+    if tiled:
+        w.line("_extents = " "[_num_nodes if _d == 'nodes' else _num_inter "
+               "for _d in _loop_domains]")
+        with w.block("for _t, _tile in enumerate(schedule):"):
+            with w.block("for _pos, _bound in enumerate(_extents):"):
+                w.line(
+                    "_guard(f'schedule[{_t}][{_pos}]', _tile[_pos], _bound)"
+                )
+        with w.block("if wave_groups is not None:"):
+            with w.block("for _wv, _group in enumerate(wave_groups):"):
+                w.line(
+                    "_guard(f'wave_groups[{_wv}]', _group, len(schedule))"
+                )
+
+
+def emit_numpy(program: Program, sanitize: bool = False) -> str:
+    """Source of the untiled NumPy executor for a rewritten program.
+
+    With ``sanitize`` the module opens with a masked range pre-check of
+    ``left``/``right`` that raises :class:`~repro.errors.
+    ExecutorBoundsError` before any data array is read or written; the
+    compute body is unchanged, so valid datasets stay bit-identical."""
     w = SourceWriter()
     w.line(f'"""NumPy executor for {program.kernel_name!r} '
            '(generated by repro.lowering; do not edit)."""')
     w.line("import numpy as np")
+    if sanitize:
+        w.line("from repro.errors import ExecutorBoundsError")
     w.line()
+    if sanitize:
+        _emit_guard_helper(w)
+        w.line()
     with w.block("def run(arrays, left, right, num_steps=1):"):
         _emit_prologue(w, program)
+        if sanitize:
+            _emit_guard_calls(w, tiled=False)
         with w.block("for _step in range(num_steps):"):
             for loop in program.loops:
                 w.line(f"# {loop.label} ({loop.domain})")
@@ -138,19 +197,29 @@ def emit_numpy(program: Program) -> str:
     return w.source()
 
 
-def emit_numpy_tiled(program: Program) -> str:
+def emit_numpy_tiled(program: Program, sanitize: bool = False) -> str:
     """Source of the tiled wave executor (mirrors ``run_numeric_wavefront``:
     per wave, gathers for every tile, then commits in the wave's tile
-    order)."""
+    order).  ``sanitize`` additionally range-checks every tile-schedule
+    iteration list and wave group before the first step."""
     w = SourceWriter()
     w.line(f'"""Tiled NumPy executor for {program.kernel_name!r} '
            '(generated by repro.lowering; do not edit)."""')
     w.line("import numpy as np")
+    if sanitize:
+        w.line("from repro.errors import ExecutorBoundsError")
     w.line()
+    if sanitize:
+        _emit_guard_helper(w)
+        w.line()
     with w.block(
         "def run(arrays, left, right, schedule, wave_groups=None, num_steps=1):"
     ):
         _emit_prologue(w, program)
+        if sanitize:
+            domains = [loop.domain for loop in program.loops]
+            w.line(f"_loop_domains = {domains!r}")
+            _emit_guard_calls(w, tiled=True)
         with w.block("if wave_groups is None:"):
             w.line("wave_groups = [[_t] for _t in range(len(schedule))]")
         with w.block("for _step in range(num_steps):"):
@@ -193,4 +262,4 @@ def emit_numpy_tiled(program: Program) -> str:
     return w.source()
 
 
-__all__ = ["EMITTER_VERSION", "emit_numpy", "emit_numpy_tiled"]
+__all__ = ["EMITTER_VERSION", "SANITIZE_TAG", "emit_numpy", "emit_numpy_tiled"]

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import ctypes
 import hashlib
+import json
+import os
 import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -37,7 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import backends
-from repro.errors import ValidationError
+from repro.errors import ExecutorBoundsError, LegalityError, ValidationError
 from repro.lowering import toolchain
 from repro.lowering.ir import Program, ir_hash, lower_kernel
 from repro.lowering.passes import LoweringRewriter, PassConfig, RewriteState
@@ -55,6 +57,22 @@ DEFAULT_EXECUTOR_BACKEND = "library"
 
 #: Best-first ladder for ``auto`` resolution and unavailability walks.
 EXECUTOR_LADDER = ("c", "numpy", "library")
+
+#: Environment switch for the sanitizer (bounds-guarded emission) when no
+#: explicit ``sanitize`` argument is passed to :func:`compile_executor`.
+EXECUTOR_SANITIZE_ENV = "REPRO_EXECUTOR_SANITIZE"
+
+
+def sanitize_enabled(sanitize: Optional[bool] = None) -> bool:
+    """Resolve the sanitizer switch (argument > environment > off)."""
+    if sanitize is not None:
+        return bool(sanitize)
+    return os.environ.get(EXECUTOR_SANITIZE_ENV, "").strip().lower() in {
+        "1",
+        "true",
+        "on",
+        "yes",
+    }
 
 
 def resolve_executor_backend(
@@ -98,6 +116,17 @@ class CompiledExecutor:
     artifact_path: Optional[str] = None
     from_cache: bool = False
     state: Optional[RewriteState] = None
+    #: ``True``/``False`` once the IR verifier ran (or its cached proof
+    #: was consulted); ``None`` when verification was skipped (library
+    #: backend, or ``verify=False``).
+    verified: Optional[bool] = None
+    #: Whether the bound executor carries the sanitizer guard prologue.
+    sanitized: bool = False
+    #: Path of the content-addressed proof artifact, when one exists.
+    proof_path: Optional[str] = None
+    #: ``True`` when the proof came from the artifact store (warm bind —
+    #: the verifier itself did not run).
+    proof_from_cache: bool = False
 
 
 _MEMO: Dict[Tuple, CompiledExecutor] = {}
@@ -193,7 +222,37 @@ def _library_runner(kernel_name: str, tiled: bool) -> Callable:
     return run_tiled
 
 
-def _c_runner(so_path: str, program: Program, tiled: bool) -> Callable:
+def _guard_source_name(code: int, program: Program) -> str:
+    """Map a sanitized executor's ``err[0]`` code to an index source."""
+    from repro.lowering import emit_c
+
+    if code == emit_c.GUARD_LEFT:
+        return "left"
+    if code == emit_c.GUARD_RIGHT:
+        return "right"
+    if code == emit_c.GUARD_WAVES:
+        return "wave_tiles"
+    pos = code - emit_c.GUARD_SCHEDULE_BASE
+    if 0 <= pos < len(program.loops):
+        return f"schedule[{program.loops[pos].label}]"
+    return f"guard#{code}"  # pragma: no cover - unknown codes never emitted
+
+
+def _raise_guard_trap(err: np.ndarray, program: Program) -> None:
+    code, pos, value, bound = (int(v) for v in err[:4])
+    name = _guard_source_name(code, program)
+    raise ExecutorBoundsError(
+        f"{name}[{pos}] = {value} outside [0, {bound})",
+        array=name,
+        bound=bound,
+        stage="sanitizer",
+        indices=[pos],
+    )
+
+
+def _c_runner(
+    so_path: str, program: Program, tiled: bool, sanitize: bool = False
+) -> Callable:
     lib = ctypes.CDLL(so_path)
     names = program.data_arrays
     n_loops = len(program.loops)
@@ -208,7 +267,16 @@ def _c_runner(so_path: str, program: Program, tiled: bool) -> Callable:
             right = _as_i64(right, "right")
             num_nodes = datas[0].shape[0]
             num_inter = left.shape[0]
+            if sanitize and right.shape[0] != num_inter:
+                raise ExecutorBoundsError(
+                    f"right has {right.shape[0]} entries, left has "
+                    f"{num_inter}",
+                    array="right",
+                    bound=num_inter,
+                    stage="sanitizer",
+                )
             scratch = np.empty(max(num_inter, 1), dtype=np.float64)
+            err = np.zeros(4, dtype=np.int64)
             fn(
                 *[_dptr(d) for d in datas],
                 _iptr(left),
@@ -217,7 +285,10 @@ def _c_runner(so_path: str, program: Program, tiled: bool) -> Callable:
                 ctypes.c_longlong(num_inter),
                 ctypes.c_longlong(num_steps),
                 _dptr(scratch),
+                *([_iptr(err)] if sanitize else []),
             )
+            if sanitize and err[0]:
+                _raise_guard_trap(err, program)
             return arrays
 
         return run
@@ -231,6 +302,13 @@ def _c_runner(so_path: str, program: Program, tiled: bool) -> Callable:
         right = _as_i64(right, "right")
         num_nodes = datas[0].shape[0]
         num_inter = left.shape[0]
+        if sanitize and right.shape[0] != num_inter:
+            raise ExecutorBoundsError(
+                f"right has {right.shape[0]} entries, left has {num_inter}",
+                array="right",
+                bound=num_inter,
+                stage="sanitizer",
+            )
         if wave_groups is None:
             wave_groups = [
                 np.array([t], dtype=np.int64) for t in range(len(schedule))
@@ -245,6 +323,10 @@ def _c_runner(so_path: str, program: Program, tiled: bool) -> Callable:
             [np.asarray(g, dtype=np.int64) for g in wave_groups]
         )
         scratch = np.empty(max(num_inter, 1), dtype=np.float64)
+        err = np.zeros(4, dtype=np.int64)
+        tail = (
+            [ctypes.c_longlong(len(schedule)), _iptr(err)] if sanitize else []
+        )
         fn(
             *[_dptr(d) for d in datas],
             _iptr(left),
@@ -257,8 +339,11 @@ def _c_runner(so_path: str, program: Program, tiled: bool) -> Callable:
             _iptr(wave_off),
             ctypes.c_longlong(len(wave_groups)),
             _dptr(scratch),
+            *tail,
         )
         del keepalive
+        if sanitize and err[0]:
+            _raise_guard_trap(err, program)
         return arrays
 
     return run_tiled
@@ -271,6 +356,35 @@ def _rewritten(kernel_name: str, tiled: bool, config: PassConfig) -> RewriteStat
     return LoweringRewriter(config=config, tiled=tiled).run(program)
 
 
+def _verify_with_proof_cache(state: RewriteState, store, tiled: bool):
+    """Run the IR verifier — or reuse its content-addressed proof.
+
+    Returns ``(proven, proof_path, from_cache)``.  The proof JSON is
+    keyed by lowered-IR hash x pass config x verifier version, so a warm
+    bind of an already-proven program is a file read, not a re-proof; a
+    corrupted proof file is a safe miss (re-verify and rewrite).
+    """
+    from repro.analysis.irverify import proof_key, verify_state
+
+    key = proof_key(state.program, state.config, tiled)
+    built = {}
+
+    def build() -> str:
+        report = verify_state(state)
+        built["proven"] = report.proven
+        return report.to_json()
+
+    path, hit = store.get_or_build_text(key, "proof", build)
+    if not hit:
+        return built["proven"], str(path), False
+    try:
+        return bool(json.loads(path.read_text())["proven"]), str(path), True
+    except (OSError, ValueError, KeyError):  # corrupted proof: re-verify
+        report = verify_state(state)
+        path.write_text(report.to_json())
+        return report.proven, str(path), False
+
+
 def compile_executor(
     kernel_name: str,
     backend: Optional[str] = None,
@@ -278,12 +392,25 @@ def compile_executor(
     config: Optional[PassConfig] = None,
     cache_dir=None,
     memo: bool = True,
+    verify: bool = True,
+    sanitize: Optional[bool] = None,
 ) -> CompiledExecutor:
     """Lower, rewrite, emit, (compile,) and bind one kernel executor.
 
     ``backend`` follows the shared resolution policy; the returned
     executor records which backend actually ran and whether its artifact
     came from the content-addressed cache.
+
+    Compiled backends (``numpy``/``c``) are **gated on proof**: the IR
+    verifier (:mod:`repro.analysis.irverify`) must prove the rewritten
+    program in-bounds, race-free, and translation-validated before
+    emission, or the bind raises :class:`~repro.errors.LegalityError` —
+    unless ``sanitize`` (argument or ``REPRO_EXECUTOR_SANITIZE``) selects
+    the guarded emitters, which trap bad indices as typed
+    :class:`~repro.errors.ExecutorBoundsError` at run time instead.
+    Proof results are content-addressed next to the artifacts, so warm
+    binds skip re-verification.  ``verify=False`` skips the gate
+    entirely (test/ablation hook).
     """
     from repro.codegen.emit import compile_source
     from repro.lowering import emit_c, emit_numpy
@@ -291,8 +418,17 @@ def compile_executor(
 
     resolved = resolve_executor_backend(backend).backend
     config = config or PassConfig()
+    sanitized = sanitize_enabled(sanitize) and resolved != "library"
 
-    memo_key = (kernel_name, resolved, tiled, config.digest(), str(cache_dir))
+    memo_key = (
+        kernel_name,
+        resolved,
+        tiled,
+        config.digest(),
+        str(cache_dir),
+        verify,
+        sanitized,
+    )
     if memo:
         with _MEMO_LOCK:
             hit = _MEMO.get(memo_key)
@@ -302,6 +438,27 @@ def compile_executor(
     state = _rewritten(kernel_name, tiled, config)
     program = state.program
     digest = ir_hash(program)
+
+    verified = None
+    proof_path = None
+    proof_cached = False
+    if verify and resolved != "library":
+        store = ArtifactStore(cache_dir)
+        verified, proof_path, proof_cached = _verify_with_proof_cache(
+            state, store, tiled
+        )
+        if not verified and not sanitized:
+            raise LegalityError(
+                f"IR verifier could not prove executor "
+                f"{kernel_name!r} ({'tiled' if tiled else 'untiled'}, "
+                f"{resolved}) safe; refusing unguarded emission",
+                stage="irverify",
+                hint=(
+                    "inspect with `repro lint --ir`, or bind with "
+                    "sanitize=True / REPRO_EXECUTOR_SANITIZE=1 for a "
+                    "bounds-guarded build"
+                ),
+            )
 
     if resolved == "library":
         compiled = CompiledExecutor(
@@ -315,8 +472,13 @@ def compile_executor(
     elif resolved == "numpy":
         store = ArtifactStore(cache_dir)
         emit = emit_numpy.emit_numpy_tiled if tiled else emit_numpy.emit_numpy
-        key = artifact_key(program, config, emit_numpy.EMITTER_VERSION)
-        path, hit = store.get_or_build_text(key, "py", lambda: emit(program))
+        version = emit_numpy.EMITTER_VERSION
+        if sanitized:
+            version += "+" + emit_numpy.SANITIZE_TAG
+        key = artifact_key(program, config, version)
+        path, hit = store.get_or_build_text(
+            key, "py", lambda: emit(program, sanitize=sanitized)
+        )
         fn = compile_source(path.read_text(), "run")
         compiled = CompiledExecutor(
             kernel_name=kernel_name,
@@ -331,8 +493,13 @@ def compile_executor(
     else:  # "c"
         store = ArtifactStore(cache_dir)
         emit = emit_c.emit_c_tiled if tiled else emit_c.emit_c
-        key = artifact_key(program, config, emit_c.EMITTER_VERSION)
-        src_path, _ = store.get_or_build_text(key, "c", lambda: emit(program))
+        version = emit_c.EMITTER_VERSION
+        if sanitized:
+            version += "+" + emit_c.SANITIZE_TAG
+        key = artifact_key(program, config, version)
+        src_path, _ = store.get_or_build_text(
+            key, "c", lambda: emit(program, sanitize=sanitized)
+        )
         so_path, hit = store.get_or_build_file(
             key, "so", lambda tmp: toolchain.compile_shared(src_path, tmp)
         )
@@ -340,12 +507,16 @@ def compile_executor(
             kernel_name=kernel_name,
             backend="c",
             tiled=tiled,
-            run=_c_runner(str(so_path), program, tiled),
+            run=_c_runner(str(so_path), program, tiled, sanitize=sanitized),
             ir_digest=digest,
             artifact_path=str(so_path),
             from_cache=hit,
             state=state,
         )
+    compiled.verified = verified
+    compiled.sanitized = sanitized
+    compiled.proof_path = proof_path
+    compiled.proof_from_cache = proof_cached
 
     if memo:
         with _MEMO_LOCK:
@@ -355,12 +526,18 @@ def compile_executor(
 
 def executor_backend_report() -> dict:
     """Doctor payload: selection, toolchain, and artifact-store state."""
+    from repro.analysis.irverify import IRVERIFY_VERSION
     from repro.plancache.artifacts import ArtifactStore
 
     resolution = resolve_executor_backend(warn=False)
     ok, reason = toolchain.have_toolchain()
     cc = toolchain.find_compiler()
     report = {
+        "sanitize": {
+            "enabled": sanitize_enabled(),
+            "env": EXECUTOR_SANITIZE_ENV,
+        },
+        "verifier": {"version": IRVERIFY_VERSION},
         "backend": resolution.backend,
         "source": resolution.source,
         "requested": resolution.requested,
@@ -384,10 +561,12 @@ __all__ = [
     "EXECUTOR_BACKENDS",
     "EXECUTOR_BACKEND_ENV",
     "EXECUTOR_LADDER",
+    "EXECUTOR_SANITIZE_ENV",
     "CompiledExecutor",
     "artifact_key",
     "clear_executor_memo",
     "compile_executor",
     "executor_backend_report",
     "resolve_executor_backend",
+    "sanitize_enabled",
 ]

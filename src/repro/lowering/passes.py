@@ -79,11 +79,20 @@ class PassConfig:
 
 @dataclass
 class PassRecord:
-    """One pipeline stage's outcome, for reports and tests."""
+    """One pipeline stage's outcome, for reports and tests.
+
+    ``before``/``after`` snapshot the (immutable) program around the
+    pass, so the IR verifier (:mod:`repro.analysis.irverify`) can
+    translation-validate each rewrite independently; ``proof`` is filled
+    by the verifier with that pass's validation artifact.
+    """
 
     name: str
     applied: bool
     notes: List[str] = field(default_factory=list)
+    before: Optional[Program] = None
+    after: Optional[Program] = None
+    proof: Optional[dict] = None
 
 
 @dataclass
@@ -94,8 +103,15 @@ class RewriteState:
     config: PassConfig = field(default_factory=PassConfig)
     log: List[PassRecord] = field(default_factory=list)
 
-    def record(self, name: str, applied: bool, notes: List[str]):
-        self.log.append(PassRecord(name, applied, notes))
+    def record(
+        self,
+        name: str,
+        applied: bool,
+        notes: List[str],
+        before: Optional[Program] = None,
+        after: Optional[Program] = None,
+    ):
+        self.log.append(PassRecord(name, applied, notes, before, after))
 
 
 def rewrite_pass(fn: Callable) -> Callable:
@@ -104,9 +120,12 @@ def rewrite_pass(fn: Callable) -> Callable:
 
     @functools.wraps(fn)
     def wrapper(self, state: RewriteState):
+        before = state.program
         program, applied, notes = fn(self, state)
         state.program = program
-        state.record(fn.__name__.lstrip("_"), applied, notes)
+        state.record(
+            fn.__name__.lstrip("_"), applied, notes, before, program
+        )
         return state
 
     wrapper.__is_rewrite_pass__ = True

@@ -23,6 +23,7 @@ import uuid
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple
 
+from repro.errors import CacheError
 from repro.plancache.store import resolve_cache_dir
 
 #: Subdirectory of the plan-cache root holding compiled artifacts.
@@ -125,12 +126,87 @@ class ArtifactStore:
             shard.rmdir()
         return removed
 
+    def _files(self) -> List[Path]:
+        if not self.root.exists():
+            return []
+        return [
+            p
+            for shard in self.root.iterdir()
+            if shard.is_dir()
+            for p in shard.iterdir()
+            if p.is_file() and not p.name.startswith(".tmp-")
+        ]
+
+    def gc(self, max_bytes: int) -> dict:
+        """Evict least-recently-used artifacts until the store fits a
+        disk budget.
+
+        Files sharing a key (the ``.c`` source, its ``.so``, the
+        ``.proof``) are evicted together, ordered by the key's most
+        recent mtime — so a warm executor never loses only part of its
+        build, and the coldest builds go first.  Content addressing
+        makes every eviction safe: the next bind of that executor is a
+        rebuild (and a re-proof), never a wrong answer.
+
+        Returns a summary dict (files/bytes removed, bytes remaining).
+        """
+        if max_bytes < 0:
+            raise CacheError(
+                f"gc budget must be >= 0, got {max_bytes}",
+                hint="pass --max-bytes 0 to clear the store entirely",
+            )
+        files = self._files()
+        groups: dict = {}
+        for p in files:
+            key = p.name.split(".", 1)[0]
+            stat = p.stat()
+            entry = groups.setdefault(key, {"files": [], "bytes": 0, "mtime": 0.0})
+            entry["files"].append(p)
+            entry["bytes"] += stat.st_size
+            entry["mtime"] = max(entry["mtime"], stat.st_mtime)
+        total = sum(g["bytes"] for g in groups.values())
+        removed_files = 0
+        removed_bytes = 0
+        # Oldest key group first (ties broken by key for determinism).
+        for key, group in sorted(
+            groups.items(), key=lambda kv: (kv[1]["mtime"], kv[0])
+        ):
+            if total <= max_bytes:
+                break
+            for p in group["files"]:
+                try:
+                    p.unlink()
+                    removed_files += 1
+                except OSError:  # pragma: no cover - concurrent eviction
+                    continue
+            total -= group["bytes"]
+            removed_bytes += group["bytes"]
+        # Drop emptied shard directories.
+        if self.root.exists():
+            for shard in self.root.iterdir():
+                if shard.is_dir() and not any(shard.iterdir()):
+                    shard.rmdir()
+        return {
+            "budget_bytes": max_bytes,
+            "removed_files": removed_files,
+            "removed_bytes": removed_bytes,
+            "remaining_bytes": total,
+            "remaining_keys": len(set(self.keys())),
+        }
+
     def health(self) -> dict:
-        files = self.keys()
+        files = self._files()
+        by_suffix: dict = {}
+        for p in files:
+            suffix = p.name.split(".", 1)[1] if "." in p.name else "?"
+            slot = by_suffix.setdefault(suffix, {"files": 0, "bytes": 0})
+            slot["files"] += 1
+            slot["bytes"] += p.stat().st_size
         return {
             "directory": str(self.root),
-            "artifacts": len(files),
-            "total_bytes": self.total_bytes(),
+            "artifacts": len({p.name.split(".", 1)[0] for p in files}),
+            "total_bytes": sum(p.stat().st_size for p in files),
+            "by_suffix": by_suffix,
         }
 
 

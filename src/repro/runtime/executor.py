@@ -137,6 +137,7 @@ def run_numeric(
     data: KernelData,
     num_steps: int = 1,
     backend: Optional[str] = None,
+    sanitize: Optional[bool] = None,
 ) -> KernelData:
     """Execute the kernel arithmetic in place (plan-independent result).
 
@@ -147,7 +148,11 @@ def run_numeric(
 
     ``backend`` selects the executor tier (``library`` | ``numpy`` | ``c``;
     argument > ``REPRO_EXECUTOR_BACKEND`` > ``library``).  Compiled
-    backends are bit-identical to the library step functions.
+    backends are bit-identical to the library step functions, verified by
+    the IR verifier at bind; ``sanitize`` (argument >
+    ``REPRO_EXECUTOR_SANITIZE``) selects the bounds-guarded build, which
+    traps corrupted index arrays as :class:`~repro.errors.
+    ExecutorBoundsError` instead of corrupting memory.
     """
     from repro.lowering.executor import resolve_executor_backend
 
@@ -155,7 +160,9 @@ def run_numeric(
     if resolved != "library":
         from repro.lowering.executor import compile_executor
 
-        compiled = compile_executor(data.kernel_name, backend=resolved)
+        compiled = compile_executor(
+            data.kernel_name, backend=resolved, sanitize=sanitize
+        )
         compiled.run(data.arrays, data.left, data.right, num_steps=num_steps)
         return data
     step = STEP_FUNCTIONS[data.kernel_name]
@@ -172,6 +179,7 @@ def run_numeric_wavefront(
     parallel: bool = True,
     max_workers: Optional[int] = None,
     backend: Optional[str] = None,
+    sanitize: Optional[bool] = None,
 ) -> KernelData:
     """Execute the kernel arithmetic tile by tile, wave by wave.
 
@@ -219,7 +227,7 @@ def run_numeric_wavefront(
         from repro.lowering.executor import compile_executor
 
         compiled = compile_executor(
-            data.kernel_name, backend=resolved, tiled=True
+            data.kernel_name, backend=resolved, tiled=True, sanitize=sanitize
         )
         compiled.run(
             data.arrays,

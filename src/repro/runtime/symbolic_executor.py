@@ -17,11 +17,22 @@ iteration space*.  This module makes that sentence executable:
 The test suite asserts the two orders coincide for every composition,
 which ties the compile-time algebra to the run-time executor with no
 modeling gap.  Small instances only — symbolic enumeration is a scan.
+
+The second half of the module is a **symbolic interpreter for lowering-IR
+programs** (:func:`symbolic_program_state`), used by the IR verifier's
+translation validation (:mod:`repro.analysis.irverify`): it executes a
+:class:`~repro.lowering.ir.Program` on a tiny canonical instance with
+*symbolic* array elements — every reduction is recorded as an ordered
+list of signed contributions instead of a float — so two programs can be
+compared up to the documented FP-grouping freedom (reduction
+contributions form a multiset per element; everything else, including
+the grouping inside each contribution, must match exactly).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -96,3 +107,294 @@ def symbolic_locations_touched(
         array: sorted(env.apply_relation(mapping, point))
         for array, mapping in final_state.data_mappings.items()
     }
+
+
+# ---------------------------------------------------------------------------
+# Symbolic interpretation of lowering-IR programs (translation validation)
+#
+# Values are hashable nested tuples:
+#
+#   ("init", array, i)        the element's initial (opaque) value
+#   ("const", "0.5")          a literal (repr'd, like the emitters)
+#   ("neg", v)                exact float negation
+#   ("op", "+", l, r)         one arithmetic node, grouping preserved
+#   ("acc", base, ((sign, payload), ...))
+#                             a reduction cell: base value plus the
+#                             *ordered* signed contributions applied
+#
+# Reads snapshot the current cell value (tuples are immutable), so a
+# payload evaluated before a commit embeds the pre-commit state exactly
+# as a real execution would.
+
+
+@dataclass(frozen=True)
+class SymbolicInstance:
+    """One tiny concrete instance to interpret a Program on.
+
+    ``schedule[t][pos]`` lists loop ``pos``'s iterations in tile ``t``;
+    ``waves`` groups tile ids (both ignored by untiled programs).
+    """
+
+    num_nodes: int
+    num_inter: int
+    left: Tuple[int, ...]
+    right: Tuple[int, ...]
+    schedule: Optional[Tuple[Tuple[Tuple[int, ...], ...], ...]] = None
+    waves: Optional[Tuple[Tuple[int, ...], ...]] = None
+
+
+def canonical_instance(program) -> SymbolicInstance:
+    """A fixed small instance with a dependence-legal two-tile schedule.
+
+    The tiling is built the way full sparse tiling would: nodes split in
+    half seeds the node-loop tiles, each interaction inherits the max
+    tile of its endpoints, and node loops *after* an interaction loop
+    inherit the max tile of any interaction touching the node — exactly
+    the atomic-tile condition ``theta(src) <= theta(dst)``, so ascending
+    tile order (and the two singleton waves) is a legal linearization.
+    """
+    num_nodes, num_inter = 4, 4
+    left = (0, 1, 2, 0)
+    right = (1, 2, 3, 2)
+    num_tiles = 2
+    floor = [0 if v < num_nodes // 2 else 1 for v in range(num_nodes)]
+    per_loop: List[List[int]] = []
+    for loop in program.loops:
+        if loop.domain == "nodes":
+            per_loop.append(list(floor))
+        else:
+            tiles_j = [
+                max(floor[left[j]], floor[right[j]]) for j in range(num_inter)
+            ]
+            per_loop.append(tiles_j)
+            for j in range(num_inter):
+                for v in (left[j], right[j]):
+                    floor[v] = max(floor[v], tiles_j[j])
+    schedule = tuple(
+        tuple(
+            tuple(
+                x
+                for x in range(len(assignment))
+                if assignment[x] == t
+            )
+            for assignment in per_loop
+        )
+        for t in range(num_tiles)
+    )
+    return SymbolicInstance(
+        num_nodes=num_nodes,
+        num_inter=num_inter,
+        left=left,
+        right=right,
+        schedule=schedule,
+        waves=((0,), (1,)),
+    )
+
+
+def _sym_eval(expr, idx: int, state, inst: SymbolicInstance):
+    from repro.lowering import ir as lir
+
+    if isinstance(expr, lir.Const):
+        return ("const", repr(expr.value))
+    if isinstance(expr, lir.Load):
+        if expr.index.direct:
+            return state[expr.array][idx]
+        via = inst.left if expr.index.via == "left" else inst.right
+        return state[expr.array][via[idx]]
+    if isinstance(expr, lir.Neg):
+        return ("neg", _sym_eval(expr.operand, idx, state, inst))
+    if isinstance(expr, lir.BinOp):
+        return (
+            "op",
+            expr.op,
+            _sym_eval(expr.left, idx, state, inst),
+            _sym_eval(expr.right, idx, state, inst),
+        )
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def _strip_neg(value) -> Tuple[object, int]:
+    sign = 1
+    while isinstance(value, tuple) and value and value[0] == "neg":
+        sign = -sign
+        value = value[1]
+    return value, sign
+
+
+def _sym_apply(state, array: str, idx: int, sign: int, payload) -> None:
+    cur = state[array][idx]
+    if isinstance(cur, tuple) and cur and cur[0] == "acc":
+        state[array][idx] = ("acc", cur[1], cur[2] + ((sign, payload),))
+    else:
+        state[array][idx] = ("acc", cur, ((sign, payload),))
+
+
+def _sym_update(state, stmt, idx: int, target_idx: int, inst) -> None:
+    payload, sign = _strip_neg(_sym_eval(stmt.increment, idx, state, inst))
+    _sym_apply(state, stmt.array, target_idx, sign, payload)
+
+
+def _target_index(stmt, idx: int, inst: SymbolicInstance) -> int:
+    if stmt.index.direct:
+        return idx
+    via = inst.left if stmt.index.via == "left" else inst.right
+    return via[idx]
+
+
+def _run_node_loop(state, loop, iters, inst) -> None:
+    if loop.vector:
+        # Whole-array form: per statement, evaluate every increment
+        # against the pre-statement snapshot, then apply (numpy's
+        # ``a += e`` semantics).
+        for stmt in loop.stmts:
+            incs = [
+                _strip_neg(_sym_eval(stmt.increment, i, state, inst))
+                for i in iters
+            ]
+            for i, (payload, sign) in zip(iters, incs):
+                _sym_apply(state, stmt.array, i, sign, payload)
+    else:
+        for i in iters:
+            for stmt in loop.stmts:
+                _sym_update(state, stmt, i, i, inst)
+
+
+def _run_inter_scalar(state, loop, iters, inst) -> None:
+    for j in iters:
+        for stmt in loop.stmts:
+            _sym_update(state, stmt, j, _target_index(stmt, j, inst), inst)
+
+
+def _run_inter_fissioned(state, gc, iters, inst) -> None:
+    payloads = [_sym_eval(gc.payload, j, state, inst) for j in iters]
+    for commit in gc.commits:
+        via = inst.left if commit.via == "left" else inst.right
+        for j, payload in zip(iters, payloads):
+            _sym_apply(state, commit.array, via[j], commit.sign, payload)
+
+
+def symbolic_program_state(
+    program, inst: SymbolicInstance, num_steps: int = 2
+) -> Dict[str, List[object]]:
+    """Interpret a lowering-IR Program symbolically on ``inst``.
+
+    Mirrors the emitters' operation order construct by construct
+    (scalar loops interleave statements per iteration; fissioned loops
+    gather every payload then commit array-by-array; tiled programs walk
+    waves with all gathers before the wave's in-order commits), so the
+    final state reflects what the generated code actually does.
+    """
+    state: Dict[str, List[object]] = {
+        name: [("init", name, i) for i in range(inst.num_nodes)]
+        for name in program.data_arrays
+    }
+    loop_extent = {
+        "nodes": range(inst.num_nodes),
+        "inters": range(inst.num_inter),
+    }
+
+    if not program.tiled:
+        for _step in range(num_steps):
+            for loop in program.loops:
+                iters = list(loop_extent[loop.domain])
+                if loop.domain == "nodes":
+                    _run_node_loop(state, loop, iters, inst)
+                elif loop.fissioned is not None:
+                    _run_inter_fissioned(state, loop.fissioned, iters, inst)
+                else:
+                    _run_inter_scalar(state, loop, iters, inst)
+        return state
+
+    if inst.schedule is None:
+        raise ValueError("tiled program needs an instance schedule")
+    waves = inst.waves if program.wave_parallel and inst.waves else tuple(
+        (t,) for t in range(len(inst.schedule))
+    )
+    for _step in range(num_steps):
+        for group in waves:
+            tiles = [inst.schedule[t] for t in group]
+            for pos, loop in enumerate(program.loops):
+                if loop.domain == "nodes":
+                    for tile in tiles:
+                        _run_node_loop(state, loop, list(tile[pos]), inst)
+                elif loop.fissioned is not None:
+                    gc = loop.fissioned
+                    # Phase 1: every tile's pure gather, whole wave.
+                    gathered = [
+                        [
+                            _sym_eval(gc.payload, j, state, inst)
+                            for j in tile[pos]
+                        ]
+                        for tile in tiles
+                    ]
+                    # Phase 2: commits per tile in the wave's tile order.
+                    for tile, payloads in zip(tiles, gathered):
+                        for commit in gc.commits:
+                            via = (
+                                inst.left
+                                if commit.via == "left"
+                                else inst.right
+                            )
+                            for j, payload in zip(tile[pos], payloads):
+                                _sym_apply(
+                                    state,
+                                    commit.array,
+                                    via[j],
+                                    commit.sign,
+                                    payload,
+                                )
+                else:
+                    for tile in tiles:
+                        _run_inter_scalar(state, loop, list(tile[pos]), inst)
+    return state
+
+
+def normalize_symbolic_value(value):
+    """Canonicalize a symbolic value up to the documented FP freedom:
+    reduction contributions become a sorted multiset (their application
+    order may differ between legal schedules); everything inside a
+    contribution is preserved exactly (its grouping is semantic)."""
+    if not isinstance(value, tuple) or not value:
+        return value
+    tag = value[0]
+    if tag == "acc":
+        contribs = tuple(
+            sorted(
+                (
+                    (sign, normalize_symbolic_value(payload))
+                    for sign, payload in value[2]
+                ),
+                key=repr,
+            )
+        )
+        return ("acc", normalize_symbolic_value(value[1]), contribs)
+    if tag == "neg":
+        return ("neg", normalize_symbolic_value(value[1]))
+    if tag == "op":
+        return (
+            "op",
+            value[1],
+            normalize_symbolic_value(value[2]),
+            normalize_symbolic_value(value[3]),
+        )
+    return value
+
+
+def normalize_symbolic_state(state) -> Dict[str, Tuple[object, ...]]:
+    """Normalized (comparable) form of a full symbolic array state."""
+    return {
+        name: tuple(normalize_symbolic_value(v) for v in cells)
+        for name, cells in state.items()
+    }
+
+
+def symbolically_equivalent(prog_a, prog_b, num_steps: int = 2) -> bool:
+    """Are two programs equivalent on the canonical instance, up to
+    reduction-contribution reordering?  (The translation-validation
+    predicate; each side runs with its own tiled/untiled shape.)"""
+    inst = canonical_instance(prog_a)
+    state_a = symbolic_program_state(prog_a, inst, num_steps=num_steps)
+    state_b = symbolic_program_state(prog_b, inst, num_steps=num_steps)
+    return normalize_symbolic_state(state_a) == normalize_symbolic_state(
+        state_b
+    )

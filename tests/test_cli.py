@@ -196,3 +196,73 @@ class TestDoctor:
              "--permissive"]
         ) == 0
         assert "normalized" in capsys.readouterr().out
+
+
+class TestLintIR:
+    """The ``lint --ir`` bridge into the IR verifier, and stdin specs."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_EXECUTOR_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_EXECUTOR_SANITIZE", raising=False)
+        monkeypatch.setenv("REPRO_PLANCACHE_DIR", str(tmp_path / "cache"))
+
+    def test_lint_ir_proves_example_plan(self, capsys):
+        spec = str(PLANS / "cpack_lexgroup_fst.json")
+        assert main(["lint", "--ir", spec]) == 0
+        out = capsys.readouterr().out
+        assert "irverify [untiled]: proven" in out
+        assert "irverify [tiled]: proven" in out
+
+    def test_lint_ir_json_payload(self, capsys):
+        import json as _json
+
+        spec = str(PLANS / "cpack_lexgroup_fst.json")
+        assert main(["lint", "--ir", "--json", spec]) == 0
+        payload = _json.loads(capsys.readouterr().out)
+        assert set(payload["irverify"]) == {"untiled", "tiled"}
+        for shape in payload["irverify"].values():
+            assert shape["proven"] is True
+            assert shape["version"] == "irverify-1"
+        assert "IRV001" in payload["rules_run"]
+
+    def test_lint_reads_spec_from_stdin(self, capsys, monkeypatch):
+        import io
+
+        spec_text = (PLANS / "cpack_lexgroup_fst.json").read_text()
+        monkeypatch.setattr("sys.stdin", io.StringIO(spec_text))
+        assert main(["lint", "-"]) == 0
+        assert "AnalysisReport" in capsys.readouterr().out
+
+    def test_lint_stdin_rejects_malformed_json(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("{ nope"))
+        assert main(["lint", "-"]) == 2
+        err = capsys.readouterr().err
+        assert "ValidationError" in err and "not valid JSON" in err
+
+
+class TestCacheGC:
+    def test_cache_gc_reports_eviction(self, capsys, tmp_path):
+        from repro.plancache.artifacts import ArtifactStore
+
+        store = ArtifactStore(tmp_path)
+        store.put_text("aa01", "c", "x" * 100)
+        store.put_text("bb02", "c", "y" * 100)
+        rc = main(
+            ["cache", "gc", "--max-bytes", "150",
+             "--cache-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "artifact gc: removed 1 file(s)" in out
+        assert len(store.keys()) == 1
+
+    def test_cache_gc_rejects_negative_budget(self, capsys, tmp_path):
+        rc = main(
+            ["cache", "gc", "--max-bytes=-5",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert rc == 2
+        assert "CacheError" in capsys.readouterr().err
