@@ -403,8 +403,12 @@ def _executor_backend_lines():
         )
         or "empty"
     )
+    sched = report["scheduler"]
     lines = [
         f"executor backend: {report['backend']} ({report['source']})",
+        f"  tile scheduler: {sched['scheduler']} ({sched['source']}) "
+        f"threads: {sched['threads']}  "
+        f"({sched['env']} / {sched['threads_env']})",
         "  toolchain: "
         + (
             f"{tool['compiler']} [{tool['version']}]"
@@ -464,6 +468,30 @@ def _service_stats_lines(scale=None):
     return lines, check
 
 
+def _wave_skew_lines(result):
+    """Wave-level load-balance stats of the bound plan's tiling (for
+    ``doctor``): how much barrier time the level-synchronous executor
+    burns, i.e. how much headroom the dynamic scheduler has."""
+    from repro.runtime.inspector import dependence_edges
+    from repro.transforms.parallel import tile_wavefronts
+
+    if result.tiling is None:
+        return ["wave skew: no tiling stage in this composition"], None
+    waves = tile_wavefronts(
+        result.tiling, dependence_edges(result.transformed)
+    )
+    skew = waves.wave_skew(result.tiling.tile_sizes())
+    lines = [
+        f"wave skew: {skew['num_tiles']} tiles in {skew['num_waves']} "
+        f"waves, parallelism {skew['wave_parallelism']:.2f}x",
+        f"  critical path {skew['critical_path']} of "
+        f"{skew['total_work']} iterations; "
+        f"max wave skew (max/mean tile) {skew['max_skew']:.2f}, "
+        f"mean {skew['mean_skew']:.2f}",
+    ]
+    return lines, skew
+
+
 def _cmd_doctor(args) -> int:
     """Validate a dataset + composition and print the pipeline report."""
     from repro.kernels.data import make_kernel_data
@@ -503,6 +531,8 @@ def _cmd_doctor(args) -> int:
     blocks.append("\n".join(engine_lines))
     executor_lines, executor_report = _executor_backend_lines()
     blocks.append("\n".join(executor_lines))
+    skew_lines, wave_skew = _wave_skew_lines(result)
+    blocks.append("\n".join(skew_lines))
     service_lines, service = _service_stats_lines(scale=args.scale)
     blocks.append("\n".join(service_lines))
 
@@ -544,6 +574,7 @@ def _cmd_doctor(args) -> int:
             "plan_cache": health,
             "engine": engine,
             "executor": executor_report,
+            "wave_skew": wave_skew,
             "service": service,
             "verdict": verdict,
             "exit_code": exit_code,
@@ -562,11 +593,36 @@ def _cmd_cache(args) -> int:
     from repro.plancache import PlanCache
 
     if args.cache_command == "stats":
+        from repro.plancache.artifacts import ArtifactStore
+
         lines, _health = _cache_health_lines(args.cache_dir)
         for line in lines:
             print(line)
         cache = PlanCache(directory=args.cache_dir)
         print(cache.describe())
+        # Compiled executors, split by tile scheduler: wave builds use
+        # the plain py/c/so suffixes, dynamic builds the dyn.* salted
+        # ones, so the two never collide and can be counted apart.
+        usage = ArtifactStore(args.cache_dir).health()["by_suffix"]
+
+        def _tally(pred):
+            slots = [s for sfx, s in usage.items() if pred(sfx)]
+            return (
+                sum(s["files"] for s in slots),
+                sum(s["bytes"] for s in slots),
+            )
+
+        dyn_files, dyn_bytes = _tally(lambda s: s.startswith("dyn."))
+        wave_files, wave_bytes = _tally(
+            lambda s: not s.startswith("dyn.") and s != "proof"
+        )
+        proof_files, proof_bytes = _tally(lambda s: s == "proof")
+        print(
+            f"executor artifacts by scheduler: "
+            f"wave {wave_files} ({wave_bytes} B)  "
+            f"dynamic {dyn_files} ({dyn_bytes} B)  "
+            f"proofs {proof_files} ({proof_bytes} B)"
+        )
         return 0
 
     if args.cache_command == "clear":
@@ -719,6 +775,19 @@ def _cmd_serve(args) -> int:
                 f"sanitizer: {'on' if sanitize_enabled() else 'off'}",
                 file=sys.stderr,
             )
+
+    if args.scheduler:
+        import os
+
+        from repro.lowering.schedule import SCHEDULER_ENV, resolve_scheduler
+
+        # Same shape as --executor-backend: validate up front, then
+        # publish via the env var so every bind worker resolves it.
+        sched_resolution = resolve_scheduler(args.scheduler)
+        os.environ[SCHEDULER_ENV] = args.scheduler
+        print(
+            f"tile scheduler: {sched_resolution.backend}", file=sys.stderr
+        )
 
     sink = None
     if args.trace:
@@ -1054,6 +1123,14 @@ def main(argv=None) -> int:
         default=None,
         help="executor tier for binds (default: REPRO_EXECUTOR_BACKEND or "
         "library; c degrades to numpy without a toolchain)",
+    )
+    p.add_argument(
+        "--scheduler",
+        choices=["auto", "wave", "dynamic"],
+        default=None,
+        help="tile scheduler for tiled binds (default: "
+        "REPRO_EXECUTOR_SCHEDULER or wave; dynamic = dependence-counter "
+        "work stealing, bit-identical to wave)",
     )
     p.add_argument(
         "--no-cache", action="store_true", help="serve without a plan cache"

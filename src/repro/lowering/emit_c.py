@@ -54,6 +54,15 @@ EMITTER_VERSION = "c-1"
 #: guarded and unguarded shared objects never collide in the cache.
 SANITIZE_TAG = "san1"
 
+#: Appended to the artifact key (and the artifact suffix) for the
+#: counter-scheduled entry point, so wave and dynamic builds are
+#: distinct cache entries (`repro cache stats` reports them apart).
+#: Bump on any ABI change to ``run_tiled_dynamic`` — a stale shared
+#: object with a different parameter list would be called with
+#: mismatched arguments.  dyn2: added the ``wave`` level array (the
+#: serial fast path replays the static wave schedule).
+DYNAMIC_TAG = "dyn2"
+
 #: ``err[0]`` codes of the sanitized executors (0 = clean run).  The
 #: runner maps these back to index-source names when raising the typed
 #: :class:`~repro.errors.ExecutorBoundsError`.
@@ -61,6 +70,8 @@ GUARD_LEFT = 1
 GUARD_RIGHT = 2
 GUARD_SCHEDULE_BASE = 10  # + loop position
 GUARD_WAVES = 100
+GUARD_ORDER = 101
+GUARD_SUCC = 102
 
 
 def _emit_guard_fn(w: SourceWriter) -> None:
@@ -346,13 +357,536 @@ def emit_c_tiled(program: Program, sanitize: bool = False) -> str:
     return w.source()
 
 
+def _emit_stage_prologue(w: SourceWriter, program: Program) -> None:
+    """Local aliases so the stage bodies reuse the shared renderers.
+    Not every stage touches every array; the casts silence -Wunused."""
+    for name in program.data_arrays:
+        w.line(f"double *{name} = c->{name};")
+    w.line("const int64_t *left = c->left;")
+    w.line("const int64_t *right = c->right;")
+    voids = " ".join(f"(void){name};" for name in program.data_arrays)
+    w.line(f"{voids} (void)left; (void)right;")
+
+
+def _emit_dynamic_stages(w: SourceWriter, program: Program) -> None:
+    """The three per-tile stage functions of the counter scheduler.
+
+    Bodies are the tiled emitter's own loop shapes, so a tile's operation
+    sequence is identical to its wave-executor rendering: gather writes
+    the payload at the *global* CSR position (tile slots are disjoint, so
+    concurrent gathers never race on ``scratch``), commit replays both
+    passes in statement order at the tile's turn.
+    """
+    from repro.lowering.emit_numpy import _dynamic_loop_split
+
+    pre, ip, inter_loop, post = _dynamic_loop_split(program)
+    gc = inter_loop.fissioned
+    ivar = inter_loop.index_var
+
+    with w.block(
+        "static inline __attribute__((always_inline)) void "
+        "_stage_gather(const _ctx_t *c, int64_t _t) {"
+    ):
+        _emit_stage_prologue(w, program)
+        for pos, loop in pre:
+            w.line(f"/* {loop.label} ({loop.domain}) */")
+            with w.block(
+                f"for (int64_t _k = c->off{pos}[_t]; "
+                f"_k < c->off{pos}[_t + 1]; ++_k) {{"
+            ):
+                w.line(f"int64_t {loop.index_var} = c->iters{pos}[_k];")
+                _emit_node_body(w, loop, loop.index_var)
+            w.line("}")
+        w.line(f"/* {inter_loop.label} gather */")
+        payload = _render(gc.payload, ivar, _idx_via(ivar))
+        with w.block(
+            f"for (int64_t _k = c->off{ip}[_t]; "
+            f"_k < c->off{ip}[_t + 1]; ++_k) {{"
+        ):
+            w.line(f"int64_t {ivar} = c->iters{ip}[_k];")
+            w.line(f"c->scratch[_k] = {payload};")
+        w.line("}")
+    w.line("}")
+    w.line()
+
+    with w.block(
+        "static inline __attribute__((always_inline)) void "
+        "_stage_commit(const _ctx_t *c, int64_t _t) {"
+    ):
+        _emit_stage_prologue(w, program)
+        for commit in gc.commits:
+            end = f"{commit.via}[{ivar}]"
+            val = (
+                "c->scratch[_k]"
+                if commit.sign > 0
+                else "(-c->scratch[_k])"
+            )
+            with w.block(
+                f"for (int64_t _k = c->off{ip}[_t]; "
+                f"_k < c->off{ip}[_t + 1]; ++_k) {{"
+            ):
+                w.line(f"int64_t {ivar} = c->iters{ip}[_k];")
+                w.line(
+                    f"{commit.array}[{end}] = {commit.array}[{end}] + {val};"
+                )
+            w.line("}")
+    w.line("}")
+    w.line()
+
+    with w.block(
+        "static inline __attribute__((always_inline)) void "
+        "_stage_post(const _ctx_t *c, int64_t _t) {"
+    ):
+        _emit_stage_prologue(w, program)
+        w.line("(void)_t;")
+        for pos, loop in post:
+            w.line(f"/* {loop.label} ({loop.domain}) */")
+            with w.block(
+                f"for (int64_t _k = c->off{pos}[_t]; "
+                f"_k < c->off{pos}[_t + 1]; ++_k) {{"
+            ):
+                w.line(f"int64_t {loop.index_var} = c->iters{pos}[_k];")
+                _emit_node_body(w, loop, loop.index_var)
+            w.line("}")
+    w.line("}")
+
+
+def _emit_scheduler_runtime(w: SourceWriter) -> None:
+    """The kernel-independent pthread scheduler scaffold.
+
+    One mutex + condvar guard all shared state (per-worker deques,
+    counters, gathered flags, the commit cursor); stage bodies run
+    outside the lock.  Workers pop their own deque LIFO and steal FIFO
+    from round-robin victims.  The commit token (``committing``) makes
+    exactly one worker drain commits in ``order``; whoever finishes a
+    gather and finds the token free takes duty, so commits chase the
+    gather frontier without waiting for a scheduler tick.  Each tile
+    enters a deque at most twice (gather, post), so ``2 * num_tiles``
+    slots per worker never overflow and indices only grow — no ring.
+    """
+    with w.block("typedef struct {"):
+        w.line("const _ctx_t *ctx;")
+        w.line("int64_t num_tiles;")
+        w.line("int64_t num_threads;")
+        w.line("const int64_t *order;")
+        w.line("const int64_t *succ_off;")
+        w.line("const int64_t *succ;")
+        w.line("int64_t *counters;")
+        w.line("unsigned char *gathered;")
+        w.line("int64_t commit_next;")
+        w.line("int64_t completed;")
+        w.line("int64_t committing;")
+        w.line("int64_t **deq;")
+        w.line("int64_t *deq_head;")
+        w.line("int64_t *deq_tail;")
+        w.line("pthread_mutex_t m;")
+        w.line("pthread_cond_t cv;")
+    w.line("} _sched_t;")
+    w.line()
+    with w.block("static void _push(_sched_t *s, int64_t w, int64_t task) {"):
+        w.line("s->deq[w][s->deq_tail[w]++] = task;")
+    w.line("}")
+    w.line()
+    with w.block("static int64_t _take(_sched_t *s, int64_t w) {"):
+        with w.block("if (s->deq_tail[w] > s->deq_head[w]) {"):
+            w.line("return s->deq[w][--s->deq_tail[w]];")
+        w.line("}")
+        with w.block("for (int64_t _i = 1; _i < s->num_threads; ++_i) {"):
+            w.line("int64_t _v = (w + _i) % s->num_threads;")
+            with w.block("if (s->deq_tail[_v] > s->deq_head[_v]) {"):
+                w.line("return s->deq[_v][s->deq_head[_v]++];")
+            w.line("}")
+        w.line("}")
+        w.line("return -2;")
+    w.line("}")
+    w.line()
+    with w.block("static int _commit_ready(_sched_t *s) {"):
+        w.line(
+            "return s->commit_next < s->num_tiles && "
+            "s->gathered[s->order[s->commit_next]];"
+        )
+    w.line("}")
+    w.line()
+    with w.block("static void _drain(_sched_t *s, int64_t w) {"):
+        with w.block("for (;;) {"):
+            w.line("pthread_mutex_lock(&s->m);")
+            with w.block("if (!_commit_ready(s)) {"):
+                w.line("s->committing = 0;")
+                w.line("pthread_cond_broadcast(&s->cv);")
+                w.line("pthread_mutex_unlock(&s->m);")
+                w.line("return;")
+            w.line("}")
+            w.line("int64_t _t = s->order[s->commit_next];")
+            w.line("pthread_mutex_unlock(&s->m);")
+            w.line("_stage_commit(s->ctx, _t);")
+            w.line("pthread_mutex_lock(&s->m);")
+            w.line("s->commit_next += 1;")
+            w.line("_push(s, w, _t + s->num_tiles);")
+            w.line("pthread_cond_broadcast(&s->cv);")
+            w.line("pthread_mutex_unlock(&s->m);")
+        w.line("}")
+    w.line("}")
+    w.line()
+    with w.block("typedef struct {"):
+        w.line("_sched_t *s;")
+        w.line("int64_t wid;")
+    w.line("} _worker_arg_t;")
+    w.line()
+    with w.block("static void *_worker(void *argp) {"):
+        w.line("_worker_arg_t *arg = (_worker_arg_t *)argp;")
+        w.line("_sched_t *s = arg->s;")
+        w.line("int64_t w = arg->wid;")
+        with w.block("for (;;) {"):
+            w.line("int64_t task;")
+            w.line("pthread_mutex_lock(&s->m);")
+            with w.block("for (;;) {"):
+                with w.block("if (s->completed == s->num_tiles) {"):
+                    w.line("pthread_mutex_unlock(&s->m);")
+                    w.line("return 0;")
+                w.line("}")
+                w.line("task = _take(s, w);")
+                w.line("if (task != -2) break;")
+                with w.block("if (!s->committing && _commit_ready(s)) {"):
+                    w.line("s->committing = 1;")
+                    w.line("task = -1;")
+                    w.line("break;")
+                w.line("}")
+                w.line("pthread_cond_wait(&s->cv, &s->m);")
+            w.line("}")
+            w.line("pthread_mutex_unlock(&s->m);")
+            with w.block("if (task == -1) {"):
+                w.line("_drain(s, w);")
+                w.line("continue;")
+            w.line("}")
+            with w.block("if (task < s->num_tiles) {"):
+                w.line("_stage_gather(s->ctx, task);")
+                w.line("int _duty = 0;")
+                w.line("pthread_mutex_lock(&s->m);")
+                w.line("s->gathered[task] = 1;")
+                with w.block("if (!s->committing && _commit_ready(s)) {"):
+                    w.line("s->committing = 1;")
+                    w.line("_duty = 1;")
+                with w.block("} else {"):
+                    w.line("pthread_cond_broadcast(&s->cv);")
+                w.line("}")
+                w.line("pthread_mutex_unlock(&s->m);")
+                w.line("if (_duty) _drain(s, w);")
+            with w.block("} else {"):
+                w.line("int64_t _t = task - s->num_tiles;")
+                w.line("_stage_post(s->ctx, _t);")
+                w.line("pthread_mutex_lock(&s->m);")
+                with w.block(
+                    "for (int64_t _e = s->succ_off[_t]; "
+                    "_e < s->succ_off[_t + 1]; ++_e) {"
+                ):
+                    w.line("int64_t _n = s->succ[_e];")
+                    w.line("s->counters[_n] -= 1;")
+                    w.line("if (s->counters[_n] == 0) _push(s, w, _n);")
+                w.line("}")
+                w.line("s->completed += 1;")
+                w.line("pthread_cond_broadcast(&s->cv);")
+                w.line("pthread_mutex_unlock(&s->m);")
+            w.line("}")
+        w.line("}")
+    w.line("}")
+
+
+def emit_c_dynamic(program: Program, sanitize: bool = False) -> str:
+    """C source of the counter-scheduled executor (``run_tiled_dynamic``).
+
+    Takes the tiled executor's CSR schedule plus the counter DAG
+    (``order`` — the wave commit sequence, ``indegree`` seed counts,
+    ``succ_off``/``succ`` successor CSR) and ``num_threads``.  At one
+    thread (or one tile, or if any scheduler allocation fails) it runs
+    the static path: a serial loop over ``order`` with the same
+    three-stage bodies — zero scheduling overhead, trivially
+    bit-identical.  Otherwise an OpenMP-style pthread pool executes the
+    work-stealing protocol of :func:`repro.lowering.schedule.run_dynamic`.
+    The sanitized variant range-scans every index source (including
+    ``order`` and ``succ``) before the first step and traps via ``err``.
+    """
+    w = SourceWriter()
+    w.line(f"/* Dynamic-schedule C executor for '{program.kernel_name}' "
+           "(generated by repro.lowering; do not edit). */")
+    w.line("#include <stdint.h>")
+    w.line("#include <stdlib.h>")
+    w.line("#include <pthread.h>")
+    w.line()
+    if sanitize:
+        _emit_guard_fn(w)
+        w.line()
+    with w.block("typedef struct {"):
+        for name in program.data_arrays:
+            w.line(f"double *{name};")
+        w.line("const int64_t *left;")
+        w.line("const int64_t *right;")
+        for pos in range(len(program.loops)):
+            w.line(f"const int64_t *iters{pos};")
+            w.line(f"const int64_t *off{pos};")
+        w.line("double *scratch;")
+    w.line("} _ctx_t;")
+    w.line()
+    _emit_dynamic_stages(w, program)
+    w.line()
+    _emit_scheduler_runtime(w)
+    w.line()
+    params = _data_params(program) + [
+        "const int64_t *left",
+        "const int64_t *right",
+        "int64_t num_nodes",
+        "int64_t num_inter",
+        "int64_t num_steps",
+    ]
+    for pos in range(len(program.loops)):
+        params += [f"const int64_t *iters{pos}", f"const int64_t *off{pos}"]
+    params += [
+        "const int64_t *order",
+        "const int64_t *wave",
+        "const int64_t *indegree",
+        "const int64_t *succ_off",
+        "const int64_t *succ",
+        "int64_t num_tiles",
+        "int64_t num_threads",
+        "double *scratch",
+    ]
+    if sanitize:
+        params.append("int64_t *err")
+    with w.block(f"void run_tiled_dynamic({', '.join(params)}) {{"):
+        if sanitize:
+            w.line("err[0] = 0;")
+            w.line(
+                f"if (_guard(left, num_inter, num_nodes, {GUARD_LEFT}, err)) "
+                "return;"
+            )
+            w.line(
+                f"if (_guard(right, num_inter, num_nodes, {GUARD_RIGHT}, "
+                "err)) return;"
+            )
+            for pos, loop in enumerate(program.loops):
+                extent = "num_nodes" if loop.domain == "nodes" else "num_inter"
+                w.line(
+                    f"if (_guard(iters{pos}, off{pos}[num_tiles], {extent}, "
+                    f"{GUARD_SCHEDULE_BASE + pos}, err)) return;"
+                )
+            w.line(
+                f"if (_guard(order, num_tiles, num_tiles, {GUARD_ORDER}, "
+                "err)) return;"
+            )
+            w.line(
+                f"if (_guard(succ, succ_off[num_tiles], num_tiles, "
+                f"{GUARD_SUCC}, err)) return;"
+            )
+        w.line("_ctx_t ctx;")
+        for name in program.data_arrays:
+            w.line(f"ctx.{name} = {name};")
+        w.line("ctx.left = left;")
+        w.line("ctx.right = right;")
+        for pos in range(len(program.loops)):
+            w.line(f"ctx.iters{pos} = iters{pos};")
+            w.line(f"ctx.off{pos} = off{pos};")
+        w.line("ctx.scratch = scratch;")
+        w.line("(void)num_nodes; (void)num_inter;")
+        w.line("int _serial = (num_threads <= 1 || num_tiles <= 1);")
+        w.line("_sched_t s;")
+        w.line("pthread_t *threads = 0;")
+        w.line("_worker_arg_t *args = 0;")
+        with w.block("if (!_serial) {"):
+            w.line("s.ctx = &ctx;")
+            w.line("s.num_tiles = num_tiles;")
+            w.line("s.num_threads = num_threads;")
+            w.line("s.order = order;")
+            w.line("s.succ_off = succ_off;")
+            w.line("s.succ = succ;")
+            w.line(
+                "s.counters = (int64_t *)malloc("
+                "(size_t)num_tiles * sizeof(int64_t));"
+            )
+            w.line(
+                "s.gathered = (unsigned char *)malloc((size_t)num_tiles);"
+            )
+            w.line(
+                "s.deq = (int64_t **)malloc("
+                "(size_t)num_threads * sizeof(int64_t *));"
+            )
+            w.line(
+                "s.deq_head = (int64_t *)malloc("
+                "(size_t)num_threads * sizeof(int64_t));"
+            )
+            w.line(
+                "s.deq_tail = (int64_t *)malloc("
+                "(size_t)num_threads * sizeof(int64_t));"
+            )
+            w.line(
+                "threads = (pthread_t *)malloc("
+                "(size_t)num_threads * sizeof(pthread_t));"
+            )
+            w.line(
+                "args = (_worker_arg_t *)malloc("
+                "(size_t)num_threads * sizeof(_worker_arg_t));"
+            )
+            w.line(
+                "int _ok = s.counters && s.gathered && s.deq && "
+                "s.deq_head && s.deq_tail && threads && args;"
+            )
+            with w.block("if (_ok) {"):
+                with w.block(
+                    "for (int64_t _w = 0; _w < num_threads; ++_w) {"
+                ):
+                    w.line(
+                        "s.deq[_w] = (int64_t *)malloc("
+                        "(size_t)(2 * num_tiles + 1) * sizeof(int64_t));"
+                    )
+                    w.line("if (!s.deq[_w]) _ok = 0;")
+                w.line("}")
+            with w.block("} else if (s.deq) {"):
+                with w.block(
+                    "for (int64_t _w = 0; _w < num_threads; ++_w) {"
+                ):
+                    w.line("s.deq[_w] = 0;")
+                w.line("}")
+            w.line("}")
+            with w.block("if (!_ok) {"):
+                # Degrade to the static path rather than fail the run.
+                with w.block("if (s.deq) {"):
+                    with w.block(
+                        "for (int64_t _w = 0; _w < num_threads; ++_w) {"
+                    ):
+                        w.line("free(s.deq[_w]);")
+                    w.line("}")
+                w.line("}")
+                w.line("free(s.counters); free(s.gathered); free(s.deq);")
+                w.line("free(s.deq_head); free(s.deq_tail);")
+                w.line("free(threads); free(args);")
+                w.line("_serial = 1;")
+            with w.block("} else {"):
+                w.line("pthread_mutex_init(&s.m, 0);")
+                w.line("pthread_cond_init(&s.cv, 0);")
+            w.line("}")
+        w.line("}")
+        with w.block("if (_serial) {"):
+            # The *hybrid* half of the scheduler: with one worker there is
+            # nothing to steal, so replay the static wave schedule itself —
+            # phase-batched runs over each wave's contiguous span of
+            # ``order`` (``order`` is waves-outermost, so equal ``wave``
+            # values are adjacent).  This is the level-synchronous
+            # executor's own loop structure, which keeps the 1-thread
+            # dynamic bind at parity with the wave bind instead of paying
+            # per-tile stage switching.  ``wave`` values are only compared
+            # for equality (never used as indices), so the sanitizer does
+            # not need to range-scan them.
+            with w.block(
+                "for (int64_t _step = 0; _step < num_steps; ++_step) {"
+            ):
+                with w.block("for (int64_t _lo = 0; _lo < num_tiles; ) {"):
+                    w.line("int64_t _wv = wave[order[_lo]];")
+                    w.line("int64_t _hi = _lo;")
+                    w.line(
+                        "while (_hi < num_tiles && wave[order[_hi]] == _wv) "
+                        "++_hi;"
+                    )
+                    with w.block(
+                        "for (int64_t _i = _lo; _i < _hi; ++_i) {"
+                    ):
+                        w.line("_stage_gather(&ctx, order[_i]);")
+                    w.line("}")
+                    with w.block(
+                        "for (int64_t _i = _lo; _i < _hi; ++_i) {"
+                    ):
+                        w.line("_stage_commit(&ctx, order[_i]);")
+                    w.line("}")
+                    with w.block(
+                        "for (int64_t _i = _lo; _i < _hi; ++_i) {"
+                    ):
+                        w.line("_stage_post(&ctx, order[_i]);")
+                    w.line("}")
+                    w.line("_lo = _hi;")
+                w.line("}")
+            w.line("}")
+            w.line("return;")
+        w.line("}")
+        with w.block("for (int64_t _step = 0; _step < num_steps; ++_step) {"):
+            with w.block("for (int64_t _t = 0; _t < num_tiles; ++_t) {"):
+                w.line("s.counters[_t] = indegree[_t];")
+                w.line("s.gathered[_t] = 0;")
+            w.line("}")
+            w.line("s.commit_next = 0;")
+            w.line("s.completed = 0;")
+            w.line("s.committing = 0;")
+            with w.block("for (int64_t _w = 0; _w < num_threads; ++_w) {"):
+                w.line("s.deq_head[_w] = 0;")
+                w.line("s.deq_tail[_w] = 0;")
+            w.line("}")
+            w.line("int64_t _seeded = 0;")
+            with w.block("for (int64_t _t = 0; _t < num_tiles; ++_t) {"):
+                with w.block("if (indegree[_t] == 0) {"):
+                    w.line("_push(&s, _seeded % num_threads, _t);")
+                    w.line("_seeded += 1;")
+                w.line("}")
+            w.line("}")
+            # A full barrier between steps: workers are joined per step,
+            # which also publishes every write before the next spawn.
+            with w.block("for (int64_t _w = 0; _w < num_threads; ++_w) {"):
+                w.line("args[_w].s = &s;")
+                w.line("args[_w].wid = _w;")
+                with w.block(
+                    "if (pthread_create(&threads[_w], 0, _worker, "
+                    "&args[_w])) {"
+                ):
+                    # Spawn failure: this worker simply doesn't join the
+                    # pool; mark it so join skips it.  The protocol only
+                    # needs one live worker to finish every tile.
+                    w.line("args[_w].wid = -1;")
+                w.line("}")
+            w.line("}")
+            w.line("int64_t _live = 0;")
+            with w.block("for (int64_t _w = 0; _w < num_threads; ++_w) {"):
+                w.line("if (args[_w].wid >= 0) { "
+                       "pthread_join(threads[_w], 0); _live += 1; }")
+            w.line("}")
+            with w.block("if (_live == 0) {"):
+                # Every spawn failed: finish the step on this thread.
+                with w.block(
+                    "for (int64_t _i = 0; _i < num_tiles; ++_i) {"
+                ):
+                    w.line("int64_t _t = order[_i];")
+                    w.line("if (!s.gathered[_t]) _stage_gather(&ctx, _t);")
+                w.line("}")
+                with w.block(
+                    "for (int64_t _i = s.commit_next; _i < num_tiles; "
+                    "++_i) {"
+                ):
+                    w.line("_stage_commit(&ctx, order[_i]);")
+                w.line("}")
+                with w.block(
+                    "for (int64_t _i = 0; _i < num_tiles; ++_i) {"
+                ):
+                    w.line("_stage_post(&ctx, order[_i]);")
+                w.line("}")
+            w.line("}")
+        w.line("}")
+        with w.block("for (int64_t _w = 0; _w < num_threads; ++_w) {"):
+            w.line("free(s.deq[_w]);")
+        w.line("}")
+        w.line("free(s.counters); free(s.gathered); free(s.deq);")
+        w.line("free(s.deq_head); free(s.deq_tail);")
+        w.line("free(threads); free(args);")
+        w.line("pthread_mutex_destroy(&s.m);")
+        w.line("pthread_cond_destroy(&s.cv);")
+    w.line("}")
+    return w.source()
+
+
 __all__ = [
+    "DYNAMIC_TAG",
     "EMITTER_VERSION",
     "GUARD_LEFT",
+    "GUARD_ORDER",
     "GUARD_RIGHT",
     "GUARD_SCHEDULE_BASE",
+    "GUARD_SUCC",
     "GUARD_WAVES",
     "SANITIZE_TAG",
     "emit_c",
+    "emit_c_dynamic",
     "emit_c_tiled",
 ]

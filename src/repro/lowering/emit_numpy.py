@@ -47,6 +47,11 @@ EMITTER_VERSION = "numpy-1"
 #: so guarded and unguarded modules never collide in the cache.
 SANITIZE_TAG = "san1"
 
+#: Appended to the artifact key (and the artifact suffix) for the
+#: counter-scheduled entry point, so wave and dynamic builds are
+#: distinct cache entries (`repro cache stats` reports them apart).
+DYNAMIC_TAG = "dyn1"
+
 
 def _render(expr: Expr, direct: str, via: Dict[str, str]) -> str:
     """Render an expression; ``direct`` is the subscript text for direct
@@ -262,4 +267,135 @@ def emit_numpy_tiled(program: Program, sanitize: bool = False) -> str:
     return w.source()
 
 
-__all__ = ["EMITTER_VERSION", "SANITIZE_TAG", "emit_numpy", "emit_numpy_tiled"]
+def _dynamic_loop_split(program: Program):
+    """(pre-loops, the fissioned interaction loop + position, post-loops).
+
+    The dynamic emitters need the three-stage tile task: node loops
+    before the interaction loop run in the gather stage, the interaction
+    loop's payload is buffered per tile and committed at the tile's
+    turn, node loops after it run in the post stage.  Requires exactly
+    one interaction loop, fissioned — which is what the IRV006 static
+    obligations (and the ``dynamic_schedule`` pass gating) guarantee.
+    """
+    from repro.errors import ValidationError
+
+    inter = [
+        (pos, loop)
+        for pos, loop in enumerate(program.loops)
+        if loop.domain != "nodes"
+    ]
+    if len(inter) != 1:
+        raise ValidationError(
+            f"dynamic schedule needs exactly one interaction loop, "
+            f"{program.kernel_name} has {len(inter)}"
+        )
+    ip, inter_loop = inter[0]
+    if inter_loop.fissioned is None:
+        raise ValidationError(
+            f"dynamic schedule needs the gather/commit split on "
+            f"{inter_loop.label} (run the fission pass)"
+        )
+    pre = [(pos, program.loops[pos]) for pos in range(ip)]
+    post = [
+        (pos, program.loops[pos])
+        for pos in range(ip + 1, len(program.loops))
+    ]
+    return pre, ip, inter_loop, post
+
+
+def emit_numpy_dynamic(program: Program, sanitize: bool = False) -> str:
+    """Source of the counter-scheduled NumPy executor.
+
+    The generated module builds the three tile-stage closures from the
+    IR and hands them to :func:`repro.lowering.schedule.run_dynamic`
+    (work-stealing pool, commit token): gathers buffer each tile's *raw*
+    payload vector, commits replay them with the same ``np.add.at``
+    calls the wave emitter issues, in the wave executor's commit order —
+    bit-identical at any thread count.  Entry point::
+
+        run(arrays, left, right, schedule, wave_groups=None,
+            num_steps=1, dag=None, num_threads=None)
+
+    ``dag`` is a :class:`~repro.lowering.schedule.TileDAG` (``None``
+    degrades to the conservative barrier DAG from ``wave_groups``).
+    """
+    pre, ip, inter_loop, post = _dynamic_loop_split(program)
+    gc = inter_loop.fissioned
+    w = SourceWriter()
+    w.line(f'"""Dynamic-schedule NumPy executor for '
+           f'{program.kernel_name!r} '
+           '(generated by repro.lowering; do not edit)."""')
+    w.line("import numpy as np")
+    w.line("from repro.lowering.schedule import run_dynamic, "
+           "tile_dag_from_waves")
+    if sanitize:
+        w.line("from repro.errors import ExecutorBoundsError")
+    w.line()
+    if sanitize:
+        _emit_guard_helper(w)
+        w.line()
+    with w.block(
+        "def run(arrays, left, right, schedule, wave_groups=None, "
+        "num_steps=1, dag=None, num_threads=None):"
+    ):
+        _emit_prologue(w, program)
+        if sanitize:
+            domains = [loop.domain for loop in program.loops]
+            w.line(f"_loop_domains = {domains!r}")
+            _emit_guard_calls(w, tiled=True)
+            with w.block("if dag is not None:"):
+                w.line("_guard('dag.succ_indices', dag.succ_indices, "
+                       "len(schedule))")
+                w.line("_guard('dag.order', dag.order, len(schedule))")
+        with w.block("if dag is None:"):
+            w.line("dag = tile_dag_from_waves(wave_groups, len(schedule))")
+        w.line("_payloads = [None] * len(schedule)")
+        w.line("_ends = [None] * len(schedule)")
+        with w.block("def _stage_gather(_t):"):
+            w.line("_tile = schedule[_t]")
+            for pos, loop in pre:
+                w.line(f"# {loop.label} ({loop.domain})")
+                w.line(f"_it = _tile[{pos}]")
+                with w.block("if len(_it):"):
+                    _emit_node_loop(w, loop, "_it")
+            w.line(f"# {inter_loop.label} gather")
+            w.line(f"_it = _tile[{ip}]")
+            with w.block("if len(_it):"):
+                w.line("_l = left[_it]")
+                w.line("_r = right[_it]")
+                payload = _render(gc.payload, "", {"left": "_l", "right": "_r"})
+                w.line("_ends[_t] = (_l, _r)")
+                w.line(f"_payloads[_t] = {payload}")
+        with w.block("def _stage_commit(_t):"):
+            with w.block("if _payloads[_t] is not None:"):
+                w.line("_l, _r = _ends[_t]")
+                w.line("_g = _payloads[_t]")
+                for commit in gc.commits:
+                    end = {"left": "_l", "right": "_r"}[commit.via]
+                    val = "_g" if commit.sign > 0 else "-_g"
+                    w.line(f"np.add.at(A_{commit.array}, {end}, {val})")
+                w.line("_payloads[_t] = None")
+                w.line("_ends[_t] = None")
+        with w.block("def _stage_post(_t):"):
+            w.line("_tile = schedule[_t]")
+            if not post:
+                w.line("pass")
+            for pos, loop in post:
+                w.line(f"# {loop.label} ({loop.domain})")
+                w.line(f"_it = _tile[{pos}]")
+                with w.block("if len(_it):"):
+                    _emit_node_loop(w, loop, "_it")
+        w.line("run_dynamic(dag, _stage_gather, _stage_commit, "
+               "_stage_post, num_threads=num_threads, num_steps=num_steps)")
+        w.line("return arrays")
+    return w.source()
+
+
+__all__ = [
+    "DYNAMIC_TAG",
+    "EMITTER_VERSION",
+    "SANITIZE_TAG",
+    "emit_numpy",
+    "emit_numpy_dynamic",
+    "emit_numpy_tiled",
+]

@@ -33,7 +33,7 @@ import hashlib
 import json
 import os
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -127,6 +127,10 @@ class CompiledExecutor:
     #: ``True`` when the proof came from the artifact store (warm bind —
     #: the verifier itself did not run).
     proof_from_cache: bool = False
+    #: Which tile scheduler the bound entry point implements:
+    #: ``"wave"`` (level-synchronous) or ``"dynamic"`` (dependence
+    #: counters + work stealing).  Untiled executors are always "wave".
+    scheduler: str = "wave"
 
 
 _MEMO: Dict[Tuple, CompiledExecutor] = {}
@@ -232,6 +236,10 @@ def _guard_source_name(code: int, program: Program) -> str:
         return "right"
     if code == emit_c.GUARD_WAVES:
         return "wave_tiles"
+    if code == emit_c.GUARD_ORDER:
+        return "dag.order"
+    if code == emit_c.GUARD_SUCC:
+        return "dag.succ_indices"
     pos = code - emit_c.GUARD_SCHEDULE_BASE
     if 0 <= pos < len(program.loops):
         return f"schedule[{program.loops[pos].label}]"
@@ -349,6 +357,190 @@ def _c_runner(
     return run_tiled
 
 
+def _library_runner_dynamic(kernel_name: str) -> Callable:
+    """The library backend behind the dynamic-scheduler signature.
+
+    Same three-stage tile task as the compiled dynamic backends, driven
+    by :func:`repro.lowering.schedule.run_dynamic` over the hand-written
+    phase functions — the cross-backend identity reference."""
+    from repro.kernels.executors import PHASE_FUNCTIONS
+    from repro.lowering.schedule import run_dynamic, tile_dag_from_waves
+
+    phases = PHASE_FUNCTIONS[kernel_name]
+    inter_pos = [i for i, p in enumerate(phases) if p.domain != "nodes"]
+    if len(inter_pos) != 1:
+        raise ValidationError(
+            f"dynamic scheduler supports exactly one interaction phase, "
+            f"{kernel_name} has {len(inter_pos)}"
+        )
+    ip = inter_pos[0]
+    pre, inter, post = phases[:ip], phases[ip], phases[ip + 1 :]
+
+    def run_tiled(
+        arrays,
+        left,
+        right,
+        schedule,
+        wave_groups=None,
+        num_steps=1,
+        dag=None,
+        num_threads=None,
+    ):
+        if dag is None:
+            dag = tile_dag_from_waves(wave_groups, len(schedule))
+        payloads: List = [None] * len(schedule)
+        ends: List = [None] * len(schedule)
+
+        def stage_gather(t):
+            tile = schedule[t]
+            for pos, phase in enumerate(pre):
+                it = tile[pos]
+                if len(it):
+                    phase.apply(arrays, it)
+            it = tile[ip]
+            if len(it):
+                l, r = left[it], right[it]
+                ends[t] = (l, r)
+                payloads[t] = inter.gather(arrays, l, r)
+
+        def stage_commit(t):
+            if payloads[t] is not None:
+                l, r = ends[t]
+                inter.commit(arrays, l, r, payloads[t])
+            payloads[t] = None
+            ends[t] = None
+
+        def stage_post(t):
+            tile = schedule[t]
+            for off, phase in enumerate(post):
+                it = tile[ip + 1 + off]
+                if len(it):
+                    phase.apply(arrays, it)
+
+        run_dynamic(
+            dag,
+            stage_gather,
+            stage_commit,
+            stage_post,
+            num_threads=num_threads,
+            num_steps=num_steps,
+        )
+        return arrays
+
+    return run_tiled
+
+
+def _c_runner_dynamic(
+    so_path: str, program: Program, sanitize: bool = False
+) -> Callable:
+    """Drive the ``run_tiled_dynamic`` entry point through ``ctypes``.
+
+    Marshals the CSR tile schedule exactly like the wave runner, plus
+    the counter DAG (commit order, indegree seeds, successor CSR) and
+    the resolved worker count.  The DAG is legality-checked
+    (:func:`~repro.lowering.schedule.ensure_runnable`, IRV006) before
+    the foreign call — a cyclic or under-counted graph would deadlock
+    or race inside C where we cannot raise."""
+    lib = ctypes.CDLL(so_path)
+    fn = lib.run_tiled_dynamic
+    fn.restype = None
+    names = program.data_arrays
+    n_loops = len(program.loops)
+
+    def run_tiled(
+        arrays,
+        left,
+        right,
+        schedule,
+        wave_groups=None,
+        num_steps=1,
+        dag=None,
+        num_threads=None,
+    ):
+        from repro.lowering.schedule import (
+            ensure_runnable,
+            resolve_num_threads,
+            static_levels,
+            tile_dag_from_waves,
+        )
+
+        datas = _as_f64(arrays, names)
+        left = _as_i64(left, "left")
+        right = _as_i64(right, "right")
+        num_nodes = datas[0].shape[0]
+        num_inter = left.shape[0]
+        if sanitize and right.shape[0] != num_inter:
+            raise ExecutorBoundsError(
+                f"right has {right.shape[0]} entries, left has {num_inter}",
+                array="right",
+                bound=num_inter,
+                stage="sanitizer",
+            )
+        if dag is None:
+            # The wave executors guard wave groups inside the emitted
+            # code; here the groups are consumed Python-side (they only
+            # seed the barrier DAG), so the sanitizer contract — typed
+            # trap, arrays untouched — is honored before construction.
+            if sanitize and wave_groups is not None:
+                num_tiles = len(schedule)
+                for wv, group in enumerate(wave_groups):
+                    g = np.asarray(group, dtype=np.int64).ravel()
+                    bad = np.flatnonzero((g < 0) | (g >= num_tiles))
+                    if len(bad):
+                        pos = int(bad[0])
+                        raise ExecutorBoundsError(
+                            f"wave_groups[{wv}][{pos}] = {int(g[pos])} "
+                            f"outside [0, {num_tiles})",
+                            array=f"wave_groups[{wv}]",
+                            bound=num_tiles,
+                            stage="sanitizer",
+                        )
+            dag = tile_dag_from_waves(wave_groups, len(schedule))
+        ensure_runnable(dag)
+        nthreads = resolve_num_threads(num_threads)
+        keepalive = []  # the CSR arrays must outlive the foreign call
+        csr_ptrs = []
+        for pos in range(n_loops):
+            iters, off = _flatten_csr([tile[pos] for tile in schedule])
+            keepalive += [iters, off]
+            csr_ptrs += [_iptr(iters), _iptr(off)]
+        order = _as_i64(dag.order, "dag.order")
+        # The serial fast path replays the static wave schedule, so the
+        # engine needs each tile's level; recomputed only for hand-built
+        # DAGs that omitted it (the constructors always populate it).
+        wave = _as_i64(static_levels(dag), "dag.wave")
+        indegree = _as_i64(dag.indegree, "dag.indegree")
+        succ_off = _as_i64(dag.succ_indptr, "dag.succ_indptr")
+        succ = _as_i64(dag.succ_indices, "dag.succ_indices")
+        keepalive += [order, wave, indegree, succ_off, succ]
+        scratch = np.empty(max(num_inter, 1), dtype=np.float64)
+        err = np.zeros(4, dtype=np.int64)
+        fn(
+            *[_dptr(d) for d in datas],
+            _iptr(left),
+            _iptr(right),
+            ctypes.c_longlong(num_nodes),
+            ctypes.c_longlong(num_inter),
+            ctypes.c_longlong(num_steps),
+            *csr_ptrs,
+            _iptr(order),
+            _iptr(wave),
+            _iptr(indegree),
+            _iptr(succ_off),
+            _iptr(succ),
+            ctypes.c_longlong(len(schedule)),
+            ctypes.c_longlong(nthreads),
+            _dptr(scratch),
+            *([_iptr(err)] if sanitize else []),
+        )
+        del keepalive
+        if sanitize and err[0]:
+            _raise_guard_trap(err, program)
+        return arrays
+
+    return run_tiled
+
+
 def _rewritten(kernel_name: str, tiled: bool, config: PassConfig) -> RewriteState:
     from repro.kernels.specs import kernel_by_name
 
@@ -394,12 +586,22 @@ def compile_executor(
     memo: bool = True,
     verify: bool = True,
     sanitize: Optional[bool] = None,
+    scheduler: Optional[str] = None,
 ) -> CompiledExecutor:
     """Lower, rewrite, emit, (compile,) and bind one kernel executor.
 
     ``backend`` follows the shared resolution policy; the returned
     executor records which backend actually ran and whether its artifact
     came from the content-addressed cache.
+
+    ``scheduler`` (argument > ``REPRO_EXECUTOR_SCHEDULER`` > ``wave``)
+    selects the tiled entry point: the level-synchronous wave executor,
+    or the dependence-counter dynamic scheduler whose ``run`` addition-
+    ally accepts ``dag``/``num_threads``.  Dynamic builds flip the
+    ``dynamic_schedule`` pass on, are cached under distinct artifact
+    suffixes (``dyn.py``/``dyn.c``/``dyn.so``), and stay bit-identical
+    to the wave executor at any thread count.  Untiled executors ignore
+    the knob (there is no tile graph to schedule).
 
     Compiled backends (``numpy``/``c``) are **gated on proof**: the IR
     verifier (:mod:`repro.analysis.irverify`) must prove the rewritten
@@ -414,16 +616,22 @@ def compile_executor(
     """
     from repro.codegen.emit import compile_source
     from repro.lowering import emit_c, emit_numpy
+    from repro.lowering.schedule import resolve_scheduler
     from repro.plancache.artifacts import ArtifactStore
 
     resolved = resolve_executor_backend(backend).backend
+    sched = resolve_scheduler(scheduler).backend if tiled else "wave"
+    dynamic = sched == "dynamic"
     config = config or PassConfig()
+    if dynamic:
+        config = replace(config, dynamic_schedule=True)
     sanitized = sanitize_enabled(sanitize) and resolved != "library"
 
     memo_key = (
         kernel_name,
         resolved,
         tiled,
+        sched,
         config.digest(),
         str(cache_dir),
         verify,
@@ -461,23 +669,37 @@ def compile_executor(
             )
 
     if resolved == "library":
+        runner = (
+            _library_runner_dynamic(kernel_name)
+            if dynamic
+            else _library_runner(kernel_name, tiled)
+        )
         compiled = CompiledExecutor(
             kernel_name=kernel_name,
             backend="library",
             tiled=tiled,
-            run=_library_runner(kernel_name, tiled),
+            run=runner,
             ir_digest=digest,
             state=state,
         )
     elif resolved == "numpy":
         store = ArtifactStore(cache_dir)
-        emit = emit_numpy.emit_numpy_tiled if tiled else emit_numpy.emit_numpy
+        if dynamic:
+            emit = emit_numpy.emit_numpy_dynamic
+        elif tiled:
+            emit = emit_numpy.emit_numpy_tiled
+        else:
+            emit = emit_numpy.emit_numpy
         version = emit_numpy.EMITTER_VERSION
+        if dynamic:
+            version += "+" + emit_numpy.DYNAMIC_TAG
         if sanitized:
             version += "+" + emit_numpy.SANITIZE_TAG
         key = artifact_key(program, config, version)
         path, hit = store.get_or_build_text(
-            key, "py", lambda: emit(program, sanitize=sanitized)
+            key,
+            "dyn.py" if dynamic else "py",
+            lambda: emit(program, sanitize=sanitized),
         )
         fn = compile_source(path.read_text(), "run")
         compiled = CompiledExecutor(
@@ -492,22 +714,38 @@ def compile_executor(
         )
     else:  # "c"
         store = ArtifactStore(cache_dir)
-        emit = emit_c.emit_c_tiled if tiled else emit_c.emit_c
+        if dynamic:
+            emit = emit_c.emit_c_dynamic
+        elif tiled:
+            emit = emit_c.emit_c_tiled
+        else:
+            emit = emit_c.emit_c
         version = emit_c.EMITTER_VERSION
+        if dynamic:
+            version += "+" + emit_c.DYNAMIC_TAG
         if sanitized:
             version += "+" + emit_c.SANITIZE_TAG
         key = artifact_key(program, config, version)
         src_path, _ = store.get_or_build_text(
-            key, "c", lambda: emit(program, sanitize=sanitized)
+            key,
+            "dyn.c" if dynamic else "c",
+            lambda: emit(program, sanitize=sanitized),
         )
         so_path, hit = store.get_or_build_file(
-            key, "so", lambda tmp: toolchain.compile_shared(src_path, tmp)
+            key,
+            "dyn.so" if dynamic else "so",
+            lambda tmp: toolchain.compile_shared(src_path, tmp),
+        )
+        runner = (
+            _c_runner_dynamic(str(so_path), program, sanitize=sanitized)
+            if dynamic
+            else _c_runner(str(so_path), program, tiled, sanitize=sanitized)
         )
         compiled = CompiledExecutor(
             kernel_name=kernel_name,
             backend="c",
             tiled=tiled,
-            run=_c_runner(str(so_path), program, tiled, sanitize=sanitized),
+            run=runner,
             ir_digest=digest,
             artifact_path=str(so_path),
             from_cache=hit,
@@ -517,6 +755,7 @@ def compile_executor(
     compiled.sanitized = sanitized
     compiled.proof_path = proof_path
     compiled.proof_from_cache = proof_cached
+    compiled.scheduler = sched
 
     if memo:
         with _MEMO_LOCK:
@@ -527,6 +766,7 @@ def compile_executor(
 def executor_backend_report() -> dict:
     """Doctor payload: selection, toolchain, and artifact-store state."""
     from repro.analysis.irverify import IRVERIFY_VERSION
+    from repro.lowering.schedule import scheduler_report
     from repro.plancache.artifacts import ArtifactStore
 
     resolution = resolve_executor_backend(warn=False)
@@ -537,6 +777,7 @@ def executor_backend_report() -> dict:
             "enabled": sanitize_enabled(),
             "env": EXECUTOR_SANITIZE_ENV,
         },
+        "scheduler": scheduler_report(),
         "verifier": {"version": IRVERIFY_VERSION},
         "backend": resolution.backend,
         "source": resolution.source,

@@ -62,6 +62,9 @@ class PassConfig:
     blocking: bool = True
     vectorize: bool = True
     parallelize: bool = True
+    #: Replace the wave barrier with dependence-counter scheduling
+    #: (commits stay in the wave executor's deterministic order).
+    dynamic_schedule: bool = False
 
     def to_dict(self):
         return {
@@ -69,6 +72,7 @@ class PassConfig:
             "blocking": self.blocking,
             "vectorize": self.vectorize,
             "parallelize": self.parallelize,
+            "dynamic_schedule": self.dynamic_schedule,
         }
 
     def digest(self) -> str:
@@ -153,6 +157,7 @@ class LoweringRewriter:
         self._loop_blocking(state)
         self._vectorize(state)
         self._parallelize(state)
+        self._dynamic_schedule(state)
 
     # -- passes ---------------------------------------------------------------
 
@@ -240,6 +245,30 @@ class LoweringRewriter:
             [
                 "wavefront grouping honored; commits stay in ascending "
                 "tile order (static legality skeleton)"
+            ],
+        )
+
+    @rewrite_pass
+    def _dynamic_schedule(self, state: RewriteState):
+        if not self.config.dynamic_schedule:
+            return state.program, False, ["disabled by config"]
+        if not state.program.wave_parallel:
+            return (
+                state.program,
+                False,
+                [
+                    "no wave-parallel skeleton: dependence counters have "
+                    "nothing to derive from, kept level-synchronous"
+                ],
+            )
+        return (
+            replace(state.program, dynamic_schedule=True),
+            True,
+            [
+                "wave barrier replaced by per-tile dependence counters "
+                "(work-stealing pool); commits serialized in the wave "
+                "executor's (wave, tile) order, payloads buffered "
+                "per tile — bit-identical combine"
             ],
         )
 

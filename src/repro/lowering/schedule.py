@@ -1,0 +1,575 @@
+"""Hybrid static/dynamic tile scheduling: dependence-counter work stealing.
+
+The wavefront executors run tiles in level-synchronous waves: every tile
+of wave ``w`` finishes before any tile of wave ``w+1`` starts, and the
+reduction commits inside a wave are applied serially in ascending tile
+order so parallel runs stay bit-identical to serial ones.  Correct — but
+one oversized tile stalls the whole wave behind the barrier, and no
+cross-wave progress is possible.
+
+This module keeps the static wave structure as the *legality skeleton*
+(the hybrid static/dynamic recipe from "Hybrid Static/Dynamic Schedules
+for Tiled Polyhedral Programs") and replaces the barrier with per-tile
+dependence counters derived from the FST tile graph:
+
+* :class:`TileDAG` — the counter DAG: successor CSR, seed in-degrees,
+  and the *deterministic commit order* (the exact sequence in which the
+  level-synchronous executor applies tile commits: waves outermost,
+  ascending tile id within a wave).
+* :func:`run_dynamic` — the execution engine.  Each tile is a
+  three-stage task: **gather** (pre-interaction node phases + payload
+  gather into the tile's private partial buffer; released when the
+  tile's counter hits zero, runs in parallel), **commit** (apply the
+  buffered contributions; serialized in the commit order by a
+  cooperatively-drained commit token), and **post** (post-interaction
+  node phases; parallel, then decrement successor counters).  Workers
+  own a deque each (LIFO pop of their own work, FIFO steal from
+  victims) so a stalled wave never idles a core that has runnable
+  tiles elsewhere in the DAG.
+
+Why this is bit-identical to the wave executor at any thread count:
+every contribution to an element read or written by tile ``t`` comes
+from ``t`` itself or a DAG predecessor of ``t`` (an interaction with an
+endpoint in ``t`` induces a tile-graph edge into ``t`` — the atomic-tile
+condition), so gating stage-gather on the counter reproduces exactly the
+values the wave executor would read; and applying commits in the wave
+executor's own total order makes the reduction fold identical
+float-by-float.  The commit buffers hold the *raw per-interaction
+payloads*, not pre-summed partials — pre-summing would regroup the
+reduction and change the rounding.
+
+Knobs: ``REPRO_EXECUTOR_SCHEDULER`` (``wave`` | ``dynamic``, resolved
+through the shared :mod:`repro.backends` policy) and
+``REPRO_EXECUTOR_THREADS`` (worker count; ``1`` short-circuits to a
+serial loop over the commit order with zero scheduling overhead).
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import backends
+from repro.errors import LegalityError, ValidationError
+
+#: Environment variable selecting the tile scheduler.
+SCHEDULER_ENV = "REPRO_EXECUTOR_SCHEDULER"
+#: Environment variable bounding the dynamic scheduler's worker count.
+THREADS_ENV = "REPRO_EXECUTOR_THREADS"
+#: Valid scheduler names.
+EXECUTOR_SCHEDULERS = ("wave", "dynamic")
+#: The default: the paper-shaped level-synchronous executor.
+DEFAULT_SCHEDULER = "wave"
+#: Best-first ladder for ``auto`` (both rungs are always available).
+SCHEDULER_LADDER = ("dynamic", "wave")
+
+
+def resolve_scheduler(
+    scheduler: Optional[str] = None, warn: bool = True
+) -> backends.Resolution:
+    """Resolve the scheduler selector: argument > env > ``wave``."""
+    return backends.resolve(
+        scheduler,
+        subsystem="scheduler",
+        choices=EXECUTOR_SCHEDULERS,
+        env_var=SCHEDULER_ENV,
+        default=DEFAULT_SCHEDULER,
+        ladder=SCHEDULER_LADDER,
+        warn=warn,
+    )
+
+
+def resolve_num_threads(num_threads: Optional[int] = None) -> int:
+    """Worker count: argument > ``REPRO_EXECUTOR_THREADS`` > visible cores."""
+    if num_threads is None:
+        env = os.environ.get(THREADS_ENV) or None
+        if env is not None:
+            try:
+                num_threads = int(env)
+            except ValueError:
+                raise ValidationError(
+                    f"{THREADS_ENV} must be an integer, got {env!r}"
+                )
+    if num_threads is None:
+        try:
+            num_threads = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            num_threads = os.cpu_count() or 1
+    num_threads = int(num_threads)
+    if num_threads < 1:
+        raise ValidationError(
+            f"scheduler thread count must be >= 1, got {num_threads}"
+        )
+    return num_threads
+
+
+@dataclass(frozen=True)
+class TileDAG:
+    """The dependence-counter DAG the dynamic scheduler executes.
+
+    ``indegree[t]`` seeds tile ``t``'s counter (its predecessor count);
+    ``succ_indptr``/``succ_indices`` is the successor CSR (who to
+    decrement when ``t`` finishes); ``order`` is the deterministic
+    commit sequence — the level-synchronous executor's own commit order
+    (waves outermost, ascending tile id inside each wave) — and
+    ``wave[t]`` the static level, or ``None`` when the edge set was
+    cyclic and no level assignment exists (the verifier's IRV006 case).
+    """
+
+    num_tiles: int
+    indegree: np.ndarray
+    succ_indptr: np.ndarray
+    succ_indices: np.ndarray
+    order: np.ndarray
+    wave: Optional[np.ndarray] = None
+
+    @property
+    def num_edges(self) -> int:
+        return int(len(self.succ_indices))
+
+    def successors(self, tile: int) -> np.ndarray:
+        lo = int(self.succ_indptr[tile])
+        hi = int(self.succ_indptr[tile + 1])
+        return self.succ_indices[lo:hi]
+
+    def stats(self) -> dict:
+        """Doctor-friendly summary."""
+        return {
+            "num_tiles": int(self.num_tiles),
+            "num_edges": self.num_edges,
+            "num_waves": (
+                int(self.wave.max()) + 1
+                if self.wave is not None and len(self.wave)
+                else 0
+            ),
+            "max_indegree": (
+                int(self.indegree.max()) if len(self.indegree) else 0
+            ),
+            "roots": int(np.count_nonzero(self.indegree == 0)),
+        }
+
+
+def _dedupe_edges(
+    num_tiles: int, src: np.ndarray, dst: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    src = np.asarray(src, dtype=np.int64).ravel()
+    dst = np.asarray(dst, dtype=np.int64).ravel()
+    if src.shape != dst.shape:
+        raise ValidationError("tile edge endpoint arrays must align")
+    if len(src):
+        if src.min() < 0 or dst.min() < 0 or (
+            max(int(src.max()), int(dst.max())) >= num_tiles
+        ):
+            raise ValidationError(
+                f"tile edge endpoints out of range for {num_tiles} tiles"
+            )
+    strict = src != dst
+    src, dst = src[strict], dst[strict]
+    if len(src):
+        keys = np.unique(src * np.int64(num_tiles) + dst)
+        src, dst = keys // num_tiles, keys % num_tiles
+    return src, dst
+
+
+def _build_dag(
+    num_tiles: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    order: np.ndarray,
+    wave: Optional[np.ndarray],
+) -> TileDAG:
+    indegree = np.bincount(dst, minlength=num_tiles).astype(np.int64)
+    csr_order = np.argsort(src, kind="stable")
+    succ_indices = dst[csr_order].astype(np.int64)
+    succ_indptr = np.zeros(num_tiles + 1, dtype=np.int64)
+    np.add.at(succ_indptr[1:], src, 1)
+    succ_indptr = np.cumsum(succ_indptr)
+    return TileDAG(
+        num_tiles=num_tiles,
+        indegree=indegree,
+        succ_indptr=succ_indptr,
+        succ_indices=succ_indices,
+        order=np.asarray(order, dtype=np.int64),
+        wave=wave,
+    )
+
+
+def tile_dag(
+    num_tiles: int,
+    tile_src: np.ndarray,
+    tile_dst: np.ndarray,
+    waves=None,
+) -> TileDAG:
+    """Counter DAG from explicit tile-graph edges.
+
+    ``waves`` (a :class:`~repro.transforms.parallel.WavefrontSchedule`)
+    pins the commit order to that schedule's sequence; without it the
+    levels are recomputed from the edges.  A cyclic edge set still
+    *constructs* (order falls back to ascending tile id, ``wave`` is
+    ``None``) so the verifier can diagnose it — IRV006 — instead of the
+    constructor throwing; the execution engine refuses to run it.
+    """
+    from repro.transforms.parallel import (
+        CyclicDependenceError,
+        wavefront_schedule,
+    )
+
+    src, dst = _dedupe_edges(num_tiles, tile_src, tile_dst)
+    if waves is None:
+        try:
+            waves = wavefront_schedule(num_tiles, src, dst)
+        except CyclicDependenceError:
+            return _build_dag(
+                num_tiles, src, dst, np.arange(num_tiles, dtype=np.int64), None
+            )
+    groups = waves.groups()
+    order = (
+        np.concatenate(groups).astype(np.int64)
+        if groups
+        else np.empty(0, dtype=np.int64)
+    )
+    return _build_dag(num_tiles, src, dst, order, waves.wave.astype(np.int64))
+
+
+def tile_dag_from_tiling(tiling, edges, waves=None) -> TileDAG:
+    """Counter DAG from a tiling function + iteration-level dependences.
+
+    Shares :func:`repro.transforms.parallel.tile_graph_edges` with the
+    wavefront inspector so both views level the *same* graph.
+    """
+    from repro.transforms.parallel import tile_graph_edges
+
+    tile_src, tile_dst = tile_graph_edges(tiling, edges)
+    return tile_dag(tiling.num_tiles, tile_src, tile_dst, waves=waves)
+
+
+def tile_dag_from_waves(wave_groups, num_tiles: int) -> TileDAG:
+    """Conservative counter DAG from wave groups alone.
+
+    Without the tile graph the only safe assumption is the barrier
+    itself: every tile of wave ``w`` depends on *every* tile of wave
+    ``w-1``.  ``wave_groups=None`` degrades further to singleton waves
+    (a serial chain in ascending tile order — exactly what the wave
+    executor does without a wavefront schedule).  Callers that want
+    cross-wave overlap must supply the real edges via
+    :func:`tile_dag_from_tiling`.
+    """
+    if wave_groups is None:
+        groups = [
+            np.asarray([t], dtype=np.int64) for t in range(num_tiles)
+        ]
+    else:
+        groups = [np.asarray(g, dtype=np.int64) for g in wave_groups]
+    wave = np.zeros(num_tiles, dtype=np.int64)
+    src_parts: List[np.ndarray] = []
+    dst_parts: List[np.ndarray] = []
+    for w, group in enumerate(groups):
+        if len(group) and (
+            int(group.min()) < 0 or int(group.max()) >= num_tiles
+        ):
+            raise ValidationError(
+                f"wave group {w} references tile ids outside "
+                f"[0, {num_tiles})"
+            )
+        wave[group] = w
+        if w:
+            prev = groups[w - 1]
+            src_parts.append(np.repeat(prev, len(group)))
+            dst_parts.append(np.tile(group, len(prev)))
+    src = (
+        np.concatenate(src_parts) if src_parts else np.empty(0, dtype=np.int64)
+    )
+    dst = (
+        np.concatenate(dst_parts) if dst_parts else np.empty(0, dtype=np.int64)
+    )
+    order = (
+        np.concatenate(groups).astype(np.int64)
+        if groups
+        else np.empty(0, dtype=np.int64)
+    )
+    if len(order) != num_tiles:
+        raise ValidationError(
+            f"wave groups cover {len(order)} tiles, expected {num_tiles}"
+        )
+    return _build_dag(num_tiles, src, dst, order, wave)
+
+
+def ensure_runnable(dag: TileDAG) -> None:
+    """The IRV006 gate: refuse to execute a broken counter graph.
+
+    A cycle deadlocks the engine; an under-counted in-degree releases a
+    tile before its predecessors committed (a silent race).  Both are
+    cheap to check (one vectorized Kahn pass) relative to a bind, but
+    not relative to a single executor call, so the verdict is cached on
+    the (frozen) instance: each ``TileDAG`` is verified once, and every
+    later run of the same object skips straight to execution.
+    """
+    if getattr(dag, "_runnable", False):
+        return
+    from repro.analysis.irverify import verify_counter_dag
+
+    problems = verify_counter_dag(dag)
+    errors = [d for d in problems if d.severity == "error"]
+    if errors:
+        detail = "; ".join(f"{d.code}: {d.message}" for d in errors)
+        raise LegalityError(
+            f"counter DAG rejected by the scheduler verifier: {detail}"
+        )
+    object.__setattr__(dag, "_runnable", True)
+
+
+def static_levels(dag: TileDAG) -> np.ndarray:
+    """Per-tile wavefront levels, recomputed when ``dag.wave`` is absent.
+
+    The public constructors always populate ``wave`` for acyclic graphs;
+    this covers hand-built DAGs so the C engine's serial fast path (which
+    replays the static wave schedule) never needs a caller-supplied
+    level assignment.  Raises :class:`LegalityError` on a cycle.
+    """
+    if dag.wave is not None:
+        return np.asarray(dag.wave, dtype=np.int64)
+    indegree = dag.indegree.astype(np.int64).copy()
+    level = np.zeros(dag.num_tiles, dtype=np.int64)
+    frontier = np.flatnonzero(indegree == 0)
+    done = 0
+    depth = 0
+    while len(frontier):
+        level[frontier] = depth
+        done += len(frontier)
+        released: List[np.ndarray] = []
+        for tile in frontier:
+            succ = dag.successors(int(tile))
+            indegree[succ] -= 1
+            released.append(succ[indegree[succ] == 0])
+        frontier = (
+            np.concatenate(released)
+            if released
+            else np.empty(0, dtype=np.int64)
+        )
+        depth += 1
+    if done != dag.num_tiles:
+        raise LegalityError(
+            f"counter DAG is cyclic: only {done} of {dag.num_tiles} tiles "
+            "reachable from the roots"
+        )
+    return level
+
+
+# ---------------------------------------------------------------------------
+# The engine
+
+
+class _DynamicStep:
+    """One time-step of the counter-scheduled execution.
+
+    Shared state lives under one condition variable (tile counts are
+    modest — contention is not the bottleneck; the stage bodies run
+    outside the lock).  The commit token (``committing``) guarantees a
+    single drainer applies commits strictly in ``dag.order``; whoever
+    finishes a gather and finds the token free takes commit duty, so
+    commits never wait for an idle worker to be scheduled.
+    """
+
+    def __init__(
+        self,
+        dag: TileDAG,
+        stage_gather: Callable[[int], None],
+        stage_commit: Callable[[int], None],
+        stage_post: Callable[[int], None],
+        num_threads: int,
+    ) -> None:
+        self.dag = dag
+        self.stage_gather = stage_gather
+        self.stage_commit = stage_commit
+        self.stage_post = stage_post
+        self.num_threads = num_threads
+        self.order = [int(t) for t in dag.order]
+        self.counters = dag.indegree.copy()
+        self.gathered = [False] * dag.num_tiles
+        self.commit_next = 0
+        self.completed = 0
+        self.committing = False
+        self.failure: Optional[BaseException] = None
+        self.idle = threading.Condition()
+        self.deques: List[collections.deque] = [
+            collections.deque() for _ in range(num_threads)
+        ]
+        for i, t in enumerate(np.flatnonzero(self.counters == 0)):
+            self.deques[i % num_threads].append(("g", int(t)))
+
+    # -- task acquisition (caller holds the lock) ----------------------
+
+    def _pop(self, wid: int):
+        own = self.deques[wid]
+        if own:
+            return own.pop()  # LIFO on our own deque: hot caches first
+        for step in range(1, self.num_threads):
+            victim = self.deques[(wid + step) % self.num_threads]
+            if victim:
+                return victim.popleft()  # FIFO steal: oldest, coldest
+        return None
+
+    def _commit_ready(self) -> bool:
+        return (
+            self.commit_next < self.dag.num_tiles
+            and self.gathered[self.order[self.commit_next]]
+        )
+
+    # -- the serial commit drain (token held, lock not held) ------------
+
+    def _drain_commits(self, wid: int) -> None:
+        while True:
+            with self.idle:
+                if not self._commit_ready():
+                    self.committing = False
+                    self.idle.notify_all()
+                    return
+                tile = self.order[self.commit_next]
+            self.stage_commit(tile)
+            with self.idle:
+                self.commit_next += 1
+                self.deques[wid].append(("p", tile))
+                self.idle.notify_all()
+
+    # -- worker loop -----------------------------------------------------
+
+    def _worker(self, wid: int) -> None:
+        try:
+            while True:
+                with self.idle:
+                    task = None
+                    while task is None:
+                        if (
+                            self.completed == self.dag.num_tiles
+                            or self.failure is not None
+                        ):
+                            return
+                        task = self._pop(wid)
+                        if task is None:
+                            if not self.committing and self._commit_ready():
+                                self.committing = True
+                                task = ("c", -1)
+                            else:
+                                self.idle.wait()
+                kind, tile = task
+                if kind == "c":
+                    self._drain_commits(wid)
+                elif kind == "g":
+                    self.stage_gather(tile)
+                    with self.idle:
+                        self.gathered[tile] = True
+                        take_token = (
+                            not self.committing and self._commit_ready()
+                        )
+                        if take_token:
+                            self.committing = True
+                    if take_token:
+                        self._drain_commits(wid)
+                else:  # post
+                    self.stage_post(tile)
+                    with self.idle:
+                        for succ in self.dag.successors(tile):
+                            succ = int(succ)
+                            self.counters[succ] -= 1
+                            if self.counters[succ] == 0:
+                                self.deques[wid].append(("g", succ))
+                        self.completed += 1
+                        self.idle.notify_all()
+        except BaseException as exc:  # propagate to the caller, wake all
+            with self.idle:
+                if self.failure is None:
+                    self.failure = exc
+                self.idle.notify_all()
+
+    def run(self) -> None:
+        workers = [
+            threading.Thread(
+                target=self._worker, args=(wid,), daemon=True
+            )
+            for wid in range(self.num_threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        if self.failure is not None:
+            raise self.failure
+
+
+def run_dynamic(
+    dag: TileDAG,
+    stage_gather: Callable[[int], None],
+    stage_commit: Callable[[int], None],
+    stage_post: Callable[[int], None],
+    num_threads: Optional[int] = None,
+    num_steps: int = 1,
+) -> None:
+    """Execute ``num_steps`` time-steps under the counter scheduler.
+
+    ``stage_gather(t)`` must run tile ``t``'s pre-interaction node
+    phases and gather its interaction payloads into a private buffer;
+    ``stage_commit(t)`` must apply the buffered commits exactly as the
+    wave executor would at ``t``'s turn; ``stage_post(t)`` runs the
+    post-interaction node phases.  The engine guarantees stage-gather
+    starts only after every DAG predecessor fully finished, commits run
+    serially in ``dag.order``, and a full barrier separates time-steps
+    (cross-step dependences are not in the tile graph).
+
+    ``num_threads == 1`` is the static path: a plain serial loop over
+    the commit order — the same operation sequence with zero scheduling
+    overhead, which is what keeps the 1-thread overhead within noise.
+    """
+    threads = resolve_num_threads(num_threads)
+    ensure_runnable(dag)
+    if dag.num_tiles == 0:
+        return
+    if threads == 1 or dag.num_tiles == 1:
+        order = [int(t) for t in dag.order]
+        for _step in range(num_steps):
+            for tile in order:
+                stage_gather(tile)
+                stage_commit(tile)
+                stage_post(tile)
+        return
+    for _step in range(num_steps):
+        _DynamicStep(
+            dag, stage_gather, stage_commit, stage_post, threads
+        ).run()
+
+
+def scheduler_report() -> dict:
+    """Doctor payload: how the scheduler knobs currently resolve."""
+    resolution = resolve_scheduler(warn=False)
+    return {
+        "scheduler": resolution.backend,
+        "source": resolution.source,
+        "requested": resolution.requested,
+        "env": SCHEDULER_ENV,
+        "threads": resolve_num_threads(),
+        "threads_env": THREADS_ENV,
+        "choices": list(EXECUTOR_SCHEDULERS),
+    }
+
+
+__all__ = [
+    "SCHEDULER_ENV",
+    "THREADS_ENV",
+    "EXECUTOR_SCHEDULERS",
+    "DEFAULT_SCHEDULER",
+    "SCHEDULER_LADDER",
+    "TileDAG",
+    "tile_dag",
+    "tile_dag_from_tiling",
+    "tile_dag_from_waves",
+    "ensure_runnable",
+    "static_levels",
+    "resolve_scheduler",
+    "resolve_num_threads",
+    "run_dynamic",
+    "scheduler_report",
+]

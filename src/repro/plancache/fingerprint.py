@@ -99,16 +99,25 @@ def _executor_backend_tag() -> str:
     can change between binds within one process, and a plan cached under
     the C backend must never rehydrate into a mismatched interpreter-
     backend bind (their executors are bit-identical by construction, but
-    the bind carries backend-specific artifacts and provenance).
+    the bind carries backend-specific artifacts and provenance).  The
+    tile scheduler (``REPRO_EXECUTOR_SCHEDULER``) joins the tag for the
+    same reason: a wave bind and a dynamic bind carry different artifact
+    suffixes and run-time provenance, so flipping the scheduler must
+    miss, never rehydrate the other scheduler's bind.
     """
     from repro.lowering.executor import resolve_executor_backend
+    from repro.lowering.schedule import resolve_scheduler
 
     backend = resolve_executor_backend(warn=False).backend
+    scheduler = resolve_scheduler(warn=False).backend
     if backend == "c":
         from repro.lowering import toolchain
 
-        return f"executor:{backend}:{toolchain.toolchain_fingerprint()}"
-    return f"executor:{backend}"
+        return (
+            f"executor:{backend}:{toolchain.toolchain_fingerprint()}"
+            f"|scheduler:{scheduler}"
+        )
+    return f"executor:{backend}|scheduler:{scheduler}"
 
 
 def code_version_salt() -> str:

@@ -180,6 +180,9 @@ def run_numeric_wavefront(
     max_workers: Optional[int] = None,
     backend: Optional[str] = None,
     sanitize: Optional[bool] = None,
+    scheduler: Optional[str] = None,
+    dag=None,
+    num_threads: Optional[int] = None,
 ) -> KernelData:
     """Execute the kernel arithmetic tile by tile, wave by wave.
 
@@ -204,8 +207,18 @@ def run_numeric_wavefront(
     ``backend`` selects the executor tier; the compiled backends mirror
     this wave/phase structure exactly (same fixed commit order) and are
     bit-identical, so ``parallel``/``max_workers`` do not apply to them.
+
+    ``scheduler`` selects ``"wave"`` (level-synchronous, the default) or
+    ``"dynamic"`` (argument > ``REPRO_EXECUTOR_SCHEDULER`` > wave): the
+    dynamic scheduler drops the wave barrier and releases a tile as soon
+    as its dependence counter — derived from ``dag`` (a
+    :class:`~repro.lowering.schedule.TileDAG`; defaults to the
+    conservative barrier DAG built from ``waves``) — reaches zero, while
+    committing reductions in the wave executor's exact order, so the
+    result stays bit-identical at any ``num_threads``.
     """
     from repro.kernels.executors import PHASE_FUNCTIONS
+    from repro.lowering.schedule import resolve_scheduler
 
     phases = PHASE_FUNCTIONS[data.kernel_name]
     if any(len(tile) != len(phases) for tile in schedule):
@@ -223,12 +236,20 @@ def run_numeric_wavefront(
     from repro.lowering.executor import resolve_executor_backend
 
     resolved = resolve_executor_backend(backend).backend
+    sched = resolve_scheduler(scheduler).backend
     if resolved != "library":
         from repro.lowering.executor import compile_executor
 
         compiled = compile_executor(
-            data.kernel_name, backend=resolved, tiled=True, sanitize=sanitize
+            data.kernel_name,
+            backend=resolved,
+            tiled=True,
+            sanitize=sanitize,
+            scheduler=sched,
         )
+        kwargs = {}
+        if sched == "dynamic":
+            kwargs = {"dag": dag, "num_threads": num_threads}
         compiled.run(
             data.arrays,
             data.left,
@@ -236,8 +257,20 @@ def run_numeric_wavefront(
             schedule,
             None if waves is None else waves.groups(),
             num_steps=num_steps,
+            **kwargs,
         )
         return data
+
+    if sched == "dynamic":
+        return _run_wavefront_dynamic(
+            data,
+            schedule,
+            waves,
+            phases,
+            dag=dag,
+            num_threads=1 if not parallel else num_threads,
+            num_steps=num_steps,
+        )
 
     if waves is None:
         wave_groups = [np.array([t], dtype=np.int64) for t in range(len(schedule))]
@@ -277,4 +310,86 @@ def run_numeric_wavefront(
     finally:
         if pool is not None:
             pool.shutdown()
+    return data
+
+
+def _run_wavefront_dynamic(
+    data: KernelData,
+    schedule,
+    waves,
+    phases,
+    dag=None,
+    num_threads: Optional[int] = None,
+    num_steps: int = 1,
+) -> KernelData:
+    """Library-tier counter-scheduled execution (bit-identical to waves).
+
+    Each tile is the three-stage task of
+    :func:`repro.lowering.schedule.run_dynamic`: pre-interaction node
+    phases + payload gather into the tile's private buffer (counter
+    gated, parallel), commit of the *raw* buffered payloads at the
+    tile's turn in the wave commit order (serial), then post-interaction
+    node phases (parallel, releasing successors).  The buffers hold the
+    un-summed payload vectors — pre-summing would regroup the reduction
+    and change the rounding, breaking bit-identity.
+    """
+    from repro.errors import ValidationError
+    from repro.lowering.schedule import run_dynamic, tile_dag_from_waves
+
+    inter_positions = [
+        pos for pos, phase in enumerate(phases) if phase.domain != "nodes"
+    ]
+    if len(inter_positions) != 1:
+        raise ValidationError(
+            f"dynamic scheduler supports exactly one interaction phase, "
+            f"{data.kernel_name} has {len(inter_positions)}"
+        )
+    ip = inter_positions[0]
+    inter = phases[ip]
+    pre = [(pos, phases[pos]) for pos in range(ip)]
+    post = [(pos, phases[pos]) for pos in range(ip + 1, len(phases))]
+
+    if dag is None:
+        dag = tile_dag_from_waves(
+            None if waves is None else waves.groups(), len(schedule)
+        )
+
+    arrays, left, right = data.arrays, data.left, data.right
+    payloads: List[Optional[np.ndarray]] = [None] * len(schedule)
+    endpoints: List[Optional[tuple]] = [None] * len(schedule)
+
+    def stage_gather(t: int) -> None:
+        tile = schedule[t]
+        for pos, phase in pre:
+            iters = tile[pos]
+            if len(iters):
+                phase.apply(arrays, iters)
+        iters = tile[ip]
+        if len(iters):
+            l, r = left[iters], right[iters]
+            endpoints[t] = (l, r)
+            payloads[t] = inter.gather(arrays, l, r)
+
+    def stage_commit(t: int) -> None:
+        if payloads[t] is not None:
+            l, r = endpoints[t]
+            inter.commit(arrays, l, r, payloads[t])
+            payloads[t] = None
+            endpoints[t] = None
+
+    def stage_post(t: int) -> None:
+        tile = schedule[t]
+        for pos, phase in post:
+            iters = tile[pos]
+            if len(iters):
+                phase.apply(arrays, iters)
+
+    run_dynamic(
+        dag,
+        stage_gather,
+        stage_commit,
+        stage_post,
+        num_threads=num_threads,
+        num_steps=num_steps,
+    )
     return data

@@ -64,6 +64,54 @@ class WavefrontSchedule:
             return 0.0
         return len(self.wave) / self.num_waves
 
+    def wave_skew(self, tile_sizes: np.ndarray) -> dict:
+        """Per-wave tile-size histogram and skew statistics.
+
+        ``tile_sizes[t]`` is tile ``t``'s iteration count (e.g. from
+        :meth:`~repro.transforms.fst.TilingFunction.tile_sizes`).  A
+        level-synchronous executor's span is bounded below by the sum of
+        each wave's largest tile (``critical_path``): one oversized tile
+        stalls its whole wave behind the barrier.  ``skew`` per wave is
+        ``max / mean`` — 1.0 means perfectly balanced, large values mean
+        barriers burn idle time — which is exactly the regime the dynamic
+        counter scheduler exists for.  Doctor and the scheduler benchmark
+        both report these numbers instead of recomputing them ad hoc.
+        """
+        sizes = np.asarray(tile_sizes, dtype=np.int64)
+        waves = []
+        critical_path = 0
+        for w, group in enumerate(self.groups()):
+            in_wave = sizes[group]
+            total = int(in_wave.sum())
+            largest = int(in_wave.max()) if len(in_wave) else 0
+            mean = float(in_wave.mean()) if len(in_wave) else 0.0
+            critical_path += largest
+            waves.append(
+                {
+                    "wave": w,
+                    "tiles": int(len(group)),
+                    "total_iterations": total,
+                    "max_tile": largest,
+                    "mean_tile": mean,
+                    "skew": float(largest / mean) if mean else 1.0,
+                }
+            )
+        total_work = int(sizes.sum())
+        skews = [entry["skew"] for entry in waves]
+        return {
+            "num_waves": int(self.num_waves),
+            "num_tiles": int(len(sizes)),
+            "total_work": total_work,
+            "critical_path": int(critical_path),
+            # Work over span: the most a barrier executor can ever win.
+            "wave_parallelism": (
+                float(total_work / critical_path) if critical_path else 1.0
+            ),
+            "max_skew": max(skews) if skews else 1.0,
+            "mean_skew": float(np.mean(skews)) if skews else 1.0,
+            "waves": waves,
+        }
+
 
 class CyclicDependenceError(Exception):
     """The dependence edges contain a cycle — no parallel schedule exists."""
@@ -136,18 +184,19 @@ def wavefront_schedule(
     return WavefrontSchedule(wave, num_waves)
 
 
-def tile_wavefronts(
+def tile_graph_edges(
     tiling: TilingFunction,
     edges: Mapping[Tuple[int, int], EdgeSet],
     counter: Optional[dict] = None,
-) -> WavefrontSchedule:
-    """Wavefronts of the inter-tile dependence graph.
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The strict cross-tile dependence edges induced by ``edges``.
 
-    Tiles in the same wave share no dependences and may run concurrently;
-    within a wave the framework maps them "to the same tile number".
-    Sparse tiling's sequential legality gives ``tile(src) <= tile(dst)``,
-    so the tile graph (built from the strict cross-tile dependences) is
-    acyclic by construction.
+    Maps every iteration-level dependence through the tiling function and
+    keeps the deduplicated ``tile(src) != tile(dst)`` pairs.  This is the
+    single source of the inter-tile graph: :func:`tile_wavefronts` levels
+    it, and :func:`repro.lowering.schedule.tile_dag` turns it into the
+    dependence-counter DAG the dynamic scheduler runs from — both views
+    must agree or the hybrid scheduler's legality argument collapses.
     """
     pairs = set()
     for (la, lb), (src, dst) in edges.items():
@@ -163,4 +212,21 @@ def tile_wavefronts(
     else:
         tile_src = np.empty(0, dtype=np.int64)
         tile_dst = np.empty(0, dtype=np.int64)
+    return tile_src, tile_dst
+
+
+def tile_wavefronts(
+    tiling: TilingFunction,
+    edges: Mapping[Tuple[int, int], EdgeSet],
+    counter: Optional[dict] = None,
+) -> WavefrontSchedule:
+    """Wavefronts of the inter-tile dependence graph.
+
+    Tiles in the same wave share no dependences and may run concurrently;
+    within a wave the framework maps them "to the same tile number".
+    Sparse tiling's sequential legality gives ``tile(src) <= tile(dst)``,
+    so the tile graph (built from the strict cross-tile dependences) is
+    acyclic by construction.
+    """
+    tile_src, tile_dst = tile_graph_edges(tiling, edges, counter)
     return wavefront_schedule(tiling.num_tiles, tile_src, tile_dst, counter)

@@ -44,8 +44,9 @@ class TestCleanPrograms:
         summary = report.summary()
         assert summary["obligations"] > 0
         assert summary["discharged"] == summary["obligations"]
-        # Every pipeline pass carries a validation proof.
-        assert len(report.pass_proofs) == 4
+        # Every pipeline pass carries a validation proof (fission,
+        # blocking, vectorize, parallelize, dynamic-schedule).
+        assert len(report.pass_proofs) == 5
         assert all(p["equivalent"] for p in report.pass_proofs)
 
     def test_pass_records_carry_proof_artifacts(self):

@@ -1,0 +1,195 @@
+"""Compiled dynamic-scheduler identity: library waves = numpy = C, bit for bit.
+
+The counter-scheduled executors (``scheduler="dynamic"``) must
+reproduce the level-synchronous wave executor's floating-point output
+exactly — every backend, every thread count, with and without the
+sanitizer, through both the ``compile_executor`` API and the
+``run_numeric_wavefront`` dispatcher.  ``allclose`` is deliberately
+absent: the contract is byte equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.machines import machine_by_name
+from repro.errors import LegalityError
+from repro.eval.compositions import fst_seed_block
+from repro.kernels import generate_dataset, make_kernel_data
+from repro.lowering import toolchain
+from repro.lowering.executor import clear_executor_memo, compile_executor
+from repro.lowering.schedule import tile_dag, tile_dag_from_tiling
+from repro.runtime.executor import run_numeric_wavefront
+from repro.runtime.inspector import (
+    ComposedInspector,
+    CPackStep,
+    FullSparseTilingStep,
+    LexGroupStep,
+    dependence_edges,
+)
+from repro.transforms import tile_wavefronts
+
+pytestmark = pytest.mark.compiled
+
+HAVE_CC = toolchain.have_toolchain()[0]
+COMPILED_BACKENDS = ("numpy", "c") if HAVE_CC else ("numpy",)
+
+CASES = [("moldyn", "mol1"), ("irreg", "foil"), ("nbf", "foil")]
+THREADS = (1, 2, 4)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_artifacts(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_EXECUTOR_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_EXECUTOR_SCHEDULER", raising=False)
+    monkeypatch.delenv("REPRO_EXECUTOR_THREADS", raising=False)
+    monkeypatch.setenv("REPRO_PLANCACHE_DIR", str(tmp_path / "cache"))
+    clear_executor_memo()
+    yield
+    clear_executor_memo()
+
+
+def _tiled_case(kernel, dataset):
+    """Small-seed tiling (many tiles, wide waves) + edge-derived DAG."""
+    machine = machine_by_name("pentium4")
+    data = make_kernel_data(kernel, generate_dataset(dataset, scale=128))
+    seed = max(4, fst_seed_block(data, machine) // 8)
+    steps = [CPackStep(), LexGroupStep(), FullSparseTilingStep(seed)]
+    result = ComposedInspector(steps).run(data)
+    d = result.transformed
+    edges = dependence_edges(d)
+    waves = tile_wavefronts(result.tiling, edges)
+    dag = tile_dag_from_tiling(result.tiling, edges, waves=waves)
+    return d, result.tiling.schedule(), waves, dag
+
+
+def _reference(kernel, d, schedule, groups):
+    ex = compile_executor(kernel, backend="library", tiled=True)
+    ref = {k: v.copy() for k, v in d.arrays.items()}
+    ex.run(ref, d.left, d.right, schedule, groups, num_steps=3)
+    return ref
+
+
+@pytest.mark.parametrize("kernel,dataset", CASES)
+@pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+@pytest.mark.parametrize("sanitize", [False, True])
+def test_dynamic_bit_identical_to_waves(kernel, dataset, backend, sanitize):
+    d, schedule, waves, dag = _tiled_case(kernel, dataset)
+    groups = waves.groups()
+    ref = _reference(kernel, d, schedule, groups)
+    ex = compile_executor(
+        kernel,
+        backend=backend,
+        tiled=True,
+        sanitize=sanitize,
+        scheduler="dynamic",
+    )
+    assert ex.scheduler == "dynamic"
+    for num_threads in THREADS:
+        out = {k: v.copy() for k, v in d.arrays.items()}
+        ex.run(
+            out,
+            d.left,
+            d.right,
+            schedule,
+            groups,
+            num_steps=3,
+            dag=dag,
+            num_threads=num_threads,
+        )
+        for name in ref:
+            assert ref[name].tobytes() == out[name].tobytes(), (
+                kernel, backend, sanitize, num_threads, name,
+            )
+
+
+@pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+def test_dispatcher_scheduler_identity(backend):
+    """run_numeric_wavefront(scheduler="dynamic") matches the wave path."""
+    kernel, dataset = "moldyn", "mol1"
+    d, schedule, waves, dag = _tiled_case(kernel, dataset)
+    ref = run_numeric_wavefront(
+        d.copy(), schedule, waves, num_steps=3, parallel=False
+    )
+    for num_threads in (1, 2):
+        got = run_numeric_wavefront(
+            d.copy(),
+            schedule,
+            waves,
+            num_steps=3,
+            backend=backend,
+            scheduler="dynamic",
+            dag=dag,
+            num_threads=num_threads,
+        )
+        for name in ref.arrays:
+            assert np.array_equal(ref.arrays[name], got.arrays[name]), (
+                backend, num_threads, name,
+            )
+
+
+@pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+def test_dynamic_rejects_cyclic_dag(backend):
+    """IRV006 at the executor boundary: a cyclic counter graph raises
+    before the compiled engine runs (it would deadlock inside)."""
+    kernel, dataset = "moldyn", "mol1"
+    d, schedule, waves, _ = _tiled_case(kernel, dataset)
+    num_tiles = len(schedule)
+    chain = np.arange(num_tiles - 1, dtype=np.int64)
+    src = np.concatenate([chain, [num_tiles - 1]])
+    dst = np.concatenate([chain + 1, [0]])  # back edge closes the cycle
+    cyclic = tile_dag(num_tiles, src, dst)
+    ex = compile_executor(
+        kernel, backend=backend, tiled=True, scheduler="dynamic"
+    )
+    arrays = {k: v.copy() for k, v in d.arrays.items()}
+    with pytest.raises(LegalityError, match="IRV006"):
+        ex.run(
+            arrays,
+            d.left,
+            d.right,
+            schedule,
+            waves.groups(),
+            dag=cyclic,
+            num_threads=2,
+        )
+
+
+def test_dynamic_artifacts_use_dyn_suffixes(tmp_path, monkeypatch):
+    """Wave and dynamic binds are distinct artifacts — ``dyn.*``
+    suffixes — so ``repro cache stats`` can report them apart."""
+    monkeypatch.setenv("REPRO_PLANCACHE_DIR", str(tmp_path / "cache2"))
+    clear_executor_memo()
+    compile_executor("moldyn", backend="numpy", tiled=True)
+    compile_executor(
+        "moldyn", backend="numpy", tiled=True, scheduler="dynamic"
+    )
+    suffixes = sorted(
+        ".".join(p.name.split(".", 1)[1:])
+        for p in (tmp_path / "cache2").rglob("*.py")
+    )
+    assert any(s == "py" for s in suffixes)
+    assert any(s == "dyn.py" for s in suffixes)
+    if HAVE_CC:
+        compile_executor("moldyn", backend="c", tiled=True)
+        compile_executor(
+            "moldyn", backend="c", tiled=True, scheduler="dynamic"
+        )
+        so = sorted(
+            ".".join(p.name.split(".", 1)[1:])
+            for p in (tmp_path / "cache2").rglob("*.so")
+        )
+        assert "so" in so and "dyn.so" in so
+
+
+def test_untiled_executor_ignores_scheduler():
+    """The dynamic scheduler is a tiled-executor concept; an untiled
+    bind resolves to the wave (serial) shape regardless of the knob."""
+    ex = compile_executor("moldyn", backend="numpy", scheduler="dynamic")
+    assert ex.scheduler == "wave"
+
+
+def test_scheduler_env_resolution(monkeypatch):
+    monkeypatch.setenv("REPRO_EXECUTOR_SCHEDULER", "dynamic")
+    clear_executor_memo()
+    ex = compile_executor("moldyn", backend="numpy", tiled=True)
+    assert ex.scheduler == "dynamic"

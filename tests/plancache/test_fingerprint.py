@@ -152,3 +152,49 @@ class TestExecutorBackendSalt:
         monkeypatch.delenv("REPRO_EXECUTOR_BACKEND", raising=False)
         warm = plan.bind(moldyn_data, cache=cache)
         assert warm.report.cache == "hit"
+
+
+class TestSchedulerSalt:
+    """The tile scheduler joins the executor-backend salt: a wave bind
+    and a dynamic bind carry different artifact suffixes and run-time
+    provenance, so flipping ``REPRO_EXECUTOR_SCHEDULER`` must miss."""
+
+    def test_salt_tracks_the_active_scheduler(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR_SCHEDULER", raising=False)
+        wave = fp.code_version_salt()
+        monkeypatch.setenv("REPRO_EXECUTOR_SCHEDULER", "dynamic")
+        dynamic = fp.code_version_salt()
+        assert wave != dynamic
+        monkeypatch.delenv("REPRO_EXECUTOR_SCHEDULER", raising=False)
+        assert fp.code_version_salt() == wave
+
+    def test_scheduler_and_backend_salts_compose(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_EXECUTOR_SCHEDULER", raising=False)
+        salts = set()
+        for backend in ("numpy", "c"):
+            monkeypatch.setenv("REPRO_EXECUTOR_BACKEND", backend)
+            for scheduler in ("wave", "dynamic"):
+                monkeypatch.setenv("REPRO_EXECUTOR_SCHEDULER", scheduler)
+                salts.add(fp.code_version_salt())
+        assert len(salts) == 4
+
+    def test_cross_scheduler_bind_is_a_miss_not_a_hit(
+        self, monkeypatch, tmp_path, moldyn_data
+    ):
+        """Regression: flipping REPRO_EXECUTOR_SCHEDULER between binds
+        must cold-miss (different key), never rehydrate the other
+        scheduler's cached plan."""
+        from repro.plancache import PlanCache
+
+        cache = PlanCache(directory=tmp_path / "cache")
+        plan = CompositionPlan(kernel_by_name("moldyn"), [CPackStep()])
+        monkeypatch.delenv("REPRO_EXECUTOR_SCHEDULER", raising=False)
+        cold = plan.bind(moldyn_data, cache=cache)
+        assert cold.report.cache == "stored"
+        monkeypatch.setenv("REPRO_EXECUTOR_SCHEDULER", "dynamic")
+        other = plan.bind(moldyn_data, cache=cache)
+        assert other.report.cache == "stored"  # a fresh key, not a hit
+        monkeypatch.delenv("REPRO_EXECUTOR_SCHEDULER", raising=False)
+        warm = plan.bind(moldyn_data, cache=cache)
+        assert warm.report.cache == "hit"
