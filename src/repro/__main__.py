@@ -335,6 +335,12 @@ def _cache_health_lines(directory=None):
         f"  entries: {health['entries']}  "
         f"total bytes: {health['total_bytes']}",
     ]
+    if health.get("epoch_children") or health.get("epoch_orphans"):
+        lines.append(
+            f"  epoch chains: {health['epoch_chains']} "
+            f"({health['epoch_children']} child epoch(s), "
+            f"{health['epoch_orphans']} ORPHANED)"
+        )
     return lines, health
 
 
@@ -633,7 +639,19 @@ def _cmd_cache(args) -> int:
 
     if args.cache_command == "gc":
         from repro.plancache.artifacts import ArtifactStore
+        from repro.plancache.store import DiskStore
 
+        # Plan artifacts first, chain-aware: epoch chains (delta-bind
+        # lineages) leave the store only as a whole, so gc never strands
+        # a child epoch without its parent.
+        plan_result = DiskStore(args.cache_dir).gc(args.max_bytes)
+        print(
+            f"plan gc: removed {plan_result['removed_files']} artifact(s) / "
+            f"{plan_result['removed_bytes']} bytes in "
+            f"{plan_result['removed_chains']} chain(s); "
+            f"{plan_result['remaining_entries']} plan(s) / "
+            f"{plan_result['remaining_bytes']} bytes remain"
+        )
         store = ArtifactStore(args.cache_dir)
         result = store.gc(args.max_bytes)
         print(
@@ -881,6 +899,8 @@ def _cmd_bench_serve(args) -> int:
     """Benchmark the service's single-flight coalescing (on vs off)."""
     if args.chaos:
         return _bench_serve_chaos(args)
+    if args.streaming:
+        return _bench_serve_streaming(args)
     from repro.service.loadgen import coalescing_benchmark
 
     result = coalescing_benchmark(
@@ -923,6 +943,55 @@ def _cmd_bench_serve(args) -> int:
             f"accounting: {'ok' if accounting_ok else 'VIOLATED'}"
         )
     return 0 if result["bit_identical"] and accounting_ok else 1
+
+
+def _bench_serve_streaming(args) -> int:
+    """Epoch-advancing streaming workload (bench-serve --streaming)."""
+    from repro.service.loadgen import streaming_benchmark
+
+    result = streaming_benchmark(
+        epochs=args.epochs,
+        requests_per_epoch=max(1, args.requests // max(args.epochs + 1, 1)),
+        clients=args.clients,
+        workers=args.workers,
+        scale=args.scale,
+        dataset=args.dataset,
+        drift=args.drift,
+        max_staleness=args.max_staleness,
+        seed=args.chaos_seed,
+    )
+    healthy = result["bit_identical"] and result["accounting_ok"]
+    if args.json:
+        import json
+
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        latency = result["latency"]
+        print(
+            f"bench-serve --streaming: {result['epochs']} epoch(s) x "
+            f"{result['requests_per_epoch']} request(s), "
+            f"{result['clients']} clients, drift={result['drift']:.3f}, "
+            f"max_staleness={result['max_staleness']}"
+        )
+        print(
+            f"  epochs advanced: {result['epochs_advanced']}  "
+            f"stale served: {result['stale_served']}  "
+            f"delta-binds: {result['delta_patched']} patched / "
+            f"{result['delta_fallbacks']} fell back"
+        )
+        print(
+            f"  bit-identical: {'yes' if result['bit_identical'] else 'NO'} "
+            f"(fresh mismatches={result['digest_mismatches']}, "
+            f"stale mismatches={result['stale_digest_mismatches']})  "
+            f"accounting: {'ok' if result['accounting_ok'] else 'VIOLATED'}"
+        )
+        if latency:
+            print(
+                f"  latency: p50={latency.get('p50_ms', 0.0):.1f}ms "
+                f"p95={latency.get('p95_ms', 0.0):.1f}ms "
+                f"p99={latency.get('p99_ms', 0.0):.1f}ms"
+            )
+    return 0 if healthy else 1
 
 
 def _bench_serve_chaos(args) -> int:
@@ -1194,6 +1263,31 @@ def main(argv=None) -> int:
         type=int,
         default=0,
         help="seed for the deterministic chaos schedule",
+    )
+    p.add_argument(
+        "--streaming",
+        action="store_true",
+        help="run the epoch-advancing streaming workload (dataset drifts "
+        "each epoch; binds take the incremental delta-bind path; probes "
+        "ahead of publication exercise the stale-serve mode)",
+    )
+    p.add_argument(
+        "--epochs",
+        type=int,
+        default=6,
+        help="dataset epochs for --streaming",
+    )
+    p.add_argument(
+        "--drift",
+        type=float,
+        default=0.02,
+        help="per-epoch edge/payload drift rate for --streaming",
+    )
+    p.add_argument(
+        "--max-staleness",
+        type=int,
+        default=1,
+        help="epochs of staleness the --streaming probe requests tolerate",
     )
     p.add_argument(
         "--json", action="store_true", help="emit the machine-readable result"

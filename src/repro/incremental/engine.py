@@ -1,0 +1,486 @@
+"""The delta-bind engine: patch a cached bind across a dataset epoch.
+
+:func:`delta_bind` is the incremental counterpart of
+:meth:`~repro.runtime.plan.CompositionPlan.bind`: given the *parent*
+epoch's dataset, its cached bind, and a
+:class:`~repro.incremental.delta.DatasetDelta`, it replays the plan's
+stages against the canonical mutated dataset with each stage's
+incremental patch (:mod:`repro.incremental.rules`) in place of the cold
+inspector, then proves the result before anyone may run it:
+
+1. a patched tile schedule's counter DAG is repaired from the parent
+   epoch's DAG and re-verified by the scheduler verifier (IRV006) via
+   :func:`~repro.lowering.schedule.ensure_runnable`;
+2. the whole bind is re-verified against the runtime numeric verifier —
+   **mandatory**, not only-when-degraded as on the cold path;
+3. any refusal — drift past a per-step threshold, an unpatchable stage,
+   a missing parent entry, a DAG rejection, a verifier mismatch —
+   degrades to a full re-bind, counted in ``cache.stats``
+   (``delta_patched`` / ``delta_fallbacks`` / ``delta_verify_failures``)
+   so the degradation rate is observable, never silent.
+
+Both outcomes store the child bind under its own content fingerprint
+with a **parent-epoch link** in the entry metadata (``parent_key``,
+``epoch``, ``delta_fingerprint``, ``delta_mode``), making the chain
+F0 -> F1 -> ... -> Fn walkable and GC-able as a group (see
+:meth:`~repro.plancache.store.DiskStore.chain_groups`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    InspectorFault,
+    LegalityError,
+    ValidationError,
+)
+from repro.incremental.delta import DatasetDelta, EpochAux
+from repro.incremental.rules import (
+    DELTA_RULES,
+    UnsupportedDelta,
+    plan_delta_eligibility,
+)
+
+
+@dataclass
+class DeltaContext:
+    """Everything a stage patch may consult beyond the live state."""
+
+    delta: DatasetDelta
+    parent_data: object
+    child_data: object
+    parent_entry: object
+    keep_rows: np.ndarray
+    old_to_new: np.ndarray
+    #: Nodes whose first-touch key changed under the delta (original
+    #: node ids) — the only nodes whose *relative* order a patched data
+    #: reordering may change.
+    affected_nodes: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    child_aux: Optional[EpochAux] = None
+
+    def require_child_aux(self) -> EpochAux:
+        if self.child_aux is None:
+            raise UnsupportedDelta(
+                "epoch aux unavailable for this bind", stage="delta"
+            )
+        return self.child_aux
+
+
+# ---------------------------------------------------------------------------
+# TileDAG repair.
+
+
+def _cross_tile_keys(tiling, data, counter: Optional[dict] = None) -> np.ndarray:
+    """Strict cross-tile dependence pairs as ``src*num_tiles + dst`` keys.
+
+    Vectorized equivalent of
+    :func:`repro.transforms.parallel.tile_graph_edges` over the kernel's
+    concrete dependence edge sets — same strict (``t_src != t_dst``)
+    filter, same dedup, so the edge *set* is identical and the DAG
+    constructors' canonical ordering makes the result array-identical.
+    """
+    from repro.runtime.inspector import dependence_edges
+
+    num_tiles = np.int64(tiling.num_tiles)
+    parts = []
+    touches = 0
+    for (la, lb), (src, dst) in dependence_edges(data).items():
+        t_src = tiling.tiles[la][src]
+        t_dst = tiling.tiles[lb][dst]
+        crossing = t_src != t_dst
+        parts.append(t_src[crossing] * num_tiles + t_dst[crossing])
+        touches += 2 * len(src)
+    if counter is not None:
+        counter["touches"] = counter.get("touches", 0) + touches
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    # Sort-based dedup: np.unique's hash path is far slower than a sort
+    # on multi-million-key arrays, and the DAG constructors want sorted
+    # keys anyway.
+    keys = np.sort(np.concatenate(parts))
+    if len(keys):
+        keys = keys[np.concatenate(([True], keys[1:] != keys[:-1]))]
+    return keys
+
+
+def repair_tile_dag(parent_dag, tiling, data, counter: Optional[dict] = None):
+    """Repair (or rebuild) the counter DAG for a patched tiling.
+
+    With a parent DAG over the same tile count, the dependence counters
+    are *patched*: ``indegree' = indegree - removed-edge sinks +
+    added-edge sinks`` (two bincounts over the edge diff), the successor
+    CSR is rebuilt from the new edge set, and the wavefront levels are
+    recomputed.  Without one (first epoch, or the tile count changed) it
+    builds fresh.  Either way the result is bit-identical to
+    :func:`~repro.lowering.schedule.tile_dag_from_tiling` on the same
+    tiling — callers MUST still pass it through
+    :func:`~repro.lowering.schedule.ensure_runnable`, whose IRV006 check
+    independently recomputes every counter and rejects a bad patch
+    before any dynamic pool runs.
+    """
+    from repro.lowering.schedule import _build_dag, tile_dag
+    from repro.transforms.parallel import (
+        CyclicDependenceError,
+        wavefront_schedule,
+    )
+
+    num_tiles = int(tiling.num_tiles)
+    keys = _cross_tile_keys(tiling, data, counter=counter)
+    src = keys // num_tiles
+    dst = keys % num_tiles
+    if (
+        parent_dag is None
+        or int(getattr(parent_dag, "num_tiles", -1)) != num_tiles
+    ):
+        return tile_dag(num_tiles, src, dst)
+
+    # Parent edge keys from the CSR (indices within a row are the dst ids).
+    counts = np.diff(parent_dag.succ_indptr)
+    parent_src = np.repeat(np.arange(num_tiles, dtype=np.int64), counts)
+    # Both key sets are sorted and duplicate-free (the CSR stores each
+    # edge once with sorted rows; ``_cross_tile_keys`` dedups), so the
+    # set difference can skip np.unique's slow re-canonicalization.
+    parent_keys = parent_src * num_tiles + parent_dag.succ_indices
+    removed = np.setdiff1d(parent_keys, keys, assume_unique=True)
+    added = np.setdiff1d(keys, parent_keys, assume_unique=True)
+    indegree = (
+        parent_dag.indegree.astype(np.int64)
+        - np.bincount(removed % num_tiles, minlength=num_tiles)
+        + np.bincount(added % num_tiles, minlength=num_tiles)
+    )
+    if counter is not None:
+        counter["touches"] = counter.get("touches", 0) + 2 * (
+            len(removed) + len(added)
+        )
+    try:
+        waves = wavefront_schedule(num_tiles, src, dst)
+    except CyclicDependenceError:
+        waves = None
+    dag = _build_dag(
+        num_tiles,
+        src,
+        dst,
+        (
+            np.concatenate(waves.groups()).astype(np.int64)
+            if waves is not None and waves.groups()
+            else np.arange(num_tiles, dtype=np.int64)
+        ),
+        waves.wave.astype(np.int64) if waves is not None else None,
+    )
+    # Splice the patched counters in: IRV006 (ensure_runnable) is what
+    # re-proves them against the CSR, so a bad patch is caught there.
+    object.__setattr__(dag, "indegree", indegree)
+    return dag
+
+
+# ---------------------------------------------------------------------------
+# The patched replay.
+
+
+def _parent_epoch(entry) -> int:
+    if entry is None:
+        return 0
+    try:
+        return int(entry.meta.get("epoch", 0))
+    except (TypeError, ValueError):
+        return 0
+
+
+def _epoch_meta(parent_key, parent_epoch, delta, mode, drift) -> dict:
+    return {
+        "parent_key": parent_key,
+        "epoch": parent_epoch + 1,
+        "delta_fingerprint": delta.fingerprint(),
+        "delta_mode": mode,
+        "drift": float(drift),
+    }
+
+
+def link_epoch(cache, child_key, epoch_meta: dict) -> bool:
+    """Annotate an already-stored child entry with its parent link.
+
+    Used on the fallback path, where ``plan.bind`` stored the entry
+    without epoch metadata; re-putting rewrites the artifact with the
+    link so fallback epochs still join the chain.  Returns whether the
+    entry was found and annotated.
+    """
+    entry = cache.get(child_key)
+    if entry is None:
+        return False
+    entry.meta.pop("tier", None)
+    entry.meta.update(epoch_meta)
+    cache.put(child_key, entry)
+    return True
+
+
+def _patched_replay(
+    plan, ctx: DeltaContext, parent_aux: EpochAux, cache
+) -> Tuple[object, EpochAux]:
+    """Mirror ``ComposedInspector._run_cold`` with per-stage patches.
+
+    Raises :class:`UnsupportedDelta` / :class:`LegalityError` /
+    :class:`InspectorFault` when a patch refuses; the caller converts
+    any of those into the counted full-re-bind fallback.
+    """
+    from repro.lowering.schedule import ensure_runnable
+    from repro.runtime.executor import ExecutionPlan
+    from repro.runtime.inspector import InspectorResult, InspectorState
+    from repro.runtime.report import STAGE_OK, PipelineReport, StageRecord
+    from repro.transforms.base import identity_reordering
+
+    working = ctx.child_data.copy()
+    n = working.num_nodes
+    state = InspectorState(
+        data=working,
+        remap=plan.remap,
+        sigma_total=identity_reordering(n, "sigma"),
+        sigma_pending=identity_reordering(n, "pending"),
+        delta_total={
+            pos: identity_reordering(size, f"delta{pos}")
+            for pos, size in enumerate(working.loop_sizes())
+        },
+    )
+    report = PipelineReport(
+        plan_name=plan.name, policy=plan.on_stage_failure, cache="delta"
+    )
+
+    aux_counter: Dict[str, int] = {}
+    child_aux, affected = parent_aux.advanced(
+        ctx.delta,
+        ctx.parent_data,
+        ctx.child_data,
+        counter=aux_counter,
+        keep_rows=ctx.keep_rows,
+    )
+    state.charge("delta_aux", aux_counter.get("touches", 0))
+    ctx.child_aux = child_aux
+    ctx.affected_nodes = affected
+
+    for index, step in enumerate(plan.steps):
+        state.current_index = index
+        rule = DELTA_RULES.get(step.name)
+        if rule is None or rule.patch is None:
+            raise UnsupportedDelta(
+                f"no incremental patch for stage {index} ({step.name})",
+                stage=step.name,
+            )
+        touches_before = sum(state.overhead.values())
+        start = time.perf_counter()
+        step.check_preconditions(state)
+        rule.patch(ctx, state, step, index)
+        report.record(
+            StageRecord(
+                index,
+                step.name,
+                STAGE_OK,
+                time.perf_counter() - start,
+                touches=sum(state.overhead.values()) - touches_before,
+            )
+        )
+    state.finalize_payload()
+
+    if state.tiling is not None:
+        if parent_aux.tile_dag is not None:
+            # The parent epoch ran (or prepared) a dynamic pool, so the
+            # child must hand one back too: repair the counters and
+            # re-prove them (IRV006) before any pool may consume them.
+            # A parent without a DAG skips this entirely — the dynamic
+            # tier builds one on demand, exactly as after a cold bind.
+            dag_counter: Dict[str, int] = {}
+            dag = repair_tile_dag(
+                parent_aux.tile_dag,
+                state.tiling,
+                state.data,
+                counter=dag_counter,
+            )
+            state.charge("dag_repair", dag_counter.get("touches", 0))
+            ensure_runnable(dag)  # IRV006 gate; LegalityError -> fallback
+            child_aux.tile_dag = dag
+        exec_plan = ExecutionPlan(schedule=state.tiling.schedule())
+    else:
+        exec_plan = ExecutionPlan.identity()
+
+    result = InspectorResult(
+        transformed=state.data,
+        plan=exec_plan,
+        sigma_nodes=state.sigma_total,
+        delta_loops=state.delta_total,
+        tiling=state.tiling,
+        overhead=dict(state.overhead),
+        data_moves=state.data_moves,
+        stage_functions=dict(state.stage_functions),
+        report=report,
+    )
+    return result, child_aux
+
+
+# ---------------------------------------------------------------------------
+# Entry point.
+
+
+def delta_bind(
+    plan,
+    parent_data,
+    delta: DatasetDelta,
+    *,
+    cache,
+    num_steps: int = 2,
+    parent_key: Optional[str] = None,
+    child_data=None,
+):
+    """Bind ``plan`` to ``delta.apply(parent_data)`` incrementally.
+
+    Requires a :class:`~repro.plancache.PlanCache` — the parent epoch's
+    realized arrays come out of it and the child's go back in (with the
+    parent-epoch link).  Returns the
+    :class:`~repro.runtime.inspector.InspectorResult`, bit-identical to
+    ``plan.bind(delta.apply(parent_data))``, with a ``delta_info`` dict
+    attached describing the path taken (``patched`` / ``fallback`` /
+    ``hit``) — diagnostic only, not persisted with the entry.
+
+    ``child_data``, when given, must be ``delta.apply(parent_data)`` —
+    streaming callers already materialized the new epoch's dataset (the
+    simulation evolved it), so re-deriving it here would double-charge
+    the delta path.  Shape mismatches are rejected; content is the
+    caller's contract, and a lie is still caught by the mandatory
+    numeric re-verification (which compares against ``child_data``) and
+    scoped to ``child_data``'s own cache key.
+    """
+    from repro.plancache import memo
+    from repro.plancache.fingerprint import (
+        bind_fingerprint,
+        verification_fingerprint,
+    )
+    from repro.runtime.verify import verify_numeric_equivalence_memoized
+
+    if cache is None:
+        raise ValidationError(
+            "delta_bind requires a plan cache",
+            stage="delta",
+            hint="pass cache=PlanCache(...); the parent epoch's realized "
+            "arrays are the patch input",
+        )
+    delta.validate(parent_data)
+    stats = cache.stats
+    if child_data is None:
+        child_data = delta.apply(parent_data)
+    else:
+        expected = int(delta.keep_mask(parent_data.num_inter).sum()) + len(
+            delta.added_left
+        )
+        if (
+            child_data.num_nodes != parent_data.num_nodes
+            or child_data.num_inter != expected
+        ):
+            raise ValidationError(
+                "child_data does not match delta.apply(parent_data)",
+                stage="delta",
+                hint=f"expected {parent_data.num_nodes} nodes / "
+                f"{expected} interactions, got {child_data.num_nodes} / "
+                f"{child_data.num_inter}",
+            )
+    if parent_key is None:
+        # Streaming callers hold the previous epoch's child key; passing
+        # it back skips re-hashing the parent dataset every epoch.
+        parent_key = bind_fingerprint(plan, parent_data)
+    child_key = bind_fingerprint(plan, child_data)
+    drift = delta.drift(parent_data)
+
+    def fallback(reason: str, parent_epoch: int):
+        stats.delta_fallbacks += 1
+        result = plan.bind(child_data, num_steps=num_steps, cache=cache)
+        meta = _epoch_meta(parent_key, parent_epoch, delta, "fallback", drift)
+        link_epoch(cache, child_key, meta)
+        result.delta_info = {"mode": "fallback", "reason": reason, **meta}
+        return result
+
+    # A pure payload move shares the parent's structural fingerprint, and
+    # a re-played epoch may already be cached: either way the bind is a
+    # plain hit — the cached sigma re-applies to the live payload.
+    entry = cache.get(child_key)
+    if entry is not None:
+        try:
+            result = memo.entry_to_result(entry, child_data)
+        except Exception:
+            stats.corrupt += 1
+            cache.discard(child_key)
+        else:
+            stats.record_hit(
+                [step.name for step in plan.steps],
+                entry.meta.get("tier", "memory"),
+            )
+            result.delta_info = {
+                "mode": "hit",
+                "drift": float(drift),
+                "epoch": _parent_epoch(entry),
+            }
+            return result
+
+    parent_entry = cache.get(parent_key)
+    parent_epoch = _parent_epoch(parent_entry)
+    if plan.on_stage_failure != "raise":
+        return fallback(
+            "permissive failure policies may degrade stages; a degraded "
+            "parent bind is not patchable",
+            parent_epoch,
+        )
+    ok, reason = plan_delta_eligibility(plan.steps, drift)
+    if not ok:
+        return fallback(reason, parent_epoch)
+    if parent_entry is None:
+        return fallback("parent bind is not cached", parent_epoch)
+
+    parent_aux = cache.get_aux(parent_key)
+    if parent_aux is None:
+        aux_counter: Dict[str, int] = {}
+        parent_aux = EpochAux.from_data(parent_data, counter=aux_counter)
+        # Store it back: later deltas off the same parent (retries, a
+        # replayed stream) should not recompute the first-touch keys.
+        cache.put_aux(parent_key, parent_aux)
+
+    keep_rows, old_to_new = delta.compaction_map(parent_data.num_inter)
+    ctx = DeltaContext(
+        delta=delta,
+        parent_data=parent_data,
+        child_data=child_data,
+        parent_entry=parent_entry,
+        keep_rows=keep_rows,
+        old_to_new=old_to_new,
+    )
+    try:
+        result, child_aux = _patched_replay(plan, ctx, parent_aux, cache)
+    except (UnsupportedDelta, LegalityError, InspectorFault, ValidationError) as exc:
+        return fallback(f"{type(exc).__name__}: {exc}", parent_epoch)
+
+    # Mandatory re-verification: a patched bind is never trusted on the
+    # rules' legality arguments alone.
+    memo_key = verification_fingerprint(plan, child_data, num_steps)
+    try:
+        verify_numeric_equivalence_memoized(
+            child_data,
+            result,
+            num_steps=num_steps,
+            memo_key=memo_key,
+            stats=stats,
+        )
+    except AssertionError as exc:
+        stats.delta_verify_failures += 1
+        return fallback(f"patched bind failed verification: {exc}", parent_epoch)
+    result.report.verified = True
+
+    meta = _epoch_meta(parent_key, parent_epoch, delta, "patched", drift)
+    memo.store(cache, child_key, result, plan.steps, extra_meta=meta)
+    cache.put_aux(child_key, child_aux)
+    stats.delta_patched += 1
+    result.delta_info = {"mode": "patched", **meta}
+    return result
+
+
+__all__ = ["DeltaContext", "delta_bind", "link_epoch", "repair_tile_dag"]

@@ -171,7 +171,11 @@ def _dedupe_edges(
     strict = src != dst
     src, dst = src[strict], dst[strict]
     if len(src):
-        keys = np.unique(src * np.int64(num_tiles) + dst)
+        # Sort-based dedup: equivalent to np.unique (sorted, duplicate
+        # free) but avoids its hash path, which is far slower on the
+        # multi-million-key arrays dense tile graphs produce.
+        keys = np.sort(src * np.int64(num_tiles) + dst)
+        keys = keys[np.concatenate(([True], keys[1:] != keys[:-1]))]
         src, dst = keys // num_tiles, keys % num_tiles
     return src, dst
 

@@ -148,7 +148,18 @@ def dataset_fingerprint(data, include_payload: bool = False) -> str:
     layout.  With ``include_payload`` the node payload *values* are mixed
     in too — required by the verification memo (executor output depends
     on payload), not by the inspector cache (inspectors do not).
+
+    The digest is memoized on the instance (``_fingerprint_memo``): a
+    delta-bind hashes the same multi-megabyte index arrays for the bind
+    key and again for the verification memo key, and the streaming path
+    hashes every epoch's dataset at least twice.  The memo is sound
+    because nothing mutates a ``KernelData`` in place once constructed —
+    the inspector and the executors both work on ``.copy()``s, and
+    ``copy()`` rebuilds the instance without carrying the memo over.
     """
+    memo = getattr(data, "_fingerprint_memo", None)
+    if memo is not None and include_payload in memo:
+        return memo[include_payload]
     h = _hasher()
     _update(
         h,
@@ -164,7 +175,15 @@ def dataset_fingerprint(data, include_payload: bool = False) -> str:
         _update(h, "payload-name", name)
         if include_payload:
             _update(h, data.arrays[name])
-    return h.hexdigest()
+    digest = h.hexdigest()
+    try:
+        if memo is None:
+            memo = {}
+            data._fingerprint_memo = memo
+        memo[include_payload] = digest
+    except (AttributeError, TypeError):
+        pass
+    return digest
 
 
 def step_fingerprint(step) -> str:

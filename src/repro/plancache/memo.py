@@ -224,11 +224,21 @@ def lookup(
     return result
 
 
-def store(cache: PlanCache, key: str, result, steps) -> None:
-    """Persist a completed (non-failed) inspector run."""
+def store(
+    cache: PlanCache, key: str, result, steps, extra_meta: Optional[dict] = None
+) -> None:
+    """Persist a completed (non-failed) inspector run.
+
+    ``extra_meta`` merges additional JSON-able metadata into the entry —
+    the delta-bind engine threads the parent-epoch link
+    (``parent_key``/``epoch``/``delta_fingerprint``/``delta_mode``)
+    through here so epoch chains are walkable from the artifacts alone.
+    """
     if result.report is not None and result.report.failed:
         return
     entry = result_to_entry(result, steps)
+    if extra_meta:
+        entry.meta.update(extra_meta)
     if result.report is not None:
         result.report.cache = "stored"
     cache.put(key, entry)

@@ -39,6 +39,14 @@ class CacheStats:
     verify_memo_hits: int = 0
     #: Inspector stages never executed because the whole bind hit.
     stages_skipped: int = 0
+    #: Delta-binds that patched the parent epoch's arrays incrementally.
+    delta_patched: int = 0
+    #: Delta-binds that degraded to a full re-bind (drift past a per-step
+    #: threshold, unpatchable stage, missing parent, DAG rejection, ...).
+    delta_fallbacks: int = 0
+    #: Of the fallbacks, how many were triggered by the mandatory
+    #: post-patch numeric verification rejecting the patched bind.
+    delta_verify_failures: int = 0
     #: Per-stage (step-name) attribution of hits and misses.
     stage_hits: Dict[str, int] = field(default_factory=dict)
     stage_misses: Dict[str, int] = field(default_factory=dict)
@@ -83,6 +91,9 @@ class CacheStats:
             "corrupt_quarantined": self.corrupt_quarantined,
             "verify_memo_hits": self.verify_memo_hits,
             "stages_skipped": self.stages_skipped,
+            "delta_patched": self.delta_patched,
+            "delta_fallbacks": self.delta_fallbacks,
+            "delta_verify_failures": self.delta_verify_failures,
             "hit_rate": self.hit_rate,
             "stage_hits": dict(self.stage_hits),
             "stage_misses": dict(self.stage_misses),
@@ -100,6 +111,12 @@ class CacheStats:
             f"  inspector stages skipped: {self.stages_skipped}  "
             f"verifications memoized: {self.verify_memo_hits}",
         ]
+        if self.delta_patched or self.delta_fallbacks:
+            lines.append(
+                f"  delta-binds: {self.delta_patched} patched, "
+                f"{self.delta_fallbacks} fell back to full re-bind "
+                f"({self.delta_verify_failures} verification rejections)"
+            )
         for name in sorted(set(self.stage_hits) | set(self.stage_misses)):
             lines.append(
                 f"  stage {name}: {self.stage_hits.get(name, 0)} hits, "

@@ -75,6 +75,10 @@ MAX_BYTES_ENV = "REPRO_PLANCACHE_MAX_BYTES"
 #: Sibling directory (under the cache dir) where corrupt artifacts land.
 QUARANTINE_DIR = "quarantine"
 
+#: In-process epoch-aux slots kept per :class:`PlanCache` (small: each
+#: aux holds two int64 arrays over rows/occurrences plus a tile DAG).
+AUX_SLOTS = 16
+
 
 def resolve_max_bytes(max_bytes=None) -> Optional[int]:
     """Disk byte budget: explicit arg > env var > unlimited (``None``)."""
@@ -411,6 +415,7 @@ class DiskStore:
                 except Exception:
                     unreadable += 1
                 entries += 1
+        chains = self.chain_groups()
         return {
             "path": str(self.directory),
             "exists": exists,
@@ -419,6 +424,119 @@ class DiskStore:
             "total_bytes": self.total_bytes(),
             "unreadable": unreadable,
             "quarantined": len(self.quarantined()),
+            # Epoch-chain observability (delta-binds link child epochs to
+            # their parents via ``parent_key`` metadata).  Orphans are
+            # reported distinctly: a child whose recorded parent artifact
+            # is gone can no longer be walked back to its cold root.
+            "epoch_chains": sum(
+                1 for g in chains["groups"] if len(g["keys"]) > 1
+            ),
+            "epoch_children": sum(
+                max(0, len(g["keys"]) - 1) for g in chains["groups"]
+            ) + len(chains["orphans"]),
+            "epoch_orphans": len(chains["orphans"]),
+        }
+
+    # -- epoch chains ----------------------------------------------------------
+
+    def _read_meta(self, path: Path) -> Optional[dict]:
+        """Best-effort ``__meta__`` of one artifact (``None`` if unreadable)."""
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                return json.loads(bytes(npz["__meta__"]).decode("utf-8"))
+        except Exception:
+            return None
+
+    def chain_groups(self) -> dict:
+        """Group live artifacts into epoch chains via ``parent_key`` links.
+
+        Returns ``{"groups": [...], "orphans": [...]}``.  Each group is
+        ``{"root", "keys", "bytes", "mtime"}`` — ``keys`` sorted by
+        epoch (root first), ``mtime`` the *newest* member's (a chain
+        recently extended counts as recently used), ``root`` the highest
+        ancestor still on disk.  ``orphans`` lists keys whose recorded
+        parent artifact is missing: the chain below the break is grouped
+        under the highest *surviving* ancestor, but flagged because it
+        can no longer be walked back to a cold bind.
+        """
+        metas: Dict[str, dict] = {}
+        sizes: Dict[str, int] = {}
+        mtimes: Dict[str, float] = {}
+        for path in self._artifacts():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # vanished mid-scan (racing eviction/clear)
+            meta = self._read_meta(path)
+            key = path.stem
+            metas[key] = meta if meta is not None else {}
+            sizes[key] = stat.st_size
+            mtimes[key] = stat.st_mtime
+        members: Dict[str, List[str]] = {}
+        orphans: List[str] = []
+        for key in metas:
+            node = key
+            seen = {node}
+            while True:
+                parent = metas[node].get("parent_key")
+                if not parent:
+                    break
+                if parent not in metas:
+                    orphans.append(key)
+                    break
+                if parent in seen:
+                    break  # defensive: a metadata cycle never recurses
+                seen.add(parent)
+                node = parent
+            members.setdefault(node, []).append(key)
+        groups = []
+        for root, keys in members.items():
+            keys.sort(key=lambda k: (int(metas[k].get("epoch", 0)), k))
+            groups.append(
+                {
+                    "root": root,
+                    "keys": keys,
+                    "bytes": sum(sizes[k] for k in keys),
+                    "mtime": max(mtimes[k] for k in keys),
+                }
+            )
+        groups.sort(key=lambda g: (g["mtime"], g["root"]))
+        return {"groups": groups, "orphans": sorted(orphans)}
+
+    def gc(self, max_bytes: int) -> dict:
+        """Evict down to ``max_bytes`` — whole epoch chains at a time.
+
+        Per-artifact eviction could drop a parent epoch while its
+        children survive, leaving the chain unwalkable (orphans); here a
+        chain leaves the store only as a group, oldest newest-member
+        first, so a live child always keeps its ancestry.
+        """
+        budget = int(max_bytes)
+        chains = self.chain_groups()
+        total = sum(g["bytes"] for g in chains["groups"])
+        removed_files = 0
+        removed_bytes = 0
+        removed_chains = 0
+        for group in chains["groups"]:  # already oldest-first
+            if total <= budget:
+                break
+            for key in group["keys"]:
+                try:
+                    self._path(key).unlink()
+                except OSError:
+                    continue  # a peer removed it; bytes already gone
+                removed_files += 1
+                self.stats.evictions += 1
+            removed_bytes += group["bytes"]
+            removed_chains += 1
+            total -= group["bytes"]
+        return {
+            "removed_files": removed_files,
+            "removed_bytes": removed_bytes,
+            "removed_chains": removed_chains,
+            "remaining_entries": len(self.keys()),
+            "remaining_bytes": self.total_bytes(),
+            "budget_bytes": budget,
         }
 
 
@@ -448,6 +566,10 @@ class PlanCache:
         # mutation; the bind service shares one facade across worker
         # threads, so the tiered operations serialize here.
         self._lock = threading.RLock()
+        # Epoch aux sidecars (delta-bind first-touch keys + tile DAG),
+        # keyed by bind fingerprint.  In-process only: an aux is cheap
+        # to rebuild (one O(E) scatter) so it is never persisted.
+        self._aux: "OrderedDict[str, object]" = OrderedDict()
 
     # -- tiered get/put --------------------------------------------------------
 
@@ -483,12 +605,31 @@ class PlanCache:
     def discard(self, key: str) -> None:
         with self._lock:
             self.memory.discard(key)
+            self._aux.pop(key, None)
 
     def clear(self) -> int:
         """Drop both tiers; returns the number of disk artifacts removed."""
         with self._lock:
             self.memory.clear()
+            self._aux.clear()
         return self.disk.clear() if self.disk is not None else 0
+
+    # -- epoch aux sidecars ----------------------------------------------------
+
+    def get_aux(self, key: str):
+        """The epoch aux cached for a bind fingerprint (``None`` if cold)."""
+        with self._lock:
+            aux = self._aux.get(key)
+            if aux is not None:
+                self._aux.move_to_end(key)
+            return aux
+
+    def put_aux(self, key: str, aux) -> None:
+        with self._lock:
+            self._aux.pop(key, None)
+            self._aux[key] = aux
+            while len(self._aux) > AUX_SLOTS:
+                self._aux.popitem(last=False)
 
     def describe(self) -> str:
         lines = [self.stats.describe()]
@@ -514,6 +655,7 @@ class PlanCache:
 
 
 __all__ = [
+    "AUX_SLOTS",
     "CACHE_DIR_ENV",
     "CacheEntry",
     "DEFAULT_MEMORY_BUDGET",

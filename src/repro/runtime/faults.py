@@ -375,6 +375,111 @@ def inject(
     return out
 
 
+# -- dataset drift corruptors -------------------------------------------------------
+#
+# Where the corruptors above attack a *stage's output*, the drift family
+# attacks the *dataset between epochs*: seeded edge churn and payload
+# motion, packaged as a validated
+# :class:`~repro.incremental.DatasetDelta`.  These are the workload
+# generators for the delta-bind subsystem — tests and the streaming
+# benchmark drive `CompositionPlan.rebind` with exactly these, so every
+# drift scenario is reproducible from ``(dataset, rates, seed)``.
+
+
+def drift_edge_churn(data, rate: float, seed: int = 0):
+    """Balanced edge add/remove churn totalling ``rate * num_inter`` rows.
+
+    Removed rows are sampled uniformly; added endpoint pairs are sampled
+    uniformly and then filtered so the mutated dataset stays valid under
+    the strict bind policy: no self-loops, no duplicate of a surviving
+    edge, no duplicate among the additions themselves (both checked on
+    *unordered* endpoint pairs, matching the validator).  Deterministic
+    given ``seed``.
+    """
+    from repro.incremental import DatasetDelta
+
+    if not 0.0 <= rate < 1.0:
+        raise ValidationError(
+            f"edge churn rate must be in [0, 1), got {rate}", stage="drift"
+        )
+    rng = np.random.default_rng(seed)
+    n = np.int64(data.num_nodes)
+    half = int(data.num_inter * rate / 2)
+    if half == 0:
+        return DatasetDelta()
+    removed = np.sort(rng.choice(data.num_inter, size=half, replace=False))
+    lo = np.minimum(data.left, data.right)
+    hi = np.maximum(data.left, data.right)
+    existing = np.sort(lo * n + hi)
+    # Oversample 3x, then keep the first `half` candidates that are
+    # fresh: not self-loops, not present (unordered) in the parent, and
+    # not duplicating an earlier candidate.
+    al = rng.integers(0, n, size=3 * half)
+    ar = rng.integers(0, n, size=3 * half)
+    cand = np.minimum(al, ar) * n + np.maximum(al, ar)
+    fresh = (~np.isin(cand, existing)) & (al != ar)
+    _, first = np.unique(cand[fresh], return_index=True)
+    pick = np.flatnonzero(fresh)[np.sort(first)][:half]
+    return DatasetDelta(
+        added_left=al[pick], added_right=ar[pick], removed=removed
+    )
+
+
+def drift_node_motion(data, rate: float, seed: int = 0, scale: float = 1e-3):
+    """Payload motion over ``rate * num_nodes`` nodes (indices untouched).
+
+    Every float payload array gets a relative Gaussian perturbation of
+    magnitude ``scale`` on the moved nodes — the neighbor-list-still-
+    valid particle motion regime the paper's moldyn workload implies.
+    """
+    from repro.incremental import DatasetDelta
+
+    if not 0.0 <= rate <= 1.0:
+        raise ValidationError(
+            f"node motion rate must be in [0, 1], got {rate}", stage="drift"
+        )
+    rng = np.random.default_rng(seed)
+    count = int(data.num_nodes * rate)
+    if count == 0:
+        return DatasetDelta()
+    moved = np.sort(rng.choice(data.num_nodes, size=count, replace=False))
+    moved_arrays = {}
+    for name, values in data.arrays.items():
+        if not np.issubdtype(values.dtype, np.floating):
+            continue
+        jitter = 1.0 + scale * rng.standard_normal(values[moved].shape)
+        moved_arrays[name] = values[moved] * jitter
+    if not moved_arrays:
+        return DatasetDelta()
+    return DatasetDelta(moved_nodes=moved, moved_arrays=moved_arrays)
+
+
+def make_drift_delta(
+    data,
+    edge_rate: float = 0.0,
+    move_rate: float = 0.0,
+    seed: int = 0,
+):
+    """The combined drift corruptor: edge churn plus payload motion.
+
+    One validated :class:`~repro.incremental.DatasetDelta` carrying both
+    mutation kinds, deterministic given ``seed`` (the two sub-generators
+    draw from derived seeds so the combination is stable under changing
+    either rate alone)."""
+    from repro.incremental import DatasetDelta
+
+    edges = drift_edge_churn(data, edge_rate, seed=seed * 8191 + 1)
+    nodes = drift_node_motion(data, move_rate, seed=seed * 8191 + 2)
+    combined = DatasetDelta(
+        added_left=edges.added_left,
+        added_right=edges.added_right,
+        removed=edges.removed,
+        moved_nodes=nodes.moved_nodes,
+        moved_arrays=nodes.moved_arrays,
+    )
+    return combined.validate(data)
+
+
 # -- declarative fault campaigns ----------------------------------------------------
 
 
@@ -463,5 +568,8 @@ __all__ = [
     "FaultPlan",
     "FaultyStep",
     "applicable",
+    "drift_edge_churn",
+    "drift_node_motion",
     "inject",
+    "make_drift_delta",
 ]

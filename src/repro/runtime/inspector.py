@@ -236,13 +236,23 @@ class InspectorState:
         self.charge(phase, 2 * self.data.num_nodes * doubles_per_node)
         self.data_moves += 1
 
-    def apply_data_reordering(self, sigma: ReorderingFunction, step_name: str) -> None:
+    def apply_data_reordering(
+        self,
+        sigma: ReorderingFunction,
+        step_name: str,
+        trusted: bool = False,
+    ) -> None:
         """Adjust index arrays now; move the payload per the remap policy.
 
         Node-space loops iterate ``0..n-1`` over the relocated payload, so
         the data reordering doubles as their iteration reordering (the
         paper reuses ``Ocp`` for the i and k loops) — compose it into
         their deltas and remap any existing tiling accordingly.
+
+        ``trusted`` skips the O(n) permutation-defect scan: only for
+        callers whose array is a permutation *by construction* (a scatter
+        of ``arange``) and whose pipeline mandatorily re-verifies the
+        bind numerically — i.e. the delta-bind patch rules.
         """
         if len(sigma) != self.data.num_nodes:
             raise ValidationError(
@@ -252,7 +262,8 @@ class InspectorState:
                 hint="the index array was truncated or padded; the "
                 "reordering must be a permutation of the node space",
             )
-        sigma.require_permutation(stage=step_name)
+        if not trusted:
+            sigma.require_permutation(stage=step_name)
         self.data.left = sigma.remap_values(self.data.left)
         self.data.right = sigma.remap_values(self.data.right)
         self.charge("index_adjust", 4 * self.data.num_inter)
@@ -272,9 +283,17 @@ class InspectorState:
             self.sigma_pending = self.sigma_pending.compose(sigma)
 
     def apply_iteration_reordering(
-        self, pos: int, delta: ReorderingFunction, step_name: str
+        self,
+        pos: int,
+        delta: ReorderingFunction,
+        step_name: str,
+        trusted: bool = False,
     ) -> None:
-        """Physically permute the interaction loop's index-array rows."""
+        """Physically permute the interaction loop's index-array rows.
+
+        ``trusted`` as in :meth:`apply_data_reordering`: skip the defect
+        scan for by-construction permutations on a mandatorily verified
+        path."""
         if len(delta) != self.data.loop_sizes()[pos]:
             raise ValidationError(
                 f"iteration reordering {delta.name!r} covers {len(delta)} "
@@ -283,7 +302,8 @@ class InspectorState:
                 hint="the index array was truncated or padded; the "
                 "reordering must be a permutation of the loop's iterations",
             )
-        delta.require_permutation(stage=step_name)
+        if not trusted:
+            delta.require_permutation(stage=step_name)
         if self.data.loops[pos].domain != "inters":
             raise ValidationError(
                 "explicit iteration reorderings target the interaction loop; "

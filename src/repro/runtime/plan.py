@@ -276,6 +276,45 @@ class CompositionPlan:
             report.verified = True
         return result
 
+    def rebind(
+        self,
+        parent_data,
+        delta,
+        *,
+        cache,
+        num_steps: int = 2,
+        parent_key: Optional[str] = None,
+        child_data=None,
+    ) -> InspectorResult:
+        """Bind the *mutated* dataset incrementally from the parent epoch.
+
+        ``delta`` is a :class:`~repro.incremental.DatasetDelta`; the
+        canonical mutated dataset is ``delta.apply(parent_data)``.  When
+        every stage admits an incremental patch at this delta's drift,
+        the cached parent plan is updated in place of a full inspector
+        re-run and the patched bind is *always* re-verified numerically
+        against the untransformed kernel — any mismatch (or any
+        unpatchable stage, drift past a per-step threshold, missing
+        parent entry, ...) degrades to a counted full re-bind.  Either
+        way the stored child entry carries the parent-epoch link, so the
+        chain of epochs stays walkable.  Requires a cache: delta-binds
+        are defined relative to a cached parent epoch.
+
+        Returns the child :class:`InspectorResult`; ``result.delta_info``
+        records the mode (``patched``/``fallback``/``hit``) and drift.
+        """
+        from repro.incremental.engine import delta_bind
+
+        return delta_bind(
+            self,
+            parent_data,
+            delta,
+            cache=cache,
+            num_steps=num_steps,
+            parent_key=parent_key,
+            child_data=child_data,
+        )
+
     def describe(self) -> str:
         lines = [f"CompositionPlan {self.name!r} on kernel {self.kernel.name!r}"]
         for index, step in enumerate(self.steps):

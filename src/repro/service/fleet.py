@@ -226,6 +226,8 @@ class _FleetFlight:
         self.shard: Optional[int] = None
         self.fallback = False
         self.bind_ms = 0.0
+        self.kernel = ""  # resolved at routing time
+        self.epoch = 0  # dataset epoch the flight binds against
 
 
 class _Waiter:
@@ -290,8 +292,17 @@ class FleetService:
         self._dispatch_seq = itertools.count(0)  # chaos decision points
         self._started = False
         self._draining = False
-        #: Parent-side dataset handles (the in-process fallback path).
+        #: Parent-side dataset handles (the in-process fallback path);
+        #: always the epoch-0 base — epochs replay from the chain.
         self._handles: Dict[Tuple[str, str, int], Tuple[object, str]] = {}
+        #: (kernel, dataset, scale) -> newest published epoch.
+        self._epochs: Dict[Tuple[str, str, int], int] = {}
+        #: (kernel, dataset, scale) -> ordered deltas; ``chain[i]`` maps
+        #: epoch i to epoch i+1.  The single source of truth a respawned
+        #: (epoch-0) worker replays to catch up.
+        self._epoch_chains: Dict[Tuple[str, str, int], List[object]] = {}
+        #: Parent-side memo of the newest materialized epoch (fallback).
+        self._epoch_cache: Dict[Tuple[str, str, int], Tuple[int, object, str]] = {}
         self._handles_lock = threading.Lock()
         self._fallback_cache = None
 
@@ -383,14 +394,16 @@ class FleetService:
 
     # -- routing ---------------------------------------------------------------
 
-    def _route_key(self, request: BindRequest) -> Tuple[str, int]:
-        """(route key, resolved scale) — the sharding identity.
+    def _route_key(self, request: BindRequest) -> Tuple[str, int, int, str]:
+        """(route key, scale, epoch, kernel) — the sharding identity.
 
         Built from the plan-cache *plan* fingerprint plus the dataset
-        handle and bind options.  The dataset's own content fingerprint
-        is intentionally not materialized here (that would generate the
-        dataset in the parent); handles are deterministic, so
-        name+scale identifies the content.
+        handle, the dataset epoch the request will be served from, and
+        the bind options.  The dataset's own content fingerprint is
+        intentionally not materialized here (that would generate the
+        dataset in the parent); handles are deterministic and the epoch
+        chain is the single mutation log, so name+scale+epoch identifies
+        the content.
         """
         from repro.plancache.fingerprint import combine, plan_fingerprint
         from repro.runtime.planspec import plan_from_spec
@@ -403,14 +416,44 @@ class FleetService:
             from repro.kernels.datasets import DEFAULT_SCALE
 
             scale = DEFAULT_SCALE
+        with self._handles_lock:
+            current = self._epochs.get(
+                (plan.kernel.name, request.dataset, int(scale)), 0
+            )
+        serve_epoch = self._epoch_decision(request, current)
         key = combine(
             plan_fingerprint(plan),
             f"dataset={request.dataset}",
             f"scale={int(scale)}",
+            f"epoch={serve_epoch}",
             f"num_steps={request.num_steps}",
             f"verify={request.verify}",
         )
-        return key, int(scale)
+        return key, int(scale), serve_epoch, plan.kernel.name
+
+    def _epoch_decision(self, request: BindRequest, current: int) -> int:
+        """The epoch one request is served from (fleet semantics).
+
+        The fleet retains only the newest epoch per shard, so every
+        request — including one pinned to an older epoch — is served
+        from the newest published epoch.  A request *ahead* of it is
+        served stale when the gap fits ``max_staleness`` (the response
+        is marked) and rejected past it; :meth:`advance_epoch` is how
+        epochs move.
+        """
+        requested = request.epoch
+        if requested is None or requested <= current:
+            return current
+        gap = requested - current
+        if gap <= request.max_staleness:
+            return current
+        raise ValidationError(
+            f"requested epoch {requested} is {gap} ahead of the published "
+            f"epoch {current}, past max_staleness={request.max_staleness}",
+            stage="fleet",
+            hint="advance_epoch() publishes new epochs; raise "
+            "max_staleness to accept stale answers",
+        )
 
     # -- the client surface ----------------------------------------------------
 
@@ -450,7 +493,7 @@ class FleetService:
         if not request.request_id:
             request.request_id = f"f{next(self._ids)}"
         try:
-            key, scale = self._route_key(request)
+            key, scale, serve_epoch, kernel = self._route_key(request)
         except ReproError:
             self.telemetry.counter("rejected").add()
             raise
@@ -466,6 +509,8 @@ class FleetService:
                 return flight, False
             self._admit_locked()
             flight = _FleetFlight(key, request, submitted_at)
+            flight.epoch = serve_epoch
+            flight.kernel = kernel
             self._flights[key] = flight
             self._active += 1
             self.telemetry.counter("accepted").add()
@@ -582,7 +627,19 @@ class FleetService:
                 "scale": request.scale,
                 "num_steps": request.num_steps,
                 "verify": request.verify,
+                "epoch": flight.epoch,
             }
+            if flight.epoch:
+                # Carry the delta chain so a respawned (epoch-0) worker
+                # self-heals by replaying what it missed — no catch-up
+                # round trip, no stampede back onto the parent.
+                with self._handles_lock:
+                    payload["chain"] = list(
+                        self._epoch_chains.get(
+                            (flight.kernel, request.dataset, request.scale),
+                            (),
+                        )
+                    )[: flight.epoch]
             handle = self.supervisor.handles[shard]
             try:
                 with self.telemetry.span(
@@ -653,6 +710,82 @@ class FleetService:
             self._handles[key] = (data, fingerprint)
             return data, fingerprint
 
+    def _resolve_handle_at(
+        self, kernel: str, dataset: str, scale: int, epoch: int
+    ):
+        """Parent-side dataset at one epoch (the fallback path): the
+        epoch-0 base handle plus a replay of the epoch chain, memoized
+        at the newest epoch materialized so a streaming workload pays
+        one incremental ``delta.apply`` per advance, not a replay."""
+        data, fingerprint = self._resolve_handle(kernel, dataset, scale)
+        if not epoch:
+            return data, fingerprint
+        key = (kernel, dataset, int(scale))
+        with self._handles_lock:
+            cached = self._epoch_cache.get(key)
+            if cached is not None and cached[0] == epoch:
+                return cached[1], cached[2]
+            chain = list(self._epoch_chains.get(key, ()))
+        if len(chain) < epoch:
+            raise ValidationError(
+                f"epoch {epoch} of handle {kernel}:{dataset}@{scale} has "
+                f"no published delta chain (chain length {len(chain)})",
+                stage="fleet",
+            )
+        start = 0
+        if cached is not None and cached[0] < epoch:
+            start, data = cached[0], cached[1]
+        for delta in chain[start:epoch]:
+            data = delta.apply(data)
+        from repro.plancache.fingerprint import dataset_fingerprint
+
+        fingerprint = dataset_fingerprint(data)
+        with self._handles_lock:
+            self._epoch_cache[key] = (epoch, data, fingerprint)
+        return data, fingerprint
+
+    def advance_epoch(self, kernel: str, dataset: str, scale: int, delta) -> int:
+        """Publish the next dataset epoch and fan the invalidation out
+        to every live shard; returns the new epoch.
+
+        The parent appends the delta to the handle's epoch chain under
+        the handles lock — ``preload_handle``-style single-flight, so
+        concurrent advances serialize into one ledger instead of
+        stampeding — then pushes a catch-up op to each shard.  Shards
+        that crash during the fan-out are skipped: every epoch'd bind
+        dispatch carries the chain, so a respawned worker replays the
+        deltas it missed lazily rather than hammering the parent.
+        """
+        scale = int(scale)
+        handle_key = (kernel, dataset, scale)
+        with self._handles_lock:
+            chain = self._epoch_chains.setdefault(handle_key, [])
+            chain.append(delta)
+            new_epoch = self._epochs.get(handle_key, 0) + 1
+            self._epochs[handle_key] = new_epoch
+            chain_copy = list(chain)
+        self.telemetry.counter("epochs_advanced").add()
+        payload = {
+            "op": "epoch",
+            "kernel": kernel,
+            "dataset": dataset,
+            "scale": scale,
+            "epoch": new_epoch,
+            "chain": chain_copy,
+        }
+        for handle in self.supervisor.handles:
+            message = dict(payload, seq=next(self._dispatch_seq))
+            try:
+                handle.call(message, self.config.attempt_timeout_s)
+            except WorkerCrashError:
+                continue
+        return new_epoch
+
+    def current_epoch(self, kernel: str, dataset: str, scale: int) -> int:
+        """The newest published epoch for one handle (0: never advanced)."""
+        with self._handles_lock:
+            return self._epochs.get((kernel, dataset, int(scale)), 0)
+
     def _fallback_bind(self, flight: _FleetFlight) -> dict:
         """Every shard dark: bind in-process (single-flight via the
         flight itself) so accepted requests survive total fleet loss."""
@@ -668,8 +801,8 @@ class FleetService:
 
         request = flight.request
         plan = plan_from_spec(request.spec)
-        data, _ = self._resolve_handle(
-            plan.kernel.name, request.dataset, request.scale
+        data, _ = self._resolve_handle_at(
+            plan.kernel.name, request.dataset, request.scale, flight.epoch
         )
         if self._fallback_cache is None and self.config.cache_dir:
             from repro.plancache import PlanCache
@@ -692,6 +825,7 @@ class FleetService:
             "bind_ms": (self.telemetry.now() - start) * 1e3,
             "shard": None,
             "fallback": True,
+            "epoch": flight.epoch,
         }
 
     # -- responses -------------------------------------------------------------
@@ -749,6 +883,9 @@ class FleetService:
             telemetry.counter("deadline_degraded").add()
         body = flight.body
         total_ms = elapsed * 1e3
+        stale = request.epoch is not None and request.epoch > flight.epoch
+        if stale:
+            telemetry.counter("stale_served").add()
         telemetry.histogram("total_ms").observe(total_ms)
         telemetry.counter("completed").add()
         telemetry.emit_span(
@@ -770,6 +907,8 @@ class FleetService:
                 "total_ms": total_ms,
             },
             deadline_missed=deadline_missed,
+            epoch=body.get("epoch", flight.epoch),
+            stale=stale,
         )
 
     def _error_response(
@@ -971,16 +1110,40 @@ def _fleet_worker_main(index, generation, conn, heartbeat, options):
         if cache_dir
         else PlanCache(use_disk=False)
     )
-    handles: Dict[Tuple[str, str, int], object] = {}
+    handles: Dict[Tuple[str, str, int], object] = {}  # epoch-0 base
+    #: (kernel, dataset, scale) -> (epoch, data): the one advanced
+    #: version this shard holds; older epochs replay from the base.
+    epoch_state: Dict[Tuple[str, str, int], Tuple[int, object]] = {}
 
-    def _handle(kernel: str, dataset: str, scale: int):
+    def _handle(
+        kernel: str, dataset: str, scale: int, epoch: int = 0, chain=None
+    ):
         key = (kernel, dataset, int(scale))
-        data = handles.get(key)
-        if data is None:
-            data = make_kernel_data(
+        base = handles.get(key)
+        if base is None:
+            base = make_kernel_data(
                 kernel, generate_dataset(dataset, scale=scale)
             )
-            handles[key] = data
+            handles[key] = base
+        if not epoch:
+            return base
+        current, data = epoch_state.get(key, (0, base))
+        if current == epoch:
+            return data
+        chain = chain if chain is not None else []
+        if len(chain) < epoch:
+            from repro.errors import ValidationError
+
+            raise ValidationError(
+                f"epoch {epoch} requested but the dispatch carried only "
+                f"{len(chain)} delta(s)",
+                stage="fleet",
+            )
+        if current > epoch:
+            current, data = 0, base  # older pinned epoch: replay fresh
+        for delta in chain[current:epoch]:
+            data = delta.apply(data)
+        epoch_state[key] = (epoch, data)
         return data
 
     while True:
@@ -998,6 +1161,17 @@ def _fleet_worker_main(index, generation, conn, heartbeat, options):
                     message["kernel"], message["dataset"], message["scale"]
                 )
                 reply = ("ok", {"fingerprint": dataset_fingerprint(data)})
+            elif op == "epoch":
+                # Cross-shard invalidation: catch this shard up to the
+                # published epoch by replaying the delta chain.
+                data = _handle(
+                    message["kernel"],
+                    message["dataset"],
+                    message["scale"],
+                    message["epoch"],
+                    message.get("chain"),
+                )
+                reply = ("ok", {"epoch": message["epoch"], "shard": index})
             elif op == "ping":
                 reply = ("ok", {"pid": os.getpid(), "shard": index})
             elif op == "bind":
@@ -1006,7 +1180,11 @@ def _fleet_worker_main(index, generation, conn, heartbeat, options):
                 start = time.monotonic()
                 plan = plan_from_spec(message["spec"])
                 data = _handle(
-                    plan.kernel.name, message["dataset"], message["scale"]
+                    plan.kernel.name,
+                    message["dataset"],
+                    message["scale"],
+                    message.get("epoch", 0),
+                    message.get("chain"),
                 )
                 result = plan.bind(
                     data,
@@ -1030,6 +1208,7 @@ def _fleet_worker_main(index, generation, conn, heartbeat, options):
                         "bind_ms": (time.monotonic() - start) * 1e3,
                         "shard": index,
                         "generation": generation,
+                        "epoch": message.get("epoch", 0),
                     },
                 )
             else:

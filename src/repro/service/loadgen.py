@@ -221,6 +221,159 @@ def coalescing_benchmark(
     }
 
 
+def streaming_benchmark(
+    epochs: int = 6,
+    requests_per_epoch: int = 8,
+    clients: int = 4,
+    workers: int = 2,
+    scale: int = 32,
+    dataset: str = "mol1",
+    drift: float = 0.02,
+    max_staleness: int = 1,
+    seed: int = 0,
+    spec: Optional[dict] = None,
+) -> dict:
+    """The streaming workload: an epoch-advancing closed loop.
+
+    Models a time-stepped simulation serving reads while its dataset
+    drifts: each epoch the driver (1) probes the *next* epoch before it
+    is published — served stale-but-within-tolerance from the current
+    one under ``max_staleness`` — then (2) publishes a deterministic
+    drift delta via ``advance_epoch`` (the single-flight invalidation
+    path) and (3) runs a closed-loop batch of clients pinned to the new
+    epoch, which the service binds through the **incremental
+    delta-bind engine** against the retained parent.
+
+    The contract checked end to end: every fresh response's digests
+    equal a direct ``CompositionPlan.bind()`` of the mutated dataset at
+    that epoch, every stale response's digests equal the *previous*
+    epoch's ground truth (stale answers are exact, just old), the
+    admission counters account for every request, and the plan cache
+    records the patched/fallback split so the amortization is measured.
+    ``repro bench-serve --streaming`` runs on this.
+    """
+    from repro.kernels.data import make_kernel_data
+    from repro.kernels.datasets import generate_dataset
+    from repro.plancache import PlanCache
+    from repro.runtime.faults import make_drift_delta
+    from repro.runtime.planspec import plan_from_spec
+    from repro.service.request import result_digests
+    from repro.service.server import PlanService, ServiceConfig
+
+    if spec is None:
+        spec = {
+            "kernel": "moldyn",
+            "name": "stream",
+            "steps": [
+                {"type": "cpack"},
+                {"type": "lexgroup"},
+                {"type": "fst", "seed_block_size": 32},
+            ],
+        }
+    plan = plan_from_spec(spec)
+    kernel = plan.kernel.name
+
+    # Parent + every child epoch must coexist in the memory tier for the
+    # delta engine to find its parent bind.
+    cache = PlanCache(use_disk=False, memory_budget_bytes=1 << 31)
+    config = ServiceConfig(
+        workers=workers, queue_depth=max(requests_per_epoch, 4),
+        overload="block",
+    )
+    mismatches = 0
+    stale_mismatches = 0
+    stale_ok = 0
+    ok = 0
+    total_requests = 0
+    per_epoch: List[dict] = []
+
+    with PlanService(config, cache=cache) as service:
+        service.preload_handle(kernel, dataset, scale)
+        # Ground truth we advance alongside the service.
+        truth = make_kernel_data(kernel, generate_dataset(dataset, scale=scale))
+        expected = result_digests(plan_from_spec(spec).bind(truth))
+
+        for epoch in range(epochs + 1):
+            if epoch > 0:
+                # 1) Probe ahead of publication: the stale-serve mode.
+                probe = BindRequest(
+                    spec=dict(spec), dataset=dataset, scale=scale,
+                    epoch=epoch, max_staleness=max_staleness,
+                )
+                response = service.bind(probe)
+                total_requests += 1
+                if response.status == "ok":
+                    ok += 1
+                    if response.stale:
+                        stale_ok += 1
+                        if response.fingerprints != expected:
+                            stale_mismatches += 1
+
+                # 2) Publish the next epoch (single-flight invalidation).
+                delta = make_drift_delta(
+                    truth, edge_rate=drift, move_rate=drift,
+                    seed=seed * 100_003 + epoch,
+                )
+                service.advance_epoch(kernel, dataset, scale, delta)
+                truth = delta.apply(truth)
+                expected = result_digests(plan_from_spec(spec).bind(truth))
+
+            # 3) Closed-loop batch pinned to the (new) current epoch.
+            batch = [
+                BindRequest(
+                    spec=dict(spec), dataset=dataset, scale=scale,
+                    epoch=epoch,
+                )
+                for _ in range(requests_per_epoch)
+            ]
+            run = run_load(service, batch, clients=clients)
+            total_requests += len(batch)
+            epoch_mismatches = 0
+            for response in run["responses"]:
+                if response is None or response.status != "ok":
+                    continue
+                ok += 1
+                if response.fingerprints != expected:
+                    epoch_mismatches += 1
+            mismatches += epoch_mismatches
+            per_epoch.append({
+                "epoch": epoch,
+                "ok": run["ok"],
+                "coalesced": run["coalesced_responses"],
+                "digest_mismatches": epoch_mismatches,
+                "p50_ms": run["latency"]["p50_ms"],
+            })
+
+        stats = service.stats()
+
+    counters = stats["counters"]
+    return {
+        "epochs": epochs,
+        "requests_per_epoch": requests_per_epoch,
+        "clients": clients,
+        "workers": workers,
+        "scale": scale,
+        "dataset": dataset,
+        "drift": drift,
+        "max_staleness": max_staleness,
+        "requests": total_requests,
+        "ok": ok,
+        "stale_served": counters.get("stale_served", 0),
+        "stale_ok": stale_ok,
+        "epochs_advanced": counters.get("epochs_advanced", 0),
+        "delta_patched": cache.stats.delta_patched,
+        "delta_fallbacks": cache.stats.delta_fallbacks,
+        "delta_verify_failures": cache.stats.delta_verify_failures,
+        "digest_mismatches": mismatches,
+        "stale_digest_mismatches": stale_mismatches,
+        "bit_identical": mismatches == 0 and stale_mismatches == 0,
+        "counters": counters,
+        "accounting_ok": stats["accounting_ok"],
+        "latency": stats["histograms"].get("total_ms", {}),
+        "per_epoch": per_epoch,
+    }
+
+
 def fleet_chaos_benchmark(
     requests: int = 64,
     distinct: int = 4,
@@ -329,4 +482,5 @@ __all__ = [
     "duplicate_heavy_requests",
     "fleet_chaos_benchmark",
     "run_load",
+    "streaming_benchmark",
 ]

@@ -51,6 +51,16 @@ class BindRequest:
     verify: Optional[bool] = None
     deadline_s: Optional[float] = None
     on_deadline: str = "raise"
+    #: Dataset epoch the client wants (streaming scenario).  ``None``
+    #: serves whatever epoch the service has published; an explicit
+    #: epoch pins the read to that version (older retained epochs are
+    #: served exactly).  A request *ahead* of the published epoch is
+    #: answered from the newest published epoch when the gap is within
+    #: ``max_staleness`` — the stale-but-within-tolerance mode, marked
+    #: ``stale`` on the response — and rejected past it.
+    epoch: Optional[int] = None
+    #: How many epochs behind ``epoch`` this request tolerates.
+    max_staleness: int = 0
     #: Assigned by the service at submission (stable across spans).
     request_id: str = ""
 
@@ -81,6 +91,17 @@ class BindRequest:
                 f"num_steps must be >= 1, got {self.num_steps}",
                 stage="service",
             )
+        if self.epoch is not None and self.epoch < 0:
+            raise ValidationError(
+                f"epoch must be non-negative, got {self.epoch}",
+                stage="service",
+            )
+        if self.max_staleness < 0:
+            raise ValidationError(
+                f"max_staleness must be non-negative, got "
+                f"{self.max_staleness}",
+                stage="service",
+            )
 
     @classmethod
     def from_dict(cls, payload: dict) -> "BindRequest":
@@ -91,7 +112,8 @@ class BindRequest:
             )
         unknown = set(payload) - {
             "spec", "dataset", "scale", "num_steps", "verify",
-            "deadline_s", "on_deadline", "request_id",
+            "deadline_s", "on_deadline", "epoch", "max_staleness",
+            "request_id",
         }
         if unknown:
             raise ValidationError(
@@ -110,6 +132,8 @@ class BindRequest:
             verify=payload.get("verify"),
             deadline_s=payload.get("deadline_s"),
             on_deadline=payload.get("on_deadline", "raise"),
+            epoch=payload.get("epoch"),
+            max_staleness=payload.get("max_staleness", 0),
             request_id=payload.get("request_id", ""),
         )
 
@@ -123,6 +147,10 @@ class BindRequest:
             "deadline_s": self.deadline_s,
             "on_deadline": self.on_deadline,
         }
+        if self.epoch is not None:
+            out["epoch"] = self.epoch
+        if self.max_staleness:
+            out["max_staleness"] = self.max_staleness
         if self.request_id:
             out["request_id"] = self.request_id
         return out
@@ -152,6 +180,13 @@ class BindResponse:
     #: The request missed its deadline but was served anyway
     #: (``on_deadline='degrade'``).
     deadline_missed: bool = False
+    #: Dataset epoch this answer was computed against (``None``: the
+    #: service has no epoch state for the handle).
+    epoch: Optional[int] = None
+    #: The answer is behind the epoch the request asked for, served
+    #: under its ``max_staleness`` tolerance (mirrors
+    #: ``deadline_missed`` for the degrade-to-stale mode).
+    stale: bool = False
     error: Optional[dict] = None  # {"type": ..., "message": ...}
 
     def to_dict(self) -> dict:
@@ -166,6 +201,8 @@ class BindResponse:
             "report": self.report,
             "timing": {k: round(v, 3) for k, v in self.timing.items()},
             "deadline_missed": self.deadline_missed,
+            "epoch": self.epoch,
+            "stale": self.stale,
             "error": self.error,
         }
 
@@ -182,6 +219,8 @@ class BindResponse:
             report=payload.get("report"),
             timing=dict(payload.get("timing") or {}),
             deadline_missed=payload.get("deadline_missed", False),
+            epoch=payload.get("epoch"),
+            stale=payload.get("stale", False),
             error=payload.get("error"),
         )
 

@@ -122,12 +122,14 @@ class ServiceConfig:
 class _Waiter:
     """One submitted request attached to a flight."""
 
-    __slots__ = ("request", "submitted_at", "lead")
+    __slots__ = ("request", "submitted_at", "lead", "epoch", "stale")
 
     def __init__(self, request: BindRequest, submitted_at: float, lead: bool):
         self.request = request
         self.submitted_at = submitted_at
         self.lead = lead  # admitted the flight (False: coalesced follower)
+        self.epoch = 0  # dataset epoch this waiter is served from
+        self.stale = False  # served behind the epoch it asked for
 
 
 class _Flight:
@@ -142,6 +144,7 @@ class _Flight:
         self.scale = request.scale
         self.num_steps = request.num_steps
         self.verify = request.verify
+        self.epoch = 0  # dataset epoch the flight binds against
         self.state = _Flight.QUEUED
         self.waiters: List[_Waiter] = []
         self.event = threading.Event()
@@ -194,8 +197,16 @@ class PlanService:
         self._started = False
         self._draining = False
         self._ids = itertools.count(1)
-        #: (kernel, dataset, scale) -> (KernelData, dataset fingerprint).
-        self._handles: Dict[Tuple[str, str, int], Tuple[object, str]] = {}
+        #: (kernel, dataset, scale, epoch) -> (KernelData, fingerprint).
+        #: Epoch 0 is the generated dataset; higher epochs are published
+        #: by :meth:`advance_epoch` and retained for pinned reads.
+        self._handles: Dict[Tuple[str, str, int, int], Tuple[object, str]] = {}
+        #: (kernel, dataset, scale) -> newest published epoch.
+        self._epochs: Dict[Tuple[str, str, int], int] = {}
+        #: (kernel, dataset, scale, epoch) -> (parent data, delta): the
+        #: provenance an epoch'd flight needs to take the incremental
+        #: delta-bind path instead of a cold inspector run.
+        self._epoch_meta: Dict[Tuple[str, str, int, int], Tuple[object, object]] = {}
         self._handles_lock = threading.Lock()
         self._pool = None
         self._pool_broken = False
@@ -285,8 +296,10 @@ class PlanService:
 
     # -- dataset handles -------------------------------------------------------
 
-    def _resolve_handle(self, kernel: str, dataset: str, scale: int):
-        """Shared, memoized (dataset, fingerprint) for one handle.
+    def _resolve_handle(
+        self, kernel: str, dataset: str, scale: int, epoch: int = 0
+    ):
+        """Shared, memoized (dataset, fingerprint) for one handle epoch.
 
         Binds never mutate their input (``ComposedInspector`` copies it),
         so one :class:`~repro.kernels.data.KernelData` instance safely
@@ -302,19 +315,95 @@ class PlanService:
         — resolution is rare and memoized, so that is the cheap side of
         the trade.
         """
-        key = (kernel, dataset, int(scale))
         with self._handles_lock:
-            cached = self._handles.get(key)
-            if cached is not None:
-                return cached
-            from repro.kernels.data import make_kernel_data
-            from repro.kernels.datasets import generate_dataset
+            return self._resolve_handle_locked(
+                kernel, dataset, int(scale), int(epoch)
+            )
+
+    def _resolve_handle_locked(
+        self, kernel: str, dataset: str, scale: int, epoch: int
+    ):
+        key = (kernel, dataset, scale, epoch)
+        cached = self._handles.get(key)
+        if cached is not None:
+            return cached
+        if epoch != 0:
+            raise ValidationError(
+                f"epoch {epoch} of handle {kernel}:{dataset}@{scale} was "
+                "never published",
+                stage="service",
+                hint="advance_epoch() publishes epochs; epoch 0 is the "
+                "generated dataset",
+            )
+        from repro.kernels.data import make_kernel_data
+        from repro.kernels.datasets import generate_dataset
+        from repro.plancache.fingerprint import dataset_fingerprint
+
+        data = make_kernel_data(kernel, generate_dataset(dataset, scale=scale))
+        fingerprint = dataset_fingerprint(data)
+        self._handles[key] = (data, fingerprint)
+        return data, fingerprint
+
+    def current_epoch(self, kernel: str, dataset: str, scale: int) -> int:
+        """The newest published epoch for one handle (0: never advanced)."""
+        with self._handles_lock:
+            return self._epochs.get((kernel, dataset, int(scale)), 0)
+
+    def advance_epoch(self, kernel: str, dataset: str, scale: int, delta) -> int:
+        """Publish the next dataset epoch for one handle; returns it.
+
+        Applies the :class:`~repro.incremental.DatasetDelta` to the
+        handle's newest epoch under the handles lock — the same
+        single-flight discipline as :meth:`preload_handle` — so N
+        concurrent advances (or an advance racing a cold resolve) never
+        stampede into N materializations: one caller does the work, the
+        rest observe the published epoch.  The parent epoch stays
+        retained, which keeps pinned reads at older epochs exact and
+        gives epoch'd flights the (parent data, delta) provenance the
+        incremental delta-bind path needs.
+        """
+        scale = int(scale)
+        handle_key = (kernel, dataset, scale)
+        with self._handles_lock:
+            current = self._epochs.get(handle_key, 0)
+            parent_data, _ = self._resolve_handle_locked(
+                kernel, dataset, scale, current
+            )
+            child = delta.apply(parent_data)
             from repro.plancache.fingerprint import dataset_fingerprint
 
-            data = make_kernel_data(kernel, generate_dataset(dataset, scale=scale))
-            fingerprint = dataset_fingerprint(data)
-            self._handles[key] = (data, fingerprint)
-            return data, fingerprint
+            new_epoch = current + 1
+            self._handles[handle_key + (new_epoch,)] = (
+                child, dataset_fingerprint(child),
+            )
+            self._epoch_meta[handle_key + (new_epoch,)] = (parent_data, delta)
+            self._epochs[handle_key] = new_epoch
+        self.telemetry.counter("epochs_advanced").add()
+        return new_epoch
+
+    def _epoch_decision(self, current: int, request: BindRequest):
+        """(epoch to serve, stale?) for one request against one handle.
+
+        ``None`` and up-to-date requests serve the newest epoch; an
+        older explicit epoch is a pinned read of the retained version; a
+        request *ahead* of the published epoch is served stale from the
+        newest epoch when the gap fits ``max_staleness`` (the
+        degrade-to-stale twin of ``on_deadline='degrade'``) and rejected
+        past it.
+        """
+        requested = request.epoch
+        if requested is None or requested <= current:
+            return (current if requested is None else requested), False
+        gap = requested - current
+        if gap <= request.max_staleness:
+            return current, True
+        raise ValidationError(
+            f"requested epoch {requested} is {gap} ahead of the published "
+            f"epoch {current}, past max_staleness={request.max_staleness}",
+            stage="service",
+            hint="advance_epoch() publishes new epochs; raise "
+            "max_staleness to accept stale answers",
+        )
 
     def preload_handle(self, kernel: str, dataset: str, scale: int) -> str:
         """Materialize one dataset handle ahead of traffic; returns its
@@ -369,8 +458,13 @@ class PlanService:
                 from repro.kernels.datasets import DEFAULT_SCALE
 
                 scale = DEFAULT_SCALE
+            with self._handles_lock:
+                current = self._epochs.get(
+                    (plan.kernel.name, request.dataset, int(scale)), 0
+                )
+            serve_epoch, stale = self._epoch_decision(current, request)
             data, dataset_fp = self._resolve_handle(
-                plan.kernel.name, request.dataset, scale
+                plan.kernel.name, request.dataset, scale, epoch=serve_epoch
             )
             key = self._flight_key(plan, dataset_fp, request)
         except ReproError:
@@ -379,6 +473,8 @@ class PlanService:
         request.scale = int(scale)
 
         waiter = _Waiter(request, submitted_at, lead=False)
+        waiter.epoch = serve_epoch
+        waiter.stale = stale
         with self._lock:
             flight = self._inflight.get(key) if self.config.coalesce else None
             if flight is not None and flight.state in (
@@ -395,6 +491,7 @@ class PlanService:
             self._admit_locked(waiter)  # may block, raise, or shed a peer
             waiter.lead = True
             flight = _Flight(key, request, enqueued_at=telemetry.now())
+            flight.epoch = serve_epoch
             flight.waiters.append(waiter)
             self._queue.append(flight)
             self._inflight[key] = flight
@@ -553,6 +650,8 @@ class PlanService:
         telemetry.histogram("queue_ms").observe(max(0.0, queue_ms))
         telemetry.histogram("total_ms").observe(total_ms)
         telemetry.counter("completed").add()
+        if ticket.waiter.stale:
+            telemetry.counter("stale_served").add()
         telemetry.emit_span(
             "respond", request.request_id, total_ms,
             coalesced=not ticket.waiter.lead,
@@ -573,6 +672,8 @@ class PlanService:
                 "total_ms": total_ms,
             },
             deadline_missed=deadline_missed,
+            epoch=ticket.waiter.epoch,
+            stale=ticket.waiter.stale,
         )
 
     def _error_response(self, ticket: Ticket, error: BaseException) -> BindResponse:
@@ -673,8 +774,18 @@ class PlanService:
             flight.event.set()
 
     def _bind_flight(self, flight: _Flight):
-        """One inspector run for one flight (thread or process executor)."""
-        if self.config.executor == "processes" and not self._pool_broken:
+        """One inspector run for one flight (thread or process executor).
+
+        Epoch'd flights always bind in-thread: the worker processes
+        regenerate handles by name and have no epoch state, while the
+        thread path can hand the incremental delta-bind engine the
+        (parent data, delta) provenance :meth:`advance_epoch` retained.
+        """
+        if (
+            self.config.executor == "processes"
+            and not self._pool_broken
+            and flight.epoch == 0
+        ):
             try:
                 return self._bind_on_pool(flight)
             except _pool_errors() as exc:
@@ -693,13 +804,34 @@ class PlanService:
             flight.num_steps,
             flight.verify,
             self.cache,
+            delta_ctx=self._delta_context(flight),
+            telemetry=self.telemetry,
+        )
+
+    def _delta_context(self, flight: _Flight):
+        """(parent data, delta) for an epoch'd flight's incremental bind.
+
+        ``None`` falls back to a cold bind: epoch 0 has no parent; the
+        delta-bind engine is defined against a cached parent bind, so a
+        cacheless service has nothing to patch; and a request that pins
+        ``verify`` keeps the cold path (the patched path decides
+        verification itself — it always re-verifies)."""
+        if flight.epoch == 0 or self.cache is None or flight.verify is not None:
+            return None
+        from repro.runtime.planspec import plan_from_spec
+
+        kernel = plan_from_spec(flight.spec).kernel.name
+        return self._epoch_meta.get(
+            (kernel, flight.dataset, int(flight.scale), flight.epoch)
         )
 
     def _resolve_handle_for_flight(self, flight: _Flight):
         from repro.runtime.planspec import plan_from_spec
 
         kernel = plan_from_spec(flight.spec).kernel.name
-        data, _ = self._resolve_handle(kernel, flight.dataset, flight.scale)
+        data, _ = self._resolve_handle(
+            kernel, flight.dataset, flight.scale, epoch=flight.epoch
+        )
         return data
 
     def _bind_on_pool(self, flight: _Flight):
@@ -774,6 +906,17 @@ class PlanService:
             f"(accepted+coalesced+rejected+shed == submitted): "
             + ("ok" if stats["accounting_ok"] else "VIOLATED"),
         ]
+        if counters.get("epochs_advanced"):
+            lines.append(
+                "  streaming: "
+                + "  ".join(
+                    f"{name}={counters.get(name, 0)}"
+                    for name in (
+                        "epochs_advanced", "stale_served", "delta_patched",
+                        "delta_hit", "delta_fallback",
+                    )
+                )
+            )
         for name in ("queue_ms", "bind_ms", "total_ms"):
             summary = stats["histograms"].get(name)
             if summary and summary["count"]:
@@ -790,10 +933,23 @@ class PlanService:
 # reference, mirroring repro.eval.parallel).
 
 
-def _bind_in_thread(spec, data, num_steps, verify, cache):
+def _bind_in_thread(spec, data, num_steps, verify, cache, delta_ctx=None,
+                    telemetry=None):
     from repro.runtime.planspec import plan_from_spec
 
     plan = plan_from_spec(spec)
+    if delta_ctx is not None:
+        parent_data, delta = delta_ctx
+        result = plan.rebind(
+            parent_data, delta, cache=cache, num_steps=num_steps,
+            child_data=data,
+        )
+        if telemetry is not None:
+            info = getattr(result, "delta_info", None) or {}
+            telemetry.counter(
+                f"delta_{info.get('mode', 'unknown')}"
+            ).add()
+        return result
     return plan.bind(data, num_steps=num_steps, verify=verify, cache=cache)
 
 

@@ -67,9 +67,13 @@ class TilingFunction:
         for l, loop_tiles in enumerate(self.tiles):
             order = np.argsort(loop_tiles, kind="stable").astype(np.int64)
             counts = np.bincount(loop_tiles, minlength=self.num_tiles)
-            pieces = np.split(order, np.cumsum(counts[:-1]))
-            for t, piece in enumerate(pieces):
-                per_tile[t][l] = piece
+            # Direct boundary slicing: np.split pays two swapaxes calls
+            # per piece, which dominates at tens of thousands of tiles.
+            bounds = np.concatenate(
+                ([0], np.cumsum(counts, dtype=np.int64))
+            ).tolist()
+            for t in range(self.num_tiles):
+                per_tile[t][l] = order[bounds[t]:bounds[t + 1]]
         return per_tile
 
     def tile_sizes(self) -> np.ndarray:

@@ -1,0 +1,94 @@
+"""Epoch chains on the disk tier: grouping, orphan detection, health
+counters, and whole-chain garbage collection."""
+
+import pytest
+
+from repro.kernels.specs import kernel_by_name
+from repro.plancache import PlanCache
+from repro.plancache.fingerprint import bind_fingerprint
+from repro.runtime import CompositionPlan
+from repro.runtime.inspector import CPackStep, LexGroupStep
+
+from tests.incremental.conftest import small_delta, tiny_data
+
+pytestmark = pytest.mark.streaming
+
+
+def _plan():
+    return CompositionPlan(
+        kernel_by_name("moldyn"), [CPackStep(), LexGroupStep()], name="cpack+lg"
+    )
+
+
+def _chain(cache, epochs=3, seed0=61):
+    """Bind a cold root then delta-bind ``epochs`` children; returns keys
+    root-first."""
+    plan = _plan()
+    data = tiny_data()
+    keys = [bind_fingerprint(plan, data)]
+    plan.bind(data, cache=cache)
+    for i in range(epochs):
+        delta = small_delta(data, seed=seed0 + i)
+        result = plan.rebind(data, delta, cache=cache)
+        assert result.delta_info["mode"] == "patched", result.delta_info
+        data = delta.apply(data)
+        keys.append(bind_fingerprint(plan, data))
+    return keys
+
+
+def test_chain_groups_root_first(tmp_path):
+    cache = PlanCache(directory=tmp_path / "pc")
+    keys = _chain(cache)
+    # An unrelated solo bind forms its own singleton group.
+    solo = _plan()
+    solo_data = tiny_data(seed=9)
+    solo.bind(solo_data, cache=cache)
+    solo_key = bind_fingerprint(solo, solo_data)
+
+    chains = cache.disk.chain_groups()
+    assert chains["orphans"] == []
+    by_root = {g["root"]: g for g in chains["groups"]}
+    assert by_root[keys[0]]["keys"] == keys
+    assert by_root[solo_key]["keys"] == [solo_key]
+    assert by_root[keys[0]]["bytes"] > 0
+
+
+def test_health_counts_chains_and_orphans(tmp_path):
+    cache = PlanCache(directory=tmp_path / "pc")
+    keys = _chain(cache)
+    health = cache.disk.health()
+    assert health["epoch_chains"] == 1
+    assert health["epoch_children"] == len(keys) - 1
+    assert health["epoch_orphans"] == 0
+
+    # Deleting the cold root severs every descendant's path back.
+    cache.disk._path(keys[0]).unlink()
+    health = cache.disk.health()
+    assert health["epoch_orphans"] == len(keys) - 1
+    chains = cache.disk.chain_groups()
+    assert sorted(chains["orphans"]) == sorted(keys[1:])
+    # The broken tail still groups under its highest surviving ancestor.
+    by_root = {g["root"]: g for g in chains["groups"]}
+    assert by_root[keys[1]]["keys"] == keys[1:]
+
+
+def test_gc_evicts_whole_chains(tmp_path):
+    cache = PlanCache(directory=tmp_path / "pc")
+    keys = _chain(cache)
+    report = cache.disk.gc(max_bytes=0)
+    assert report["removed_chains"] == 1
+    assert report["removed_files"] == len(keys)
+    assert report["remaining_entries"] == 0
+    # Nothing left behind: no orphans, empty groups.
+    chains = cache.disk.chain_groups()
+    assert chains["groups"] == [] and chains["orphans"] == []
+
+
+def test_gc_keeps_chains_within_budget(tmp_path):
+    cache = PlanCache(directory=tmp_path / "pc")
+    keys = _chain(cache)
+    total = cache.disk.total_bytes()
+    report = cache.disk.gc(max_bytes=total)
+    assert report["removed_chains"] == 0
+    assert report["removed_files"] == 0
+    assert set(cache.disk.keys()) >= set(keys)

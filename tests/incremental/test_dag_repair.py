@@ -1,0 +1,106 @@
+"""Incremental TileDAG repair: patched counters must equal a fresh build
+bit for bit and must pass the IRV006 scheduler gate before any pool."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LegalityError
+from repro.incremental import EpochAux, repair_tile_dag
+from repro.kernels.specs import kernel_by_name
+from repro.lowering.schedule import ensure_runnable
+from repro.plancache import PlanCache
+from repro.plancache.fingerprint import bind_fingerprint
+from repro.runtime import CompositionPlan
+from repro.runtime.inspector import (
+    CPackStep,
+    FullSparseTilingStep,
+    LexGroupStep,
+)
+
+from tests.incremental.conftest import small_delta, tiny_data
+
+pytestmark = pytest.mark.streaming
+
+
+def _tiled_plan():
+    return CompositionPlan(
+        kernel_by_name("moldyn"),
+        [CPackStep(), LexGroupStep(), FullSparseTilingStep(8)],
+        name="cpack+lg+fst",
+    )
+
+
+def _bound_parent():
+    plan = _tiled_plan()
+    data = tiny_data()
+    cache = PlanCache(use_disk=False)
+    parent = plan.bind(data, cache=cache)
+    return plan, data, cache, parent
+
+
+def _assert_same_dag(a, b):
+    assert a.num_tiles == b.num_tiles
+    assert np.array_equal(a.indegree, b.indegree)
+    assert np.array_equal(a.succ_indptr, b.succ_indptr)
+    assert np.array_equal(a.succ_indices, b.succ_indices)
+
+
+def test_fresh_build_matches_canonical_constructor():
+    _, _, _, parent = _bound_parent()
+    dag = repair_tile_dag(None, parent.tiling, parent.transformed)
+    ensure_runnable(dag)
+    again = repair_tile_dag(None, parent.tiling, parent.transformed)
+    _assert_same_dag(dag, again)
+
+
+def test_repaired_equals_fresh_after_delta():
+    plan, data, cache, parent = _bound_parent()
+    parent_key = bind_fingerprint(plan, data)
+    aux = EpochAux.from_data(data)
+    aux.tile_dag = repair_tile_dag(None, parent.tiling, parent.transformed)
+    cache.put_aux(parent_key, aux)
+
+    # fst's drift threshold is 0.05; keep churn at 4/80 rows.
+    delta = small_delta(data, removed=2, added=2, seed=51)
+    result = plan.rebind(data, delta, cache=cache)
+    assert result.delta_info["mode"] == "patched", result.delta_info
+    child_aux = cache.get_aux(bind_fingerprint(plan, delta.apply(data)))
+    assert child_aux is not None and child_aux.tile_dag is not None
+    ensure_runnable(child_aux.tile_dag)
+    fresh = repair_tile_dag(None, result.tiling, result.transformed)
+    _assert_same_dag(child_aux.tile_dag, fresh)
+
+
+def test_parent_without_dag_skips_repair():
+    plan, data, cache, _ = _bound_parent()
+    delta = small_delta(data, seed=52)
+    result = plan.rebind(data, delta, cache=cache)
+    assert result.delta_info["mode"] == "patched", result.delta_info
+    child_aux = cache.get_aux(bind_fingerprint(plan, delta.apply(data)))
+    assert child_aux is not None and child_aux.tile_dag is None
+
+
+def test_tile_count_change_rebuilds_fresh():
+    _, _, _, parent = _bound_parent()
+    real = repair_tile_dag(None, parent.tiling, parent.transformed)
+    import dataclasses
+
+    shrunk = dataclasses.replace(
+        real,
+        num_tiles=real.num_tiles + 1,
+        indegree=np.append(real.indegree, 0),
+    )
+    rebuilt = repair_tile_dag(shrunk, parent.tiling, parent.transformed)
+    _assert_same_dag(rebuilt, real)
+
+
+def test_irv006_rejects_corrupted_counters():
+    _, _, _, parent = _bound_parent()
+    dag = repair_tile_dag(None, parent.tiling, parent.transformed)
+    bad = np.array(dag.indegree, dtype=np.int64)
+    if not bad.any():
+        pytest.skip("tiny instance produced an edgeless DAG")
+    bad[np.argmax(bad)] -= 1  # an under-counted release: a silent race
+    object.__setattr__(dag, "indegree", bad)
+    with pytest.raises(LegalityError, match="counter DAG rejected"):
+        ensure_runnable(dag)

@@ -1,0 +1,160 @@
+"""DatasetDelta semantics: validation, canonical application, drift,
+fingerprints, and the epoch aux invariants the patch rules lean on."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.incremental import DatasetDelta, EpochAux
+from repro.incremental.delta import UNTOUCHED_KEY
+
+from tests.incremental.conftest import small_delta, tiny_data
+
+pytestmark = pytest.mark.streaming
+
+
+class TestValidation:
+    def test_misaligned_added_endpoints(self):
+        data = tiny_data()
+        delta = DatasetDelta(added_left=[1, 2], added_right=[3])
+        with pytest.raises(ValidationError, match="align"):
+            delta.validate(data)
+
+    def test_added_endpoint_out_of_range(self):
+        data = tiny_data()
+        delta = DatasetDelta(
+            added_left=[data.num_nodes], added_right=[0]
+        )
+        with pytest.raises(ValidationError, match="outside"):
+            delta.validate(data)
+
+    def test_removed_row_out_of_range(self):
+        data = tiny_data()
+        with pytest.raises(ValidationError, match="removes rows outside"):
+            DatasetDelta(removed=[data.num_inter]).validate(data)
+
+    def test_duplicate_removed_rows_rejected(self):
+        with pytest.raises(ValidationError, match="duplicates"):
+            DatasetDelta(removed=[3, 3])
+
+    def test_moved_nodes_need_payload(self):
+        data = tiny_data()
+        with pytest.raises(ValidationError, match="payload"):
+            DatasetDelta(moved_nodes=[1]).validate(data)
+
+    def test_moved_unknown_array(self):
+        data = tiny_data()
+        delta = DatasetDelta(
+            moved_nodes=[1], moved_arrays={"nope": np.array([0.5])}
+        )
+        with pytest.raises(ValidationError, match="unknown payload"):
+            delta.validate(data)
+
+    def test_moved_values_misaligned(self):
+        data = tiny_data()
+        name = sorted(data.arrays)[0]
+        delta = DatasetDelta(
+            moved_nodes=[1, 2], moved_arrays={name: np.array([0.5])}
+        )
+        with pytest.raises(ValidationError, match="values for"):
+            delta.validate(data)
+
+
+class TestCanonicalApply:
+    def test_survivors_keep_relative_order(self):
+        data = tiny_data()
+        delta = small_delta(data, removed=5, added=3, seed=1)
+        child = delta.apply(data)
+        keep = delta.keep_mask(data.num_inter)
+        survivors = np.flatnonzero(keep)
+        assert np.array_equal(child.left[: len(survivors)], data.left[keep])
+        assert np.array_equal(child.right[: len(survivors)], data.right[keep])
+        assert np.array_equal(
+            child.left[len(survivors):], delta.added_left
+        )
+        assert child.num_inter == len(survivors) + delta.num_added
+
+    def test_payload_moves_applied(self):
+        data = tiny_data()
+        delta = small_delta(data, removed=0, added=0, moved=4, seed=2)
+        child = delta.apply(data)
+        for name, values in delta.moved_arrays.items():
+            assert np.array_equal(child.arrays[name][delta.moved_nodes], values)
+            untouched = np.setdiff1d(
+                np.arange(data.num_nodes), delta.moved_nodes
+            )
+            assert np.array_equal(
+                child.arrays[name][untouched], data.arrays[name][untouched]
+            )
+
+    def test_compaction_map_roundtrip(self):
+        data = tiny_data()
+        delta = small_delta(data, removed=7, added=0, seed=3)
+        keep_rows, old_to_new = delta.compaction_map(data.num_inter)
+        assert np.array_equal(old_to_new[keep_rows], np.arange(len(keep_rows)))
+        assert np.all(old_to_new[delta.removed] == -1)
+
+
+class TestDriftAndFingerprint:
+    def test_drift_is_worst_of_edge_and_node(self):
+        data = tiny_data()
+        delta = small_delta(data, removed=4, added=4, moved=3, seed=4)
+        assert delta.edge_drift(data) == pytest.approx(8 / data.num_inter)
+        assert delta.node_drift(data) == pytest.approx(3 / data.num_nodes)
+        assert delta.drift(data) == pytest.approx(
+            max(delta.edge_drift(data), delta.node_drift(data))
+        )
+
+    def test_fingerprint_stable_and_content_sensitive(self):
+        data = tiny_data()
+        a = small_delta(data, seed=5)
+        b = small_delta(data, seed=5)
+        c = small_delta(data, seed=6)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_empty_delta(self):
+        data = tiny_data()
+        delta = DatasetDelta().validate(data)
+        assert delta.is_empty
+        assert delta.drift(data) == 0.0
+        child = delta.apply(data)
+        assert child.left.tobytes() == data.left.tobytes()
+
+
+class TestEpochAux:
+    def test_from_data_matches_first_touch_semantics(self):
+        data = tiny_data()
+        aux = EpochAux.from_data(data)
+        # Reference: walk the interleaved stream.
+        expected = np.full(data.num_nodes, UNTOUCHED_KEY, dtype=np.int64)
+        for j in range(data.num_inter):
+            for offset, node in ((0, data.left[j]), (1, data.right[j])):
+                expected[node] = min(expected[node], 2 * j + offset)
+        assert np.array_equal(aux.first_key, expected)
+
+    def test_advanced_equals_fresh_child_aux_order(self):
+        """Key *order* (what cpack consumes) matches a fresh child aux."""
+        data = tiny_data()
+        delta = small_delta(data, removed=6, added=4, seed=7)
+        child = delta.apply(data)
+        advanced, changed = EpochAux.from_data(data).advanced(
+            delta, data, child
+        )
+        fresh = EpochAux.from_data(child)
+        assert np.array_equal(
+            np.argsort(advanced.first_key, kind="stable"),
+            np.argsort(fresh.first_key, kind="stable"),
+        )
+        # Changed nodes are exactly those whose stable rank ordering the
+        # parent keys can no longer reproduce.
+        assert len(changed) <= 2 * (delta.num_removed + delta.num_added)
+
+    def test_advanced_empty_delta_changes_nothing(self):
+        data = tiny_data()
+        delta = DatasetDelta().validate(data)
+        parent = EpochAux.from_data(data)
+        advanced, changed = parent.advanced(delta, data, delta.apply(data))
+        assert len(changed) == 0
+        assert np.array_equal(advanced.first_key, parent.first_key)
+        assert np.array_equal(advanced.row_key, parent.row_key)

@@ -1,0 +1,99 @@
+"""Deterministic drift corruptors (runtime.faults): reproducible epoch
+mutation generators the streaming benchmark and chaos harness share."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.faults import (
+    drift_edge_churn,
+    drift_node_motion,
+    make_drift_delta,
+)
+
+from tests.incremental.conftest import tiny_data
+
+pytestmark = pytest.mark.streaming
+
+
+def _unordered_keys(left, right, n):
+    lo = np.minimum(left, right)
+    hi = np.maximum(left, right)
+    return lo * n + hi
+
+
+class TestEdgeChurn:
+    def test_deterministic_per_seed(self):
+        data = tiny_data()
+        a = drift_edge_churn(data, 0.1, seed=3)
+        b = drift_edge_churn(data, 0.1, seed=3)
+        assert a.fingerprint() == b.fingerprint()
+        c = drift_edge_churn(data, 0.1, seed=4)
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_balanced_and_within_rate(self):
+        data = tiny_data()
+        delta = drift_edge_churn(data, 0.1, seed=5)
+        half = int(data.num_inter * 0.1 / 2)
+        assert delta.num_removed == half
+        assert delta.num_added <= half
+        assert delta.edge_drift(data) <= 0.1 + 1e-9
+
+    def test_added_edges_are_fresh_unordered_pairs(self):
+        data = tiny_data()
+        delta = drift_edge_churn(data, 0.2, seed=6)
+        n = data.num_nodes
+        assert not np.any(delta.added_left == delta.added_right)
+        added = _unordered_keys(delta.added_left, delta.added_right, n)
+        assert len(np.unique(added)) == len(added)
+        existing = _unordered_keys(data.left, data.right, n)
+        assert not np.isin(added, existing).any()
+
+    def test_child_passes_strict_validation(self):
+        from repro.runtime.validate import validate_kernel_data
+
+        data = tiny_data()
+        delta = drift_edge_churn(data, 0.2, seed=7)
+        validate_kernel_data(delta.apply(data))
+
+
+class TestNodeMotion:
+    def test_moves_only_selected_nodes(self):
+        data = tiny_data()
+        delta = drift_node_motion(data, 0.2, seed=8)
+        child = delta.apply(data)
+        untouched = np.setdiff1d(np.arange(data.num_nodes), delta.moved_nodes)
+        for name in data.arrays:
+            assert np.array_equal(
+                child.arrays[name][untouched], data.arrays[name][untouched]
+            )
+            assert not np.array_equal(
+                child.arrays[name][delta.moved_nodes],
+                data.arrays[name][delta.moved_nodes],
+            )
+
+    def test_no_structural_churn(self):
+        data = tiny_data()
+        delta = drift_node_motion(data, 0.2, seed=9)
+        assert not delta.mutates_edges
+        assert delta.edge_drift(data) == 0.0
+
+    def test_deterministic_per_seed(self):
+        data = tiny_data()
+        assert (
+            drift_node_motion(data, 0.2, seed=10).fingerprint()
+            == drift_node_motion(data, 0.2, seed=10).fingerprint()
+        )
+
+
+class TestCombined:
+    def test_combined_validates_and_bounds_drift(self):
+        data = tiny_data()
+        delta = make_drift_delta(data, edge_rate=0.1, move_rate=0.1, seed=11)
+        assert delta.mutates_edges and delta.num_moved > 0
+        assert delta.drift(data) <= 0.1 + 1e-9
+
+    def test_sub_seeds_decorrelate(self):
+        data = tiny_data()
+        combined = make_drift_delta(data, edge_rate=0.1, move_rate=0.1, seed=0)
+        edge_only = drift_edge_churn(data, 0.1, seed=0)
+        assert combined.fingerprint() != edge_only.fingerprint()
